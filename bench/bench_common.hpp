@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared configuration of the experiment harnesses.  Every bench prints the
+// rows/series of one table or figure of the DAC'20 ApproxFPGAs paper.
+//
+// Scale: benches default to proportionally smaller CGP libraries than the
+// paper's corpus so the whole suite runs in minutes.  Set AXF_SCALE=paper
+// to grow the libraries toward paper scale (slower), or AXF_SCALE=ci for
+// the smallest smoke configuration.
+
+#include <cstdlib>
+#include <string>
+
+#include "src/gen/library.hpp"
+
+namespace axf::bench {
+
+enum class Scale { Ci, Default, Paper };
+
+inline Scale scaleFromEnv() {
+    const char* env = std::getenv("AXF_SCALE");
+    if (env == nullptr) return Scale::Default;
+    const std::string v(env);
+    if (v == "ci") return Scale::Ci;
+    if (v == "paper") return Scale::Paper;
+    return Scale::Default;
+}
+
+/// Library-generation policy for one operator/width at the chosen scale.
+inline gen::LibraryConfig libraryConfig(circuit::ArithOp op, int width, Scale scale) {
+    gen::LibraryConfig cfg;
+    cfg.op = op;
+    cfg.width = width;
+    cfg.seed = 0xA90F5 + static_cast<std::uint64_t>(width) * 7 +
+               (op == circuit::ArithOp::Multiplier ? 1 : 0);
+    switch (scale) {
+        case Scale::Ci:
+            cfg.medBudgets = {0.001, 0.01};
+            cfg.cgpGenerations = 60;
+            break;
+        case Scale::Default:
+            cfg.medBudgets = {0.0005, 0.001, 0.002, 0.005, 0.01, 0.03};
+            cfg.cgpGenerations = width >= 16 ? 90 : 150;
+            break;
+        case Scale::Paper:
+            cfg.medBudgets = {0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05};
+            cfg.cgpGenerations = width >= 16 ? 220 : 450;
+            break;
+    }
+    // Wide operators: sampled error analysis keeps reports comparable.
+    if (width >= 12) {
+        cfg.errorConfig.exhaustiveLimit = 1u << 16;
+        cfg.errorConfig.sampleCount = 1u << 15;
+    }
+    return cfg;
+}
+
+}  // namespace axf::bench

@@ -1,0 +1,62 @@
+// Fig. 8 — End-to-end evaluation of the Pareto-optimal FPGA-ACs obtained by
+// the ApproxFPGAs methodology on the 8-/16-bit adder and 8x8/16x16
+// multiplier libraries.  Reports, per library and FPGA parameter, the
+// pseudo-Pareto sizes, the re-synthesis counts, the final front, and the
+// coverage of the true front (paper: ~71% average at ~10x speedup).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/flow.hpp"
+#include "src/synth/synth_time.hpp"
+#include "src/util/table.hpp"
+
+using namespace axf;
+
+int main() {
+    const bench::Scale scale = bench::scaleFromEnv();
+    util::printBanner(std::cout, "Fig. 8 | Pareto-optimal FPGA-ACs via ApproxFPGAs");
+
+    struct Lib {
+        circuit::ArithOp op;
+        int width;
+    };
+    const std::vector<Lib> libs = {{circuit::ArithOp::Adder, 8},
+                                   {circuit::ArithOp::Adder, 16},
+                                   {circuit::ArithOp::Multiplier, 8},
+                                   {circuit::ArithOp::Multiplier, 16}};
+
+    util::Table table({"library", "circuits", "synthesized", "speedup", "param", "pseudo-front",
+                       "final front", "coverage"});
+    double coverageAcc = 0.0;
+    int coverageCount = 0;
+    double speedupAcc = 0.0;
+    for (const Lib& lib : libs) {
+        gen::AcLibrary library = gen::buildLibrary(bench::libraryConfig(lib.op, lib.width, scale));
+        const std::size_t librarySize = library.size();
+        core::ApproxFpgasFlow::Config cfg;
+        const core::FlowResult result = core::ApproxFpgasFlow(cfg).run(std::move(library));
+        speedupAcc += result.speedup();
+
+        const std::string name = circuit::ArithSignature{lib.op, lib.width, lib.width}.toString();
+        for (const core::TargetOutcome& t : result.targets) {
+            coverageAcc += t.coverageOfTrueFront;
+            ++coverageCount;
+            table.addRow({name, util::Table::integer(static_cast<long long>(librarySize)),
+                          util::Table::integer(static_cast<long long>(result.circuitsSynthesized)),
+                          util::Table::num(result.speedup(), 1) + "x",
+                          core::fpgaParamName(t.param),
+                          util::Table::integer(static_cast<long long>(t.pseudoParetoIndices.size())),
+                          util::Table::integer(static_cast<long long>(t.finalParetoIndices.size())),
+                          util::Table::percent(t.coverageOfTrueFront)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\naverage coverage of the true Pareto fronts: "
+              << util::Table::percent(coverageAcc / static_cast<double>(coverageCount))
+              << " (paper: ~71%)\n"
+              << "average exploration-time speedup:           "
+              << util::Table::num(speedupAcc / static_cast<double>(libs.size()), 1)
+              << "x (paper: ~10x; grows with library size)\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels underneath the
+// experiment harnesses: bit-parallel netlist simulation, exhaustive error
+// analysis, LUT technology mapping, full FPGA implementation, and SSIM.
+
+#include <benchmark/benchmark.h>
+
+#include "src/error/error_metrics.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/gen/adders.hpp"
+#include "src/img/ssim.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/synth/asic.hpp"
+#include "src/circuit/simulator.hpp"
+
+using namespace axf;
+
+static void BM_SimulatorSweep(benchmark::State& state) {
+    const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));
+    circuit::Simulator sim(net);
+    std::vector<std::uint64_t> in(net.inputCount(), 0x0123456789ABCDEFull);
+    std::vector<std::uint64_t> out(net.outputCount());
+    for (auto _ : state) {
+        sim.evaluate(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SimulatorSweep)->Arg(8)->Arg(16);
+
+static void BM_ExhaustiveError8x8(benchmark::State& state) {
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    for (auto _ : state) {
+        const error::ErrorReport r = error::analyzeError(net, sig);
+        benchmark::DoNotOptimize(r.med);
+    }
+}
+BENCHMARK(BM_ExhaustiveError8x8);
+
+static void BM_LutMapping(benchmark::State& state) {
+    const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));
+    synth::FpgaFlow flow;
+    for (auto _ : state) {
+        const synth::LutMapper::Mapping m = flow.technologyMap(net);
+        benchmark::DoNotOptimize(m.depth);
+    }
+}
+BENCHMARK(BM_LutMapping)->Arg(8)->Arg(16);
+
+static void BM_FpgaImplement(benchmark::State& state) {
+    const circuit::Netlist net = gen::wallaceMultiplier(8);
+    synth::FpgaFlow flow;
+    for (auto _ : state) {
+        const synth::FpgaReport r = flow.implement(net);
+        benchmark::DoNotOptimize(r.lutCount);
+    }
+}
+BENCHMARK(BM_FpgaImplement);
+
+static void BM_AsicSynthesis(benchmark::State& state) {
+    const circuit::Netlist net = gen::wallaceMultiplier(8);
+    synth::AsicFlow flow;
+    for (auto _ : state) {
+        const synth::AsicReport r = flow.synthesize(net);
+        benchmark::DoNotOptimize(r.areaUm2);
+    }
+}
+BENCHMARK(BM_AsicSynthesis);
+
+static void BM_Ssim(benchmark::State& state) {
+    const img::Image a = img::syntheticScene(128, 128, 1);
+    const img::Image b = img::syntheticScene(128, 128, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(img::ssim(a, b));
+    }
+}
+BENCHMARK(BM_Ssim);
+
+BENCHMARK_MAIN();

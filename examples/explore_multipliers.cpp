@@ -1,0 +1,63 @@
+// Runs the full ApproxFPGAs methodology on a library of approximate 8x8
+// multipliers and writes the resulting Pareto-optimal FPGA-AC library to
+// CSV (the artifact the paper open-sources).
+//
+// Usage: ./build/examples/explore_multipliers [out.csv]
+
+#include <fstream>
+#include <iostream>
+
+#include "src/core/flow.hpp"
+#include "src/synth/synth_time.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace axf;
+    const std::string outPath = argc > 1 ? argv[1] : "fpga_acs_mul8.csv";
+
+    // A compact library: classic structural families plus CGP-evolved
+    // designs around four error budgets.
+    gen::LibraryConfig libCfg;
+    libCfg.op = circuit::ArithOp::Multiplier;
+    libCfg.width = 8;
+    libCfg.medBudgets = {0.0005, 0.002, 0.01, 0.03};
+    libCfg.cgpGenerations = 120;
+    gen::AcLibrary library = gen::buildLibrary(libCfg);
+    std::cout << "library: " << library.size() << " approximate 8x8 multipliers\n";
+
+    core::ApproxFpgasFlow::Config cfg;
+    const core::FlowResult result = core::ApproxFpgasFlow(cfg).run(std::move(library));
+
+    std::cout << "synthesized " << result.circuitsSynthesized << " circuits ("
+              << util::Table::num(result.speedup(), 1) << "x fewer Vivado-equivalent hours than "
+              << "exhaustive: " << synth::secondsToHours(result.flowSynthSeconds) << " vs "
+              << synth::secondsToHours(result.exhaustiveSynthSeconds) << ")\n";
+    for (const core::TargetOutcome& t : result.targets)
+        std::cout << "  " << core::fpgaParamName(t.param) << ": selected models "
+                  << t.selectedModels[0] << "/" << t.selectedModels[1] << "/"
+                  << t.selectedModels[2] << ", final front " << t.finalParetoIndices.size()
+                  << " circuits, true-front coverage "
+                  << util::Table::percent(t.coverageOfTrueFront) << "\n";
+
+    // Export the union of the per-parameter final fronts.
+    util::Table csv({"name", "origin", "med", "wce", "ep", "luts", "latency_ns", "power_mw"});
+    std::vector<bool> exported(result.dataset.size(), false);
+    for (const core::TargetOutcome& t : result.targets) {
+        for (std::size_t idx : t.finalParetoIndices) {
+            if (exported[idx]) continue;
+            exported[idx] = true;
+            const core::CharacterizedCircuit& cc = result.dataset.circuits()[idx];
+            csv.addRow({cc.circuit.name, cc.circuit.origin,
+                        util::Table::num(cc.circuit.error.med, 8),
+                        util::Table::num(cc.circuit.error.worstCaseError, 0),
+                        util::Table::num(cc.circuit.error.errorProbability, 4),
+                        util::Table::num(cc.fpga.lutCount, 0),
+                        util::Table::num(cc.fpga.latencyNs, 3),
+                        util::Table::num(cc.fpga.powerMw, 4)});
+        }
+    }
+    std::ofstream out(outPath);
+    csv.writeCsv(out);
+    std::cout << "wrote " << csv.rowCount() << " Pareto-optimal FPGA-ACs to " << outPath << "\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+// AutoAx-FPGA end to end on a small budget: builds FPGA-AC component menus
+// with the ApproxFPGAs flow, assembles the Gaussian-filter accelerator,
+// trains QoR/cost estimators, searches, and prints the discovered
+// SSIM-vs-power trade-off against a random-search baseline.
+
+#include <iostream>
+
+#include "src/autoax/dse.hpp"
+#include "src/core/flow.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+    using namespace axf;
+
+    // Small component-library runs (see bench/fig9_autoax for full scale).
+    const auto makeLibrary = [](circuit::ArithOp op, int width) {
+        gen::LibraryConfig cfg;
+        cfg.op = op;
+        cfg.width = width;
+        cfg.medBudgets = {0.001, 0.01};
+        cfg.cgpGenerations = 80;
+        if (width >= 12) {
+            cfg.errorConfig.exhaustiveLimit = 1u << 16;
+            cfg.errorConfig.sampleCount = 1u << 14;
+        }
+        return gen::buildLibrary(cfg);
+    };
+    core::ApproxFpgasFlow::Config flowCfg;
+    const core::FlowResult mulFlow =
+        core::ApproxFpgasFlow(flowCfg).run(makeLibrary(circuit::ArithOp::Multiplier, 8));
+    const core::FlowResult addFlow =
+        core::ApproxFpgasFlow(flowCfg).run(makeLibrary(circuit::ArithOp::Adder, 16));
+
+    const autoax::GaussianAccelerator accel(
+        autoax::componentsFromFlow(mulFlow, core::FpgaParam::Power, 9),
+        autoax::componentsFromFlow(addFlow, core::FpgaParam::Power, 8));
+    std::cout << "accelerator design space: " << accel.designSpaceSize() << " configurations\n";
+
+    autoax::AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = 80;
+    cfg.hillIterations = 1200;
+    cfg.imageSize = 64;
+    const autoax::AutoAxFpgaFlow::Result result = autoax::AutoAxFpgaFlow(cfg).run(accel);
+
+    for (const auto& scenario : result.scenarios) {
+        if (scenario.param != core::FpgaParam::Power) continue;
+        util::Table table({"method", "designs evaluated", "best power @ SSIM>=0.95 [mW]"});
+        const auto best = [&](const std::vector<autoax::EvaluatedConfig>& pts) {
+            double b = std::numeric_limits<double>::infinity();
+            for (const auto& p : pts)
+                if (p.ssim >= 0.95) b = std::min(b, p.cost.powerMw);
+            return b;
+        };
+        table.addRow({"AutoAx-FPGA", std::to_string(scenario.autoax.size()),
+                      util::Table::num(best(scenario.autoax), 3)});
+        table.addRow({"random search", std::to_string(scenario.random.size()),
+                      util::Table::num(best(scenario.random), 3)});
+        table.print(std::cout);
+
+        std::cout << "\nSSIM-power front discovered by AutoAx-FPGA:\n";
+        for (std::size_t pos : autoax::qualityCostFront(scenario.autoax, scenario.param)) {
+            const autoax::EvaluatedConfig& p = scenario.autoax[pos];
+            std::cout << "  SSIM " << util::Table::num(p.ssim, 4) << "  power "
+                      << util::Table::num(p.cost.powerMw, 3) << " mW  area "
+                      << util::Table::num(p.cost.lutCount, 0) << " LUTs\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,259 @@
+#include "src/autoax/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/circuit/simulator.hpp"
+#include "src/img/ssim.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::autoax {
+
+using circuit::Simulator;
+
+std::vector<Component> componentsFromFlow(const core::FlowResult& result,
+                                          core::FpgaParam param, std::size_t maxComponents) {
+    const core::TargetOutcome* outcome = nullptr;
+    for (const core::TargetOutcome& t : result.targets)
+        if (t.param == param) outcome = &t;
+    if (outcome == nullptr) throw std::invalid_argument("componentsFromFlow: param not in result");
+
+    std::vector<Component> menu;
+    for (std::size_t idx : outcome->finalParetoIndices) {
+        const core::CharacterizedCircuit& cc = result.dataset.circuits()[idx];
+        if (!cc.fpgaMeasured) continue;
+        Component c;
+        c.name = cc.circuit.name;
+        c.signature = cc.circuit.signature;
+        c.error = cc.circuit.error;
+        c.fpga = cc.fpga;
+        c.netlist = cc.circuit.netlist;
+        menu.push_back(std::move(c));
+    }
+    std::sort(menu.begin(), menu.end(),
+              [](const Component& a, const Component& b) { return a.error.med < b.error.med; });
+    if (maxComponents != 0 && menu.size() > maxComponents) {
+        // Uniform thinning over the error-sorted menu keeps the spread.
+        std::vector<Component> thinned;
+        const double step = static_cast<double>(menu.size()) / static_cast<double>(maxComponents);
+        for (std::size_t i = 0; i < maxComponents; ++i)
+            thinned.push_back(std::move(menu[static_cast<std::size_t>(i * step)]));
+        menu = std::move(thinned);
+    }
+    return menu;
+}
+
+std::uint64_t AcceleratorConfig::hash() const {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v + 1;
+        h *= 1099511628211ull;
+    };
+    for (int m : multiplier) mix(static_cast<std::uint64_t>(m));
+    for (int a : adder) mix(static_cast<std::uint64_t>(a));
+    return h;
+}
+
+const std::array<int, 9>& GaussianAccelerator::kernelWeights() {
+    static const std::array<int, 9> kWeights = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+    return kWeights;
+}
+
+GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
+                                         std::vector<Component> adderMenu)
+    : multipliers_(std::move(multiplierMenu)), adders_(std::move(adderMenu)) {
+    if (multipliers_.empty() || adders_.empty())
+        throw std::invalid_argument("GaussianAccelerator: empty component menu");
+    for (const Component& c : multipliers_)
+        if (c.signature.op != circuit::ArithOp::Multiplier || c.signature.widthA != 8)
+            throw std::invalid_argument("GaussianAccelerator: multiplier menu needs 8x8 mults");
+    for (const Component& c : adders_)
+        if (c.signature.op != circuit::ArithOp::Adder || c.signature.widthA != 16)
+            throw std::invalid_argument("GaussianAccelerator: adder menu needs 16-bit adders");
+    multTables_.reserve(multipliers_.size());
+    for (const Component& c : multipliers_) multTables_.push_back(buildTable(c));
+}
+
+std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& component) const {
+    // Exhaustive 8x8 behavioural table via 64-lane sweeps.
+    static constexpr std::array<std::uint64_t, 6> kLanePattern = {
+        0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+        0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+    std::vector<std::uint16_t> table(1u << 16);
+    Simulator sim(component.netlist);
+    std::vector<std::uint64_t> in(16), out(component.netlist.outputCount());
+    for (std::uint64_t base = 0; base < (1u << 16); base += 64) {
+        for (int bit = 0; bit < 16; ++bit)
+            in[static_cast<std::size_t>(bit)] =
+                bit < 6 ? kLanePattern[static_cast<std::size_t>(bit)]
+                        : ((base >> bit) & 1u ? ~std::uint64_t{0} : std::uint64_t{0});
+        sim.evaluate(in, out);
+        for (int lane = 0; lane < 64; ++lane) {
+            std::uint32_t value = 0;
+            for (std::size_t bit = 0; bit < out.size() && bit < 16; ++bit)
+                value |= static_cast<std::uint32_t>((out[bit] >> lane) & 1u) << bit;
+            table[base + static_cast<std::uint64_t>(lane)] = static_cast<std::uint16_t>(value);
+        }
+    }
+    return table;
+}
+
+double GaussianAccelerator::designSpaceSize() const {
+    return std::pow(static_cast<double>(multipliers_.size()), 9.0) *
+           std::pow(static_cast<double>(adders_.size()), 8.0);
+}
+
+void batchAdd16(Simulator& sim, std::span<const std::uint32_t> a,
+                std::span<const std::uint32_t> b, std::span<std::uint32_t> out) {
+    std::vector<std::uint64_t> in(32, 0);
+    for (std::size_t lane = 0; lane < a.size(); ++lane) {
+        for (int bit = 0; bit < 16; ++bit) {
+            if ((a[lane] >> bit) & 1u) in[static_cast<std::size_t>(bit)] |= std::uint64_t{1} << lane;
+            if ((b[lane] >> bit) & 1u)
+                in[static_cast<std::size_t>(16 + bit)] |= std::uint64_t{1} << lane;
+        }
+    }
+    std::vector<std::uint64_t> outWords(sim.netlist().outputCount());
+    sim.evaluate(in, outWords);
+    for (std::size_t lane = 0; lane < a.size(); ++lane) {
+        std::uint32_t v = 0;
+        for (std::size_t bit = 0; bit < outWords.size(); ++bit)
+            v |= static_cast<std::uint32_t>((outWords[bit] >> lane) & 1u) << bit;
+        out[lane] = v;
+    }
+}
+
+img::Image GaussianAccelerator::filter(const img::Image& input,
+                                       const AcceleratorConfig& config) const {
+    for (int m : config.multiplier)
+        if (m < 0 || static_cast<std::size_t>(m) >= multipliers_.size())
+            throw std::out_of_range("filter: multiplier choice out of range");
+    for (int a : config.adder)
+        if (a < 0 || static_cast<std::size_t>(a) >= adders_.size())
+            throw std::out_of_range("filter: adder choice out of range");
+
+    // One simulator per adder-tree node (each node may use a different
+    // component, and simulators carry scratch state).
+    std::vector<Simulator> adderSims;
+    adderSims.reserve(8);
+    for (int node = 0; node < 8; ++node)
+        adderSims.emplace_back(adders_[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])].netlist);
+
+    const std::array<int, 9>& weights = kernelWeights();
+    img::Image output(input.width(), input.height());
+    const std::size_t total = input.pixelCount();
+
+    std::array<std::array<std::uint32_t, 64>, 9> products{};
+    std::array<std::uint32_t, 64> l1a{}, l1b{}, l1c{}, l1d{}, l2a{}, l2b{}, l3{}, sum{};
+
+    for (std::size_t base = 0; base < total; base += 64) {
+        const std::size_t lanes = std::min<std::size_t>(64, total - base);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::size_t pixel = base + lane;
+            const int x = static_cast<int>(pixel % static_cast<std::size_t>(input.width()));
+            const int y = static_cast<int>(pixel / static_cast<std::size_t>(input.width()));
+            int slot = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx, ++slot) {
+                    const std::uint32_t pix = input.atClamped(x + dx, y + dy);
+                    const std::uint32_t coeff = static_cast<std::uint32_t>(
+                        weights[static_cast<std::size_t>(slot)]);
+                    const std::size_t tableIdx = static_cast<std::size_t>(
+                        config.multiplier[static_cast<std::size_t>(slot)]);
+                    products[static_cast<std::size_t>(slot)][lane] =
+                        multTables_[tableIdx][pix | (coeff << 8)];
+                }
+            }
+        }
+        const auto lanesSpan = [&](std::array<std::uint32_t, 64>& arr) {
+            return std::span<std::uint32_t>(arr.data(), lanes);
+        };
+        const auto constSpan = [&](const std::array<std::uint32_t, 64>& arr) {
+            return std::span<const std::uint32_t>(arr.data(), lanes);
+        };
+        batchAdd16(adderSims[0], constSpan(products[0]), constSpan(products[1]), lanesSpan(l1a));
+        batchAdd16(adderSims[1], constSpan(products[2]), constSpan(products[3]), lanesSpan(l1b));
+        batchAdd16(adderSims[2], constSpan(products[4]), constSpan(products[5]), lanesSpan(l1c));
+        batchAdd16(adderSims[3], constSpan(products[6]), constSpan(products[7]), lanesSpan(l1d));
+        batchAdd16(adderSims[4], constSpan(l1a), constSpan(l1b), lanesSpan(l2a));
+        batchAdd16(adderSims[5], constSpan(l1c), constSpan(l1d), lanesSpan(l2b));
+        batchAdd16(adderSims[6], constSpan(l2a), constSpan(l2b), lanesSpan(l3));
+        batchAdd16(adderSims[7], constSpan(l3), constSpan(products[8]), lanesSpan(sum));
+
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::size_t pixel = base + lane;
+            const int x = static_cast<int>(pixel % static_cast<std::size_t>(input.width()));
+            const int y = static_cast<int>(pixel / static_cast<std::size_t>(input.width()));
+            const std::uint32_t rounded = std::min<std::uint32_t>(255u, sum[lane] >> 4);
+            output.set(x, y, static_cast<std::uint8_t>(rounded));
+        }
+    }
+    return output;
+}
+
+img::Image GaussianAccelerator::filterExact(const img::Image& input) const {
+    const std::array<int, 9>& weights = kernelWeights();
+    img::Image output(input.width(), input.height());
+    for (int y = 0; y < input.height(); ++y) {
+        for (int x = 0; x < input.width(); ++x) {
+            std::uint32_t acc = 0;
+            int slot = 0;
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx, ++slot)
+                    acc += static_cast<std::uint32_t>(input.atClamped(x + dx, y + dy)) *
+                           static_cast<std::uint32_t>(weights[static_cast<std::size_t>(slot)]);
+            output.set(x, y, static_cast<std::uint8_t>(std::min<std::uint32_t>(255u, acc >> 4)));
+        }
+    }
+    return output;
+}
+
+double GaussianAccelerator::quality(const AcceleratorConfig& config,
+                                    const std::vector<img::Image>& scenes) const {
+    if (scenes.empty()) throw std::invalid_argument("quality: no scenes");
+    double acc = 0.0;
+    for (const img::Image& scene : scenes)
+        acc += img::ssim(filterExact(scene), filter(scene, config));
+    return acc / static_cast<double>(scenes.size());
+}
+
+AcceleratorCost GaussianAccelerator::cost(const AcceleratorConfig& config) const {
+    AcceleratorCost cost;
+    double maxMultLatency = 0.0;
+    for (int slot = 0; slot < 9; ++slot) {
+        const Component& c =
+            multipliers_[static_cast<std::size_t>(config.multiplier[static_cast<std::size_t>(slot)])];
+        cost.lutCount += c.fpga.lutCount;
+        cost.powerMw += c.fpga.powerMw;
+        maxMultLatency = std::max(maxMultLatency, c.fpga.latencyNs);
+        cost.synthSeconds += 0.25 * c.fpga.synthSeconds;
+    }
+    // Adder-tree critical path: the slowest adder of each level in series.
+    static constexpr std::array<int, 8> kLevel = {1, 1, 1, 1, 2, 2, 3, 4};
+    std::array<double, 5> levelWorst{};
+    for (int node = 0; node < 8; ++node) {
+        const Component& c =
+            adders_[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])];
+        cost.lutCount += c.fpga.lutCount;
+        cost.powerMw += c.fpga.powerMw;
+        cost.synthSeconds += 0.25 * c.fpga.synthSeconds;
+        const auto level = static_cast<std::size_t>(kLevel[static_cast<std::size_t>(node)]);
+        levelWorst[level] = std::max(levelWorst[level], c.fpga.latencyNs);
+    }
+    cost.latencyNs = maxMultLatency;
+    for (int level = 1; level <= 4; ++level)
+        cost.latencyNs += levelWorst[static_cast<std::size_t>(level)];
+
+    // Line-buffer / control glue and P&R variance.
+    cost.lutCount += 24.0;
+    cost.powerMw += 0.12;
+    cost.synthSeconds += 90.0;
+    util::Rng jitter(config.hash() ^ 0xACCE1ull);
+    cost.lutCount *= 1.0 + jitter.uniformReal(-0.02, 0.02);
+    cost.powerMw *= 1.0 + jitter.uniformReal(-0.03, 0.03);
+    cost.latencyNs *= 1.0 + jitter.uniformReal(-0.03, 0.03);
+    return cost;
+}
+
+}  // namespace axf::autoax

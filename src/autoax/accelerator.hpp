@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/circuit/arith.hpp"
+#include "src/circuit/netlist.hpp"
+#include "src/circuit/simulator.hpp"
+#include "src/core/flow.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/img/image.hpp"
+#include "src/synth/metrics.hpp"
+
+namespace axf::autoax {
+
+/// One Pareto-optimal FPGA-AC offered to the accelerator builder (a menu
+/// entry): behavioral netlist plus measured FPGA parameters and error.
+struct Component {
+    std::string name;
+    circuit::ArithSignature signature;
+    error::ErrorReport error;
+    synth::FpgaReport fpga;
+    circuit::Netlist netlist;
+};
+
+/// Extracts the final Pareto-optimal circuits of an ApproxFPGAs run as a
+/// component menu (capped at `maxComponents`, spread over the error range).
+std::vector<Component> componentsFromFlow(const core::FlowResult& result,
+                                          core::FpgaParam param, std::size_t maxComponents);
+
+/// Applies a 16-bit adder netlist (via its simulator) to up to 64 operand
+/// pairs bit-parallel.  Shared by the accelerator behavioural models and
+/// reusable for custom accelerators (see examples/sobel_accelerator).
+void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
+                std::span<const std::uint32_t> b, std::span<std::uint32_t> out);
+
+/// Configuration of the Gaussian-filter accelerator: a component choice for
+/// each of the 9 multiplier slots and each of the 8 adder-tree nodes.
+struct AcceleratorConfig {
+    std::array<int, 9> multiplier{};  ///< indices into the multiplier menu
+    std::array<int, 8> adder{};       ///< indices into the adder menu
+
+    std::uint64_t hash() const;
+    friend bool operator==(const AcceleratorConfig&, const AcceleratorConfig&) = default;
+};
+
+/// Composed "measured" hardware cost of one configuration — the stand-in
+/// for synthesizing the full accelerator with Vivado.  Area and power are
+/// additive over component instances (plus glue); latency follows the
+/// slowest multiplier and the adder-tree critical path.  A small
+/// deterministic per-configuration jitter models P&R variance.
+struct AcceleratorCost {
+    double lutCount = 0.0;
+    double powerMw = 0.0;
+    double latencyNs = 0.0;
+    double synthSeconds = 0.0;  ///< Vivado-equivalent accelerator synthesis
+};
+
+/// 3x3 Gaussian-blur hardware accelerator (kernel [1 2 1; 2 4 2; 1 2 1]/16)
+/// built from approximate components.  Evaluates the behavioural model
+/// bit-parallel (64 pixels per sweep) and composes hardware costs.
+class GaussianAccelerator {
+public:
+    GaussianAccelerator(std::vector<Component> multiplierMenu,
+                        std::vector<Component> adderMenu);
+
+    const std::vector<Component>& multiplierMenu() const { return multipliers_; }
+    const std::vector<Component>& adderMenu() const { return adders_; }
+
+    /// Number of distinct configurations (|M|^9 * |A|^8 as a double; the
+    /// paper quotes 4.95e14 for its menus).
+    double designSpaceSize() const;
+
+    /// Runs the behavioural model over an image.
+    img::Image filter(const img::Image& input, const AcceleratorConfig& config) const;
+
+    /// Reference output (all-exact components).
+    img::Image filterExact(const img::Image& input) const;
+
+    /// QoR: mean SSIM of the approximate output against the exact output
+    /// over the given scenes.
+    double quality(const AcceleratorConfig& config, const std::vector<img::Image>& scenes) const;
+
+    AcceleratorCost cost(const AcceleratorConfig& config) const;
+
+    /// The kernel weights in slot order (row-major 3x3).
+    static const std::array<int, 9>& kernelWeights();
+
+private:
+    std::vector<Component> multipliers_;
+    std::vector<Component> adders_;
+    std::vector<std::vector<std::uint16_t>> multTables_;  ///< 8x8 -> 16-bit LUTs
+
+    std::vector<std::uint16_t> buildTable(const Component& component) const;
+};
+
+}  // namespace axf::autoax

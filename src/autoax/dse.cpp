@@ -1,0 +1,246 @@
+#include "src/autoax/dse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/core/pareto.hpp"
+#include "src/ml/models.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::autoax {
+
+double costParamOf(const AcceleratorCost& cost, core::FpgaParam param) {
+    switch (param) {
+        case core::FpgaParam::Latency: return cost.latencyNs;
+        case core::FpgaParam::Power: return cost.powerMw;
+        case core::FpgaParam::Area: return cost.lutCount;
+    }
+    return 0.0;
+}
+
+std::vector<double> configFeatures(const GaussianAccelerator& accel,
+                                   const AcceleratorConfig& config) {
+    const auto& mults = accel.multiplierMenu();
+    const auto& adders = accel.adderMenu();
+    const std::array<int, 9>& weights = GaussianAccelerator::kernelWeights();
+
+    double multMedSum = 0, multMedMax = 0, multWceSum = 0, multLut = 0, multPow = 0,
+           multLatMax = 0, exactMults = 0;
+    for (int slot = 0; slot < 9; ++slot) {
+        const Component& c =
+            mults[static_cast<std::size_t>(config.multiplier[static_cast<std::size_t>(slot)])];
+        const double w = static_cast<double>(weights[static_cast<std::size_t>(slot)]) / 16.0;
+        multMedSum += c.error.med * w;
+        multMedMax = std::max(multMedMax, c.error.med);
+        multWceSum += c.error.worstCaseError * w;
+        multLut += c.fpga.lutCount;
+        multPow += c.fpga.powerMw;
+        multLatMax = std::max(multLatMax, c.fpga.latencyNs);
+        if (c.error.isExact()) exactMults += 1.0;
+    }
+    double addMedSum = 0, addMedMax = 0, addWceSum = 0, addLut = 0, addPow = 0, addLatSum = 0,
+           exactAdders = 0;
+    static constexpr std::array<double, 8> kLevelWeight = {1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.25, 0.25};
+    for (int node = 0; node < 8; ++node) {
+        const Component& c =
+            adders[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])];
+        const double w = kLevelWeight[static_cast<std::size_t>(node)];
+        addMedSum += c.error.med * w;
+        addMedMax = std::max(addMedMax, c.error.med);
+        addWceSum += c.error.worstCaseError * w;
+        addLut += c.fpga.lutCount;
+        addPow += c.fpga.powerMw;
+        addLatSum += c.fpga.latencyNs;
+        if (c.error.isExact()) exactAdders += 1.0;
+    }
+    return {multMedSum, multMedMax, std::log1p(multWceSum), multLut, multPow, multLatMax,
+            exactMults, addMedSum,  addMedMax, std::log1p(addWceSum), addLut, addPow,
+            addLatSum,  exactAdders};
+}
+
+AcceleratorEstimators AcceleratorEstimators::train(const GaussianAccelerator& accel,
+                                                   const std::vector<EvaluatedConfig>& samples) {
+    std::vector<ml::Vector> rows;
+    ml::Vector ssim, area, power, latency;
+    for (const EvaluatedConfig& s : samples) {
+        rows.push_back(configFeatures(accel, s.config));
+        ssim.push_back(s.ssim);
+        area.push_back(s.cost.lutCount);
+        power.push_back(s.cost.powerMw);
+        latency.push_back(s.cost.latencyNs);
+    }
+    const ml::Matrix x = ml::Matrix::fromRows(rows);
+
+    AcceleratorEstimators est;
+    // QoR is strongly non-linear in the error mass -> forest; the cost
+    // metrics are near-additive -> Bayesian ridge (the paper reuses its
+    // best library-level estimators here).
+    est.qor_ = std::make_unique<ml::RandomForest>();
+    est.qor_->fit(x, ssim);
+    est.area_ = std::make_unique<ml::ScaledRegressor>(std::make_unique<ml::BayesianRidge>());
+    est.area_->fit(x, area);
+    est.power_ = std::make_unique<ml::ScaledRegressor>(std::make_unique<ml::BayesianRidge>());
+    est.power_->fit(x, power);
+    est.latency_ = std::make_unique<ml::ScaledRegressor>(std::make_unique<ml::BayesianRidge>());
+    est.latency_->fit(x, latency);
+    return est;
+}
+
+double AcceleratorEstimators::estimateSsim(const GaussianAccelerator& accel,
+                                           const AcceleratorConfig& c) const {
+    return qor_->predict(configFeatures(accel, c));
+}
+
+double AcceleratorEstimators::estimateCost(const GaussianAccelerator& accel,
+                                           const AcceleratorConfig& c,
+                                           core::FpgaParam param) const {
+    const std::vector<double> f = configFeatures(accel, c);
+    switch (param) {
+        case core::FpgaParam::Latency: return latency_->predict(f);
+        case core::FpgaParam::Power: return power_->predict(f);
+        case core::FpgaParam::Area: return area_->predict(f);
+    }
+    return 0.0;
+}
+
+std::vector<std::size_t> qualityCostFront(const std::vector<EvaluatedConfig>& points,
+                                          core::FpgaParam param) {
+    std::vector<core::ParetoPoint> pp(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        pp[i] = core::ParetoPoint{1.0 - points[i].ssim, costParamOf(points[i].cost, param), i};
+    return core::paretoFront(pp);
+}
+
+namespace {
+
+AcceleratorConfig randomConfig(const GaussianAccelerator& accel, util::Rng& rng) {
+    AcceleratorConfig c;
+    for (int& m : c.multiplier) m = static_cast<int>(rng.index(accel.multiplierMenu().size()));
+    for (int& a : c.adder) a = static_cast<int>(rng.index(accel.adderMenu().size()));
+    return c;
+}
+
+AcceleratorConfig mutate(const GaussianAccelerator& accel, AcceleratorConfig c, util::Rng& rng) {
+    const int moves = 1 + static_cast<int>(rng.index(2));
+    for (int i = 0; i < moves; ++i) {
+        if (rng.bernoulli(9.0 / 17.0)) {
+            c.multiplier[rng.index(9)] = static_cast<int>(rng.index(accel.multiplierMenu().size()));
+        } else {
+            c.adder[rng.index(8)] = static_cast<int>(rng.index(accel.adderMenu().size()));
+        }
+    }
+    return c;
+}
+
+/// Archive entry during estimator-guided search.
+struct ArchiveEntry {
+    AcceleratorConfig config;
+    double estSsim = 0.0;
+    double estCost = 0.0;
+};
+
+/// Keeps the archive non-dominated (maximize ssim, minimize cost).
+bool archiveInsert(std::vector<ArchiveEntry>& archive, ArchiveEntry entry, std::size_t cap) {
+    for (const ArchiveEntry& e : archive) {
+        if (e.config == entry.config) return false;  // already archived
+        if (e.estSsim >= entry.estSsim && e.estCost <= entry.estCost &&
+            (e.estSsim > entry.estSsim || e.estCost < entry.estCost))
+            return false;  // dominated
+    }
+    std::erase_if(archive, [&](const ArchiveEntry& e) {
+        return entry.estSsim >= e.estSsim && entry.estCost <= e.estCost &&
+               (entry.estSsim > e.estSsim || entry.estCost < e.estCost);
+    });
+    archive.push_back(std::move(entry));
+    if (archive.size() > cap) {
+        // Thin uniformly along the cost axis, keeping the extremes.
+        std::sort(archive.begin(), archive.end(),
+                  [](const ArchiveEntry& a, const ArchiveEntry& b) { return a.estCost < b.estCost; });
+        std::vector<ArchiveEntry> thinned;
+        const double step = static_cast<double>(archive.size()) / static_cast<double>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            thinned.push_back(archive[static_cast<std::size_t>(i * step)]);
+        thinned.back() = archive.back();
+        archive = std::move(thinned);
+    }
+    return true;
+}
+
+}  // namespace
+
+AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const GaussianAccelerator& accel) const {
+    util::Rng rng(config_.seed);
+    Result result;
+    result.designSpaceSize = accel.designSpaceSize();
+
+    std::vector<img::Image> scenes;
+    for (int s = 0; s < config_.sceneCount; ++s)
+        scenes.push_back(img::syntheticScene(config_.imageSize, config_.imageSize,
+                                             config_.seed + static_cast<std::uint64_t>(s)));
+
+    const auto evaluate = [&](const AcceleratorConfig& c) {
+        EvaluatedConfig e;
+        e.config = c;
+        e.ssim = accel.quality(c, scenes);
+        e.cost = accel.cost(c);
+        return e;
+    };
+
+    // --- training sample (random approximation assignments) ---------------
+    std::unordered_set<std::uint64_t> seen;
+    while (result.trainingSet.size() < static_cast<std::size_t>(config_.trainConfigs)) {
+        const AcceleratorConfig c = randomConfig(accel, rng);
+        if (!seen.insert(c.hash()).second) continue;
+        result.trainingSet.push_back(evaluate(c));
+    }
+    // Anchor the estimators (and the search archives below) with the two
+    // known corners: all-most-accurate (menus are MED-sorted, index 0) and
+    // all-cheapest.  Random assignments almost never hit these extremes.
+    AcceleratorConfig accurateCorner{};
+    AcceleratorConfig cheapCorner;
+    cheapCorner.multiplier.fill(static_cast<int>(accel.multiplierMenu().size()) - 1);
+    cheapCorner.adder.fill(static_cast<int>(accel.adderMenu().size()) - 1);
+    for (const AcceleratorConfig& corner : {accurateCorner, cheapCorner})
+        if (seen.insert(corner.hash()).second) result.trainingSet.push_back(evaluate(corner));
+    const AcceleratorEstimators estimators = AcceleratorEstimators::train(accel, result.trainingSet);
+
+    // --- per-scenario archive hill-climbing --------------------------------
+    for (core::FpgaParam param : core::kAllFpgaParams) {
+        ScenarioResult scenario;
+        scenario.param = param;
+        util::Rng searchRng = rng.fork();
+
+        std::vector<ArchiveEntry> archive;
+        const auto estimated = [&](const AcceleratorConfig& c) {
+            ++scenario.estimatorQueries;
+            return ArchiveEntry{c, estimators.estimateSsim(accel, c),
+                                estimators.estimateCost(accel, c, param)};
+        };
+        for (int i = 0; i < config_.archiveSeed; ++i)
+            archiveInsert(archive, estimated(randomConfig(accel, searchRng)), config_.archiveCap);
+        for (const EvaluatedConfig& t : result.trainingSet)  // reuse the free knowledge
+            archiveInsert(archive,
+                          ArchiveEntry{t.config, t.ssim, costParamOf(t.cost, param)},
+                          config_.archiveCap);
+
+        for (int it = 0; it < config_.hillIterations; ++it) {
+            const ArchiveEntry& parent = archive[searchRng.index(archive.size())];
+            archiveInsert(archive, estimated(mutate(accel, parent.config, searchRng)),
+                          config_.archiveCap);
+        }
+
+        // Re-evaluate the discovered pseudo-Pareto configurations for real.
+        for (const ArchiveEntry& e : archive) scenario.autoax.push_back(evaluate(e.config));
+        scenario.realEvaluations = scenario.autoax.size();
+
+        // Equal-budget random baseline.
+        for (std::size_t i = 0; i < scenario.realEvaluations; ++i)
+            scenario.random.push_back(evaluate(randomConfig(accel, searchRng)));
+
+        result.scenarios.push_back(std::move(scenario));
+    }
+    return result;
+}
+
+}  // namespace axf::autoax

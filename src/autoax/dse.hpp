@@ -1,0 +1,86 @@
+#pragma once
+
+#include <vector>
+
+#include "src/autoax/accelerator.hpp"
+#include "src/ml/regressor.hpp"
+
+namespace axf::autoax {
+
+/// One really-evaluated accelerator configuration (behavioural SSIM plus
+/// composed hardware cost) — the unit Fig. 9 plots.
+struct EvaluatedConfig {
+    AcceleratorConfig config;
+    double ssim = 0.0;
+    AcceleratorCost cost;
+};
+
+/// Feature vector of a configuration for the AutoAx estimators: error-mass
+/// and hardware aggregates of the chosen components.
+std::vector<double> configFeatures(const GaussianAccelerator& accel,
+                                   const AcceleratorConfig& config);
+
+/// QoR and per-parameter hardware-cost estimators trained on a random
+/// sample of really-evaluated configurations (the AutoAx recipe).
+class AcceleratorEstimators {
+public:
+    static AcceleratorEstimators train(const GaussianAccelerator& accel,
+                                       const std::vector<EvaluatedConfig>& samples);
+
+    double estimateSsim(const GaussianAccelerator& accel, const AcceleratorConfig& c) const;
+    double estimateCost(const GaussianAccelerator& accel, const AcceleratorConfig& c,
+                        core::FpgaParam param) const;
+
+private:
+    ml::RegressorPtr qor_;
+    ml::RegressorPtr area_;
+    ml::RegressorPtr power_;
+    ml::RegressorPtr latency_;
+};
+
+/// AutoAx-FPGA: the AutoAx design-space exploration retargeted at FPGA
+/// parameters — random training sample, estimator construction, archive
+/// hill-climbing per (FPGA parameter, SSIM) scenario, and re-evaluation of
+/// the discovered pseudo-Pareto configurations.
+class AutoAxFpgaFlow {
+public:
+    struct Config {
+        int trainConfigs = 220;      ///< random configs for estimator training
+        int hillIterations = 4000;   ///< estimator-guided search moves
+        int archiveSeed = 24;        ///< initial random archive size
+        std::size_t archiveCap = 400;
+        int imageSize = 96;
+        int sceneCount = 2;
+        std::uint64_t seed = 0x40A7;
+    };
+
+    struct ScenarioResult {
+        core::FpgaParam param = core::FpgaParam::Latency;
+        std::vector<EvaluatedConfig> autoax;  ///< re-evaluated archive front
+        std::vector<EvaluatedConfig> random;  ///< equal-budget random baseline
+        std::size_t estimatorQueries = 0;
+        std::size_t realEvaluations = 0;
+    };
+
+    struct Result {
+        double designSpaceSize = 0.0;
+        std::vector<EvaluatedConfig> trainingSet;
+        std::vector<ScenarioResult> scenarios;  ///< latency-, power-, area-SSIM
+    };
+
+    explicit AutoAxFpgaFlow(Config config) : config_(config) {}
+
+    Result run(const GaussianAccelerator& accel) const;
+
+private:
+    Config config_;
+};
+
+/// Pareto front of evaluated configs (maximize SSIM, minimize the chosen
+/// FPGA parameter); returns indices into `points`.
+std::vector<std::size_t> qualityCostFront(const std::vector<EvaluatedConfig>& points,
+                                          core::FpgaParam param);
+
+double costParamOf(const AcceleratorCost& cost, core::FpgaParam param);
+
+}  // namespace axf::autoax

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace axf::circuit {
+
+/// Arithmetic operator class of a library circuit.
+enum class ArithOp : std::uint8_t { Adder, Multiplier };
+
+const char* arithOpName(ArithOp op);
+
+/// Unsigned arithmetic interface of a circuit: a `widthA` x `widthB`
+/// operator whose outputs encode an `outputWidth`-bit result (LSB-first on
+/// the netlist interface, operand A bits first, then operand B bits).
+struct ArithSignature {
+    ArithOp op = ArithOp::Adder;
+    int widthA = 8;
+    int widthB = 8;
+
+    int outputWidth() const { return op == ArithOp::Adder ? widthA + 1 : widthA + widthB; }
+    int inputWidth() const { return widthA + widthB; }
+
+    /// Golden (exact) result for the operand pair.
+    std::uint64_t exact(std::uint64_t a, std::uint64_t b) const {
+        return op == ArithOp::Adder ? a + b : a * b;
+    }
+
+    /// Largest representable output value (MED normalization per the paper).
+    std::uint64_t maxOutput() const {
+        const std::uint64_t maxA = (std::uint64_t{1} << widthA) - 1;
+        const std::uint64_t maxB = (std::uint64_t{1} << widthB) - 1;
+        return exact(maxA, maxB);
+    }
+
+    std::string toString() const;
+
+    friend bool operator==(const ArithSignature&, const ArithSignature&) = default;
+};
+
+inline const char* arithOpName(ArithOp op) {
+    return op == ArithOp::Adder ? "adder" : "multiplier";
+}
+
+inline std::string ArithSignature::toString() const {
+    if (op == ArithOp::Adder) return std::to_string(widthA) + "-bit adder";
+    return std::to_string(widthA) + "x" + std::to_string(widthB) + " multiplier";
+}
+
+}  // namespace axf::circuit

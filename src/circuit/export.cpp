@@ -1,0 +1,111 @@
+#include "src/circuit/export.hpp"
+
+#include <ostream>
+
+namespace axf::circuit {
+
+namespace {
+
+std::string wire(NodeId id) { return "n" + std::to_string(id); }
+
+std::string gateExpr(const Node& n) {
+    const std::string a = wire(n.a);
+    const std::string b = wire(n.b);
+    const std::string c = wire(n.c);
+    switch (n.kind) {
+        case GateKind::Buf: return a;
+        case GateKind::Not: return "~" + a;
+        case GateKind::And: return a + " & " + b;
+        case GateKind::Or: return a + " | " + b;
+        case GateKind::Xor: return a + " ^ " + b;
+        case GateKind::Nand: return "~(" + a + " & " + b + ")";
+        case GateKind::Nor: return "~(" + a + " | " + b + ")";
+        case GateKind::Xnor: return "~(" + a + " ^ " + b + ")";
+        case GateKind::AndNot: return a + " & ~" + b;
+        case GateKind::OrNot: return a + " | ~" + b;
+        case GateKind::Mux: return c + " ? " + b + " : " + a;
+        case GateKind::Maj:
+            return "(" + a + " & " + b + ") | (" + a + " & " + c + ") | (" + b + " & " + c + ")";
+        default: return "1'b0";
+    }
+}
+
+}  // namespace
+
+void writeVerilog(std::ostream& os, const Netlist& netlist, const std::string& moduleName) {
+    os << "module " << moduleName << " (\n";
+    for (std::size_t i = 0; i < netlist.inputCount(); ++i)
+        os << "  input  wire in" << i << ",\n";
+    for (std::size_t i = 0; i < netlist.outputCount(); ++i)
+        os << "  output wire out" << i << (i + 1 == netlist.outputCount() ? "\n" : ",\n");
+    os << ");\n";
+
+    std::size_t nextInput = 0;
+    for (std::size_t i = 0; i < netlist.nodeCount(); ++i) {
+        const Node& n = netlist.node(static_cast<NodeId>(i));
+        os << "  wire " << wire(static_cast<NodeId>(i)) << " = ";
+        switch (n.kind) {
+            case GateKind::Input: os << "in" << nextInput++; break;
+            case GateKind::Const0: os << "1'b0"; break;
+            case GateKind::Const1: os << "1'b1"; break;
+            default: os << gateExpr(n); break;
+        }
+        os << ";\n";
+    }
+    const std::span<const NodeId> outs = netlist.outputs();
+    for (std::size_t i = 0; i < outs.size(); ++i)
+        os << "  assign out" << i << " = " << wire(outs[i]) << ";\n";
+    os << "endmodule\n";
+}
+
+void writeBehavioralC(std::ostream& os, const Netlist& netlist, const std::string& name,
+                      int splitA) {
+    os << "// Auto-generated behavioural model of " << netlist.name() << "\n"
+       << "#include <stdint.h>\n\n"
+       << "uint64_t " << name << "(uint64_t a, uint64_t b) {\n";
+    std::size_t nextInput = 0;
+    for (std::size_t i = 0; i < netlist.nodeCount(); ++i) {
+        const Node& n = netlist.node(static_cast<NodeId>(i));
+        os << "  const uint64_t " << wire(static_cast<NodeId>(i)) << " = ";
+        switch (n.kind) {
+            case GateKind::Input: {
+                const std::size_t pos = nextInput++;
+                if (static_cast<int>(pos) < splitA)
+                    os << "(a >> " << pos << ") & 1u";
+                else
+                    os << "(b >> " << (pos - static_cast<std::size_t>(splitA)) << ") & 1u";
+                break;
+            }
+            case GateKind::Const0: os << "0u"; break;
+            case GateKind::Const1: os << "1u"; break;
+            default: os << "1u & (" << gateExpr(n) << ")"; break;
+        }
+        os << ";\n";
+    }
+    os << "  uint64_t out = 0u;\n";
+    const std::span<const NodeId> outs = netlist.outputs();
+    for (std::size_t i = 0; i < outs.size(); ++i)
+        os << "  out |= " << wire(outs[i]) << " << " << i << ";\n";
+    os << "  return out;\n}\n";
+}
+
+void writeDot(std::ostream& os, const Netlist& netlist) {
+    os << "digraph \"" << netlist.name() << "\" {\n  rankdir=LR;\n";
+    for (std::size_t i = 0; i < netlist.nodeCount(); ++i) {
+        const Node& n = netlist.node(static_cast<NodeId>(i));
+        os << "  n" << i << " [label=\"" << gateKindName(n.kind) << ":" << i << "\"";
+        if (n.kind == GateKind::Input) os << " shape=box";
+        os << "];\n";
+        const int arity = fanInCount(n.kind);
+        if (arity >= 1) os << "  n" << n.a << " -> n" << i << ";\n";
+        if (arity >= 2) os << "  n" << n.b << " -> n" << i << ";\n";
+        if (arity >= 3) os << "  n" << n.c << " -> n" << i << ";\n";
+    }
+    for (std::size_t i = 0; i < netlist.outputCount(); ++i) {
+        os << "  out" << i << " [shape=diamond];\n";
+        os << "  n" << netlist.outputs()[i] << " -> out" << i << ";\n";
+    }
+    os << "}\n";
+}
+
+}  // namespace axf::circuit

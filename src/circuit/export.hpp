@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::circuit {
+
+/// Emits a flat structural Verilog module equivalent to the netlist (the
+/// form the paper's RTL library ships in).  Mux/Maj gates are emitted as
+/// assign expressions.
+void writeVerilog(std::ostream& os, const Netlist& netlist, const std::string& moduleName);
+
+/// Emits a Graphviz DOT rendering for debugging and documentation.
+void writeDot(std::ostream& os, const Netlist& netlist);
+
+/// Emits a self-contained C99 behavioural model (the form EvoApproxLib
+/// ships): `uint64_t <name>(uint64_t a, uint64_t b)` where operand A is the
+/// first `splitA` primary inputs and the result packs output i at bit i.
+void writeBehavioralC(std::ostream& os, const Netlist& netlist, const std::string& name,
+                      int splitA);
+
+}  // namespace axf::circuit

@@ -1,0 +1,79 @@
+#include "src/circuit/features.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace axf::circuit {
+
+std::vector<double> StructuralFeatures::toVector() const {
+    return {gateCount,    nodeCount,  inputCount,  outputCount, andClassCount,
+            orClassCount, xorClassCount, inverterCount, muxMajCount, depth,
+            meanLevel,    meanFanout, maxFanout,   outputLevelSum, wideGateLevels};
+}
+
+const std::vector<std::string>& StructuralFeatures::names() {
+    static const std::vector<std::string> kNames = {
+        "gates",      "nodes",     "inputs",     "outputs",   "and_class",
+        "or_class",   "xor_class", "inverters",  "mux_maj",   "depth",
+        "mean_level", "mean_fanout", "max_fanout", "out_level_sum", "wide_levels"};
+    return kNames;
+}
+
+std::size_t StructuralFeatures::dimension() { return names().size(); }
+
+StructuralFeatures extractFeatures(const Netlist& netlist) {
+    StructuralFeatures f;
+    f.gateCount = static_cast<double>(netlist.gateCount());
+    f.nodeCount = static_cast<double>(netlist.nodeCount());
+    f.inputCount = static_cast<double>(netlist.inputCount());
+    f.outputCount = static_cast<double>(netlist.outputCount());
+
+    const std::vector<int> level = netlist.levels();
+    const std::vector<int> fanout = netlist.fanouts();
+
+    double levelSum = 0.0;
+    std::size_t gates = 0;
+    std::map<int, int> gatesPerLevel;
+    for (std::size_t i = 0; i < netlist.nodeCount(); ++i) {
+        const Node& n = netlist.node(static_cast<NodeId>(i));
+        switch (n.kind) {
+            case GateKind::And:
+            case GateKind::Nand:
+            case GateKind::AndNot: f.andClassCount += 1.0; break;
+            case GateKind::Or:
+            case GateKind::Nor:
+            case GateKind::OrNot: f.orClassCount += 1.0; break;
+            case GateKind::Xor:
+            case GateKind::Xnor: f.xorClassCount += 1.0; break;
+            case GateKind::Not:
+            case GateKind::Buf: f.inverterCount += 1.0; break;
+            case GateKind::Mux:
+            case GateKind::Maj: f.muxMajCount += 1.0; break;
+            default: break;
+        }
+        if (fanInCount(n.kind) > 0) {
+            levelSum += level[i];
+            ++gates;
+            ++gatesPerLevel[level[i]];
+        }
+    }
+    f.depth = netlist.depth();
+    f.meanLevel = gates == 0 ? 0.0 : levelSum / static_cast<double>(gates);
+
+    double fanoutSum = 0.0;
+    int fanoutMax = 0;
+    for (int fo : fanout) {
+        fanoutSum += fo;
+        fanoutMax = std::max(fanoutMax, fo);
+    }
+    f.meanFanout =
+        netlist.nodeCount() == 0 ? 0.0 : fanoutSum / static_cast<double>(netlist.nodeCount());
+    f.maxFanout = fanoutMax;
+
+    for (NodeId out : netlist.outputs()) f.outputLevelSum += level[out];
+    for (const auto& [lvl, count] : gatesPerLevel)
+        if (count >= 4) f.wideGateLevels += 1.0;
+    return f;
+}
+
+}  // namespace axf::circuit

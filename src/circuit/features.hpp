@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::circuit {
+
+/// Structural feature vector extracted from a netlist's "hardware
+/// description".  These are the ML inputs of the ApproxFPGAs methodology
+/// (the paper trains its estimators on the circuit description; ASIC-side
+/// metrics are appended by the core layer).
+struct StructuralFeatures {
+    // Size features
+    double gateCount = 0.0;
+    double nodeCount = 0.0;
+    double inputCount = 0.0;
+    double outputCount = 0.0;
+
+    // Gate-class histogram (fractions of gateCount to stay scale-free,
+    // plus raw XOR-class count since parity logic dominates LUT packing)
+    double andClassCount = 0.0;   ///< and/nand/andnot
+    double orClassCount = 0.0;    ///< or/nor/ornot
+    double xorClassCount = 0.0;   ///< xor/xnor
+    double inverterCount = 0.0;   ///< not/buf
+    double muxMajCount = 0.0;     ///< mux/maj
+
+    // Topology features
+    double depth = 0.0;
+    double meanLevel = 0.0;       ///< average logic level over gates
+    double meanFanout = 0.0;
+    double maxFanout = 0.0;
+    double outputLevelSum = 0.0;  ///< sum of output levels (carry-chain weight)
+    double wideGateLevels = 0.0;  ///< #levels containing >= 4 gates
+
+    /// Flattens into the dense vector consumed by the ML substrate.
+    std::vector<double> toVector() const;
+
+    /// Names aligned with `toVector`, for reports and symbolic regression.
+    static const std::vector<std::string>& names();
+    static std::size_t dimension();
+};
+
+StructuralFeatures extractFeatures(const Netlist& netlist);
+
+}  // namespace axf::circuit

@@ -1,0 +1,177 @@
+#include "src/circuit/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace axf::circuit {
+
+const char* gateKindName(GateKind kind) {
+    switch (kind) {
+        case GateKind::Input: return "input";
+        case GateKind::Const0: return "const0";
+        case GateKind::Const1: return "const1";
+        case GateKind::Buf: return "buf";
+        case GateKind::Not: return "not";
+        case GateKind::And: return "and";
+        case GateKind::Or: return "or";
+        case GateKind::Xor: return "xor";
+        case GateKind::Nand: return "nand";
+        case GateKind::Nor: return "nor";
+        case GateKind::Xnor: return "xnor";
+        case GateKind::AndNot: return "andnot";
+        case GateKind::OrNot: return "ornot";
+        case GateKind::Mux: return "mux";
+        case GateKind::Maj: return "maj";
+    }
+    return "?";
+}
+
+void Netlist::checkOperand(NodeId id) const {
+    if (id >= nodes_.size()) throw std::out_of_range("Netlist: operand does not exist yet");
+}
+
+NodeId Netlist::addInput() {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{GateKind::Input, kInvalidNode, kInvalidNode, kInvalidNode});
+    inputs_.push_back(id);
+    return id;
+}
+
+NodeId Netlist::addConst(bool value) {
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{value ? GateKind::Const1 : GateKind::Const0, kInvalidNode,
+                          kInvalidNode, kInvalidNode});
+    return id;
+}
+
+NodeId Netlist::addGate(GateKind kind, NodeId a, NodeId b, NodeId c) {
+    const int arity = fanInCount(kind);
+    if (arity == 0)
+        throw std::invalid_argument("Netlist::addGate: use addInput/addConst for sources");
+    checkOperand(a);
+    if (arity >= 2) checkOperand(b);
+    if (arity >= 3) checkOperand(c);
+    Node node;
+    node.kind = kind;
+    node.a = a;
+    node.b = arity >= 2 ? b : kInvalidNode;
+    node.c = arity >= 3 ? c : kInvalidNode;
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(node);
+    ++gateCount_;
+    return id;
+}
+
+void Netlist::markOutput(NodeId id) {
+    checkOperand(id);
+    outputs_.push_back(id);
+}
+
+std::vector<int> Netlist::levels() const {
+    std::vector<int> level(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& n = nodes_[i];
+        const int arity = fanInCount(n.kind);
+        int lvl = 0;
+        if (arity >= 1) lvl = std::max(lvl, level[n.a] + 1);
+        if (arity >= 2) lvl = std::max(lvl, level[n.b] + 1);
+        if (arity >= 3) lvl = std::max(lvl, level[n.c] + 1);
+        level[i] = lvl;
+    }
+    return level;
+}
+
+int Netlist::depth() const {
+    const std::vector<int> level = levels();
+    int d = 0;
+    for (NodeId out : outputs_) d = std::max(d, level[out]);
+    return d;
+}
+
+std::vector<int> Netlist::fanouts() const {
+    std::vector<int> fo(nodes_.size(), 0);
+    for (const Node& n : nodes_) {
+        const int arity = fanInCount(n.kind);
+        if (arity >= 1) ++fo[n.a];
+        if (arity >= 2) ++fo[n.b];
+        if (arity >= 3) ++fo[n.c];
+    }
+    for (NodeId out : outputs_) ++fo[out];
+    return fo;
+}
+
+void Netlist::validate() const {
+    std::size_t inputsSeen = 0;
+    std::size_t gatesSeen = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& n = nodes_[i];
+        const int arity = fanInCount(n.kind);
+        if (arity >= 1 && n.a >= i) throw std::logic_error("Netlist: fan-in a not topological");
+        if (arity >= 2 && n.b >= i) throw std::logic_error("Netlist: fan-in b not topological");
+        if (arity >= 3 && n.c >= i) throw std::logic_error("Netlist: fan-in c not topological");
+        if (n.kind == GateKind::Input) ++inputsSeen;
+        if (arity > 0) ++gatesSeen;
+    }
+    if (inputsSeen != inputs_.size()) throw std::logic_error("Netlist: input list inconsistent");
+    if (gatesSeen != gateCount_) throw std::logic_error("Netlist: gate count inconsistent");
+    for (NodeId in : inputs_)
+        if (in >= nodes_.size() || nodes_[in].kind != GateKind::Input)
+            throw std::logic_error("Netlist: input list references non-input");
+    for (NodeId out : outputs_)
+        if (out >= nodes_.size()) throw std::logic_error("Netlist: dangling output");
+}
+
+Netlist Netlist::pruned() const {
+    std::vector<bool> live(nodes_.size(), false);
+    for (NodeId out : outputs_) live[out] = true;
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+        if (!live[i]) continue;
+        const Node& n = nodes_[i];
+        const int arity = fanInCount(n.kind);
+        if (arity >= 1) live[n.a] = true;
+        if (arity >= 2) live[n.b] = true;
+        if (arity >= 3) live[n.c] = true;
+    }
+    // The primary-input interface is preserved even for dead operand bits.
+    for (NodeId in : inputs_) live[in] = true;
+
+    std::vector<NodeId> remap(nodes_.size(), kInvalidNode);
+    Netlist out(name_);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!live[i]) continue;
+        const Node& n = nodes_[i];
+        switch (fanInCount(n.kind)) {
+            case 0:
+                remap[i] = n.kind == GateKind::Input ? out.addInput()
+                                                     : out.addConst(n.kind == GateKind::Const1);
+                break;
+            case 1: remap[i] = out.addGate(n.kind, remap[n.a]); break;
+            case 2: remap[i] = out.addGate(n.kind, remap[n.a], remap[n.b]); break;
+            default: remap[i] = out.addGate(n.kind, remap[n.a], remap[n.b], remap[n.c]); break;
+        }
+    }
+    for (NodeId o : outputs_) out.markOutput(remap[o]);
+    return out;
+}
+
+std::uint64_t Netlist::structuralHash() const {
+    // FNV-1a over the node stream plus the output list.  Order-sensitive,
+    // which is exactly what library deduplication needs: CGP decode emits
+    // live nodes in a canonical order, so identical structures collide.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const Node& n : nodes_) {
+        mix(static_cast<std::uint64_t>(n.kind));
+        mix(n.a);
+        mix(n.b);
+        mix(n.c);
+    }
+    mix(0xDEADBEEFull);
+    for (NodeId out : outputs_) mix(out);
+    return h;
+}
+
+}  // namespace axf::circuit

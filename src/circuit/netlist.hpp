@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace axf::circuit {
+
+/// Primitive cell alphabet of the gate-level IR.  The set mirrors the
+/// function set used by the EvoApproxLib CGP runs (identity, inversion and
+/// all two-input monotone/parity functions) plus a three-input multiplexer
+/// used by carry-select style generators.
+enum class GateKind : std::uint8_t {
+    Input,   ///< primary input (no fan-in)
+    Const0,  ///< constant logic 0
+    Const1,  ///< constant logic 1
+    Buf,     ///< a
+    Not,     ///< ~a
+    And,     ///< a & b
+    Or,      ///< a | b
+    Xor,     ///< a ^ b
+    Nand,    ///< ~(a & b)
+    Nor,     ///< ~(a | b)
+    Xnor,    ///< ~(a ^ b)
+    AndNot,  ///< a & ~b
+    OrNot,   ///< a | ~b
+    Mux,     ///< c ? b : a   (c is the select)
+    Maj,     ///< majority(a, b, c) — the carry function of a full adder
+};
+
+/// Number of fan-in operands a gate of the given kind consumes.
+constexpr int fanInCount(GateKind kind) {
+    switch (kind) {
+        case GateKind::Input:
+        case GateKind::Const0:
+        case GateKind::Const1: return 0;
+        case GateKind::Buf:
+        case GateKind::Not: return 1;
+        case GateKind::Mux:
+        case GateKind::Maj: return 3;
+        default: return 2;
+    }
+}
+
+const char* gateKindName(GateKind kind);
+
+/// Index of a node inside its owning Netlist.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One gate instance.  Fan-ins always reference nodes with smaller indices,
+/// so the node array is a topological order by construction and a single
+/// forward sweep evaluates the whole circuit.
+struct Node {
+    GateKind kind = GateKind::Const0;
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    NodeId c = kInvalidNode;
+};
+
+/// Value-semantic combinational netlist.
+///
+/// Invariants (checked by `validate`, maintained by the builder methods):
+///  - every fan-in of node `i` is a node index `< i` (DAG, topological order);
+///  - `inputs()` lists all Input nodes in creation order;
+///  - `outputs()` reference existing nodes.
+class Netlist {
+public:
+    Netlist() = default;
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    /// Appends a primary input and returns its id.
+    NodeId addInput();
+
+    /// Appends a constant node.
+    NodeId addConst(bool value);
+
+    /// Appends a gate; operand ids must already exist.  Unused operands of
+    /// narrow gates are ignored (pass anything, kInvalidNode preferred).
+    NodeId addGate(GateKind kind, NodeId a, NodeId b = kInvalidNode, NodeId c = kInvalidNode);
+
+    /// Registers a node as the next primary output (outputs are ordered).
+    void markOutput(NodeId id);
+
+    // --- observers -------------------------------------------------------
+    const std::string& name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    /// Number of logic gates (excludes inputs and constants).
+    std::size_t gateCount() const { return gateCount_; }
+    std::size_t inputCount() const { return inputs_.size(); }
+    std::size_t outputCount() const { return outputs_.size(); }
+
+    const Node& node(NodeId id) const { return nodes_[id]; }
+    std::span<const Node> nodes() const { return nodes_; }
+    std::span<const NodeId> inputs() const { return inputs_; }
+    std::span<const NodeId> outputs() const { return outputs_; }
+
+    /// Logic level of every node (inputs/constants at level 0).
+    std::vector<int> levels() const;
+    /// Maximum logic level over the primary outputs (0 for wire-only nets).
+    int depth() const;
+    /// Fan-out count of every node (references from gates and outputs).
+    std::vector<int> fanouts() const;
+
+    /// Throws std::logic_error when a structural invariant is broken.
+    void validate() const;
+
+    /// Returns a copy containing only the cone of logic reachable from the
+    /// outputs, preserving input and output order.  Inputs are always kept
+    /// (an arithmetic circuit keeps its interface even when an operand bit
+    /// is ignored by the approximation).
+    Netlist pruned() const;
+
+    /// Order-sensitive structural hash (used for library deduplication).
+    std::uint64_t structuralHash() const;
+
+private:
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<NodeId> outputs_;
+    std::size_t gateCount_ = 0;
+
+    void checkOperand(NodeId id) const;
+};
+
+}  // namespace axf::circuit

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::circuit {
+
+/// 64-way bit-parallel netlist evaluator.
+///
+/// One `Word` carries 64 independent test vectors through a single sweep of
+/// the node array, which makes exhaustive 8-bit error analysis (65,536
+/// vectors = 1,024 sweeps) cheap enough to run inside unit tests.
+///
+/// The evaluator keeps a scratch buffer sized to the netlist, so a single
+/// instance is not thread-safe; create one per thread if parallelizing.
+class Simulator {
+public:
+    using Word = std::uint64_t;
+
+    explicit Simulator(const Netlist& netlist);
+
+    /// Evaluates one 64-lane block.  `inputWords[i]` supplies the lanes of
+    /// the i-th primary input; `outputWords[i]` receives the lanes of the
+    /// i-th primary output.
+    void evaluate(std::span<const Word> inputWords, std::span<Word> outputWords);
+
+    /// Scalar convenience: evaluates a single assignment (lane 0).
+    /// Bit i of the result is output i.
+    std::uint64_t evaluateScalar(std::uint64_t inputBits);
+
+    /// Per-node lane values of the most recent `evaluate` call (one word per
+    /// node, in node order).  Valid until the next evaluate.
+    std::span<const Word> nodeValues() const { return values_; }
+
+    const Netlist& netlist() const { return netlist_; }
+
+private:
+    const Netlist& netlist_;
+    std::vector<Word> values_;
+};
+
+/// Per-node toggle counter for the activity-based power models.
+///
+/// `accumulate` runs a block and counts, per node, in how many of the lane
+/// pairs (lane i of the previous block vs lane i of this block) the node
+/// value toggled.  Feeding consecutive random blocks approximates the
+/// switching activity a synthesis tool derives from default toggle rates.
+class ActivityCounter {
+public:
+    explicit ActivityCounter(const Netlist& netlist);
+
+    void accumulate(std::span<const Simulator::Word> inputWords);
+
+    /// Toggle probability per node in [0, 1]; meaningful after >= 2 blocks.
+    std::vector<double> toggleRates() const;
+    std::size_t blocksSeen() const { return blocks_; }
+
+private:
+    const Netlist& netlist_;
+    Simulator simulator_;
+    std::vector<Simulator::Word> previous_;
+    std::vector<std::uint64_t> toggles_;
+    std::size_t blocks_ = 0;
+};
+
+}  // namespace axf::circuit

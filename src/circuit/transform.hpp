@@ -1,0 +1,23 @@
+#pragma once
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::circuit {
+
+/// Logic optimization applied by both synthesis flows before technology
+/// mapping (the equivalent of the `opt` stage of a synthesis tool):
+///  - constant propagation (x&0 -> 0, x^1 -> ~x, mux with const select, ...)
+///  - identity folding (x&x -> x, x^x -> 0, buf chains, double inversion)
+///  - common-subexpression elimination (structural hashing)
+///  - dead-node pruning (primary inputs are always preserved)
+///
+/// Returns a functionally equivalent netlist with the same interface order.
+Netlist simplify(const Netlist& netlist);
+
+/// Rewrites three-input gates (Mux, Maj) into two-input gates so the result
+/// fits the CGP cell alphabet:
+///   maj(a,b,c) = (a & b) | (c & (a ^ b))
+///   mux(a,b,s) = (s & b) | (a & ~s)
+Netlist lowerToTwoInput(const Netlist& netlist);
+
+}  // namespace axf::circuit

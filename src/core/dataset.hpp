@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "src/circuit/features.hpp"
+#include "src/gen/library.hpp"
+#include "src/ml/linalg.hpp"
+#include "src/ml/registry.hpp"
+#include "src/synth/asic.hpp"
+#include "src/synth/fpga.hpp"
+
+namespace axf::core {
+
+/// The three FPGA parameters the methodology estimates.
+enum class FpgaParam { Latency, Power, Area };
+inline constexpr std::array<FpgaParam, 3> kAllFpgaParams = {FpgaParam::Latency, FpgaParam::Power,
+                                                            FpgaParam::Area};
+const char* fpgaParamName(FpgaParam p);
+double fpgaParamOf(const synth::FpgaReport& report, FpgaParam p);
+
+/// One library circuit with everything the methodology knows about it:
+/// its error profile (from the library), the cheap ASIC reference metrics,
+/// the ML feature vector, and — once "synthesized" — the FPGA measurements.
+struct CharacterizedCircuit {
+    gen::LibraryCircuit circuit;
+    synth::AsicReport asic;
+    std::vector<double> features;  ///< structural features ⊕ ASIC metrics
+    bool fpgaMeasured = false;
+    synth::FpgaReport fpga;        ///< valid iff fpgaMeasured
+};
+
+/// Characterized library plus the feature layout the registry needs.
+class CircuitDataset {
+public:
+    /// Runs ASIC characterization and feature extraction over a library.
+    /// (No FPGA synthesis happens here — that is the expensive step the
+    /// methodology rations.)
+    static CircuitDataset characterize(gen::AcLibrary library,
+                                       const synth::AsicFlow& asicFlow = synth::AsicFlow());
+
+    std::vector<CharacterizedCircuit>& circuits() { return circuits_; }
+    const std::vector<CharacterizedCircuit>& circuits() const { return circuits_; }
+    std::size_t size() const { return circuits_.size(); }
+
+    /// Column indices of the ASIC metrics inside the feature vectors.
+    static ml::AsicColumns asicColumns();
+    static std::size_t featureDimension();
+
+    /// Assembles the (X, y) pair over a subset of circuit indices; `y` is
+    /// the *measured* FPGA parameter (indices must be measured circuits).
+    ml::Matrix featureMatrix(const std::vector<std::size_t>& indices) const;
+    ml::Vector measuredTargets(const std::vector<std::size_t>& indices, FpgaParam param) const;
+
+private:
+    std::vector<CharacterizedCircuit> circuits_;
+};
+
+}  // namespace axf::core

@@ -1,0 +1,40 @@
+#include "src/core/fidelity.hpp"
+
+#include <stdexcept>
+
+namespace axf::core {
+
+namespace {
+
+int relation(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+double pairAgreement(std::span<const double> measured, std::span<const double> estimated,
+                     bool includeDiagonal) {
+    if (measured.size() != estimated.size())
+        throw std::invalid_argument("fidelity: size mismatch");
+    const std::size_t n = measured.size();
+    if (n == 0) return 0.0;
+    std::size_t agree = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!includeDiagonal && i == j) continue;
+            ++total;
+            if (relation(estimated[i], estimated[j]) == relation(measured[i], measured[j]))
+                ++agree;
+        }
+    }
+    return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double fidelity(std::span<const double> measured, std::span<const double> estimated) {
+    return pairAgreement(measured, estimated, /*includeDiagonal=*/true);
+}
+
+double fidelityOffDiagonal(std::span<const double> measured, std::span<const double> estimated) {
+    return pairAgreement(measured, estimated, /*includeDiagonal=*/false);
+}
+
+}  // namespace axf::core

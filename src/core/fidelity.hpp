@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+namespace axf::core {
+
+/// The paper's fidelity metric (Eq. 1-2): the fraction of ordered pairs
+/// (x1, x2) of the evaluation set whose *relationship* (<, >, =) between
+/// estimated values matches the relationship between measured values.
+///
+/// All |X|^2 ordered pairs are counted, including the diagonal (which
+/// always agrees), exactly as the formula states.  Result is in [0, 1].
+double fidelity(std::span<const double> measured, std::span<const double> estimated);
+
+/// Pairwise agreement excluding the trivially matching diagonal — a
+/// stricter variant used in tests to cross-check the headline metric.
+double fidelityOffDiagonal(std::span<const double> measured, std::span<const double> estimated);
+
+}  // namespace axf::core

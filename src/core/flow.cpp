@@ -1,0 +1,202 @@
+#include "src/core/flow.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <map>
+
+#include "src/core/fidelity.hpp"
+#include "src/ml/tuning.hpp"
+#include "src/synth/synth_time.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::core {
+
+double FlowResult::meanCoverage() const {
+    if (targets.empty()) return 0.0;
+    double acc = 0.0;
+    for (const TargetOutcome& t : targets) acc += t.coverageOfTrueFront;
+    return acc / static_cast<double>(targets.size());
+}
+
+namespace {
+
+/// Synthesizes (or reuses) the FPGA measurement of one circuit and charges
+/// its Vivado-equivalent cost to `secondsAccount` when newly synthesized.
+bool measureCircuit(CharacterizedCircuit& cc, const synth::FpgaFlow& flow,
+                    double& secondsAccount) {
+    if (cc.fpgaMeasured) return false;
+    cc.fpga = flow.implement(cc.circuit.netlist);
+    cc.fpgaMeasured = true;
+    secondsAccount += cc.fpga.synthSeconds;
+    return true;
+}
+
+}  // namespace
+
+FlowResult ApproxFpgasFlow::run(gen::AcLibrary library) const {
+    FlowResult result;
+    result.dataset = CircuitDataset::characterize(std::move(library), config_.asicFlow);
+    std::vector<CharacterizedCircuit>& circuits = result.dataset.circuits();
+    const std::size_t n = circuits.size();
+    util::Rng rng(config_.seed);
+
+    // Exhaustive-exploration cost baseline (Fig. 3 comparison).
+    for (const CharacterizedCircuit& cc : circuits)
+        result.exhaustiveSynthSeconds += synth::vivadoEquivalentSeconds(cc.circuit.netlist);
+
+    // --- step 1: synthesize the random training subset --------------------
+    const std::size_t subsetSize =
+        std::max<std::size_t>(8, static_cast<std::size_t>(config_.trainFraction *
+                                                          static_cast<double>(n)));
+    std::vector<std::size_t> subset = rng.sampleIndices(n, std::min(subsetSize, n));
+    for (std::size_t idx : subset)
+        measureCircuit(circuits[idx], config_.fpgaFlow, result.flowSynthSeconds);
+
+    // --- step 2: train/validation split -----------------------------------
+    const std::size_t valCount = std::max<std::size_t>(
+        2, static_cast<std::size_t>(config_.validationShare *
+                                    static_cast<double>(subset.size())));
+    std::vector<std::size_t> validation(subset.begin(),
+                                        subset.begin() + static_cast<std::ptrdiff_t>(
+                                                             std::min(valCount, subset.size())));
+    std::vector<std::size_t> training(subset.begin() + static_cast<std::ptrdiff_t>(
+                                                           std::min(valCount, subset.size())),
+                                      subset.end());
+    if (training.empty()) training = validation;
+
+    const ml::Matrix xTrain = result.dataset.featureMatrix(training);
+    const ml::Matrix xVal = result.dataset.featureMatrix(validation);
+
+    // --- step 3: fidelity leaderboard over the Table-I zoo ----------------
+    std::vector<ml::ModelSpec> specs = ml::tableOneModels(CircuitDataset::asicColumns());
+    if (!config_.modelIds.empty()) {
+        std::vector<ml::ModelSpec> filtered;
+        for (const ml::ModelSpec& spec : specs)
+            if (std::find(config_.modelIds.begin(), config_.modelIds.end(), spec.id) !=
+                config_.modelIds.end())
+                filtered.push_back(spec);
+        specs = std::move(filtered);
+    }
+
+    // Per (model, parameter) factory used later for full-library estimation;
+    // with tuning enabled this is the best grid variant, otherwise the
+    // Table-I default.
+    std::map<std::pair<std::string, FpgaParam>, std::function<ml::RegressorPtr()>> factories;
+    const ml::AsicColumns asicColumns = CircuitDataset::asicColumns();
+    const auto fidelityScore = [](const ml::Vector& measured, const ml::Vector& estimated) {
+        return fidelity(measured, estimated);
+    };
+
+    for (const ml::ModelSpec& spec : specs) {
+        ModelScore score;
+        score.id = spec.id;
+        score.name = spec.name;
+        for (FpgaParam param : kAllFpgaParams) {
+            const ml::Vector yTrain = result.dataset.measuredTargets(training, param);
+            const ml::Vector yVal = result.dataset.measuredTargets(validation, param);
+            if (config_.tuneHyperparameters) {
+                ml::TunedModel tuned = ml::tuneModel(spec.id, asicColumns, xTrain, yTrain, xVal,
+                                                     yVal, fidelityScore);
+                score.fidelityByParam[param] = tuned.validationScore;
+                score.variantByParam[param] = tuned.variantDescription;
+                factories[{spec.id, param}] = std::move(tuned.make);
+            } else {
+                ml::RegressorPtr model = spec.make();
+                model->fit(xTrain, yTrain);
+                score.fidelityByParam[param] = fidelity(yVal, model->predictAll(xVal));
+                score.variantByParam[param] = "default";
+                factories[{spec.id, param}] = spec.make;
+            }
+        }
+        result.leaderboard.push_back(std::move(score));
+    }
+
+    // --- step 4..6: per-parameter estimation, pseudo-fronts, re-synthesis --
+    std::vector<std::size_t> allIndices(n);
+    for (std::size_t i = 0; i < n; ++i) allIndices[i] = i;
+    const ml::Matrix xAll = result.dataset.featureMatrix(allIndices);
+    const ml::Matrix xSubset = result.dataset.featureMatrix(subset);
+
+    for (FpgaParam param : kAllFpgaParams) {
+        TargetOutcome outcome;
+        outcome.param = param;
+
+        // Top-k models by validation fidelity for this parameter.
+        std::vector<const ModelScore*> ranked;
+        for (const ModelScore& s : result.leaderboard) ranked.push_back(&s);
+        std::sort(ranked.begin(), ranked.end(), [&](const ModelScore* a, const ModelScore* b) {
+            return a->fidelityByParam.at(param) > b->fidelityByParam.at(param);
+        });
+        const int k = std::min<int>(config_.topModels, static_cast<int>(ranked.size()));
+
+        std::unordered_set<std::size_t> unionOfFronts;
+        for (int m = 0; m < k; ++m) {
+            const ModelScore& chosen = *ranked[static_cast<std::size_t>(m)];
+            outcome.selectedModels.push_back(chosen.id);
+
+            // Re-train on the full synthesized subset, estimate everything.
+            ml::RegressorPtr model = factories.at({chosen.id, param})();
+            model->fit(xSubset, result.dataset.measuredTargets(subset, param));
+            const ml::Vector estimates = model->predictAll(xAll);
+
+            // Peel successive pseudo-Pareto fronts in (MED, estimate).
+            std::vector<ParetoPoint> points(n);
+            for (std::size_t i = 0; i < n; ++i)
+                points[i] = ParetoPoint{qualityOf(circuits[i]), estimates[i], i};
+            for (const std::vector<std::size_t>& front :
+                 successiveParetoFronts(points, config_.paretoFronts))
+                for (std::size_t pos : front) unionOfFronts.insert(points[pos].index);
+        }
+
+        outcome.pseudoParetoIndices.assign(unionOfFronts.begin(), unionOfFronts.end());
+        std::sort(outcome.pseudoParetoIndices.begin(), outcome.pseudoParetoIndices.end());
+
+        // Re-synthesize the pseudo-Pareto circuits to get true numbers.
+        for (std::size_t idx : outcome.pseudoParetoIndices)
+            if (measureCircuit(circuits[idx], config_.fpgaFlow, result.flowSynthSeconds))
+                outcome.resynthesized.push_back(idx);
+
+        result.targets.push_back(std::move(outcome));
+    }
+
+    result.circuitsSynthesized = 0;
+    for (const CharacterizedCircuit& cc : circuits)
+        if (cc.fpgaMeasured) ++result.circuitsSynthesized;
+
+    // --- step 7: final Pareto fronts over measured circuits ---------------
+    for (TargetOutcome& outcome : result.targets) {
+        std::vector<ParetoPoint> measured;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!circuits[i].fpgaMeasured) continue;
+            measured.push_back(
+                ParetoPoint{qualityOf(circuits[i]), fpgaParamOf(circuits[i].fpga, outcome.param), i});
+        }
+        for (std::size_t pos : paretoFront(measured))
+            outcome.finalParetoIndices.push_back(measured[pos].index);
+        std::sort(outcome.finalParetoIndices.begin(), outcome.finalParetoIndices.end());
+    }
+
+    // --- evaluation only: coverage against the exhaustive ground truth ----
+    if (config_.evaluateCoverage) {
+        // Ground-truth measurements (not charged to the flow's time).
+        std::vector<synth::FpgaReport> truth(n);
+        for (std::size_t i = 0; i < n; ++i)
+            truth[i] = circuits[i].fpgaMeasured ? circuits[i].fpga
+                                                : config_.fpgaFlow.implement(circuits[i].circuit.netlist);
+        for (TargetOutcome& outcome : result.targets) {
+            std::vector<ParetoPoint> all(n);
+            for (std::size_t i = 0; i < n; ++i)
+                all[i] = ParetoPoint{qualityOf(circuits[i]), fpgaParamOf(truth[i], outcome.param), i};
+            std::vector<ParetoPoint> trueFront;
+            for (std::size_t pos : paretoFront(all)) trueFront.push_back(all[pos]);
+            std::vector<ParetoPoint> found;
+            for (std::size_t idx : outcome.finalParetoIndices)
+                found.push_back(ParetoPoint{0.0, 0.0, idx});
+            outcome.coverageOfTrueFront = paretoCoverage(found, trueFront);
+        }
+    }
+    return result;
+}
+
+}  // namespace axf::core

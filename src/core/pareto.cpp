@@ -1,0 +1,73 @@
+#include "src/core/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+namespace axf::core {
+
+std::vector<std::size_t> paretoFront(const std::vector<ParetoPoint>& points) {
+    // Sort by (x asc, y asc); sweep keeping the running minimum of y.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (points[a].x != points[b].x) return points[a].x < points[b].x;
+        return points[a].y < points[b].y;
+    });
+
+    std::vector<std::size_t> front;
+    double bestY = std::numeric_limits<double>::infinity();
+    double lastX = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t pos : order) {
+        const ParetoPoint& p = points[pos];
+        if (p.y < bestY) {
+            front.push_back(pos);
+            bestY = p.y;
+            lastX = p.x;
+        } else if (p.y == bestY && p.x == lastX) {
+            front.push_back(pos);  // exact ties are mutually non-dominated
+        }
+    }
+    return front;
+}
+
+std::vector<std::vector<std::size_t>> successiveParetoFronts(
+    const std::vector<ParetoPoint>& points, int count) {
+    std::vector<std::vector<std::size_t>> fronts;
+    std::vector<ParetoPoint> remaining = points;
+    std::vector<std::size_t> remainingPos(points.size());  // position in `points`
+    for (std::size_t i = 0; i < points.size(); ++i) remainingPos[i] = i;
+
+    for (int f = 0; f < count && !remaining.empty(); ++f) {
+        const std::vector<std::size_t> local = paretoFront(remaining);
+        std::vector<std::size_t> global;
+        global.reserve(local.size());
+        std::unordered_set<std::size_t> removed(local.begin(), local.end());
+        for (std::size_t pos : local) global.push_back(remainingPos[pos]);
+        fronts.push_back(std::move(global));
+
+        std::vector<ParetoPoint> nextPoints;
+        std::vector<std::size_t> nextPos;
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+            if (removed.count(i)) continue;
+            nextPoints.push_back(remaining[i]);
+            nextPos.push_back(remainingPos[i]);
+        }
+        remaining = std::move(nextPoints);
+        remainingPos = std::move(nextPos);
+    }
+    return fronts;
+}
+
+double paretoCoverage(const std::vector<ParetoPoint>& candidateMembers,
+                      const std::vector<ParetoPoint>& referenceFrontMembers) {
+    if (referenceFrontMembers.empty()) return 1.0;
+    std::unordered_set<std::size_t> candidate;
+    for (const ParetoPoint& p : candidateMembers) candidate.insert(p.index);
+    std::size_t hit = 0;
+    for (const ParetoPoint& p : referenceFrontMembers)
+        if (candidate.count(p.index)) ++hit;
+    return static_cast<double>(hit) / static_cast<double>(referenceFrontMembers.size());
+}
+
+}  // namespace axf::core

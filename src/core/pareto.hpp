@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace axf::core {
+
+/// A candidate point in the (quality, cost) plane — both minimized.  For
+/// this paper: x = error (MED), y = an FPGA parameter.
+struct ParetoPoint {
+    double x = 0.0;
+    double y = 0.0;
+    std::size_t index = 0;  ///< caller's identifier (library index)
+};
+
+/// Indices (into `points`) of the non-dominated subset.  A point dominates
+/// another when it is <= in both coordinates and < in at least one.
+std::vector<std::size_t> paretoFront(const std::vector<ParetoPoint>& points);
+
+/// Peels `count` successive fronts: F1 over all points, F2 over the rest
+/// (C \ F1), and so on — the paper's hedge against estimator error.
+/// Returns per-front index lists; fewer fronts when points run out.
+std::vector<std::vector<std::size_t>> successiveParetoFronts(
+    const std::vector<ParetoPoint>& points, int count);
+
+/// Fraction of `referenceFront` members that also appear in `candidate`
+/// (the paper's "percentage coverage of the pareto-optimal designs").
+/// Membership is by the `index` field.
+double paretoCoverage(const std::vector<ParetoPoint>& candidateMembers,
+                      const std::vector<ParetoPoint>& referenceFrontMembers);
+
+}  // namespace axf::core

@@ -1,0 +1,49 @@
+#include "src/core/release.hpp"
+
+#include <fstream>
+#include <set>
+
+#include "src/circuit/export.hpp"
+#include "src/util/table.hpp"
+
+namespace axf::core {
+
+std::size_t releaseLibrary(const FlowResult& result, const std::filesystem::path& directory) {
+    std::filesystem::create_directories(directory);
+
+    std::set<std::size_t> releaseSet;
+    for (const TargetOutcome& t : result.targets)
+        releaseSet.insert(t.finalParetoIndices.begin(), t.finalParetoIndices.end());
+
+    util::Table index({"name", "origin", "operator", "med", "wce", "error_prob", "fpga_luts",
+                       "fpga_latency_ns", "fpga_power_mw", "asic_area_um2", "asic_delay_ns",
+                       "asic_power_mw"});
+    for (std::size_t idx : releaseSet) {
+        const CharacterizedCircuit& cc = result.dataset.circuits()[idx];
+        if (!cc.fpgaMeasured) continue;
+        const std::string base = cc.circuit.name;
+        {
+            std::ofstream verilog(directory / (base + ".v"));
+            circuit::writeVerilog(verilog, cc.circuit.netlist, base);
+        }
+        {
+            std::ofstream c(directory / (base + ".c"));
+            circuit::writeBehavioralC(c, cc.circuit.netlist, base, cc.circuit.signature.widthA);
+        }
+        index.addRow({base, cc.circuit.origin, cc.circuit.signature.toString(),
+                      util::Table::num(cc.circuit.error.med, 8),
+                      util::Table::num(cc.circuit.error.worstCaseError, 0),
+                      util::Table::num(cc.circuit.error.errorProbability, 5),
+                      util::Table::num(cc.fpga.lutCount, 0),
+                      util::Table::num(cc.fpga.latencyNs, 3),
+                      util::Table::num(cc.fpga.powerMw, 4),
+                      util::Table::num(cc.asic.areaUm2, 2),
+                      util::Table::num(cc.asic.delayNs, 3),
+                      util::Table::num(cc.asic.powerMw, 4)});
+    }
+    std::ofstream csv(directory / "index.csv");
+    index.writeCsv(csv);
+    return index.rowCount();
+}
+
+}  // namespace axf::core

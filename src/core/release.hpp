@@ -1,0 +1,16 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "src/core/flow.hpp"
+
+namespace axf::core {
+
+/// Writes the open-source artifact the paper publishes: the union of the
+/// per-parameter Pareto-optimal FPGA-ACs as structural Verilog (.v) and
+/// behavioural C (.c) models plus an index.csv with error and FPGA/ASIC
+/// metrics per circuit.  Returns the number of circuits released.
+std::size_t releaseLibrary(const FlowResult& result, const std::filesystem::path& directory);
+
+}  // namespace axf::core

@@ -1,0 +1,171 @@
+#include "src/error/error_metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/circuit/simulator.hpp"
+
+namespace axf::error {
+
+namespace {
+
+using circuit::Simulator;
+using Word = Simulator::Word;
+
+/// Lane patterns for the low six bits of an exhaustively enumerated input
+/// index: bit k of lane L is bit k of L.
+constexpr std::array<Word, 6> kLanePattern = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+/// Accumulates metric sums over evaluated (approx, exact) result pairs.
+struct Accumulator {
+    double absSum = 0.0;
+    double relSum = 0.0;
+    double sqSum = 0.0;
+    std::uint64_t worst = 0;
+    std::uint64_t errorCount = 0;
+    std::uint64_t total = 0;
+
+    void add(std::uint64_t approx, std::uint64_t exact) {
+        const std::uint64_t diff = approx > exact ? approx - exact : exact - approx;
+        absSum += static_cast<double>(diff);
+        relSum += static_cast<double>(diff) / static_cast<double>(std::max<std::uint64_t>(1, exact));
+        sqSum += static_cast<double>(diff) * static_cast<double>(diff);
+        worst = std::max(worst, diff);
+        if (diff != 0) ++errorCount;
+        ++total;
+    }
+
+    ErrorReport report(std::uint64_t maxOutput, bool exhaustive) const {
+        ErrorReport r;
+        const double n = static_cast<double>(std::max<std::uint64_t>(1, total));
+        r.meanAbsoluteError = absSum / n;
+        r.med = maxOutput == 0 ? 0.0 : r.meanAbsoluteError / static_cast<double>(maxOutput);
+        r.worstCaseError = static_cast<double>(worst);
+        r.meanRelativeError = relSum / n;
+        r.errorProbability = static_cast<double>(errorCount) / n;
+        r.meanSquaredError = sqSum / n;
+        r.vectorsEvaluated = total;
+        r.exhaustive = exhaustive;
+        return r;
+    }
+};
+
+/// Reusable per-analysis workspace (hoisted out of the block loop; the
+/// evaluator runs thousands of blocks during CGP fitness evaluation).
+struct Workspace {
+    std::vector<Word> in;
+    std::vector<Word> out;
+    std::array<std::uint64_t, 64> approx{};
+};
+
+/// Decodes output lane words into per-lane result values and accumulates
+/// error against `exact(lane)`.
+template <typename ExactFn>
+void consumeBlock(const std::vector<Word>& out, std::size_t lanes, ExactFn exact,
+                  Accumulator& acc, Workspace& ws) {
+    ws.approx.fill(0);
+    for (std::size_t bit = 0; bit < out.size(); ++bit) {
+        Word w = out[bit];
+        if (w == 0) continue;
+        const std::uint64_t weight = std::uint64_t{1} << bit;
+        while (w != 0) {
+            const int lane = __builtin_ctzll(w);
+            ws.approx[static_cast<std::size_t>(lane)] += weight;
+            w &= w - 1;
+        }
+    }
+    for (std::size_t lane = 0; lane < lanes; ++lane) acc.add(ws.approx[lane], exact(lane));
+}
+
+}  // namespace
+
+std::string ErrorReport::summary() const {
+    std::ostringstream os;
+    os << "MED=" << med * 100.0 << "% MAE=" << meanAbsoluteError << " WCE=" << worstCaseError
+       << " EP=" << errorProbability * 100.0 << "%"
+       << (exhaustive ? " (exhaustive)" : " (sampled)");
+    return os.str();
+}
+
+ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
+                         const ErrorAnalysisConfig& config) {
+    if (static_cast<int>(netlist.inputCount()) != sig.inputWidth())
+        throw std::invalid_argument("analyzeError: netlist input width != signature");
+    if (static_cast<int>(netlist.outputCount()) != sig.outputWidth())
+        throw std::invalid_argument("analyzeError: netlist output width != signature");
+
+    Simulator sim(netlist);
+    Accumulator acc;
+    const int totalBits = sig.inputWidth();
+    const bool exhaustive =
+        totalBits < 64 && (std::uint64_t{1} << totalBits) <= config.exhaustiveLimit;
+
+    Workspace ws;
+    ws.in.resize(static_cast<std::size_t>(totalBits));
+    ws.out.resize(netlist.outputCount());
+    const std::uint64_t maskA = (std::uint64_t{1} << sig.widthA) - 1;
+
+    if (exhaustive) {
+        const std::uint64_t space = std::uint64_t{1} << totalBits;
+        for (std::uint64_t base = 0; base < space; base += 64) {
+            const std::size_t lanes =
+                static_cast<std::size_t>(std::min<std::uint64_t>(64, space - base));
+            // Bits below 6 follow the lane patterns; bits >= 6 are constant
+            // across the block and broadcast from the base index.
+            for (int bit = 0; bit < totalBits; ++bit) {
+                if (bit < 6)
+                    ws.in[static_cast<std::size_t>(bit)] = kLanePattern[static_cast<std::size_t>(bit)];
+                else
+                    ws.in[static_cast<std::size_t>(bit)] = (base >> bit) & 1u ? ~Word{0} : Word{0};
+            }
+            sim.evaluate(ws.in, ws.out);
+            consumeBlock(
+                ws.out, lanes,
+                [&](std::size_t lane) {
+                    const std::uint64_t x = base + lane;
+                    return sig.exact(x & maskA, x >> sig.widthA);
+                },
+                acc, ws);
+        }
+    } else {
+        // Sampled path: every lane bit is an independent fair coin, which is
+        // exactly a uniform draw over the (power-of-two) operand spaces.
+        util::Rng rng(config.seed);
+        std::array<std::uint64_t, 64> as{}, bs{};
+        std::uint64_t remaining = config.sampleCount;
+        while (remaining > 0) {
+            const std::size_t lanes =
+                static_cast<std::size_t>(std::min<std::uint64_t>(64, remaining));
+            for (int bit = 0; bit < totalBits; ++bit)
+                ws.in[static_cast<std::size_t>(bit)] = rng.uniformInt(0, ~std::uint64_t{0});
+            sim.evaluate(ws.in, ws.out);
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+                std::uint64_t a = 0, b = 0;
+                for (int bit = 0; bit < sig.widthA; ++bit)
+                    a |= ((ws.in[static_cast<std::size_t>(bit)] >> lane) & 1u) << bit;
+                for (int bit = 0; bit < sig.widthB; ++bit)
+                    b |= ((ws.in[static_cast<std::size_t>(sig.widthA + bit)] >> lane) & 1u) << bit;
+                as[lane] = a;
+                bs[lane] = b;
+            }
+            consumeBlock(
+                ws.out, lanes, [&](std::size_t lane) { return sig.exact(as[lane], bs[lane]); },
+                acc, ws);
+            remaining -= lanes;
+        }
+    }
+    return acc.report(sig.maxOutput(), exhaustive);
+}
+
+bool isFunctionallyExact(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
+                         const ErrorAnalysisConfig& config) {
+    return analyzeError(netlist, sig, config).isExact();
+}
+
+}  // namespace axf::error

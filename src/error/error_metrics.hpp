@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/circuit/arith.hpp"
+#include "src/circuit/netlist.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::error {
+
+/// Error profile of an approximate arithmetic circuit against the exact
+/// operator.  All distance metrics are computed over the evaluated input
+/// set (exhaustive when feasible, stratified-sampled otherwise).
+struct ErrorReport {
+    /// Mean Error Distance *relative to the maximum output value*, the
+    /// paper's headline quality metric ("average of the absolute error
+    /// difference across all the input combinations relative to the
+    /// maximum number of outputs", Han & Orshansky normalization).
+    double med = 0.0;
+    double meanAbsoluteError = 0.0;   ///< unnormalized mean |approx - exact|
+    double worstCaseError = 0.0;      ///< max |approx - exact|
+    double meanRelativeError = 0.0;   ///< mean |err| / max(1, exact)
+    double errorProbability = 0.0;    ///< fraction of inputs with any error
+    double meanSquaredError = 0.0;
+    std::uint64_t vectorsEvaluated = 0;
+    bool exhaustive = false;
+
+    bool isExact() const { return errorProbability == 0.0; }
+    std::string summary() const;
+};
+
+/// Evaluation policy.  `exhaustiveLimit` bounds the input-space size (in
+/// vectors) up to which exhaustive sweep is used; larger spaces fall back
+/// to `sampleCount` pseudo-random vectors drawn with the given seed.
+struct ErrorAnalysisConfig {
+    std::uint64_t exhaustiveLimit = 1ull << 16;  ///< 8x8 operators stay exhaustive
+    std::uint64_t sampleCount = 1ull << 14;
+    std::uint64_t seed = 0xE5527;
+};
+
+/// Computes the error profile of `netlist` implementing `sig`.
+///
+/// The netlist interface must be LSB-first operand A bits, then operand B
+/// bits; outputs LSB-first.  Throws std::invalid_argument on arity mismatch.
+ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
+                         const ErrorAnalysisConfig& config = {});
+
+/// True when the circuit matches the exact operator on every evaluated
+/// vector (exhaustive for spaces within the config limit).
+bool isFunctionallyExact(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
+                         const ErrorAnalysisConfig& config = {});
+
+}  // namespace axf::error

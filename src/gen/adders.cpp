@@ -1,0 +1,384 @@
+#include "src/gen/adders.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/gen/bitvec.hpp"
+
+namespace axf::gen {
+
+using circuit::GateKind;
+using circuit::kInvalidNode;
+using circuit::Netlist;
+using circuit::NodeId;
+
+namespace {
+
+void checkWidth(int n) {
+    if (n < 2 || n > 30) throw std::invalid_argument("adder width must be in [2, 30]");
+}
+
+struct PG {
+    Bits p;  ///< propagate a^b
+    Bits g;  ///< generate a&b
+};
+
+PG propagateGenerate(Netlist& net, const Bits& a, const Bits& b) {
+    PG pg;
+    pg.p.reserve(a.size());
+    pg.g.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        pg.p.push_back(net.addGate(GateKind::Xor, a[i], b[i]));
+        pg.g.push_back(net.addGate(GateKind::And, a[i], b[i]));
+    }
+    return pg;
+}
+
+void markOutputs(Netlist& net, const Bits& bits) {
+    for (NodeId bit : bits) net.markOutput(bit);
+}
+
+}  // namespace
+
+circuit::Netlist rippleCarryAdder(int n) {
+    checkWidth(n);
+    Netlist net("add" + std::to_string(n) + "_rca");
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    markOutputs(net, rippleSum(net, a, b));
+    return net;
+}
+
+circuit::Netlist carryLookaheadAdder(int n, int groupSize) {
+    checkWidth(n);
+    if (groupSize < 2) throw std::invalid_argument("CLA group size must be >= 2");
+    Netlist net("add" + std::to_string(n) + "_cla" + std::to_string(groupSize));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    const PG pg = propagateGenerate(net, a, b);
+
+    Bits sum(static_cast<std::size_t>(n));
+    NodeId carryIn = net.addConst(false);
+    for (int base = 0; base < n; base += groupSize) {
+        const int limit = std::min(n, base + groupSize);
+        // Within the group, expand c_{i+1} = g_i | p_i (g_{i-1} | ... | p.. c_in)
+        // as a flattened AND/OR tree anchored on the group carry-in.
+        NodeId carry = carryIn;
+        for (int i = base; i < limit; ++i) {
+            sum[static_cast<std::size_t>(i)] =
+                net.addGate(GateKind::Xor, pg.p[static_cast<std::size_t>(i)], carry);
+            // c_{i+1} = g_i | (p_i & c_i), with the AND term expanded from
+            // the group entry point so the carry tree is lookahead-shaped.
+            NodeId term = net.addGate(GateKind::And, pg.p[static_cast<std::size_t>(i)], carry);
+            carry = net.addGate(GateKind::Or, pg.g[static_cast<std::size_t>(i)], term);
+        }
+        carryIn = carry;
+    }
+    sum.push_back(carryIn);
+    markOutputs(net, sum);
+    return net;
+}
+
+circuit::Netlist carrySelectAdder(int n, int blockSize) {
+    checkWidth(n);
+    if (blockSize < 1) throw std::invalid_argument("carry-select block size must be >= 1");
+    Netlist net("add" + std::to_string(n) + "_csel" + std::to_string(blockSize));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    Bits sum;
+    sum.reserve(static_cast<std::size_t>(n) + 1);
+    NodeId carry = net.addConst(false);
+    for (int base = 0; base < n; base += blockSize) {
+        const int limit = std::min(n, base + blockSize);
+        const int len = limit - base;
+        const Bits subA(a.begin() + base, a.begin() + limit);
+        const Bits subB(b.begin() + base, b.begin() + limit);
+        if (base == 0) {
+            const Bits s = rippleSum(net, subA, subB);
+            for (int i = 0; i < len; ++i) sum.push_back(s[static_cast<std::size_t>(i)]);
+            carry = s.back();
+        } else {
+            const NodeId zero = net.addConst(false);
+            const NodeId one = net.addConst(true);
+            const Bits s0 = rippleSum(net, subA, subB, zero);
+            const Bits s1 = rippleSum(net, subA, subB, one);
+            for (int i = 0; i < len; ++i)
+                sum.push_back(net.addGate(GateKind::Mux, s0[static_cast<std::size_t>(i)],
+                                          s1[static_cast<std::size_t>(i)], carry));
+            carry = net.addGate(GateKind::Mux, s0.back(), s1.back(), carry);
+        }
+    }
+    sum.push_back(carry);
+    markOutputs(net, sum);
+    return net;
+}
+
+circuit::Netlist koggeStoneAdder(int n) {
+    checkWidth(n);
+    Netlist net("add" + std::to_string(n) + "_ks");
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    const PG pg = propagateGenerate(net, a, b);
+
+    // Parallel-prefix: after the sweep, G[i] is the carry out of bit i.
+    Bits g = pg.g;
+    Bits p = pg.p;
+    for (int dist = 1; dist < n; dist *= 2) {
+        Bits g2 = g;
+        Bits p2 = p;
+        for (int i = dist; i < n; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            const auto prev = static_cast<std::size_t>(i - dist);
+            const NodeId t = net.addGate(GateKind::And, p[idx], g[prev]);
+            g2[idx] = net.addGate(GateKind::Or, g[idx], t);
+            p2[idx] = net.addGate(GateKind::And, p[idx], p[prev]);
+        }
+        g = std::move(g2);
+        p = std::move(p2);
+    }
+
+    Bits sum(static_cast<std::size_t>(n) + 1);
+    sum[0] = pg.p[0];
+    for (int i = 1; i < n; ++i)
+        sum[static_cast<std::size_t>(i)] = net.addGate(
+            GateKind::Xor, pg.p[static_cast<std::size_t>(i)], g[static_cast<std::size_t>(i - 1)]);
+    sum[static_cast<std::size_t>(n)] = g[static_cast<std::size_t>(n - 1)];
+    markOutputs(net, sum);
+    return net;
+}
+
+namespace {
+
+/// Shared shape of the "approximate low part + exact upper ripple" family.
+/// `lowBit(i)` emits the approximate sum bit; `carrySeed` provides the carry
+/// entering the exact upper part.
+template <typename LowBitFn, typename CarrySeedFn>
+Netlist splitAdder(const std::string& name, int n, int approxBits, LowBitFn lowBit,
+                   CarrySeedFn carrySeed) {
+    checkWidth(n);
+    if (approxBits < 0 || approxBits > n)
+        throw std::invalid_argument("approxBits out of range");
+    Netlist net(name);
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    Bits sum;
+    sum.reserve(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i < approxBits; ++i) sum.push_back(lowBit(net, a, b, i));
+
+    const Bits subA(a.begin() + approxBits, a.end());
+    const Bits subB(b.begin() + approxBits, b.end());
+    if (subA.empty()) {
+        sum.push_back(carrySeed(net, a, b));
+    } else {
+        const Bits upper = rippleSum(net, subA, subB, carrySeed(net, a, b));
+        sum.insert(sum.end(), upper.begin(), upper.end());
+    }
+    markOutputs(net, sum);
+    return net;
+}
+
+}  // namespace
+
+circuit::Netlist loaAdder(int n, int approxBits) {
+    const std::string name =
+        "add" + std::to_string(n) + "_loa" + std::to_string(approxBits);
+    return splitAdder(
+        name, n, approxBits,
+        [](Netlist& net, const Bits& a, const Bits& b, int i) {
+            return net.addGate(GateKind::Or, a[static_cast<std::size_t>(i)],
+                               b[static_cast<std::size_t>(i)]);
+        },
+        [approxBits](Netlist& net, const Bits& a, const Bits& b) -> NodeId {
+            if (approxBits == 0) return net.addConst(false);
+            // LOA seeds the exact part with the AND of the top approximate bits.
+            const auto top = static_cast<std::size_t>(approxBits - 1);
+            return net.addGate(GateKind::And, a[top], b[top]);
+        });
+}
+
+circuit::Netlist truncatedAdder(int n, int approxBits) {
+    const std::string name =
+        "add" + std::to_string(n) + "_tru" + std::to_string(approxBits);
+    return splitAdder(
+        name, n, approxBits,
+        [](Netlist& net, const Bits& a, const Bits&, int i) {
+            return net.addGate(GateKind::Buf, a[static_cast<std::size_t>(i)]);
+        },
+        [](Netlist& net, const Bits&, const Bits&) { return net.addConst(false); });
+}
+
+circuit::Netlist etaAdder(int n, int approxBits) {
+    const std::string name =
+        "add" + std::to_string(n) + "_eta" + std::to_string(approxBits);
+    return splitAdder(
+        name, n, approxBits,
+        [](Netlist& net, const Bits& a, const Bits& b, int i) {
+            return net.addGate(GateKind::Xor, a[static_cast<std::size_t>(i)],
+                               b[static_cast<std::size_t>(i)]);
+        },
+        [](Netlist& net, const Bits&, const Bits&) { return net.addConst(false); });
+}
+
+circuit::Netlist acaAdder(int n, int window) {
+    checkWidth(n);
+    if (window < 1) throw std::invalid_argument("ACA window must be >= 1");
+    Netlist net("add" + std::to_string(n) + "_aca" + std::to_string(window));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    const PG pg = propagateGenerate(net, a, b);
+
+    // Carry into bit i is speculated by rippling c = g | p&c over the last
+    // `window` positions only, starting from zero.  Exact when window >= n.
+    const auto speculativeCarry = [&](int i) -> NodeId {
+        NodeId carry = net.addConst(false);
+        for (int j = std::max(0, i - window); j < i; ++j) {
+            const auto idx = static_cast<std::size_t>(j);
+            const NodeId t = net.addGate(GateKind::And, pg.p[idx], carry);
+            carry = net.addGate(GateKind::Or, pg.g[idx], t);
+        }
+        return carry;
+    };
+
+    Bits sum(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i < n; ++i)
+        sum[static_cast<std::size_t>(i)] =
+            net.addGate(GateKind::Xor, pg.p[static_cast<std::size_t>(i)], speculativeCarry(i));
+    sum[static_cast<std::size_t>(n)] = speculativeCarry(n);
+    markOutputs(net, sum);
+    return net;
+}
+
+circuit::Netlist gearAdder(int n, int resultBits, int predictionBits) {
+    checkWidth(n);
+    if (resultBits < 1 || predictionBits < 0 || resultBits + predictionBits > n)
+        throw std::invalid_argument("gearAdder: need 1 <= R and R+P <= n");
+    Netlist net("add" + std::to_string(n) + "_gear_r" + std::to_string(resultBits) + "p" +
+                std::to_string(predictionBits));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    // Rippling a sub-window [base, limit) from carry 0; returns the window's
+    // sum bits and carry-out.
+    const auto subAdder = [&](int base, int limit) {
+        const Bits subA(a.begin() + base, a.begin() + limit);
+        const Bits subB(b.begin() + base, b.begin() + limit);
+        return rippleSum(net, subA, subB);  // width (limit-base)+1
+    };
+
+    Bits sum(static_cast<std::size_t>(n) + 1, circuit::kInvalidNode);
+    // First sub-adder yields result bits [0, R+P).
+    const int first = std::min(n, resultBits + predictionBits);
+    Bits window = subAdder(0, first);
+    for (int i = 0; i < first; ++i) sum[static_cast<std::size_t>(i)] = window[static_cast<std::size_t>(i)];
+    NodeId lastCarry = window.back();
+    // Each further sub-adder re-computes P prediction bits and contributes R
+    // new result bits.
+    for (int pos = first; pos < n; pos += resultBits) {
+        const int base = pos - predictionBits;
+        const int limit = std::min(n, base + resultBits + predictionBits);
+        window = subAdder(base, limit);
+        for (int i = pos; i < limit; ++i)
+            sum[static_cast<std::size_t>(i)] = window[static_cast<std::size_t>(i - base)];
+        lastCarry = window.back();
+    }
+    sum[static_cast<std::size_t>(n)] = lastCarry;
+    markOutputs(net, sum);
+    return net;
+}
+
+circuit::Netlist etaIIAdder(int n, int blockSize) {
+    checkWidth(n);
+    if (blockSize < 1 || blockSize > n) throw std::invalid_argument("etaIIAdder: bad block size");
+    Netlist net("add" + std::to_string(n) + "_eta2_b" + std::to_string(blockSize));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    // Carry-out of block [base, limit) assuming zero carry-in.
+    const auto blockCarry = [&](int base, int limit) {
+        NodeId carry = net.addConst(false);
+        for (int i = base; i < limit; ++i)
+            carry = net.addGate(GateKind::Maj, a[static_cast<std::size_t>(i)],
+                                b[static_cast<std::size_t>(i)], carry);
+        return carry;
+    };
+
+    Bits sum(static_cast<std::size_t>(n) + 1, circuit::kInvalidNode);
+    NodeId carryIn = net.addConst(false);
+    for (int base = 0; base < n; base += blockSize) {
+        const int limit = std::min(n, base + blockSize);
+        const Bits subA(a.begin() + base, a.begin() + limit);
+        const Bits subB(b.begin() + base, b.begin() + limit);
+        const Bits s = rippleSum(net, subA, subB, carryIn);
+        for (int i = base; i < limit; ++i)
+            sum[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i - base)];
+        if (limit == n) sum[static_cast<std::size_t>(n)] = s.back();
+        // ETA-II: the next block sees only the carry *generated within this
+        // block from zero carry-in* (the chain is cut at block boundaries).
+        carryIn = blockCarry(base, limit);
+    }
+    markOutputs(net, sum);
+    return net;
+}
+
+const char* approxFaKindName(ApproxFaKind kind) {
+    switch (kind) {
+        case ApproxFaKind::PassA: return "passa";
+        case ApproxFaKind::OrSum: return "orsum";
+        case ApproxFaKind::XorNoCarry: return "xornc";
+        case ApproxFaKind::CarrySkip: return "cskip";
+    }
+    return "?";
+}
+
+circuit::Netlist approxCellAdder(int n, int approxBits, ApproxFaKind kind) {
+    checkWidth(n);
+    if (approxBits < 0 || approxBits > n)
+        throw std::invalid_argument("approxBits out of range");
+    Netlist net("add" + std::to_string(n) + "_afa_" + approxFaKindName(kind) + "_" +
+                std::to_string(approxBits));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    Bits sum;
+    sum.reserve(static_cast<std::size_t>(n) + 1);
+    NodeId carry = net.addConst(false);
+    for (int i = 0; i < approxBits; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        switch (kind) {
+            case ApproxFaKind::PassA:
+                sum.push_back(net.addGate(GateKind::Buf, a[idx]));
+                carry = net.addGate(GateKind::Buf, b[idx]);
+                break;
+            case ApproxFaKind::OrSum: {
+                const NodeId ab = net.addGate(GateKind::Or, a[idx], b[idx]);
+                sum.push_back(net.addGate(GateKind::Or, ab, carry));
+                carry = net.addGate(GateKind::And, a[idx], b[idx]);
+                break;
+            }
+            case ApproxFaKind::XorNoCarry:
+                sum.push_back(net.addGate(GateKind::Xor, a[idx], b[idx]));
+                // carry passes through unchanged (chain bypass)
+                break;
+            case ApproxFaKind::CarrySkip: {
+                const NodeId axb = net.addGate(GateKind::Xor, a[idx], b[idx]);
+                sum.push_back(net.addGate(GateKind::Xor, axb, carry));
+                carry = net.addGate(GateKind::Buf, a[idx]);
+                break;
+            }
+        }
+    }
+    const Bits subA(a.begin() + approxBits, a.end());
+    const Bits subB(b.begin() + approxBits, b.end());
+    if (subA.empty()) {
+        sum.push_back(carry);
+    } else {
+        const Bits upper = rippleSum(net, subA, subB, carry);
+        sum.insert(sum.end(), upper.begin(), upper.end());
+    }
+    for (NodeId bit : sum) net.markOutput(bit);
+    return net;
+}
+
+}  // namespace axf::gen

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+
+#include "src/circuit/arith.hpp"
+#include "src/circuit/netlist.hpp"
+
+namespace axf::gen {
+
+/// Generators for n-bit unsigned adders.  Interface convention (shared by
+/// the whole library): inputs a0..a(n-1) then b0..b(n-1), LSB-first;
+/// outputs s0..sn (n+1 bits, carry-out as MSB).
+
+// --- exact architectures --------------------------------------------------
+circuit::Netlist rippleCarryAdder(int n);
+circuit::Netlist carryLookaheadAdder(int n, int groupSize = 4);
+circuit::Netlist carrySelectAdder(int n, int blockSize = 4);
+circuit::Netlist koggeStoneAdder(int n);
+
+// --- approximate architectures ---------------------------------------------
+
+/// Lower-part OR adder (LOA): the low `approxBits` sum bits are a_i | b_i;
+/// a single AND of the top approximate bits seeds the exact upper part.
+circuit::Netlist loaAdder(int n, int approxBits);
+
+/// Truncated adder: the low `approxBits` sum bits pass operand A through
+/// and inject no carry into the exact upper part.
+circuit::Netlist truncatedAdder(int n, int approxBits);
+
+/// Error-tolerant adder (ETA-I style): the low `approxBits` bits are the
+/// carry-free XOR of the operands; upper part exact with zero carry-in.
+circuit::Netlist etaAdder(int n, int approxBits);
+
+/// Almost-correct adder (ACA): every carry is speculated from a sliding
+/// window of `window` previous bit positions (exact when window >= n).
+circuit::Netlist acaAdder(int n, int window);
+
+/// Generic accuracy-configurable adder (GeAr-style): overlapping sub-adders
+/// of `resultBits` result bits each, with `predictionBits` previous bits
+/// used for carry prediction.  GeAr(n, R, P) generalizes ACA/ETAII.
+circuit::Netlist gearAdder(int n, int resultBits, int predictionBits);
+
+/// Error-tolerant adder II (ETA-II): the carry into each `blockSize` block
+/// is generated only from the immediately preceding block.
+circuit::Netlist etaIIAdder(int n, int blockSize);
+
+/// Approximate full-adder-cell designs applied to the low `approxBits`
+/// positions (the Gupta-style approximate mirror adder family).
+enum class ApproxFaKind {
+    PassA,       ///< sum = a, cout = b            (aggressively simplified)
+    OrSum,       ///< sum = a | b | cin, cout = a & b
+    XorNoCarry,  ///< sum = a ^ b, cout = cin      (carry chain bypass)
+    CarrySkip,   ///< sum = a ^ b ^ cin, cout = a  (exact sum, skewed carry)
+};
+const char* approxFaKindName(ApproxFaKind kind);
+circuit::Netlist approxCellAdder(int n, int approxBits, ApproxFaKind kind);
+
+/// Signature shared by every n-bit adder produced here.
+inline circuit::ArithSignature adderSignature(int n) {
+    return circuit::ArithSignature{circuit::ArithOp::Adder, n, n};
+}
+
+}  // namespace axf::gen

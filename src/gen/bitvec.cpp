@@ -1,0 +1,93 @@
+#include "src/gen/bitvec.hpp"
+
+#include <stdexcept>
+
+namespace axf::gen {
+
+using circuit::GateKind;
+using circuit::kInvalidNode;
+using circuit::Netlist;
+using circuit::NodeId;
+
+Bits addOperand(Netlist& net, int n) {
+    Bits bits(static_cast<std::size_t>(n));
+    for (auto& bit : bits) bit = net.addInput();
+    return bits;
+}
+
+SumCarry fullAdder(Netlist& net, NodeId a, NodeId b, NodeId cin) {
+    const NodeId axb = net.addGate(GateKind::Xor, a, b);
+    const NodeId sum = net.addGate(GateKind::Xor, axb, cin);
+    const NodeId carry = net.addGate(GateKind::Maj, a, b, cin);
+    return {sum, carry};
+}
+
+SumCarry halfAdder(Netlist& net, NodeId a, NodeId b) {
+    return {net.addGate(GateKind::Xor, a, b), net.addGate(GateKind::And, a, b)};
+}
+
+Bits rippleSum(Netlist& net, const Bits& a, const Bits& b, NodeId cin) {
+    if (a.size() != b.size()) throw std::invalid_argument("rippleSum: width mismatch");
+    Bits sum;
+    sum.reserve(a.size() + 1);
+    NodeId carry = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (carry == kInvalidNode) {
+            const SumCarry sc = halfAdder(net, a[i], b[i]);
+            sum.push_back(sc.sum);
+            carry = sc.carry;
+        } else {
+            const SumCarry sc = fullAdder(net, a[i], b[i], carry);
+            sum.push_back(sc.sum);
+            carry = sc.carry;
+        }
+    }
+    sum.push_back(carry == kInvalidNode ? net.addConst(false) : carry);
+    return sum;
+}
+
+Bits ColumnStack::reduceAndSum(Netlist& net) {
+    // Phase 1: level-by-level Wallace compression.  Each round takes a
+    // snapshot of every column and reduces groups of three in parallel, so
+    // the tree depth stays logarithmic (consuming freshly produced bits in
+    // the same round would serialize the reduction).
+    bool anyTall = true;
+    while (anyTall) {
+        anyTall = false;
+        std::vector<Bits> next(columns_.size());
+        for (int w = 0; w < width(); ++w) {
+            const Bits col = std::move(columns_[static_cast<std::size_t>(w)]);
+            std::size_t i = 0;
+            while (col.size() - i >= 3) {
+                const SumCarry sc = fullAdder(net, col[i], col[i + 1], col[i + 2]);
+                i += 3;
+                next[static_cast<std::size_t>(w)].push_back(sc.sum);
+                if (w + 1 < width()) next[static_cast<std::size_t>(w + 1)].push_back(sc.carry);
+            }
+            for (; i < col.size(); ++i) next[static_cast<std::size_t>(w)].push_back(col[i]);
+        }
+        columns_ = std::move(next);
+        for (const Bits& col : columns_)
+            if (col.size() > 2) anyTall = true;
+    }
+    // Phase 2: final carry-propagate over the remaining <=2 rows.
+    Bits result(static_cast<std::size_t>(width()), kInvalidNode);
+    NodeId carry = kInvalidNode;
+    for (int w = 0; w < width(); ++w) {
+        Bits& col = columns_[static_cast<std::size_t>(w)];
+        const NodeId x = col.size() > 0 ? col[0] : net.addConst(false);
+        const NodeId y = col.size() > 1 ? col[1] : net.addConst(false);
+        if (carry == kInvalidNode) {
+            const SumCarry sc = halfAdder(net, x, y);
+            result[static_cast<std::size_t>(w)] = sc.sum;
+            carry = sc.carry;
+        } else {
+            const SumCarry sc = fullAdder(net, x, y, carry);
+            result[static_cast<std::size_t>(w)] = sc.sum;
+            carry = sc.carry;
+        }
+    }
+    return result;
+}
+
+}  // namespace axf::gen

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::gen {
+
+/// An ordered LSB-first list of netlist nodes forming a bit-vector signal.
+using Bits = std::vector<circuit::NodeId>;
+
+/// Sum/carry pair produced by adder cells.
+struct SumCarry {
+    circuit::NodeId sum;
+    circuit::NodeId carry;
+};
+
+/// Appends `n` primary inputs and returns them LSB-first.
+Bits addOperand(circuit::Netlist& net, int n);
+
+/// Classic 5-gate full adder (2x XOR for sum, MAJ for carry).
+SumCarry fullAdder(circuit::Netlist& net, circuit::NodeId a, circuit::NodeId b,
+                   circuit::NodeId cin);
+
+/// Half adder (XOR + AND).
+SumCarry halfAdder(circuit::Netlist& net, circuit::NodeId a, circuit::NodeId b);
+
+/// Ripple-carry sum of two equal-width vectors with optional carry-in.
+/// Returns width+1 bits (carry-out as MSB).
+Bits rippleSum(circuit::Netlist& net, const Bits& a, const Bits& b,
+               circuit::NodeId cin = circuit::kInvalidNode);
+
+/// Weight-indexed partial-product columns used by the multiplier builders.
+/// `columns[w]` lists the bits of weight 2^w awaiting reduction.
+class ColumnStack {
+public:
+    explicit ColumnStack(int width) : columns_(static_cast<std::size_t>(width)) {}
+
+    void push(int weight, circuit::NodeId bit) {
+        columns_.at(static_cast<std::size_t>(weight)).push_back(bit);
+    }
+    int width() const { return static_cast<int>(columns_.size()); }
+    const std::vector<Bits>& columns() const { return columns_; }
+
+    /// Wallace-style reduction: repeatedly applies full/half adders until
+    /// every column holds at most two bits, then returns the final sum via
+    /// a ripple carry-propagate adder.  Result is LSB-first, `width()` bits.
+    Bits reduceAndSum(circuit::Netlist& net);
+
+private:
+    std::vector<Bits> columns_;
+};
+
+}  // namespace axf::gen

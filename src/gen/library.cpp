@@ -1,0 +1,164 @@
+#include "src/gen/library.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/circuit/transform.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/cgp.hpp"
+#include "src/gen/multipliers.hpp"
+
+namespace axf::gen {
+
+using circuit::ArithOp;
+using circuit::ArithSignature;
+using circuit::Netlist;
+
+circuit::ArithSignature librarySignature(const LibraryConfig& config) {
+    return ArithSignature{config.op, config.width, config.width};
+}
+
+namespace {
+
+/// Accumulates circuits, deduplicating by structural hash.
+class LibraryAccumulator {
+public:
+    LibraryAccumulator(ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig)
+        : sig_(sig), errorConfig_(errorConfig) {}
+
+    void add(Netlist netlist, const std::string& origin) {
+        Netlist simplified = circuit::simplify(netlist);
+        if (!seen_.insert(simplified.structuralHash()).second) return;
+        LibraryCircuit entry;
+        entry.name = simplified.name();
+        entry.origin = origin;
+        entry.error = error::analyzeError(simplified, sig_, errorConfig_);
+        entry.netlist = std::move(simplified);
+        entry.signature = sig_;
+        library_.push_back(std::move(entry));
+    }
+
+    /// CGP harvests already carry simplified netlists and error reports.
+    void addHarvest(CgpHarvest harvest, const std::string& name, const std::string& origin) {
+        if (!seen_.insert(harvest.netlist.structuralHash()).second) return;
+        LibraryCircuit entry;
+        entry.name = name;
+        entry.origin = origin;
+        entry.netlist = std::move(harvest.netlist);
+        entry.netlist.setName(entry.name);
+        entry.signature = sig_;
+        entry.error = harvest.error;
+        library_.push_back(std::move(entry));
+    }
+
+    AcLibrary take() { return std::move(library_); }
+
+private:
+    ArithSignature sig_;
+    error::ErrorAnalysisConfig errorConfig_;
+    AcLibrary library_;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+void addAdderFamilies(LibraryAccumulator& acc, int n) {
+    acc.add(rippleCarryAdder(n), "exact_rca");
+    acc.add(carryLookaheadAdder(n), "exact_cla");
+    acc.add(carrySelectAdder(n, 2), "exact_csel");
+    acc.add(carrySelectAdder(n, 4), "exact_csel");
+    acc.add(koggeStoneAdder(n), "exact_ks");
+    for (int k = 1; k < n; ++k) {
+        acc.add(loaAdder(n, k), "loa");
+        acc.add(truncatedAdder(n, k), "trunc");
+        acc.add(etaAdder(n, k), "eta");
+    }
+    for (int w = 1; w < n; ++w) acc.add(acaAdder(n, w), "aca");
+    for (int r = 1; r <= n / 2; ++r)
+        for (int p = 0; p <= n / 2 && r + p <= n; p += 2) acc.add(gearAdder(n, r, p), "gear");
+    for (int blk = 1; blk < n; ++blk) acc.add(etaIIAdder(n, blk), "eta2");
+    for (const ApproxFaKind kind : {ApproxFaKind::PassA, ApproxFaKind::OrSum,
+                                    ApproxFaKind::XorNoCarry, ApproxFaKind::CarrySkip})
+        for (int k = 1; k < n; ++k) acc.add(approxCellAdder(n, k, kind), "afa");
+}
+
+void addMultiplierFamilies(LibraryAccumulator& acc, int n) {
+    acc.add(arrayMultiplier(n), "exact_array");
+    acc.add(wallaceMultiplier(n), "exact_wallace");
+    for (int t = 1; t <= n; ++t) acc.add(truncatedMultiplier(n, t), "trunc");
+    for (int h = 0; h <= n; h += 1)
+        for (int v = 0; v <= n / 2; ++v)
+            if (h + v > 0) acc.add(brokenArrayMultiplier(n, h, v), "bam");
+    if ((n & (n - 1)) == 0) acc.add(kulkarniMultiplier(n), "kulkarni");
+    for (int c = 1; c <= n; ++c) acc.add(approxCompressorMultiplier(n, c), "cmp");
+    for (int k = 2; k < n; ++k) acc.add(drumMultiplier(n, k), "drum");
+    if (n >= 3) acc.add(mitchellMultiplier(n), "mitchell");
+}
+
+Netlist cgpSeed(const LibraryConfig& config, int which) {
+    if (config.op == ArithOp::Adder)
+        return which == 0 ? rippleCarryAdder(config.width) : carryLookaheadAdder(config.width);
+    return which == 0 ? wallaceMultiplier(config.width) : arrayMultiplier(config.width);
+}
+
+}  // namespace
+
+AcLibrary buildStructuralFamilies(const LibraryConfig& config) {
+    LibraryAccumulator acc(librarySignature(config), config.errorConfig);
+    if (config.op == ArithOp::Adder)
+        addAdderFamilies(acc, config.width);
+    else
+        addMultiplierFamilies(acc, config.width);
+    return acc.take();
+}
+
+AcLibrary buildLibrary(const LibraryConfig& config) {
+    const ArithSignature sig = librarySignature(config);
+    LibraryAccumulator acc(sig, config.errorConfig);
+    if (config.op == ArithOp::Adder)
+        addAdderFamilies(acc, config.width);
+    else
+        addMultiplierFamilies(acc, config.width);
+
+    if (!config.structuralOnly) {
+        std::uint64_t runSeed = config.seed;
+        for (std::size_t budgetIdx = 0; budgetIdx < config.medBudgets.size(); ++budgetIdx) {
+            for (int seedArch = 0; seedArch < 2; ++seedArch) {
+                CgpEvolver::Options options;
+                options.medBudget = config.medBudgets[budgetIdx];
+                options.lambda = config.cgpLambda;
+                options.generations = config.cgpGenerations;
+                options.seed = runSeed++;
+                options.reportConfig = config.errorConfig;
+                CgpEvolver evolver(sig, options);
+                std::vector<CgpHarvest> harvests = evolver.run(cgpSeed(config, seedArch));
+                int idx = 0;
+                for (CgpHarvest& h : harvests) {
+                    const std::string name =
+                        (config.op == ArithOp::Adder ? "add" : "mul") +
+                        std::to_string(config.width) + "_cgp_b" + std::to_string(budgetIdx) +
+                        "_s" + std::to_string(seedArch) + "_" + std::to_string(idx++);
+                    acc.addHarvest(std::move(h), name, "cgp");
+                }
+            }
+        }
+    }
+
+    AcLibrary library = acc.take();
+    if (config.maxCircuits != 0 && library.size() > config.maxCircuits) {
+        // Deterministic uniform thinning over the error-sorted order keeps
+        // the full MED spread while bounding the library size.
+        std::sort(library.begin(), library.end(),
+                  [](const LibraryCircuit& a, const LibraryCircuit& b) {
+                      return a.error.med < b.error.med;
+                  });
+        AcLibrary thinned;
+        thinned.reserve(config.maxCircuits);
+        const double step =
+            static_cast<double>(library.size()) / static_cast<double>(config.maxCircuits);
+        for (std::size_t i = 0; i < config.maxCircuits; ++i)
+            thinned.push_back(std::move(library[static_cast<std::size_t>(i * step)]));
+        library = std::move(thinned);
+    }
+    return library;
+}
+
+}  // namespace axf::gen

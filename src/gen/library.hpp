@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/circuit/arith.hpp"
+#include "src/circuit/netlist.hpp"
+#include "src/error/error_metrics.hpp"
+
+namespace axf::gen {
+
+/// One entry of the approximate-circuit library (the unit the ApproxFPGAs
+/// methodology explores).  Netlists are stored post-`simplify`.
+struct LibraryCircuit {
+    std::string name;
+    std::string origin;  ///< generator family ("loa", "cgp", "bam", ...)
+    circuit::Netlist netlist;
+    circuit::ArithSignature signature;
+    error::ErrorReport error;
+};
+
+/// A homogeneous library (one operator, one bit-width), e.g. "the 4,494
+/// 8x8 unsigned approximate multipliers" of the paper.
+using AcLibrary = std::vector<LibraryCircuit>;
+
+/// Library-generation policy.
+struct LibraryConfig {
+    circuit::ArithOp op = circuit::ArithOp::Multiplier;
+    int width = 8;
+
+    /// MED budgets the CGP runs target; each budget contributes one run per
+    /// seed architecture and harvests every accepted novel design.
+    std::vector<double> medBudgets = {0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05};
+    int cgpGenerations = 220;
+    int cgpLambda = 4;
+    std::uint64_t seed = 0xA90F5;
+
+    /// Error-analysis policy for both CGP fitness and final reports.
+    error::ErrorAnalysisConfig errorConfig;
+
+    /// Optional cap on the library size (0 = unlimited).  When capped, a
+    /// deterministic uniform thinning keeps the error spread intact.
+    std::size_t maxCircuits = 0;
+
+    /// Skip the (slow) evolutionary part; structural families only.
+    bool structuralOnly = false;
+};
+
+/// Generates the full library for the configuration: structural families
+/// (exact + parameter sweeps of classic approximate architectures) plus
+/// CGP-evolved designs, deduplicated by structural hash and annotated with
+/// their error profiles.
+AcLibrary buildLibrary(const LibraryConfig& config);
+
+/// Structural families only (deterministic, no evolution).
+AcLibrary buildStructuralFamilies(const LibraryConfig& config);
+
+/// Convenience: the signature shared by all circuits of a config.
+circuit::ArithSignature librarySignature(const LibraryConfig& config);
+
+}  // namespace axf::gen

@@ -1,0 +1,418 @@
+#include "src/gen/multipliers.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/gen/bitvec.hpp"
+
+namespace axf::gen {
+
+using circuit::GateKind;
+using circuit::kInvalidNode;
+using circuit::Netlist;
+using circuit::NodeId;
+
+namespace {
+
+void checkWidth(int n) {
+    if (n < 2 || n > 16) throw std::invalid_argument("multiplier width must be in [2, 16]");
+}
+
+/// Partial-product matrix pp[i][j] = a_i & b_j (weight i + j).
+std::vector<Bits> partialProducts(Netlist& net, const Bits& a, const Bits& b) {
+    std::vector<Bits> pp(a.size(), Bits(b.size()));
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j)
+            pp[i][j] = net.addGate(GateKind::And, a[i], b[j]);
+    return pp;
+}
+
+void markOutputs(Netlist& net, const Bits& bits) {
+    for (NodeId bit : bits) net.markOutput(bit);
+}
+
+}  // namespace
+
+circuit::Netlist arrayMultiplier(int n) {
+    checkWidth(n);
+    Netlist net("mul" + std::to_string(n) + "_array");
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    const std::vector<Bits> pp = partialProducts(net, a, b);
+
+    // Row-by-row accumulation: after row i the bits [0, i+n] are final.
+    Bits acc(static_cast<std::size_t>(2 * n), kInvalidNode);
+    for (int j = 0; j < n; ++j) acc[static_cast<std::size_t>(j)] = pp[0][static_cast<std::size_t>(j)];
+    for (int i = 1; i < n; ++i) {
+        NodeId carry = kInvalidNode;
+        for (int j = 0; j < n; ++j) {
+            const auto w = static_cast<std::size_t>(i + j);
+            const NodeId addend = pp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+            if (acc[w] == kInvalidNode) {
+                // Accumulator bit not produced yet (top of the previous row):
+                // only the addend and the running carry contribute here.
+                if (carry == kInvalidNode) {
+                    acc[w] = addend;
+                } else {
+                    const SumCarry sc = halfAdder(net, addend, carry);
+                    acc[w] = sc.sum;
+                    carry = sc.carry;
+                }
+            } else if (carry == kInvalidNode) {
+                const SumCarry sc = halfAdder(net, acc[w], addend);
+                acc[w] = sc.sum;
+                carry = sc.carry;
+            } else {
+                const SumCarry sc = fullAdder(net, acc[w], addend, carry);
+                acc[w] = sc.sum;
+                carry = sc.carry;
+            }
+        }
+        acc[static_cast<std::size_t>(i + n)] = carry == kInvalidNode ? net.addConst(false) : carry;
+    }
+    acc[static_cast<std::size_t>(2 * n - 1)] =
+        acc[static_cast<std::size_t>(2 * n - 1)] == kInvalidNode
+            ? net.addConst(false)
+            : acc[static_cast<std::size_t>(2 * n - 1)];
+    markOutputs(net, acc);
+    return net;
+}
+
+circuit::Netlist wallaceMultiplier(int n) {
+    checkWidth(n);
+    Netlist net("mul" + std::to_string(n) + "_wallace");
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    ColumnStack stack(2 * n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            stack.push(i + j, net.addGate(GateKind::And, a[static_cast<std::size_t>(i)],
+                                          b[static_cast<std::size_t>(j)]));
+    markOutputs(net, stack.reduceAndSum(net));
+    return net;
+}
+
+circuit::Netlist truncatedMultiplier(int n, int truncatedColumns) {
+    checkWidth(n);
+    if (truncatedColumns < 0 || truncatedColumns > 2 * n)
+        throw std::invalid_argument("truncatedColumns out of range");
+    Netlist net("mul" + std::to_string(n) + "_trunc" + std::to_string(truncatedColumns));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    ColumnStack stack(2 * n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (i + j >= truncatedColumns)
+                stack.push(i + j, net.addGate(GateKind::And, a[static_cast<std::size_t>(i)],
+                                              b[static_cast<std::size_t>(j)]));
+    Bits result = stack.reduceAndSum(net);
+    for (int w = 0; w < truncatedColumns && w < 2 * n; ++w)
+        result[static_cast<std::size_t>(w)] = net.addConst(false);
+    markOutputs(net, result);
+    return net;
+}
+
+circuit::Netlist brokenArrayMultiplier(int n, int horizontalBreak, int verticalBreak) {
+    checkWidth(n);
+    if (horizontalBreak < 0 || horizontalBreak > 2 * n)
+        throw std::invalid_argument("horizontalBreak out of range");
+    if (verticalBreak < 0 || verticalBreak > n)
+        throw std::invalid_argument("verticalBreak out of range");
+    Netlist net("mul" + std::to_string(n) + "_bam_h" + std::to_string(horizontalBreak) + "v" +
+                std::to_string(verticalBreak));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    ColumnStack stack(2 * n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (i + j < horizontalBreak) continue;  // cells below the horizontal break
+            if (j < verticalBreak && i + j < n) continue;  // triangular vertical cut
+            stack.push(i + j, net.addGate(GateKind::And, a[static_cast<std::size_t>(i)],
+                                          b[static_cast<std::size_t>(j)]));
+        }
+    }
+    markOutputs(net, stack.reduceAndSum(net));
+    return net;
+}
+
+namespace {
+
+/// Approximate 2x2 block: exact except 3*3 = 9 is encoded as 7 so the
+/// result fits in three bits (Kulkarni et al.).
+Bits kulkarni2x2(Netlist& net, const Bits& a, const Bits& b) {
+    const NodeId p0 = net.addGate(GateKind::And, a[0], b[0]);
+    const NodeId t1 = net.addGate(GateKind::And, a[1], b[0]);
+    const NodeId t2 = net.addGate(GateKind::And, a[0], b[1]);
+    const NodeId p1 = net.addGate(GateKind::Or, t1, t2);
+    const NodeId p2 = net.addGate(GateKind::And, a[1], b[1]);
+    return {p0, p1, p2};
+}
+
+/// Recursive composition: returns the (possibly narrowed) product bits of
+/// the two operand slices, LSB-first.
+Bits kulkarniRecurse(Netlist& net, const Bits& a, const Bits& b) {
+    if (a.size() == 2) return kulkarni2x2(net, a, b);
+    const std::size_t half = a.size() / 2;
+    const Bits aL(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(half));
+    const Bits aH(a.begin() + static_cast<std::ptrdiff_t>(half), a.end());
+    const Bits bL(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(half));
+    const Bits bH(b.begin() + static_cast<std::ptrdiff_t>(half), b.end());
+
+    const Bits ll = kulkarniRecurse(net, aL, bL);
+    const Bits lh = kulkarniRecurse(net, aL, bH);
+    const Bits hl = kulkarniRecurse(net, aH, bL);
+    const Bits hh = kulkarniRecurse(net, aH, bH);
+
+    ColumnStack stack(static_cast<int>(2 * a.size()));
+    for (std::size_t k = 0; k < ll.size(); ++k) stack.push(static_cast<int>(k), ll[k]);
+    for (std::size_t k = 0; k < lh.size(); ++k) stack.push(static_cast<int>(half + k), lh[k]);
+    for (std::size_t k = 0; k < hl.size(); ++k) stack.push(static_cast<int>(half + k), hl[k]);
+    for (std::size_t k = 0; k < hh.size(); ++k) stack.push(static_cast<int>(2 * half + k), hh[k]);
+    return stack.reduceAndSum(net);
+}
+
+}  // namespace
+
+circuit::Netlist kulkarniMultiplier(int n) {
+    checkWidth(n);
+    if ((n & (n - 1)) != 0) throw std::invalid_argument("kulkarniMultiplier: n must be a power of 2");
+    Netlist net("mul" + std::to_string(n) + "_kulkarni");
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+    Bits result = kulkarniRecurse(net, a, b);
+    result.resize(static_cast<std::size_t>(2 * n), kInvalidNode);
+    for (NodeId& bit : result)
+        if (bit == kInvalidNode) bit = net.addConst(false);
+    markOutputs(net, result);
+    return net;
+}
+
+circuit::Netlist approxCompressorMultiplier(int n, int approxColumns) {
+    checkWidth(n);
+    if (approxColumns < 0 || approxColumns > 2 * n)
+        throw std::invalid_argument("approxColumns out of range");
+    Netlist net("mul" + std::to_string(n) + "_cmp" + std::to_string(approxColumns));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    // Columns below the threshold collapse to a saturating OR (carry-less
+    // column compression); the rest reduce exactly.
+    ColumnStack stack(2 * n);
+    std::vector<Bits> lowColumns(static_cast<std::size_t>(approxColumns));
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const int w = i + j;
+            const NodeId pp = net.addGate(GateKind::And, a[static_cast<std::size_t>(i)],
+                                          b[static_cast<std::size_t>(j)]);
+            if (w < approxColumns)
+                lowColumns[static_cast<std::size_t>(w)].push_back(pp);
+            else
+                stack.push(w, pp);
+        }
+    }
+    Bits lowBits(static_cast<std::size_t>(approxColumns), kInvalidNode);
+    for (int w = 0; w < approxColumns; ++w) {
+        const Bits& col = lowColumns[static_cast<std::size_t>(w)];
+        if (col.empty()) {
+            lowBits[static_cast<std::size_t>(w)] = net.addConst(false);
+            continue;
+        }
+        NodeId acc = col[0];
+        for (std::size_t k = 1; k < col.size(); ++k)
+            acc = net.addGate(GateKind::Or, acc, col[k]);
+        lowBits[static_cast<std::size_t>(w)] = acc;
+    }
+    const Bits highBits = stack.reduceAndSum(net);
+    Bits result;
+    result.reserve(static_cast<std::size_t>(2 * n));
+    for (int w = 0; w < approxColumns; ++w) result.push_back(lowBits[static_cast<std::size_t>(w)]);
+    for (int w = approxColumns; w < 2 * n; ++w)
+        result.push_back(highBits[static_cast<std::size_t>(w)]);
+    markOutputs(net, result);
+    return net;
+}
+
+namespace {
+
+/// hi[i] = OR of bits above position i (hi[n-1] = 0).
+Bits prefixHigher(Netlist& net, const Bits& bits) {
+    Bits hi(bits.size());
+    NodeId acc = net.addConst(false);
+    for (std::size_t i = bits.size(); i-- > 0;) {
+        hi[i] = acc;
+        acc = net.addGate(GateKind::Or, acc, bits[i]);
+    }
+    return hi;
+}
+
+/// One-hot leading-one detector: lead[i] = bits[i] & ~hi[i].
+Bits leadingOneOneHot(Netlist& net, const Bits& bits, const Bits& hi) {
+    Bits lead(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        lead[i] = net.addGate(GateKind::AndNot, bits[i], hi[i]);
+    return lead;
+}
+
+/// Binary encoding of a one-hot vector where onehot[i] encodes `values[i]`:
+/// enc[b] = OR of onehot[i] over all i whose value has bit b set.
+Bits encodeOneHot(Netlist& net, const Bits& onehot, const std::vector<int>& values, int width) {
+    Bits enc(static_cast<std::size_t>(width));
+    for (int b = 0; b < width; ++b) {
+        NodeId acc = net.addConst(false);
+        for (std::size_t i = 0; i < onehot.size(); ++i)
+            if ((values[i] >> b) & 1) acc = net.addGate(GateKind::Or, acc, onehot[i]);
+        enc[static_cast<std::size_t>(b)] = acc;
+    }
+    return enc;
+}
+
+/// Logarithmic barrel shifter: shifts `word` left by the binary amount in
+/// `shift` (LSB first); bits shifted beyond the word width are dropped.
+Bits barrelShiftLeft(Netlist& net, Bits word, const Bits& shift) {
+    for (std::size_t stage = 0; stage < shift.size(); ++stage) {
+        const std::size_t amount = std::size_t{1} << stage;
+        Bits next(word.size());
+        const NodeId zero = net.addConst(false);
+        for (std::size_t i = 0; i < word.size(); ++i) {
+            const NodeId from = i >= amount ? word[i - amount] : zero;
+            next[i] = net.addGate(GateKind::Mux, word[i], from, shift[stage]);
+        }
+        word = std::move(next);
+    }
+    return word;
+}
+
+int bitsFor(int maxValue) {
+    int w = 1;
+    while ((1 << w) <= maxValue) ++w;
+    return w;
+}
+
+}  // namespace
+
+circuit::Netlist drumMultiplier(int n, int k) {
+    checkWidth(n);
+    if (k < 2 || k >= n) throw std::invalid_argument("drumMultiplier: need 2 <= k < n");
+    Netlist net("mul" + std::to_string(n) + "_drum" + std::to_string(k));
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    // Reduce one operand to its k leading bits plus a binary shift amount.
+    struct Reduced {
+        Bits bits;   ///< k-bit significand
+        Bits shift;  ///< binary shift amount (position of the kept window)
+    };
+    const auto reduce = [&](const Bits& op) {
+        const Bits hi = prefixHigher(net, op);
+        const Bits lead = leadingOneOneHot(net, op, hi);
+        // Window select: shift s > 0 iff the leading one sits at s+k-1;
+        // s = 0 iff the value fits in k bits (nothing above bit k-1).
+        const int maxShift = static_cast<int>(op.size()) - k;
+        Bits sel(static_cast<std::size_t>(maxShift) + 1);
+        sel[0] = net.addGate(GateKind::Not, hi[static_cast<std::size_t>(k - 1)]);
+        for (int s = 1; s <= maxShift; ++s)
+            sel[static_cast<std::size_t>(s)] = lead[static_cast<std::size_t>(s + k - 1)];
+
+        Reduced r;
+        r.bits.resize(static_cast<std::size_t>(k));
+        for (int j = 0; j < k; ++j) {
+            NodeId acc = net.addConst(false);
+            for (int s = 0; s <= maxShift; ++s) {
+                const NodeId term = net.addGate(GateKind::And, sel[static_cast<std::size_t>(s)],
+                                                op[static_cast<std::size_t>(s + j)]);
+                acc = net.addGate(GateKind::Or, acc, term);
+            }
+            r.bits[static_cast<std::size_t>(j)] = acc;
+        }
+        // Unbiasing: force the kept LSB to 1 whenever truncation occurred.
+        r.bits[0] = net.addGate(GateKind::Or, r.bits[0], hi[static_cast<std::size_t>(k - 1)]);
+
+        std::vector<int> values(static_cast<std::size_t>(maxShift) + 1);
+        for (int s = 0; s <= maxShift; ++s) values[static_cast<std::size_t>(s)] = s;
+        r.shift = encodeOneHot(net, sel, values, bitsFor(maxShift));
+        return r;
+    };
+
+    const Reduced ra = reduce(a);
+    const Reduced rb = reduce(b);
+
+    // k x k exact core on the reduced significands.
+    ColumnStack stack(2 * n);
+    for (int i = 0; i < k; ++i)
+        for (int j = 0; j < k; ++j)
+            stack.push(i + j, net.addGate(GateKind::And, ra.bits[static_cast<std::size_t>(i)],
+                                          rb.bits[static_cast<std::size_t>(j)]));
+    const Bits core = stack.reduceAndSum(net);
+
+    // Shift the core product back by shiftA + shiftB.
+    const Bits totalShift = rippleSum(net, ra.shift, rb.shift);
+    markOutputs(net, barrelShiftLeft(net, core, totalShift));
+    return net;
+}
+
+circuit::Netlist mitchellMultiplier(int n) {
+    checkWidth(n);
+    if (n < 3) throw std::invalid_argument("mitchellMultiplier: n must be >= 3");
+    Netlist net("mul" + std::to_string(n) + "_mitchell");
+    const Bits a = addOperand(net, n);
+    const Bits b = addOperand(net, n);
+
+    const int fracBits = n - 1;
+    const int charBits = bitsFor(n - 1);
+
+    // Approximate log2: characteristic = leading-one position t, mantissa =
+    // the bits below the leading one, left-aligned to fracBits.
+    struct LogValue {
+        Bits value;     ///< fracBits + charBits, fraction in the low part
+        NodeId isZero;  ///< operand was zero (log undefined)
+    };
+    const auto approxLog = [&](const Bits& op) {
+        const Bits hi = prefixHigher(net, op);
+        const Bits lead = leadingOneOneHot(net, op, hi);
+        // Left-align: shift by (n-1 - t).
+        std::vector<int> alignAmount(op.size());
+        for (std::size_t t = 0; t < op.size(); ++t)
+            alignAmount[t] = static_cast<int>(op.size()) - 1 - static_cast<int>(t);
+        const Bits align = encodeOneHot(net, lead, alignAmount, bitsFor(n - 1));
+        const Bits aligned = barrelShiftLeft(net, op, align);
+
+        std::vector<int> charValue(op.size());
+        for (std::size_t t = 0; t < op.size(); ++t) charValue[t] = static_cast<int>(t);
+        const Bits characteristic = encodeOneHot(net, lead, charValue, charBits);
+
+        LogValue lv;
+        // Fraction: aligned bits below the (now top) leading one.
+        for (int i = 0; i < fracBits; ++i) lv.value.push_back(aligned[static_cast<std::size_t>(i)]);
+        for (int i = 0; i < charBits; ++i)
+            lv.value.push_back(characteristic[static_cast<std::size_t>(i)]);
+        lv.isZero = net.addGate(GateKind::Nor, hi[0], op[0]);  // no one anywhere
+        return lv;
+    };
+
+    const LogValue la = approxLog(a);
+    const LogValue lb = approxLog(b);
+    const Bits logSum = rippleSum(net, la.value, lb.value);  // fracBits+charBits+1 wide
+
+    // Antilog: product ~ (2^fracBits + F) << I, rescaled by 2^-fracBits.
+    // Build the mantissa at bit 0, shift by I, then read the window that
+    // implements the >> fracBits rescale.
+    Bits mantissa;
+    for (int i = 0; i < fracBits; ++i) mantissa.push_back(logSum[static_cast<std::size_t>(i)]);
+    mantissa.push_back(net.addConst(true));  // the implicit leading one
+    const int wideWidth = fracBits + 2 * n;
+    mantissa.resize(static_cast<std::size_t>(wideWidth), net.addConst(false));
+
+    Bits intPart;
+    for (std::size_t i = static_cast<std::size_t>(fracBits); i < logSum.size(); ++i)
+        intPart.push_back(logSum[i]);
+    const Bits shifted = barrelShiftLeft(net, mantissa, intPart);
+
+    // Zero handling: either operand zero forces a zero product.
+    const NodeId anyZero = net.addGate(GateKind::Or, la.isZero, lb.isZero);
+    for (int i = 0; i < 2 * n; ++i)
+        net.markOutput(net.addGate(GateKind::AndNot,
+                                   shifted[static_cast<std::size_t>(fracBits + i)], anyZero));
+    return net;
+}
+
+}  // namespace axf::gen

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "src/circuit/arith.hpp"
+#include "src/circuit/netlist.hpp"
+
+namespace axf::gen {
+
+/// Generators for n x n unsigned multipliers.  Interface convention:
+/// inputs a0..a(n-1), b0..b(n-1) LSB-first; outputs p0..p(2n-1) LSB-first.
+
+// --- exact architectures ---------------------------------------------------
+circuit::Netlist arrayMultiplier(int n);
+circuit::Netlist wallaceMultiplier(int n);
+
+// --- approximate architectures ----------------------------------------------
+
+/// Truncated multiplier: partial products of weight < `truncatedColumns`
+/// are dropped; the corresponding output bits are constant 0.
+circuit::Netlist truncatedMultiplier(int n, int truncatedColumns);
+
+/// Broken-array multiplier (BAM): omits all partial products a_i*b_j with
+/// i + j < horizontalBreak, and additionally those with j < verticalBreak.
+circuit::Netlist brokenArrayMultiplier(int n, int horizontalBreak, int verticalBreak);
+
+/// Kulkarni-style multiplier: recursively composed from an approximate 2x2
+/// block that mis-encodes 3*3 as 7 (saving the MSB), with exact composition
+/// adders.  `n` must be a power of two >= 2.
+circuit::Netlist kulkarniMultiplier(int n);
+
+/// Wallace multiplier whose low `approxColumns` columns are compressed with
+/// approximate 4:2 compressors (OR-based carry speculation).
+circuit::Netlist approxCompressorMultiplier(int n, int approxColumns);
+
+/// DRUM-style dynamic-range multiplier (Hashemi et al., ICCAD'15): each
+/// operand is reduced to its `k` leading bits starting at the most
+/// significant one (leading-one detector + mux tree), the k x k core
+/// multiplies the reduced operands, and the result is shifted back.  The
+/// LSB of each reduced operand is forced to 1 for unbiased expectation.
+circuit::Netlist drumMultiplier(int n, int k);
+
+/// Mitchell's logarithmic multiplier: log2(a) + log2(b) approximated by
+/// leading-one position plus linear fraction, then the antilog shifter.
+circuit::Netlist mitchellMultiplier(int n);
+
+/// Signature shared by every n x n multiplier produced here.
+inline circuit::ArithSignature multiplierSignature(int n) {
+    return circuit::ArithSignature{circuit::ArithOp::Multiplier, n, n};
+}
+
+}  // namespace axf::gen

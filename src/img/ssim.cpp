@@ -1,0 +1,49 @@
+#include "src/img/ssim.hpp"
+
+#include <stdexcept>
+
+namespace axf::img {
+
+double ssim(const Image& reference, const Image& distorted) {
+    if (reference.width() != distorted.width() || reference.height() != distorted.height())
+        throw std::invalid_argument("ssim: image dimensions differ");
+    constexpr int kWindow = 8;
+    constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+    constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+    const int w = reference.width();
+    const int h = reference.height();
+    if (w < kWindow || h < kWindow) throw std::invalid_argument("ssim: image too small");
+
+    double total = 0.0;
+    std::size_t windows = 0;
+    constexpr int kStride = 4;  // half-overlapping windows
+    for (int y0 = 0; y0 + kWindow <= h; y0 += kStride) {
+        for (int x0 = 0; x0 + kWindow <= w; x0 += kStride) {
+            double sumA = 0, sumB = 0, sumAA = 0, sumBB = 0, sumAB = 0;
+            for (int y = y0; y < y0 + kWindow; ++y) {
+                for (int x = x0; x < x0 + kWindow; ++x) {
+                    const double a = reference.at(x, y);
+                    const double b = distorted.at(x, y);
+                    sumA += a;
+                    sumB += b;
+                    sumAA += a * a;
+                    sumBB += b * b;
+                    sumAB += a * b;
+                }
+            }
+            constexpr double n = kWindow * kWindow;
+            const double muA = sumA / n;
+            const double muB = sumB / n;
+            const double varA = sumAA / n - muA * muA;
+            const double varB = sumBB / n - muB * muB;
+            const double cov = sumAB / n - muA * muB;
+            const double value = ((2.0 * muA * muB + kC1) * (2.0 * cov + kC2)) /
+                                 ((muA * muA + muB * muB + kC1) * (varA + varB + kC2));
+            total += value;
+            ++windows;
+        }
+    }
+    return windows == 0 ? 1.0 : total / static_cast<double>(windows);
+}
+
+}  // namespace axf::img

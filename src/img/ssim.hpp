@@ -1,0 +1,13 @@
+#pragma once
+
+#include "src/img/image.hpp"
+
+namespace axf::img {
+
+/// Structural similarity index (Wang et al. 2004) — the QoR metric of the
+/// paper's Gaussian-filter case study.  Mean SSIM over sliding 8x8 windows
+/// with the standard stabilizers C1=(0.01*255)^2, C2=(0.03*255)^2.
+/// Returns a value in [-1, 1]; 1 means identical.
+double ssim(const Image& reference, const Image& distorted);
+
+}  // namespace axf::img

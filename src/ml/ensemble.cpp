@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/models.hpp"
+#include "src/util/stats.hpp"
+
+namespace axf::ml {
+
+// --- RandomForest ------------------------------------------------------------
+
+void RandomForest::fit(const Matrix& x, const Vector& y) {
+    trees_.clear();
+    util::Rng rng(params_.seed);
+    const std::size_t n = x.rows();
+    for (int t = 0; t < params_.trees; ++t) {
+        DecisionTree::Params tp = params_.tree;
+        if (tp.featuresPerSplit == 0)
+            tp.featuresPerSplit = std::max(1, static_cast<int>(x.cols()) / 3);
+        tp.seed = rng.uniformInt(0, UINT64_MAX);
+        DecisionTree tree(tp);
+        std::vector<std::size_t> bootstrap(n);
+        for (std::size_t i = 0; i < n; ++i) bootstrap[i] = rng.index(n);
+        tree.fitSubset(x, y, bootstrap);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+    if (trees_.empty()) return 0.0;
+    double acc = 0.0;
+    for (const DecisionTree& tree : trees_) acc += tree.predict(x);
+    return acc / static_cast<double>(trees_.size());
+}
+
+// --- GradientBoosting ---------------------------------------------------------
+
+void GradientBoosting::fit(const Matrix& x, const Vector& y) {
+    stages_.clear();
+    base_ = util::mean(y);
+    Vector residual(y.size());
+    Vector current(y.size(), base_);
+    util::Rng rng(params_.seed);
+    for (int stage = 0; stage < params_.stages; ++stage) {
+        for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - current[i];
+        DecisionTree::Params tp;
+        tp.maxDepth = params_.maxDepth;
+        tp.minSamplesLeaf = 2;
+        tp.seed = rng.uniformInt(0, UINT64_MAX);
+        DecisionTree tree(tp);
+        tree.fit(x, residual);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            current[i] += params_.learningRate * tree.predict(x.row(i));
+        stages_.push_back(std::move(tree));
+    }
+}
+
+double GradientBoosting::predict(std::span<const double> x) const {
+    double acc = base_;
+    for (const DecisionTree& tree : stages_) acc += params_.learningRate * tree.predict(x);
+    return acc;
+}
+
+// --- AdaBoostR2 ----------------------------------------------------------------
+
+void AdaBoostR2::fit(const Matrix& x, const Vector& y) {
+    stages_.clear();
+    stageWeights_.clear();
+    const std::size_t n = x.rows();
+    Vector weight(n, 1.0 / static_cast<double>(n));
+    util::Rng rng(params_.seed);
+
+    for (int stage = 0; stage < params_.stages; ++stage) {
+        // Weighted bootstrap resample (Drucker's formulation).
+        Vector cumulative(n);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += weight[i];
+            cumulative[i] = acc;
+        }
+        std::vector<std::size_t> sample(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double u = rng.uniformReal(0.0, acc);
+            sample[i] = static_cast<std::size_t>(
+                std::lower_bound(cumulative.begin(), cumulative.end(), u) - cumulative.begin());
+            sample[i] = std::min(sample[i], n - 1);
+        }
+        DecisionTree::Params tp;
+        tp.maxDepth = params_.maxDepth;
+        tp.seed = rng.uniformInt(0, UINT64_MAX);
+        DecisionTree tree(tp);
+        tree.fitSubset(x, y, sample);
+
+        // Normalized absolute loss over all samples.
+        Vector loss(n, 0.0);
+        double lossMax = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            loss[i] = std::abs(tree.predict(x.row(i)) - y[i]);
+            lossMax = std::max(lossMax, loss[i]);
+        }
+        if (lossMax < 1e-12) {  // perfect learner: take it and stop
+            stages_.push_back(std::move(tree));
+            stageWeights_.push_back(10.0);
+            break;
+        }
+        double avgLoss = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            loss[i] /= lossMax;
+            avgLoss += loss[i] * weight[i];
+        }
+        avgLoss /= std::accumulate(weight.begin(), weight.end(), 0.0);
+        if (avgLoss >= 0.5) break;  // stop when the learner is no better than chance
+
+        const double beta = avgLoss / (1.0 - avgLoss);
+        for (std::size_t i = 0; i < n; ++i) weight[i] *= std::pow(beta, 1.0 - loss[i]);
+        stages_.push_back(std::move(tree));
+        stageWeights_.push_back(std::log(1.0 / beta));
+    }
+
+    if (stages_.empty()) {  // degenerate data: fall back to a single tree
+        DecisionTree tree;
+        tree.fit(x, y);
+        stages_.push_back(std::move(tree));
+        stageWeights_.push_back(1.0);
+    }
+}
+
+double AdaBoostR2::predict(std::span<const double> x) const {
+    // Weighted median of stage predictions.
+    std::vector<std::pair<double, double>> pred;  // (value, weight)
+    pred.reserve(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+        pred.emplace_back(stages_[i].predict(x), stageWeights_[i]);
+    std::sort(pred.begin(), pred.end());
+    double total = 0.0;
+    for (const auto& [v, w] : pred) total += w;
+    double acc = 0.0;
+    for (const auto& [v, w] : pred) {
+        acc += w;
+        if (acc >= 0.5 * total) return v;
+    }
+    return pred.empty() ? 0.0 : pred.back().first;
+}
+
+}  // namespace axf::ml

@@ -1,0 +1,155 @@
+#include "src/ml/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace axf::ml {
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::fromRows(const std::vector<Vector>& rows) {
+    if (rows.empty()) return {};
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols())
+            throw std::invalid_argument("Matrix::fromRows: ragged rows");
+        for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::operator*: shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double v = at(i, k);
+            if (v == 0.0) continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j) out.at(i, j) += v * rhs.at(k, j);
+        }
+    }
+    return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+    if (cols_ != v.size()) throw std::invalid_argument("Matrix::operator*: vector size mismatch");
+    Vector out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+    return out;
+}
+
+Matrix Matrix::gram() const {
+    Matrix g(cols_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::span<const double> x = row(r);
+        for (std::size_t i = 0; i < cols_; ++i) {
+            if (x[i] == 0.0) continue;
+            for (std::size_t j = i; j < cols_; ++j) g.at(i, j) += x[i] * x[j];
+        }
+    }
+    for (std::size_t i = 0; i < cols_; ++i)
+        for (std::size_t j = 0; j < i; ++j) g.at(i, j) = g.at(j, i);
+    return g;
+}
+
+Vector Matrix::transposeTimes(const Vector& v) const {
+    if (rows_ != v.size())
+        throw std::invalid_argument("Matrix::transposeTimes: vector size mismatch");
+    Vector out(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        if (v[r] == 0.0) continue;
+        const std::span<const double> x = row(r);
+        for (std::size_t c = 0; c < cols_; ++c) out[c] += x[c] * v[r];
+    }
+    return out;
+}
+
+Vector solveSpd(Matrix a, Vector b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) throw std::invalid_argument("solveSpd: shape mismatch");
+    // In-place Cholesky a = L L^T (lower triangle).
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a.at(j, j);
+        for (std::size_t k = 0; k < j; ++k) diag -= l.at(j, k) * l.at(j, k);
+        if (diag <= 0.0) return solveLinear(std::move(a), std::move(b));  // not SPD
+        l.at(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double v = a.at(i, j);
+            for (std::size_t k = 0; k < j; ++k) v -= l.at(i, k) * l.at(j, k);
+            l.at(i, j) = v / l.at(j, j);
+        }
+    }
+    // Forward substitution L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k) v -= l.at(i, k) * y[k];
+        y[i] = v / l.at(i, i);
+    }
+    // Backward substitution L^T x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double v = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) v -= l.at(k, ii) * x[k];
+        x[ii] = v / l.at(ii, ii);
+    }
+    return x;
+}
+
+Vector solveLinear(Matrix a, Vector b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) throw std::invalid_argument("solveLinear: shape mismatch");
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+        if (std::abs(a.at(pivot, col)) < 1e-12)
+            throw std::runtime_error("solveLinear: singular system");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a.at(r, col) / a.at(col, col);
+            if (f == 0.0) continue;
+            for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double v = b[ii];
+        for (std::size_t c = ii + 1; c < n; ++c) v -= a.at(ii, c) * x[c];
+        x[ii] = v / a.at(ii, ii);
+    }
+    return x;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+double squaredDistance(std::span<const double> a, std::span<const double> b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+}  // namespace axf::ml

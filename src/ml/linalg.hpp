@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace axf::ml {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix — just enough linear algebra for the Table-I
+/// model zoo (normal equations, kernel systems, PLS deflation).
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    static Matrix identity(std::size_t n);
+    /// Builds a matrix from row vectors (all rows must share one length).
+    static Matrix fromRows(const std::vector<Vector>& rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+    std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+    Matrix transposed() const;
+    Matrix operator*(const Matrix& rhs) const;
+    Vector operator*(const Vector& v) const;
+
+    /// A^T * A (the Gram matrix of the columns).
+    Matrix gram() const;
+    /// A^T * v.
+    Vector transposeTimes(const Vector& v) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky; falls
+/// back to partial-pivot Gaussian elimination when A is not SPD.
+Vector solveSpd(Matrix a, Vector b);
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.  Throws
+/// std::runtime_error on (numerically) singular systems.
+Vector solveLinear(Matrix a, Vector b);
+
+double dot(std::span<const double> a, std::span<const double> b);
+double squaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace axf::ml

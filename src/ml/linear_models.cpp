@@ -1,0 +1,357 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/ml/models.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace axf::ml {
+
+namespace {
+
+/// Appends a constant-1 bias column.
+Matrix withBias(const Matrix& x) {
+    Matrix out(x.rows(), x.cols() + 1);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) out.at(r, c) = x.at(r, c);
+        out.at(r, x.cols()) = 1.0;
+    }
+    return out;
+}
+
+Vector columnMeans(const Matrix& x) {
+    Vector mean(x.cols(), 0.0);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c) mean[c] += x.at(r, c);
+    for (double& m : mean) m /= static_cast<double>(std::max<std::size_t>(1, x.rows()));
+    return mean;
+}
+
+}  // namespace
+
+// --- RidgeRegression --------------------------------------------------------
+
+void RidgeRegression::fit(const Matrix& x, const Vector& y) {
+    const Matrix xb = withBias(x);
+    Matrix gram = xb.gram();
+    for (std::size_t i = 0; i + 1 < gram.rows(); ++i) gram.at(i, i) += alpha_;
+    gram.at(gram.rows() - 1, gram.rows() - 1) += 1e-9;  // unpenalized bias, keep SPD
+    weights_ = solveSpd(std::move(gram), xb.transposeTimes(y));
+}
+
+double RidgeRegression::predict(std::span<const double> x) const {
+    double acc = weights_.back();
+    for (std::size_t c = 0; c < x.size(); ++c) acc += weights_[c] * x[c];
+    return acc;
+}
+
+// --- SingleFeatureRegression -------------------------------------------------
+
+void SingleFeatureRegression::fit(const Matrix& x, const Vector& y) {
+    Vector col(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) col[r] = x.at(r, column_);
+    const util::LinearFit f = util::fitLine(col, y);
+    intercept_ = f.intercept;
+    slope_ = f.slope;
+}
+
+double SingleFeatureRegression::predict(std::span<const double> x) const {
+    return intercept_ + slope_ * x[column_];
+}
+
+// --- BayesianRidge -----------------------------------------------------------
+
+void BayesianRidge::fit(const Matrix& x, const Vector& y) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    // Center target; work on raw features (registry standardizes them).
+    const double ymean = util::mean(y);
+    Vector yc(n);
+    for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - ymean;
+
+    const Matrix gram = x.gram();
+    const Vector xty = x.transposeTimes(yc);
+
+    double alpha = 1.0 / std::max(1e-9, util::variance(y));  // noise precision
+    double lambda = 1.0;                                     // weight precision
+    Vector w(d, 0.0);
+    for (int it = 0; it < iterations_; ++it) {
+        Matrix a(d, d);
+        for (std::size_t i = 0; i < d; ++i)
+            for (std::size_t j = 0; j < d; ++j)
+                a.at(i, j) = alpha * gram.at(i, j) + (i == j ? lambda : 0.0);
+        Vector rhs(d);
+        for (std::size_t i = 0; i < d; ++i) rhs[i] = alpha * xty[i];
+        w = solveSpd(a, rhs);
+
+        // gamma = effective number of parameters ~ d - lambda * tr(A^-1).
+        // Estimate tr(A^-1) by solving for the unit vectors (d is small).
+        double trace = 0.0;
+        for (std::size_t i = 0; i < d; ++i) {
+            Vector e(d, 0.0);
+            e[i] = 1.0;
+            const Vector col = solveSpd(a, e);
+            trace += col[i];
+        }
+        const double gamma = static_cast<double>(d) - lambda * trace;
+
+        double sse = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            const double resid = yc[r] - dot(x.row(r), w);
+            sse += resid * resid;
+        }
+        lambda = (gamma + 1e-6) / (dot(w, w) + 1e-6);
+        alpha = (static_cast<double>(n) - gamma + 1e-6) / (sse + 1e-6);
+    }
+    weights_ = std::move(w);
+    bias_ = ymean;
+}
+
+double BayesianRidge::predict(std::span<const double> x) const {
+    return bias_ + dot(x, weights_);
+}
+
+// --- LassoRegression ---------------------------------------------------------
+
+void LassoRegression::fit(const Matrix& x, const Vector& y) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    const Vector xmean = columnMeans(x);
+    const double ymean = util::mean(y);
+
+    // Precompute centered columns and their squared norms.
+    std::vector<Vector> col(d, Vector(n));
+    Vector colSq(d, 0.0);
+    for (std::size_t c = 0; c < d; ++c) {
+        for (std::size_t r = 0; r < n; ++r) {
+            col[c][r] = x.at(r, c) - xmean[c];
+            colSq[c] += col[c][r] * col[c][r];
+        }
+    }
+    Vector residual(n);
+    for (std::size_t r = 0; r < n; ++r) residual[r] = y[r] - ymean;
+
+    weights_.assign(d, 0.0);
+    const double threshold = alpha_ * static_cast<double>(n);
+    for (int it = 0; it < iterations_; ++it) {
+        double maxDelta = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+            if (colSq[c] < 1e-12) continue;
+            // rho = x_c . (residual + w_c x_c)
+            double rho = dot(col[c], residual) + weights_[c] * colSq[c];
+            double wNew = 0.0;
+            if (rho > threshold)
+                wNew = (rho - threshold) / colSq[c];
+            else if (rho < -threshold)
+                wNew = (rho + threshold) / colSq[c];
+            const double delta = wNew - weights_[c];
+            if (delta != 0.0) {
+                for (std::size_t r = 0; r < n; ++r) residual[r] -= delta * col[c][r];
+                weights_[c] = wNew;
+                maxDelta = std::max(maxDelta, std::abs(delta));
+            }
+        }
+        if (maxDelta < 1e-10) break;
+    }
+    bias_ = ymean;
+    for (std::size_t c = 0; c < d; ++c) bias_ -= weights_[c] * xmean[c];
+}
+
+double LassoRegression::predict(std::span<const double> x) const {
+    return bias_ + dot(x, weights_);
+}
+
+// --- LarsRegression ----------------------------------------------------------
+
+void LarsRegression::fit(const Matrix& x, const Vector& y) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    mean_ = columnMeans(x);
+    const double ymean = util::mean(y);
+
+    // Centered, column-normalized design (LARS convention).
+    std::vector<Vector> col(d, Vector(n));
+    Vector norm(d, 1.0);
+    for (std::size_t c = 0; c < d; ++c) {
+        double sq = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            col[c][r] = x.at(r, c) - mean_[c];
+            sq += col[c][r] * col[c][r];
+        }
+        norm[c] = std::sqrt(std::max(sq, 1e-12));
+        for (std::size_t r = 0; r < n; ++r) col[c][r] /= norm[c];
+    }
+
+    Vector mu(n, 0.0);  // current fit
+    Vector beta(d, 0.0);
+    std::vector<std::size_t> active;
+    std::vector<bool> inActive(d, false);
+    const int limit =
+        maxActive_ > 0 ? std::min<int>(maxActive_, static_cast<int>(d)) : static_cast<int>(d);
+
+    for (int step = 0; step < limit; ++step) {
+        // Correlations with the residual.
+        Vector corr(d, 0.0);
+        double cmax = 0.0;
+        for (std::size_t c = 0; c < d; ++c) {
+            double acc = 0.0;
+            for (std::size_t r = 0; r < n; ++r) acc += col[c][r] * (y[r] - ymean - mu[r]);
+            corr[c] = acc;
+            if (!inActive[c]) cmax = std::max(cmax, std::abs(acc));
+        }
+        if (cmax < 1e-10) break;
+        for (std::size_t c = 0; c < d; ++c) {
+            if (!inActive[c] && std::abs(std::abs(corr[c]) - cmax) < 1e-9) {
+                active.push_back(c);
+                inActive[c] = true;
+            }
+        }
+
+        // Equiangular direction over the active set.
+        const std::size_t a = active.size();
+        Matrix g(a, a);
+        for (std::size_t i = 0; i < a; ++i)
+            for (std::size_t j = 0; j < a; ++j) g.at(i, j) = dot(col[active[i]], col[active[j]]);
+        Vector s(a);
+        for (std::size_t i = 0; i < a; ++i) s[i] = corr[active[i]] >= 0.0 ? 1.0 : -1.0;
+        Vector w;
+        try {
+            w = solveLinear(g, s);
+        } catch (const std::exception&) {
+            break;  // collinear active set: stop the path
+        }
+        const double aa = 1.0 / std::sqrt(std::max(1e-12, dot(w, s)));
+        for (double& v : w) v *= aa;
+
+        Vector u(n, 0.0);
+        for (std::size_t i = 0; i < a; ++i)
+            for (std::size_t r = 0; r < n; ++r) u[r] += col[active[i]][r] * w[i];
+
+        // Step length to the next competitor entering the active set.
+        double gammaStep = cmax / aa;
+        if (a < d) {
+            for (std::size_t c = 0; c < d; ++c) {
+                if (inActive[c]) continue;
+                const double ac = dot(col[c], u);
+                for (const double denomSign : {1.0, -1.0}) {
+                    const double denom = aa - denomSign * ac;
+                    if (std::abs(denom) < 1e-12) continue;
+                    const double g2 = (cmax - denomSign * corr[c]) / denom;
+                    if (g2 > 1e-12) gammaStep = std::min(gammaStep, g2);
+                }
+            }
+        }
+        for (std::size_t r = 0; r < n; ++r) mu[r] += gammaStep * u[r];
+        for (std::size_t i = 0; i < a; ++i) beta[active[i]] += gammaStep * w[i];
+    }
+
+    weights_.assign(d, 0.0);
+    bias_ = ymean;
+    for (std::size_t c = 0; c < d; ++c) {
+        weights_[c] = beta[c] / norm[c];
+        bias_ -= weights_[c] * mean_[c];
+    }
+}
+
+double LarsRegression::predict(std::span<const double> x) const {
+    return bias_ + dot(x, weights_);
+}
+
+// --- SgdRegressor ------------------------------------------------------------
+
+void SgdRegressor::fit(const Matrix& x, const Vector& y) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    weights_.assign(d, 0.0);
+    const double ymean = util::mean(y);
+    bias_ = ymean;
+
+    util::Rng rng(seed_);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    long step = 0;
+    for (int epoch = 0; epoch < epochs_; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t idx : order) {
+            const double eta = eta0_ / std::pow(1.0 + static_cast<double>(step) * 1e-3, 0.25);
+            ++step;
+            const double pred = bias_ + dot(x.row(idx), weights_);
+            const double grad = pred - y[idx];
+            for (std::size_t c = 0; c < d; ++c)
+                weights_[c] -= eta * (grad * x.at(idx, c) + l2_ * weights_[c]);
+            bias_ -= eta * grad;
+        }
+    }
+}
+
+double SgdRegressor::predict(std::span<const double> x) const {
+    return bias_ + dot(x, weights_);
+}
+
+// --- PlsRegression -----------------------------------------------------------
+
+void PlsRegression::fit(const Matrix& x, const Vector& y) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    const Vector xmean = columnMeans(x);
+    const double ymean = util::mean(y);
+
+    // Working (deflated) copies.
+    Matrix e(n, d);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c) e.at(r, c) = x.at(r, c) - xmean[c];
+    Vector f(n);
+    for (std::size_t r = 0; r < n; ++r) f[r] = y[r] - ymean;
+
+    const int ncomp = std::min<int>(components_, static_cast<int>(d));
+    std::vector<Vector> ws, ps;
+    Vector qs;
+    for (int comp = 0; comp < ncomp; ++comp) {
+        // w = E^T f, normalized.
+        Vector w = e.transposeTimes(f);
+        const double wn = std::sqrt(std::max(1e-12, dot(w, w)));
+        for (double& v : w) v /= wn;
+        // t = E w.
+        Vector t = e * w;
+        const double tt = std::max(1e-12, dot(t, t));
+        // p = E^T t / t^T t ; q = f^T t / t^T t.
+        Vector p = e.transposeTimes(t);
+        for (double& v : p) v /= tt;
+        const double q = dot(f, t) / tt;
+        // Deflate.
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < d; ++c) e.at(r, c) -= t[r] * p[c];
+            f[r] -= q * t[r];
+        }
+        ws.push_back(std::move(w));
+        ps.push_back(std::move(p));
+        qs.push_back(q);
+    }
+
+    // Collapse to an equivalent linear model: B = W (P^T W)^-1 q.
+    const std::size_t a = ws.size();
+    weights_.assign(d, 0.0);
+    if (a > 0) {
+        Matrix ptw(a, a);
+        for (std::size_t i = 0; i < a; ++i)
+            for (std::size_t j = 0; j < a; ++j) ptw.at(i, j) = dot(ps[i], ws[j]);
+        Vector r;
+        try {
+            r = solveLinear(ptw, qs);
+        } catch (const std::exception&) {
+            r.assign(a, 0.0);
+            if (!qs.empty()) r[0] = qs[0];
+        }
+        for (std::size_t c = 0; c < d; ++c)
+            for (std::size_t i = 0; i < a; ++i) weights_[c] += ws[i][c] * r[i];
+    }
+    bias_ = ymean;
+    for (std::size_t c = 0; c < d; ++c) bias_ -= weights_[c] * xmean[c];
+}
+
+double PlsRegression::predict(std::span<const double> x) const {
+    return bias_ + dot(x, weights_);
+}
+
+}  // namespace axf::ml

@@ -1,0 +1,90 @@
+#include <algorithm>
+#include <cmath>
+
+#include "src/ml/models.hpp"
+#include "src/util/stats.hpp"
+
+namespace axf::ml {
+
+void MlpRegressor::fit(const Matrix& x, const Vector& y) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    const std::size_t h = static_cast<std::size_t>(params_.hidden);
+
+    yMean_ = util::mean(y);
+    yScale_ = std::max(1e-9, util::stddev(y));
+    Vector yn(n);
+    for (std::size_t i = 0; i < n; ++i) yn[i] = (y[i] - yMean_) / yScale_;
+
+    util::Rng rng(params_.seed);
+    const double initScale = 1.0 / std::sqrt(static_cast<double>(d));
+    w1_ = Matrix(h, d);
+    b1_.assign(h, 0.0);
+    w2_.assign(h, 0.0);
+    b2_ = 0.0;
+    for (std::size_t i = 0; i < h; ++i) {
+        for (std::size_t j = 0; j < d; ++j) w1_.at(i, j) = rng.gaussian(0.0, initScale);
+        w2_[i] = rng.gaussian(0.0, 1.0 / std::sqrt(static_cast<double>(h)));
+    }
+
+    // Full-batch Adam.
+    Matrix mW1(h, d), vW1(h, d);
+    Vector mB1(h, 0.0), vB1(h, 0.0), mW2(h, 0.0), vW2(h, 0.0);
+    double mB2 = 0.0, vB2 = 0.0;
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+
+    Vector hidden(h), grad2(h);
+    Matrix gradW1(h, d);
+    Vector gradB1(h), gradW2(h);
+
+    for (int epoch = 1; epoch <= params_.epochs; ++epoch) {
+        for (std::size_t i = 0; i < h; ++i) {
+            gradB1[i] = 0.0;
+            gradW2[i] = 0.0;
+            for (std::size_t j = 0; j < d; ++j) gradW1.at(i, j) = 0.0;
+        }
+        double gradB2 = 0.0;
+
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::span<const double> in = x.row(r);
+            double out = b2_;
+            for (std::size_t i = 0; i < h; ++i) {
+                hidden[i] = std::tanh(dot(w1_.row(i), in) + b1_[i]);
+                out += w2_[i] * hidden[i];
+            }
+            const double delta = (out - yn[r]) / static_cast<double>(n);
+            gradB2 += delta;
+            for (std::size_t i = 0; i < h; ++i) {
+                gradW2[i] += delta * hidden[i];
+                const double back = delta * w2_[i] * (1.0 - hidden[i] * hidden[i]);
+                gradB1[i] += back;
+                for (std::size_t j = 0; j < d; ++j) gradW1.at(i, j) += back * in[j];
+            }
+        }
+
+        const double lr = params_.learningRate;
+        const double bc1 = 1.0 - std::pow(beta1, epoch);
+        const double bc2 = 1.0 - std::pow(beta2, epoch);
+        const auto adam = [&](double& param, double grad, double& m, double& v) {
+            m = beta1 * m + (1.0 - beta1) * grad;
+            v = beta2 * v + (1.0 - beta2) * grad * grad;
+            param -= lr * (m / bc1) / (std::sqrt(v / bc2) + eps);
+        };
+        for (std::size_t i = 0; i < h; ++i) {
+            for (std::size_t j = 0; j < d; ++j)
+                adam(w1_.at(i, j), gradW1.at(i, j), mW1.at(i, j), vW1.at(i, j));
+            adam(b1_[i], gradB1[i], mB1[i], vB1[i]);
+            adam(w2_[i], gradW2[i], mW2[i], vW2[i]);
+        }
+        adam(b2_, gradB2, mB2, vB2);
+    }
+}
+
+double MlpRegressor::predict(std::span<const double> x) const {
+    double out = b2_;
+    for (std::size_t i = 0; i < w2_.size(); ++i)
+        out += w2_[i] * std::tanh(dot(w1_.row(i), x) + b1_[i]);
+    return yMean_ + yScale_ * out;
+}
+
+}  // namespace axf::ml

@@ -1,0 +1,35 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/ml/models.hpp"
+
+namespace axf::ml {
+
+void KnnRegressor::fit(const Matrix& x, const Vector& y) {
+    trainX_ = x;
+    trainY_ = y;
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+    const std::size_t n = trainX_.rows();
+    const std::size_t k = std::min<std::size_t>(static_cast<std::size_t>(k_), n);
+    if (k == 0) return 0.0;
+
+    std::vector<std::pair<double, std::size_t>> dist(n);
+    for (std::size_t i = 0; i < n; ++i) dist[i] = {squaredDistance(trainX_.row(i), x), i};
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+
+    // Inverse-distance weighting; an exact feature match dominates.
+    double wsum = 0.0, acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double d = std::sqrt(dist[i].first);
+        if (d < 1e-12) return trainY_[dist[i].second];
+        const double w = 1.0 / d;
+        wsum += w;
+        acc += w * trainY_[dist[i].second];
+    }
+    return acc / wsum;
+}
+
+}  // namespace axf::ml

@@ -1,0 +1,83 @@
+#include "src/ml/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "src/ml/models.hpp"
+
+namespace axf::ml {
+
+namespace {
+
+RegressorPtr scaled(RegressorPtr inner) {
+    return std::make_unique<ScaledRegressor>(std::move(inner));
+}
+
+}  // namespace
+
+std::vector<ModelSpec> tableOneModels(const AsicColumns& asic) {
+    std::vector<ModelSpec> specs;
+    specs.push_back({"ML1", "Regression w.r.t ASIC-AC Power", [asic] {
+                         return RegressorPtr(std::make_unique<SingleFeatureRegression>(asic.power));
+                     }});
+    specs.push_back({"ML2", "Regression w.r.t ASIC-AC Latency", [asic] {
+                         return RegressorPtr(std::make_unique<SingleFeatureRegression>(asic.delay));
+                     }});
+    specs.push_back({"ML3", "Regression w.r.t ASIC-AC Area", [asic] {
+                         return RegressorPtr(std::make_unique<SingleFeatureRegression>(asic.area));
+                     }});
+    specs.push_back({"ML4", "PLS Regression", [] {
+                         return scaled(std::make_unique<PlsRegression>(4));
+                     }});
+    specs.push_back({"ML5", "Random Forest", [] {
+                         return RegressorPtr(std::make_unique<RandomForest>());
+                     }});
+    specs.push_back({"ML6", "Gradient Boosting", [] {
+                         return RegressorPtr(std::make_unique<GradientBoosting>());
+                     }});
+    specs.push_back({"ML7", "Adaptive Boosting (AdaBoost)", [] {
+                         return RegressorPtr(std::make_unique<AdaBoostR2>());
+                     }});
+    specs.push_back({"ML8", "Gaussian Process", [] {
+                         return scaled(std::make_unique<GaussianProcess>());
+                     }});
+    specs.push_back({"ML9", "Symbolic Regression", [] {
+                         return scaled(std::make_unique<SymbolicRegression>());
+                     }});
+    specs.push_back({"ML10", "Kernel Ridge", [] {
+                         return scaled(std::make_unique<KernelRidge>());
+                     }});
+    specs.push_back({"ML11", "Bayesian Ridge", [] {
+                         return scaled(std::make_unique<BayesianRidge>());
+                     }});
+    specs.push_back({"ML12", "Coordinate Descent (Lasso)", [] {
+                         return scaled(std::make_unique<LassoRegression>());
+                     }});
+    specs.push_back({"ML13", "Least Angle Regression", [] {
+                         return scaled(std::make_unique<LarsRegression>());
+                     }});
+    specs.push_back({"ML14", "Ridge Regression", [] {
+                         return scaled(std::make_unique<RidgeRegression>(1.0));
+                     }});
+    specs.push_back({"ML15", "Stochastic Gradient Descent", [] {
+                         return scaled(std::make_unique<SgdRegressor>());
+                     }});
+    specs.push_back({"ML16", "K-Nearest Neighbours", [] {
+                         return scaled(std::make_unique<KnnRegressor>(5));
+                     }});
+    specs.push_back({"ML17", "Multi-Layer Perceptron (MLP)", [] {
+                         return scaled(std::make_unique<MlpRegressor>());
+                     }});
+    specs.push_back({"ML18", "Decision Tree", [] {
+                         return RegressorPtr(std::make_unique<DecisionTree>());
+                     }});
+    return specs;
+}
+
+const ModelSpec& findModel(const std::vector<ModelSpec>& specs, const std::string& id) {
+    for (const ModelSpec& spec : specs)
+        if (spec.id == id) return spec;
+    throw std::out_of_range("findModel: unknown model id " + id);
+}
+
+}  // namespace axf::ml

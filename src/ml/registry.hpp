@@ -1,0 +1,34 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ml/regressor.hpp"
+
+namespace axf::ml {
+
+/// Feature-vector positions of the known ASIC metrics (appended to the
+/// structural features by the core layer); models ML1-ML3 regress against
+/// exactly one of these columns.
+struct AsicColumns {
+    std::size_t area = 0;
+    std::size_t delay = 0;
+    std::size_t power = 0;
+};
+
+/// One Table-I entry: stable id ("ML11"), human-readable name, and a
+/// factory producing a fresh untrained model.
+struct ModelSpec {
+    std::string id;
+    std::string name;
+    std::function<RegressorPtr()> make;
+};
+
+/// The 18 statistical/ML models of Table I, in paper order ML1..ML18.
+std::vector<ModelSpec> tableOneModels(const AsicColumns& asic);
+
+/// Lookup by id; throws std::out_of_range for unknown ids.
+const ModelSpec& findModel(const std::vector<ModelSpec>& specs, const std::string& id);
+
+}  // namespace axf::ml

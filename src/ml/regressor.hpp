@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/ml/linalg.hpp"
+
+namespace axf::ml {
+
+/// Common interface of all Table-I statistical/ML models: fit on a feature
+/// matrix (one row per circuit) and predict a scalar FPGA parameter.
+class Regressor {
+public:
+    virtual ~Regressor() = default;
+
+    virtual void fit(const Matrix& x, const Vector& y) = 0;
+    virtual double predict(std::span<const double> x) const = 0;
+
+    Vector predictAll(const Matrix& x) const {
+        Vector out(x.rows());
+        for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+        return out;
+    }
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+/// Feature standardization (zero mean, unit variance); constant columns
+/// pass through unscaled.  Most Table-I models fit on standardized inputs.
+class StandardScaler {
+public:
+    void fit(const Matrix& x);
+    Matrix transform(const Matrix& x) const;
+    Vector transform(std::span<const double> x) const;
+    bool fitted() const { return !mean_.empty(); }
+
+private:
+    Vector mean_;
+    Vector scale_;
+};
+
+/// Decorator running any regressor on standardized features.
+class ScaledRegressor final : public Regressor {
+public:
+    explicit ScaledRegressor(RegressorPtr inner) : inner_(std::move(inner)) {}
+
+    void fit(const Matrix& x, const Vector& y) override {
+        scaler_.fit(x);
+        inner_->fit(scaler_.transform(x), y);
+    }
+    double predict(std::span<const double> x) const override {
+        const Vector z = scaler_.transform(x);
+        return inner_->predict(z);
+    }
+
+private:
+    StandardScaler scaler_;
+    RegressorPtr inner_;
+};
+
+}  // namespace axf::ml

@@ -1,0 +1,42 @@
+#include <cmath>
+
+#include "src/ml/regressor.hpp"
+
+namespace axf::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    mean_.assign(d, 0.0);
+    scale_.assign(d, 1.0);
+    if (n == 0) return;
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c) mean_[c] += x.at(r, c);
+    for (double& m : mean_) m /= static_cast<double>(n);
+    Vector var(d, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c) {
+            const double dlt = x.at(r, c) - mean_[c];
+            var[c] += dlt * dlt;
+        }
+    for (std::size_t c = 0; c < d; ++c) {
+        const double sd = std::sqrt(var[c] / static_cast<double>(n));
+        scale_[c] = sd > 1e-12 ? sd : 1.0;
+    }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+    Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out.at(r, c) = (x.at(r, c) - mean_[c]) / scale_[c];
+    return out;
+}
+
+Vector StandardScaler::transform(std::span<const double> x) const {
+    Vector out(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) out[c] = (x[c] - mean_[c]) / scale_[c];
+    return out;
+}
+
+}  // namespace axf::ml

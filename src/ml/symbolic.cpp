@@ -1,0 +1,244 @@
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "src/ml/models.hpp"
+#include "src/util/stats.hpp"
+
+namespace axf::ml {
+
+namespace {
+
+enum class Op : std::uint8_t { Const, Var, Add, Sub, Mul, Div, Sqrt, Log };
+
+/// Expression tree node stored in a flat pool (index-linked).
+struct ExprNode {
+    Op op = Op::Const;
+    double value = 0.0;  ///< Const payload
+    int var = 0;         ///< Var payload
+    int left = -1;
+    int right = -1;
+};
+
+struct Expr {
+    std::vector<ExprNode> pool;
+    int root = -1;
+
+    double eval(int node, std::span<const double> x) const {
+        const ExprNode& n = pool[static_cast<std::size_t>(node)];
+        switch (n.op) {
+            case Op::Const: return n.value;
+            case Op::Var: return x[static_cast<std::size_t>(n.var)];
+            case Op::Add: return eval(n.left, x) + eval(n.right, x);
+            case Op::Sub: return eval(n.left, x) - eval(n.right, x);
+            case Op::Mul: return eval(n.left, x) * eval(n.right, x);
+            case Op::Div: {
+                const double denom = eval(n.right, x);
+                return std::abs(denom) < 1e-9 ? 1.0 : eval(n.left, x) / denom;
+            }
+            case Op::Sqrt: return std::sqrt(std::abs(eval(n.left, x)));
+            case Op::Log: return std::log1p(std::abs(eval(n.left, x)));
+        }
+        return 0.0;
+    }
+    double eval(std::span<const double> x) const { return root < 0 ? 0.0 : eval(root, x); }
+
+    std::string print(int node) const {
+        const ExprNode& n = pool[static_cast<std::size_t>(node)];
+        std::ostringstream os;
+        switch (n.op) {
+            case Op::Const: os << n.value; break;
+            case Op::Var: os << "x" << n.var; break;
+            case Op::Add: os << "(" << print(n.left) << " + " << print(n.right) << ")"; break;
+            case Op::Sub: os << "(" << print(n.left) << " - " << print(n.right) << ")"; break;
+            case Op::Mul: os << "(" << print(n.left) << " * " << print(n.right) << ")"; break;
+            case Op::Div: os << "(" << print(n.left) << " / " << print(n.right) << ")"; break;
+            case Op::Sqrt: os << "sqrt(" << print(n.left) << ")"; break;
+            case Op::Log: os << "log1p(" << print(n.left) << ")"; break;
+        }
+        return os.str();
+    }
+};
+
+int growRandom(Expr& e, int depth, int maxDepth, int dims, util::Rng& rng) {
+    ExprNode node;
+    const bool leaf = depth >= maxDepth || rng.bernoulli(0.3);
+    if (leaf) {
+        if (rng.bernoulli(0.7)) {
+            node.op = Op::Var;
+            node.var = static_cast<int>(rng.index(static_cast<std::size_t>(dims)));
+        } else {
+            node.op = Op::Const;
+            node.value = rng.uniformReal(-2.0, 2.0);
+        }
+    } else {
+        switch (rng.index(6)) {
+            case 0: node.op = Op::Add; break;
+            case 1: node.op = Op::Sub; break;
+            case 2: node.op = Op::Mul; break;
+            case 3: node.op = Op::Div; break;
+            case 4: node.op = Op::Sqrt; break;
+            default: node.op = Op::Log; break;
+        }
+        node.left = growRandom(e, depth + 1, maxDepth, dims, rng);
+        if (node.op != Op::Sqrt && node.op != Op::Log)
+            node.right = growRandom(e, depth + 1, maxDepth, dims, rng);
+    }
+    e.pool.push_back(node);
+    return static_cast<int>(e.pool.size()) - 1;
+}
+
+Expr randomExpr(int maxDepth, int dims, util::Rng& rng) {
+    Expr e;
+    e.root = growRandom(e, 0, maxDepth, dims, rng);
+    return e;
+}
+
+/// Copies the subtree rooted at `node` in `src` into `dst`'s pool.
+int copySubtree(const Expr& src, int node, Expr& dst) {
+    ExprNode n = src.pool[static_cast<std::size_t>(node)];
+    if (n.left >= 0) n.left = copySubtree(src, n.left, dst);
+    if (n.right >= 0) n.right = copySubtree(src, n.right, dst);
+    dst.pool.push_back(n);
+    return static_cast<int>(dst.pool.size()) - 1;
+}
+
+/// Rebuilds `e` compactly, replacing the subtree at `target` with a copy of
+/// `donorSub` from `donor`.
+Expr graft(const Expr& e, int target, const Expr& donor, int donorSub) {
+    Expr out;
+    // Recursive rebuild with substitution.
+    const std::function<int(int)> rebuild = [&](int node) -> int {
+        if (node == target) return copySubtree(donor, donorSub, out);
+        ExprNode n = e.pool[static_cast<std::size_t>(node)];
+        if (n.left >= 0) n.left = rebuild(n.left);
+        if (n.right >= 0) n.right = rebuild(n.right);
+        out.pool.push_back(n);
+        return static_cast<int>(out.pool.size()) - 1;
+    };
+    out.root = rebuild(e.root);
+    return out;
+}
+
+/// All node indices reachable from the root (pool may contain garbage after
+/// grafting, so enumerate live nodes explicitly).
+void liveNodes(const Expr& e, int node, std::vector<int>& out) {
+    out.push_back(node);
+    const ExprNode& n = e.pool[static_cast<std::size_t>(node)];
+    if (n.left >= 0) liveNodes(e, n.left, out);
+    if (n.right >= 0) liveNodes(e, n.right, out);
+}
+
+}  // namespace
+
+struct SymbolicRegression::Impl {
+    Expr best;
+    double scaleA = 0.0;  ///< y ~ a + b * f(x)
+    double scaleB = 1.0;
+};
+
+SymbolicRegression::SymbolicRegression() = default;
+SymbolicRegression::SymbolicRegression(Params params) : params_(params) {}
+SymbolicRegression::~SymbolicRegression() = default;
+SymbolicRegression::SymbolicRegression(SymbolicRegression&&) noexcept = default;
+SymbolicRegression& SymbolicRegression::operator=(SymbolicRegression&&) noexcept = default;
+
+void SymbolicRegression::fit(const Matrix& x, const Vector& y) {
+    impl_ = std::make_unique<Impl>();
+    util::Rng rng(params_.seed);
+    const int dims = static_cast<int>(x.cols());
+
+    // Fitness: MSE after optimal linear scaling (Keijzer's trick) — the GP
+    // only has to discover the *shape*, not the offset/gain.
+    const auto fitness = [&](const Expr& e, double& aOut, double& bOut) {
+        Vector f(x.rows());
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            const double v = e.eval(x.row(r));
+            if (!std::isfinite(v)) return std::numeric_limits<double>::infinity();
+            f[r] = v;
+        }
+        const util::LinearFit lf = util::fitLine(f, y);
+        aOut = lf.intercept;
+        bOut = lf.slope;
+        double mse = 0.0;
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            const double resid = y[r] - (lf.intercept + lf.slope * f[r]);
+            mse += resid * resid;
+        }
+        return mse / static_cast<double>(std::max<std::size_t>(1, x.rows()));
+    };
+
+    struct Individual {
+        Expr expr;
+        double mse = std::numeric_limits<double>::infinity();
+        double a = 0.0, b = 1.0;
+    };
+    std::vector<Individual> pop(static_cast<std::size_t>(params_.population));
+    for (Individual& ind : pop) {
+        ind.expr = randomExpr(params_.maxDepth, dims, rng);
+        ind.mse = fitness(ind.expr, ind.a, ind.b);
+    }
+
+    const auto tournament = [&]() -> const Individual& {
+        const Individual* best = &pop[rng.index(pop.size())];
+        for (int i = 1; i < params_.tournament; ++i) {
+            const Individual& challenger = pop[rng.index(pop.size())];
+            if (challenger.mse < best->mse) best = &challenger;
+        }
+        return *best;
+    };
+
+    for (int gen = 0; gen < params_.generations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(pop.size());
+        // Elitism: carry over the incumbent best.
+        next.push_back(*std::min_element(
+            pop.begin(), pop.end(),
+            [](const Individual& l, const Individual& r) { return l.mse < r.mse; }));
+        while (next.size() < pop.size()) {
+            Individual child;
+            if (rng.bernoulli(0.85)) {  // subtree crossover
+                const Individual& pa = tournament();
+                const Individual& pb = tournament();
+                std::vector<int> nodesA, nodesB;
+                liveNodes(pa.expr, pa.expr.root, nodesA);
+                liveNodes(pb.expr, pb.expr.root, nodesB);
+                child.expr = graft(pa.expr, nodesA[rng.index(nodesA.size())], pb.expr,
+                                   nodesB[rng.index(nodesB.size())]);
+            } else {  // subtree mutation
+                const Individual& pa = tournament();
+                std::vector<int> nodesA;
+                liveNodes(pa.expr, pa.expr.root, nodesA);
+                const Expr fresh = randomExpr(std::max(2, params_.maxDepth - 2), dims, rng);
+                child.expr = graft(pa.expr, nodesA[rng.index(nodesA.size())], fresh, fresh.root);
+            }
+            // Bloat control: reject oversized offspring.
+            if (child.expr.pool.size() > 120) continue;
+            child.mse = fitness(child.expr, child.a, child.b);
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+    }
+
+    const Individual& best = *std::min_element(
+        pop.begin(), pop.end(),
+        [](const Individual& l, const Individual& r) { return l.mse < r.mse; });
+    impl_->best = best.expr;
+    impl_->scaleA = best.a;
+    impl_->scaleB = best.b;
+}
+
+double SymbolicRegression::predict(std::span<const double> x) const {
+    if (!impl_) return 0.0;
+    const double v = impl_->best.eval(x);
+    return std::isfinite(v) ? impl_->scaleA + impl_->scaleB * v : impl_->scaleA;
+}
+
+std::string SymbolicRegression::expression() const {
+    if (!impl_ || impl_->best.root < 0) return "0";
+    return impl_->best.print(impl_->best.root);
+}
+
+}  // namespace axf::ml

@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <numeric>
+
+#include "src/ml/models.hpp"
+
+namespace axf::ml {
+
+namespace {
+
+double subsetMean(const Vector& y, const std::vector<std::size_t>& rows) {
+    double acc = 0.0;
+    for (std::size_t r : rows) acc += y[r];
+    return rows.empty() ? 0.0 : acc / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const Vector& y) {
+    std::vector<std::size_t> rows(x.rows());
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+    fitSubset(x, y, rows);
+}
+
+void DecisionTree::fitSubset(const Matrix& x, const Vector& y,
+                             const std::vector<std::size_t>& rows) {
+    nodes_.clear();
+    std::vector<std::size_t> working = rows;
+    util::Rng rng(params_.seed);
+    build(x, y, working, 0, rng);
+}
+
+int DecisionTree::build(const Matrix& x, const Vector& y, std::vector<std::size_t>& rows,
+                        int depth, util::Rng& rng) {
+    const int nodeIndex = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[static_cast<std::size_t>(nodeIndex)].value = subsetMean(y, rows);
+
+    if (depth >= params_.maxDepth ||
+        rows.size() < 2 * static_cast<std::size_t>(params_.minSamplesLeaf))
+        return nodeIndex;
+
+    // Candidate features (optionally a random subset, for forests).
+    const std::size_t d = x.cols();
+    std::vector<std::size_t> features(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+    if (params_.featuresPerSplit > 0 && static_cast<std::size_t>(params_.featuresPerSplit) < d) {
+        rng.shuffle(features);
+        features.resize(static_cast<std::size_t>(params_.featuresPerSplit));
+    }
+
+    // Best split = maximal weighted variance reduction, found by scanning
+    // each feature in sorted order with running sums.
+    double bestScore = 0.0;
+    int bestFeature = -1;
+    double bestThreshold = 0.0;
+
+    double total = 0.0, totalSq = 0.0;
+    for (std::size_t r : rows) {
+        total += y[r];
+        totalSq += y[r] * y[r];
+    }
+    const double n = static_cast<double>(rows.size());
+    const double parentSse = totalSq - total * total / n;
+
+    std::vector<std::pair<double, double>> points(rows.size());  // (x, y)
+    for (std::size_t f : features) {
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            points[i] = {x.at(rows[i], f), y[rows[i]]};
+        std::sort(points.begin(), points.end());
+
+        double leftSum = 0.0, leftSq = 0.0;
+        for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+            leftSum += points[i].second;
+            leftSq += points[i].second * points[i].second;
+            if (points[i].first == points[i + 1].first) continue;  // no boundary
+            const double nl = static_cast<double>(i + 1);
+            const double nr = n - nl;
+            if (nl < params_.minSamplesLeaf || nr < params_.minSamplesLeaf) continue;
+            const double rightSum = total - leftSum;
+            const double rightSq = totalSq - leftSq;
+            const double sse = (leftSq - leftSum * leftSum / nl) +
+                               (rightSq - rightSum * rightSum / nr);
+            const double score = parentSse - sse;
+            if (score > bestScore + 1e-12) {
+                bestScore = score;
+                bestFeature = static_cast<int>(f);
+                bestThreshold = 0.5 * (points[i].first + points[i + 1].first);
+            }
+        }
+    }
+    if (bestFeature < 0) return nodeIndex;
+
+    std::vector<std::size_t> left, right;
+    for (std::size_t r : rows) {
+        if (x.at(r, static_cast<std::size_t>(bestFeature)) <= bestThreshold)
+            left.push_back(r);
+        else
+            right.push_back(r);
+    }
+    if (left.empty() || right.empty()) return nodeIndex;
+    rows.clear();
+    rows.shrink_to_fit();
+
+    const int leftChild = build(x, y, left, depth + 1, rng);
+    const int rightChild = build(x, y, right, depth + 1, rng);
+    Node& node = nodes_[static_cast<std::size_t>(nodeIndex)];
+    node.feature = bestFeature;
+    node.threshold = bestThreshold;
+    node.left = leftChild;
+    node.right = rightChild;
+    return nodeIndex;
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+    if (nodes_.empty()) return 0.0;
+    int idx = 0;
+    while (nodes_[static_cast<std::size_t>(idx)].feature >= 0) {
+        const Node& node = nodes_[static_cast<std::size_t>(idx)];
+        idx = x[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                          : node.right;
+    }
+    return nodes_[static_cast<std::size_t>(idx)].value;
+}
+
+}  // namespace axf::ml

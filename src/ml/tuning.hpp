@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/ml/registry.hpp"
+
+namespace axf::ml {
+
+/// One hyperparameter variant of a Table-I model.
+struct ModelVariant {
+    std::string description;  ///< e.g. "alpha=10"
+    std::function<RegressorPtr()> make;
+};
+
+/// The small per-family hyperparameter grids behind the paper's
+/// "modification of ML parameters" loop (Fig. 2).  Models without
+/// meaningful knobs (ML1-ML3) return their single default variant.
+std::vector<ModelVariant> hyperparameterGrid(const std::string& modelId,
+                                             const AsicColumns& asic);
+
+/// Result of tuning one model on a validation score.
+struct TunedModel {
+    std::string variantDescription;
+    std::function<RegressorPtr()> make;
+    double validationScore = 0.0;
+};
+
+/// Fits every grid variant on (xTrain, yTrain) and keeps the one whose
+/// validation predictions maximize `score(yVal, yEst)` — the flow passes
+/// the fidelity metric here.  Ties resolve to the earlier (simpler) variant.
+TunedModel tuneModel(const std::string& modelId, const AsicColumns& asic, const Matrix& xTrain,
+                     const Vector& yTrain, const Matrix& xVal, const Vector& yVal,
+                     const std::function<double(const Vector&, const Vector&)>& score);
+
+}  // namespace axf::ml

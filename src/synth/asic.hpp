@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/circuit/netlist.hpp"
+#include "src/synth/metrics.hpp"
+
+namespace axf::synth {
+
+/// Standard-cell characterization of one gate kind (normalized 45 nm-ish
+/// units; NAND2 = 1 area unit = 0.8 um^2 equivalent).
+struct CellSpec {
+    double areaUm2 = 0.0;
+    double delayNs = 0.0;       ///< intrinsic delay
+    double loadDelayNs = 0.0;   ///< added delay per fan-out
+    double capFf = 0.0;         ///< switched capacitance (power weight)
+};
+
+/// Gate-level ASIC synthesis model: logic optimization, direct cell
+/// binding, static timing with a linear load model, and switching-activity
+/// power from simulated toggle rates.
+class AsicFlow {
+public:
+    struct Options {
+        double clockMhz = 200.0;     ///< activity-to-power conversion frequency
+        int activityBlocks = 24;     ///< 64-vector blocks for toggle estimation
+        std::uint64_t activitySeed = 0xAC7;
+        double staticPowerPerCellUw = 0.12;
+    };
+
+    AsicFlow() = default;
+    explicit AsicFlow(Options options) : options_(options) {}
+
+    /// Characterization table for a gate kind.
+    static const CellSpec& cellSpec(circuit::GateKind kind);
+
+    /// Synthesizes (optimizes + maps + analyzes) the netlist.
+    AsicReport synthesize(const circuit::Netlist& netlist) const;
+
+private:
+    Options options_{};
+};
+
+}  // namespace axf::synth

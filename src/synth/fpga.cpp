@@ -1,0 +1,96 @@
+#include "src/synth/fpga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "src/circuit/simulator.hpp"
+#include "src/circuit/transform.hpp"
+#include "src/synth/synth_time.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::synth {
+
+using circuit::Netlist;
+using circuit::NodeId;
+
+LutMapper::Mapping FpgaFlow::technologyMap(const Netlist& netlist) const {
+    const Netlist optimized =
+        circuit::simplify(circuit::lowerToTwoInput(circuit::simplify(netlist)));
+    return LutMapper(options_.mapper).map(optimized);
+}
+
+FpgaReport FpgaFlow::implement(const Netlist& netlist) const {
+    // --- synthesis: optimize, lower, map ----------------------------------
+    const Netlist optimized =
+        circuit::simplify(circuit::lowerToTwoInput(circuit::simplify(netlist)));
+    const LutMapper::Mapping mapping = LutMapper(options_.mapper).map(optimized);
+
+    FpgaReport report;
+    report.lutCount = static_cast<double>(mapping.lutCount());
+    report.sliceCount = std::ceil(report.lutCount / 4.0);
+    report.logicDepth = mapping.depth;
+    // Tool time scales with the RTL the user hands to Vivado, not with the
+    // internally lowered form (keeps accounting comparable to the
+    // exhaustive-exploration baseline, which also sees the input netlist).
+    report.synthSeconds = vivadoEquivalentSeconds(netlist);
+
+    // Placement jitter stream: deterministic per circuit *and* flow seed,
+    // uncorrelated with the structural features the estimators see.
+    util::Rng jitter(optimized.structuralHash() ^ options_.seed);
+
+    // --- net fan-outs in the mapped network --------------------------------
+    std::unordered_map<NodeId, int> netFanout;
+    for (const LutMapper::Lut& lut : mapping.luts)
+        for (NodeId leaf : lut.leaves) ++netFanout[leaf];
+    for (NodeId out : optimized.outputs()) ++netFanout[out];
+
+    const auto netDelay = [&](NodeId driver) {
+        const auto it = netFanout.find(driver);
+        const int fo = it == netFanout.end() ? 1 : it->second;
+        const double base = options_.netDelayBaseNs +
+                            options_.netDelayFanoutNs * std::log2(1.0 + static_cast<double>(fo));
+        return base;
+    };
+
+    // --- timing: arrival-time propagation over the LUT network -------------
+    std::vector<double> arrival(optimized.nodeCount(), 0.0);
+    for (const LutMapper::Lut& lut : mapping.luts) {
+        double worst = 0.0;
+        for (NodeId leaf : lut.leaves)
+            worst = std::max(worst, arrival[leaf] + netDelay(leaf));
+        arrival[lut.root] = worst + options_.lutDelayNs +
+                            jitter.uniformReal(0.0, options_.routingJitterNs);
+    }
+    for (NodeId out : optimized.outputs())
+        report.latencyNs = std::max(report.latencyNs, arrival[out] + options_.ioDelayNs);
+    if (mapping.luts.empty()) report.latencyNs = options_.ioDelayNs;
+
+    // --- power: switching activity of the LUT output nets ------------------
+    circuit::ActivityCounter activity(optimized);
+    util::Rng activityRng(0xAC7DE);
+    std::vector<circuit::Simulator::Word> block(optimized.inputCount());
+    for (int b = 0; b < options_.activityBlocks; ++b) {
+        for (auto& w : block) w = activityRng.uniformInt(0, ~std::uint64_t{0});
+        activity.accumulate(block);
+    }
+    const std::vector<double> toggles = activity.toggleRates();
+
+    double dynamicMw = 0.0;
+    for (const LutMapper::Lut& lut : mapping.luts) {
+        const auto it = netFanout.find(lut.root);
+        const int fo = it == netFanout.end() ? 1 : it->second;
+        const double cap = options_.lutCapFf + options_.wireCapFf * static_cast<double>(fo);
+        // alpha * C[fF] * f[MHz] * V^2 -> nW; 1e-5 folds the fF/MHz unit
+        // conversion and the fabric's effective voltage into mW.
+        dynamicMw += toggles[lut.root] * cap * options_.clockMhz * 1e-5;
+    }
+    const double staticMw = report.lutCount * options_.staticPowerPerLutUw * 1e-3;
+    const double powerNoise =
+        1.0 + jitter.uniformReal(-options_.powerJitterFraction, options_.powerJitterFraction);
+    report.powerMw = (dynamicMw + staticMw) * powerNoise;
+    return report;
+}
+
+}  // namespace axf::synth

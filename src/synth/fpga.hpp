@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/circuit/netlist.hpp"
+#include "src/synth/lutmap.hpp"
+#include "src/synth/metrics.hpp"
+
+namespace axf::synth {
+
+/// FPGA implementation-flow model standing in for Vivado synth + place &
+/// route on the xc7vx485t with DSP blocks disabled (everything maps to
+/// LUT fabric).  The flow is: logic optimization -> two-input lowering ->
+/// K-LUT technology mapping -> net-delay timing -> activity-based power.
+///
+/// Placement/routing effects the mapper cannot see are modeled as a
+/// deterministic per-circuit jitter (seeded by the netlist's structural
+/// hash), which is what bounds estimator fidelity below 100% exactly as
+/// the paper observes for Vivado results.
+class FpgaFlow {
+public:
+    struct Options {
+        LutMapper::Options mapper{};
+        double lutDelayNs = 0.124;     ///< 6-LUT intrinsic delay (Virtex-7 class)
+        double netDelayBaseNs = 0.45;  ///< routed-net base delay
+        double netDelayFanoutNs = 0.22;  ///< extra per log2(1+fanout)
+        double ioDelayNs = 0.60;       ///< IOB + entry/exit routing
+        double routingJitterNs = 0.35;  ///< max per-LUT placement jitter
+        double clockMhz = 200.0;
+        double lutCapFf = 6.0;         ///< switched cap per LUT output
+        double wireCapFf = 8.0;        ///< routed-wire cap per fan-out (dominant)
+        double staticPowerPerLutUw = 1.9;
+        double powerJitterFraction = 0.06;  ///< +/- fraction on total power
+        int activityBlocks = 24;
+        std::uint64_t seed = 0xF96A;   ///< flow seed (mixed with circuit hash)
+    };
+
+    FpgaFlow() = default;
+    explicit FpgaFlow(Options options) : options_(options) {}
+
+    /// Runs the full implementation flow and reports the paper's three
+    /// FPGA parameters (plus depth/slices and modeled synthesis time).
+    FpgaReport implement(const circuit::Netlist& netlist) const;
+
+    /// The mapped LUT network alone (exposed for tests and inspection).
+    LutMapper::Mapping technologyMap(const circuit::Netlist& netlist) const;
+
+    const Options& options() const { return options_; }
+
+private:
+    Options options_{};
+};
+
+}  // namespace axf::synth

@@ -1,0 +1,160 @@
+#include "src/synth/lutmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace axf::synth {
+
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+
+namespace {
+
+/// A cut: sorted leaf list plus its depth label (1 + max leaf label).
+struct Cut {
+    std::vector<NodeId> leaves;
+    int label = 0;
+
+    bool dominates(const Cut& other) const {
+        // `this` dominates when not deeper and its leaves are a subset.
+        if (label > other.label) return false;
+        return std::includes(other.leaves.begin(), other.leaves.end(), leaves.begin(),
+                             leaves.end());
+    }
+};
+
+/// Merges two sorted leaf sets; returns false if the union exceeds k.
+bool mergeLeaves(const std::vector<NodeId>& a, const std::vector<NodeId>& b, int k,
+                 std::vector<NodeId>& out) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        NodeId next;
+        if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+            next = a[i++];
+        } else if (i >= a.size() || b[j] < a[i]) {
+            next = b[j++];
+        } else {
+            next = a[i++];
+            ++j;
+        }
+        out.push_back(next);
+        if (static_cast<int>(out.size()) > k) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+LutMapper::Mapping LutMapper::map(const Netlist& netlist) const {
+    const int k = options_.lutInputs;
+    const std::size_t n = netlist.nodeCount();
+
+    // --- phase 1: priority-cut enumeration with depth labels -------------
+    std::vector<std::vector<Cut>> cuts(n);  // candidate cuts per gate node
+    std::vector<int> label(n, 0);           // FlowMap-style depth label
+    std::vector<Cut> bestCut(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const circuit::Node& node = netlist.node(static_cast<NodeId>(i));
+        const int arity = circuit::fanInCount(node.kind);
+        if (arity == 0) {
+            label[i] = 0;  // inputs and constants are free fabric resources
+            continue;
+        }
+        if (arity > 2)
+            throw std::invalid_argument("LutMapper: run lowerToTwoInput before mapping");
+
+        // Candidate fan-in cut lists, each extended with the trivial cut.
+        const auto candidateCuts = [&](NodeId fanin) {
+            std::vector<Cut> list = cuts[fanin];
+            Cut trivial;
+            trivial.leaves = {fanin};
+            trivial.label = label[fanin];
+            list.push_back(std::move(trivial));
+            return list;
+        };
+
+        // The label of a cut is 1 + the worst *leaf* label: everything
+        // inside the cut collapses into this LUT and costs no extra level.
+        const auto cutLabel = [&](const std::vector<NodeId>& leaves) {
+            int worst = 0;
+            for (NodeId leaf : leaves) worst = std::max(worst, label[leaf]);
+            return worst + 1;
+        };
+
+        std::vector<Cut> merged;
+        std::vector<NodeId> scratch;
+        const std::vector<Cut> ca = candidateCuts(node.a);
+        if (arity == 1) {
+            for (const Cut& c : ca) {
+                Cut cut;
+                cut.leaves = c.leaves;
+                cut.label = cutLabel(cut.leaves);
+                merged.push_back(std::move(cut));
+            }
+        } else {
+            const std::vector<Cut> cb = candidateCuts(node.b);
+            for (const Cut& x : ca) {
+                for (const Cut& y : cb) {
+                    if (!mergeLeaves(x.leaves, y.leaves, k, scratch)) continue;
+                    Cut cut;
+                    cut.leaves = scratch;
+                    cut.label = cutLabel(cut.leaves);
+                    merged.push_back(std::move(cut));
+                }
+            }
+        }
+
+        // Rank by (depth, leaf count), drop dominated cuts, keep the best C.
+        std::sort(merged.begin(), merged.end(), [](const Cut& x, const Cut& y) {
+            if (x.label != y.label) return x.label < y.label;
+            return x.leaves.size() < y.leaves.size();
+        });
+        std::vector<Cut> kept;
+        for (Cut& c : merged) {
+            bool dominated = false;
+            for (const Cut& existing : kept) {
+                if (existing.dominates(c)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (dominated) continue;
+            kept.push_back(std::move(c));
+            if (static_cast<int>(kept.size()) >= options_.cutsPerNode) break;
+        }
+        if (kept.empty()) throw std::logic_error("LutMapper: node has no feasible cut");
+        label[i] = kept.front().label;
+        bestCut[i] = kept.front();
+        cuts[i] = std::move(kept);
+    }
+
+    // --- phase 2: cover selection from the outputs back ------------------
+    std::vector<bool> selected(n, false);
+    std::vector<bool> needed(n, false);
+    for (NodeId out : netlist.outputs()) needed[out] = true;
+    for (std::size_t idx = n; idx-- > 0;) {
+        if (!needed[idx]) continue;
+        const circuit::Node& node = netlist.node(static_cast<NodeId>(idx));
+        if (circuit::fanInCount(node.kind) == 0) continue;  // input/const drive
+        selected[idx] = true;
+        for (NodeId leaf : bestCut[idx].leaves) needed[leaf] = true;
+    }
+
+    Mapping mapping;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!selected[i]) continue;
+        Lut lut;
+        lut.root = static_cast<NodeId>(i);
+        lut.leaves = bestCut[i].leaves;
+        lut.level = label[i];
+        mapping.luts.push_back(std::move(lut));
+    }
+    for (NodeId out : netlist.outputs()) mapping.depth = std::max(mapping.depth, label[out]);
+    return mapping;
+}
+
+}  // namespace axf::synth

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::synth {
+
+/// Cut-based K-LUT technology mapping (FlowMap-style depth-oriented labels
+/// computed by priority-cut enumeration, as in ABC's `if` mapper).
+///
+/// The input netlist must contain only gates with at most two fan-ins
+/// (run `circuit::lowerToTwoInput` first); constants and inputs are free.
+class LutMapper {
+public:
+    struct Options {
+        int lutInputs = 6;    ///< K of the target fabric (Virtex-7: 6-LUT)
+        int cutsPerNode = 8;  ///< priority-cut list length
+    };
+
+    /// One selected LUT in the mapped network.
+    struct Lut {
+        circuit::NodeId root;
+        std::vector<circuit::NodeId> leaves;  ///< inputs of the LUT (node ids)
+        int level = 0;                        ///< LUT depth from the inputs
+    };
+
+    struct Mapping {
+        std::vector<Lut> luts;
+        int depth = 0;  ///< max LUT level over primary outputs
+
+        std::size_t lutCount() const { return luts.size(); }
+    };
+
+    LutMapper() = default;
+    explicit LutMapper(Options options) : options_(options) {}
+
+    Mapping map(const circuit::Netlist& netlist) const;
+
+private:
+    Options options_{};
+};
+
+}  // namespace axf::synth

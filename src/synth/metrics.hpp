@@ -1,0 +1,25 @@
+#pragma once
+
+namespace axf::synth {
+
+/// The three FPGA parameters the ApproxFPGAs ML models estimate, plus the
+/// secondary quantities the Vivado reports of the paper expose.
+struct FpgaReport {
+    double lutCount = 0.0;    ///< area in 6-input LUTs (DSP blocks disabled)
+    double sliceCount = 0.0;  ///< ~4 LUTs per slice, ceil
+    double latencyNs = 0.0;   ///< critical path incl. routing
+    double powerMw = 0.0;     ///< dynamic + static at the model frequency
+    double logicDepth = 0.0;  ///< LUT levels on the critical path
+    double synthSeconds = 0.0;  ///< Vivado-equivalent synthesis+P&R wall time
+};
+
+/// ASIC-side reference metrics (the cheap, known quantities models ML1-ML3
+/// regress against).
+struct AsicReport {
+    double areaUm2 = 0.0;
+    double delayNs = 0.0;
+    double powerMw = 0.0;
+    double cellCount = 0.0;
+};
+
+}  // namespace axf::synth

@@ -1,0 +1,19 @@
+#include "src/synth/synth_time.hpp"
+
+#include <cmath>
+
+namespace axf::synth {
+
+double vivadoEquivalentSeconds(const circuit::Netlist& netlist) {
+    // Calibration: tool start-up/reporting floor of ~45 s, plus per-gate
+    // synthesis effort and a mildly super-linear P&R term.  An 8x8
+    // multiplier (~250 gates) lands near the ~115 s/circuit the paper
+    // implies; a 16x16 multiplier (~1,500 gates) near ~10 minutes.
+    const double gates = static_cast<double>(netlist.gateCount());
+    return 45.0 + 0.28 * gates + 0.00011 * gates * gates;
+}
+
+double secondsToDays(double seconds) { return seconds / 86400.0; }
+double secondsToHours(double seconds) { return seconds / 3600.0; }
+
+}  // namespace axf::synth

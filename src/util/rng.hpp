@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace axf::util {
+
+/// Deterministic pseudo-random number generator used by every stochastic
+/// component in the library (CGP mutation, data-set sampling, ML
+/// initialization, placement jitter).  All call-sites receive an explicit
+/// seed so that experiments reproduce bit-identically.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in the closed interval [lo, hi].
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) {
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform index in [0, size).  `size` must be positive.
+    std::size_t index(std::size_t size) {
+        if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+        return static_cast<std::size_t>(uniformInt(0, size - 1));
+    }
+
+    /// Uniform real in the half-open interval [lo, hi).
+    double uniformReal(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Standard normal variate scaled to the given mean / stddev.
+    double gaussian(double mean = 0.0, double stddev = 1.0) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+    /// Uniformly chosen element of a non-empty span.
+    template <typename T>
+    const T& pick(std::span<const T> items) {
+        return items[index(items.size())];
+    }
+
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        std::shuffle(items.begin(), items.end(), engine_);
+    }
+
+    /// Sample `k` distinct indices from [0, n) (Fisher-Yates prefix).
+    std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k) {
+        if (k > n) throw std::invalid_argument("Rng::sampleIndices: k > n");
+        std::vector<std::size_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t j = i + index(n - i);
+            std::swap(idx[i], idx[j]);
+        }
+        idx.resize(k);
+        return idx;
+    }
+
+    /// Derive an independent child generator (e.g. per-worker streams).
+    Rng fork() { return Rng(uniformInt(0, UINT64_MAX)); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace axf::util

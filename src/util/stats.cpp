@@ -1,0 +1,133 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace axf::util {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+    if (xs.empty()) return 0.0;
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+    std::sort(xs.begin(), xs.end());
+    const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double minOf(std::span<const double> xs) {
+    return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(std::span<const double> xs) {
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("pearson: size mismatch");
+    if (xs.size() < 2) return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> rank(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+        // Average 1-based rank over the tie group [i, j].
+        const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg;
+        i = j + 1;
+    }
+    return rank;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("spearman: size mismatch");
+    const std::vector<double> rx = ranks(xs);
+    const std::vector<double> ry = ranks(ys);
+    return pearson(rx, ry);
+}
+
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys) {
+    if (xs.size() != ys.size()) throw std::invalid_argument("fitLine: size mismatch");
+    LinearFit fit;
+    if (xs.size() < 2) {
+        fit.intercept = ys.empty() ? 0.0 : ys[0];
+        return fit;
+    }
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+    }
+    fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    return fit;
+}
+
+double mape(std::span<const double> measured, std::span<const double> estimated) {
+    if (measured.size() != estimated.size()) throw std::invalid_argument("mape: size mismatch");
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0.0) continue;
+        acc += std::abs((estimated[i] - measured[i]) / measured[i]);
+        ++n;
+    }
+    return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+double relativeBias(std::span<const double> measured, std::span<const double> estimated) {
+    if (measured.size() != estimated.size())
+        throw std::invalid_argument("relativeBias: size mismatch");
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0.0) continue;
+        acc += (estimated[i] - measured[i]) / measured[i];
+        ++n;
+    }
+    return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+}  // namespace axf::util

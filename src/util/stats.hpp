@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace axf::util {
+
+/// Descriptive statistics and correlation measures used when reporting
+/// estimator quality (Fig. 6 of the paper) and when summarizing libraries.
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  ///< population variance
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);        ///< by value: sorts a copy
+double percentile(std::vector<double> xs, double p);  ///< p in [0,100]
+double minOf(std::span<const double> xs);
+double maxOf(std::span<const double> xs);
+
+/// Pearson linear correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Fractional ranks (1-based, ties averaged), as used by `spearman`.
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Ordinary least squares y = a + b*x; returns {a, b}.
+struct LinearFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+};
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean absolute percentage error of estimates vs. measurements, in percent.
+/// Pairs whose measured value is zero are skipped.
+double mape(std::span<const double> measured, std::span<const double> estimated);
+
+/// Mean signed relative bias of estimates, in percent (negative means the
+/// estimator under-predicts, the failure mode the paper reports for latency).
+double relativeBias(std::span<const double> measured, std::span<const double> estimated);
+
+}  // namespace axf::util

@@ -1,0 +1,88 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace axf::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("Table::addRow: cell count mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string Table::integer(long long value) { return std::to_string(value); }
+
+std::string Table::percent(double fraction, int precision) {
+    return num(100.0 * fraction, precision) + "%";
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    const auto printRow = [&](const std::vector<std::string>& row) {
+        os << "| ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+            os << (c + 1 == row.size() ? " |" : " | ");
+        }
+        os << '\n';
+    };
+
+    printRow(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << std::string(width[c] + 2, '-') << "|";
+    }
+    os << '\n';
+    for (const auto& row : rows_) printRow(row);
+}
+
+namespace {
+std::string csvEscape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+}  // namespace
+
+void Table::writeCsv(std::ostream& os) const {
+    const auto writeRow = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << csvEscape(row[c]);
+            if (c + 1 != row.size()) os << ',';
+        }
+        os << '\n';
+    };
+    writeRow(header_);
+    for (const auto& row : rows_) writeRow(row);
+}
+
+void printBanner(std::ostream& os, const std::string& title) {
+    os << '\n' << std::string(72, '=') << '\n'
+       << "  " << title << '\n'
+       << std::string(72, '=') << '\n';
+}
+
+}  // namespace axf::util

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axf::util {
+
+/// Aligned console table used by the bench harnesses to print the rows and
+/// series the paper's tables/figures report.  Also serializes to CSV so
+/// results can be post-processed or plotted externally.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Append one row; must match the header width.
+    void addRow(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    static std::string num(double value, int precision = 3);
+    static std::string integer(long long value);
+    static std::string percent(double fraction, int precision = 1);  ///< 0.71 -> "71.0%"
+
+    void print(std::ostream& os) const;
+    void writeCsv(std::ostream& os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return header_.size(); }
+    const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between experiment phases in bench output.
+void printBanner(std::ostream& os, const std::string& title);
+
+}  // namespace axf::util

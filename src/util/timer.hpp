@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+
+namespace axf::util {
+
+/// Wall-clock stopwatch for the exploration-time accounting in Fig. 3.
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace axf::util

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+
+namespace axf::gen {
+namespace {
+
+using circuit::Netlist;
+
+// ---------------------------------------------------------------------------
+// Exact architectures: property sweep over widths x generators.
+// ---------------------------------------------------------------------------
+
+struct ExactAdderCase {
+    const char* name;
+    std::function<Netlist(int)> build;
+};
+
+class ExactAdders : public ::testing::TestWithParam<std::tuple<ExactAdderCase, int>> {};
+
+TEST_P(ExactAdders, ComputesExactSumExhaustively) {
+    const auto& [gc, width] = GetParam();
+    const Netlist net = gc.build(width);
+    EXPECT_EQ(static_cast<int>(net.inputCount()), 2 * width);
+    EXPECT_EQ(static_cast<int>(net.outputCount()), width + 1);
+    net.validate();
+    // Exhaustive up to 2^(2w) = 16M vectors is too slow for wide cases;
+    // the default config caps exhaustiveness at 2^16 and samples beyond.
+    EXPECT_TRUE(error::isFunctionallyExact(net, adderSignature(width))) << net.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ExactAdders,
+    ::testing::Combine(
+        ::testing::Values(ExactAdderCase{"rca", [](int n) { return rippleCarryAdder(n); }},
+                          ExactAdderCase{"cla", [](int n) { return carryLookaheadAdder(n); }},
+                          ExactAdderCase{"csel2", [](int n) { return carrySelectAdder(n, 2); }},
+                          ExactAdderCase{"csel3", [](int n) { return carrySelectAdder(n, 3); }},
+                          ExactAdderCase{"ks", [](int n) { return koggeStoneAdder(n); }}),
+        ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16)),
+    [](const auto& info) {
+        return std::string(std::get<0>(info.param).name) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ExactAddersShape, KoggeStoneIsShallowerThanRipple) {
+    EXPECT_LT(koggeStoneAdder(16).depth(), rippleCarryAdder(16).depth());
+}
+
+TEST(ExactAddersShape, WidthBoundsChecked) {
+    EXPECT_THROW(rippleCarryAdder(1), std::invalid_argument);
+    EXPECT_THROW(rippleCarryAdder(31), std::invalid_argument);
+    EXPECT_THROW(carryLookaheadAdder(8, 1), std::invalid_argument);
+    EXPECT_THROW(carrySelectAdder(8, 0), std::invalid_argument);
+    EXPECT_THROW(acaAdder(8, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Approximate architectures
+// ---------------------------------------------------------------------------
+
+TEST(ApproxAdders, ZeroApproximateBitsIsExact) {
+    for (const auto& build : {loaAdder, truncatedAdder, etaAdder}) {
+        const Netlist net = build(6, 0);
+        EXPECT_TRUE(error::isFunctionallyExact(net, adderSignature(6))) << net.name();
+    }
+}
+
+TEST(ApproxAdders, AcaExactWhenWindowCoversWidth) {
+    EXPECT_TRUE(error::isFunctionallyExact(acaAdder(6, 6), adderSignature(6)));
+    EXPECT_TRUE(error::isFunctionallyExact(acaAdder(6, 9), adderSignature(6)));
+    EXPECT_FALSE(error::isFunctionallyExact(acaAdder(8, 2), adderSignature(8)));
+}
+
+class ApproxAdderFamily
+    : public ::testing::TestWithParam<std::function<Netlist(int, int)>> {};
+
+TEST_P(ApproxAdderFamily, ErrorGrowsMonotonicallyWithApproximateBits) {
+    const auto& build = GetParam();
+    const int n = 8;
+    double previous = -1.0;
+    for (int k = 1; k < n; ++k) {
+        const error::ErrorReport report = error::analyzeError(build(n, k), adderSignature(n));
+        EXPECT_GE(report.med, previous) << "k=" << k;
+        previous = report.med;
+    }
+    EXPECT_GT(previous, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ApproxAdderFamily,
+    ::testing::Values(std::function<Netlist(int, int)>(loaAdder),
+                      std::function<Netlist(int, int)>(truncatedAdder),
+                      std::function<Netlist(int, int)>(etaAdder)));
+
+TEST(ApproxAdders, LoaKnownSmallCase) {
+    // 2-bit LOA with k=1: s0 = a0|b0, upper exact with carry seed a0&b0.
+    const Netlist net = loaAdder(2, 1);
+    const error::ErrorReport report = error::analyzeError(net, adderSignature(2));
+    // Only s0 can be wrong, and only when a0=b0=1 (or = 1 but sum bit 0).
+    EXPECT_DOUBLE_EQ(report.worstCaseError, 1.0);
+    EXPECT_DOUBLE_EQ(report.errorProbability, 0.25);
+}
+
+TEST(ApproxAdders, TruncatedErrorIsBoundedByDroppedBits) {
+    const int n = 8, k = 3;
+    const error::ErrorReport report = error::analyzeError(truncatedAdder(n, k), adderSignature(n));
+    // Worst case: the dropped lower-part carry and sum bits.
+    EXPECT_LE(report.worstCaseError, static_cast<double>((1 << (k + 1)) - 1));
+}
+
+TEST(ApproxAdders, CellKindsAreDistinctDesignPoints) {
+    std::set<std::uint64_t> hashes;
+    std::set<double> meds;
+    for (ApproxFaKind kind : {ApproxFaKind::PassA, ApproxFaKind::OrSum, ApproxFaKind::XorNoCarry,
+                              ApproxFaKind::CarrySkip}) {
+        const Netlist net = approxCellAdder(8, 4, kind);
+        hashes.insert(net.structuralHash());
+        meds.insert(error::analyzeError(net, adderSignature(8)).med);
+        EXPECT_EQ(net.outputCount(), 9u);
+    }
+    EXPECT_EQ(hashes.size(), 4u);
+    EXPECT_GE(meds.size(), 3u);  // at least three distinct error levels
+}
+
+TEST(ApproxAdders, GearExactWhenWindowCoversWidth) {
+    // GeAr(n, R, P) with R + P = n degenerates to one exact sub-adder.
+    EXPECT_TRUE(error::isFunctionallyExact(gearAdder(8, 4, 4), adderSignature(8)));
+    EXPECT_TRUE(error::isFunctionallyExact(gearAdder(6, 2, 4), adderSignature(6)));
+    EXPECT_FALSE(error::isFunctionallyExact(gearAdder(8, 2, 2), adderSignature(8)));
+    EXPECT_THROW(gearAdder(8, 0, 2), std::invalid_argument);
+    EXPECT_THROW(gearAdder(8, 5, 4), std::invalid_argument);
+}
+
+TEST(ApproxAdders, GearMorePredictionBitsReduceError) {
+    double previous = 1.0;
+    for (int p : {0, 2, 4, 6}) {
+        const error::ErrorReport r = error::analyzeError(gearAdder(8, 2, p), adderSignature(8));
+        EXPECT_LE(r.med, previous + 1e-12) << "P=" << p;
+        previous = r.med;
+    }
+}
+
+TEST(ApproxAdders, EtaIIExactUpToTwoBlocks) {
+    // The first block's generated carry equals the true carry, so up to two
+    // blocks ETA-II is exact; from three blocks on, cut chains cause errors.
+    EXPECT_TRUE(error::isFunctionallyExact(etaIIAdder(8, 8), adderSignature(8)));
+    EXPECT_TRUE(error::isFunctionallyExact(etaIIAdder(8, 4), adderSignature(8)));
+    EXPECT_FALSE(error::isFunctionallyExact(etaIIAdder(8, 2), adderSignature(8)));
+    EXPECT_THROW(etaIIAdder(8, 0), std::invalid_argument);
+}
+
+TEST(ApproxAdders, EtaIISmallerBlocksMoreError) {
+    const double med2 = error::analyzeError(etaIIAdder(12, 2), adderSignature(12)).med;
+    const double med3 = error::analyzeError(etaIIAdder(12, 3), adderSignature(12)).med;
+    const double med6 = error::analyzeError(etaIIAdder(12, 6), adderSignature(12)).med;
+    EXPECT_GT(med2, med3);
+    EXPECT_GT(med3, med6);
+}
+
+TEST(ApproxAdders, FullyApproximateInterfaceStillValid) {
+    for (const auto& build : {loaAdder, truncatedAdder, etaAdder}) {
+        const Netlist net = build(4, 4);
+        EXPECT_EQ(net.outputCount(), 5u);
+        net.validate();
+    }
+    const Netlist cell = approxCellAdder(4, 4, ApproxFaKind::OrSum);
+    EXPECT_EQ(cell.outputCount(), 5u);
+}
+
+}  // namespace
+}  // namespace axf::gen

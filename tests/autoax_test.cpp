@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/autoax/dse.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/synth/fpga.hpp"
+
+namespace axf::autoax {
+namespace {
+
+Component makeComponent(circuit::Netlist netlist, circuit::ArithSignature sig) {
+    Component c;
+    c.name = netlist.name();
+    c.signature = sig;
+    c.error = error::analyzeError(netlist, sig);
+    c.fpga = synth::FpgaFlow().implement(netlist);
+    c.netlist = std::move(netlist);
+    return c;
+}
+
+/// Fixed menus shared by the accelerator tests: index 0 is exact, later
+/// indices are increasingly aggressive approximations (MED-sorted).
+std::vector<Component> multiplierMenu() {
+    std::vector<Component> menu;
+    menu.push_back(makeComponent(gen::wallaceMultiplier(8), gen::multiplierSignature(8)));
+    for (int t : {3, 5, 7})
+        menu.push_back(makeComponent(gen::truncatedMultiplier(8, t), gen::multiplierSignature(8)));
+    return menu;
+}
+
+std::vector<Component> adderMenu() {
+    std::vector<Component> menu;
+    menu.push_back(makeComponent(gen::rippleCarryAdder(16), gen::adderSignature(16)));
+    for (int k : {4, 8})
+        menu.push_back(makeComponent(gen::loaAdder(16, k), gen::adderSignature(16)));
+    return menu;
+}
+
+const GaussianAccelerator& accelerator() {
+    static const GaussianAccelerator kAccel(multiplierMenu(), adderMenu());
+    return kAccel;
+}
+
+TEST(GaussianAccelerator, RejectsBadMenus) {
+    EXPECT_THROW(GaussianAccelerator({}, adderMenu()), std::invalid_argument);
+    // 8-bit adders in the adder menu are the wrong width.
+    std::vector<Component> badAdders;
+    badAdders.push_back(makeComponent(gen::rippleCarryAdder(8), gen::adderSignature(8)));
+    EXPECT_THROW(GaussianAccelerator(multiplierMenu(), std::move(badAdders)),
+                 std::invalid_argument);
+}
+
+TEST(GaussianAccelerator, ExactConfigMatchesReference) {
+    const img::Image scene = img::syntheticScene(48, 48, 0xE);
+    AcceleratorConfig exact{};  // all zeros = exact components
+    const img::Image hw = accelerator().filter(scene, exact);
+    const img::Image ref = accelerator().filterExact(scene);
+    EXPECT_EQ(hw.pixels(), ref.pixels());
+    EXPECT_DOUBLE_EQ(accelerator().quality(exact, {scene}), 1.0);
+}
+
+TEST(GaussianAccelerator, ApproximationDegradesQualityMonotonically) {
+    const std::vector<img::Image> scenes = {img::syntheticScene(48, 48, 0xF)};
+    double previous = 1.1;
+    for (int level = 0; level < 4; ++level) {
+        AcceleratorConfig config{};
+        config.multiplier.fill(level);
+        const double q = accelerator().quality(config, scenes);
+        EXPECT_LE(q, previous + 1e-9) << "level " << level;
+        EXPECT_GE(q, 0.0);
+        previous = q;
+    }
+}
+
+TEST(GaussianAccelerator, FilterSmoothsImage) {
+    // A Gaussian blur reduces local variance.
+    const img::Image scene = img::syntheticScene(48, 48, 0x10);
+    const img::Image blurred = accelerator().filterExact(scene);
+    double varIn = 0, varOut = 0, meanIn = 0, meanOut = 0;
+    for (std::size_t i = 0; i < scene.pixelCount(); ++i) {
+        meanIn += scene.pixels()[i];
+        meanOut += blurred.pixels()[i];
+    }
+    meanIn /= static_cast<double>(scene.pixelCount());
+    meanOut /= static_cast<double>(scene.pixelCount());
+    for (std::size_t i = 0; i < scene.pixelCount(); ++i) {
+        varIn += (scene.pixels()[i] - meanIn) * (scene.pixels()[i] - meanIn);
+        varOut += (blurred.pixels()[i] - meanOut) * (blurred.pixels()[i] - meanOut);
+    }
+    EXPECT_LT(varOut, varIn);
+    EXPECT_NEAR(meanOut, meanIn, 6.0);  // blur preserves brightness
+}
+
+TEST(GaussianAccelerator, ConfigValidation) {
+    const img::Image scene = img::syntheticScene(48, 48, 0x11);
+    AcceleratorConfig bad{};
+    bad.multiplier[0] = 99;
+    EXPECT_THROW(accelerator().filter(scene, bad), std::out_of_range);
+}
+
+TEST(BatchAdd16, MatchesScalarSimulation) {
+    const circuit::Netlist adder = gen::loaAdder(16, 6);
+    circuit::Simulator batchSim(adder);
+    circuit::Simulator scalarSim(adder);
+    util::Rng rng(0x12);
+    std::array<std::uint32_t, 64> a{}, b{}, out{};
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+        a[lane] = static_cast<std::uint32_t>(rng.uniformInt(0, 0xFFFF));
+        b[lane] = static_cast<std::uint32_t>(rng.uniformInt(0, 0xFFFF));
+    }
+    batchAdd16(batchSim, std::span<const std::uint32_t>(a),
+               std::span<const std::uint32_t>(b), std::span<std::uint32_t>(out));
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+        const std::uint64_t packed =
+            static_cast<std::uint64_t>(a[lane]) | (static_cast<std::uint64_t>(b[lane]) << 16);
+        EXPECT_EQ(out[lane], scalarSim.evaluateScalar(packed)) << "lane " << lane;
+    }
+}
+
+TEST(AcceleratorCost, AccurateCornerCostsMoreThanCheapCorner) {
+    AcceleratorConfig accurate{};
+    AcceleratorConfig cheap{};
+    cheap.multiplier.fill(static_cast<int>(accelerator().multiplierMenu().size()) - 1);
+    cheap.adder.fill(static_cast<int>(accelerator().adderMenu().size()) - 1);
+    const AcceleratorCost a = accelerator().cost(accurate);
+    const AcceleratorCost c = accelerator().cost(cheap);
+    EXPECT_GT(a.lutCount, c.lutCount);
+    EXPECT_GT(a.powerMw, c.powerMw);
+    EXPECT_GT(a.synthSeconds, 0.0);
+}
+
+TEST(AcceleratorCost, DeterministicPerConfig) {
+    AcceleratorConfig config{};
+    config.multiplier[3] = 1;
+    config.adder[5] = 2;
+    const AcceleratorCost a = accelerator().cost(config);
+    const AcceleratorCost b = accelerator().cost(config);
+    EXPECT_DOUBLE_EQ(a.lutCount, b.lutCount);
+    EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs);
+}
+
+TEST(AcceleratorConfig, HashDiscriminates) {
+    AcceleratorConfig a{}, b{};
+    b.adder[7] = 1;
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.hash(), AcceleratorConfig{}.hash());
+}
+
+TEST(ConfigFeatures, ExactConfigProfile) {
+    const std::vector<double> f = configFeatures(accelerator(), AcceleratorConfig{});
+    ASSERT_EQ(f.size(), 14u);
+    EXPECT_DOUBLE_EQ(f[0], 0.0);   // mult MED mass
+    EXPECT_DOUBLE_EQ(f[6], 9.0);   // exact multiplier count
+    EXPECT_DOUBLE_EQ(f[13], 8.0);  // exact adder count
+}
+
+TEST(DesignSpace, SizeFormula) {
+    const double size = accelerator().designSpaceSize();
+    EXPECT_DOUBLE_EQ(size, std::pow(4.0, 9.0) * std::pow(3.0, 8.0));
+}
+
+TEST(QualityCostFront, MembersNonDominated) {
+    std::vector<EvaluatedConfig> points(12);
+    util::Rng rng(0x13);
+    for (auto& p : points) {
+        p.ssim = rng.uniformReal(0.3, 1.0);
+        p.cost.lutCount = rng.uniformReal(100, 1000);
+    }
+    const std::vector<std::size_t> front = qualityCostFront(points, core::FpgaParam::Area);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t a : front) {
+        for (std::size_t b : front) {
+            if (a == b) continue;
+            EXPECT_FALSE(points[b].ssim >= points[a].ssim &&
+                             points[b].cost.lutCount <= points[a].cost.lutCount &&
+                             (points[b].ssim > points[a].ssim ||
+                              points[b].cost.lutCount < points[a].cost.lutCount));
+        }
+    }
+}
+
+TEST(AutoAxFlow, SmallRunProducesAllScenarios) {
+    AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = 20;
+    cfg.hillIterations = 150;
+    cfg.archiveSeed = 8;
+    cfg.archiveCap = 40;
+    cfg.imageSize = 48;
+    cfg.sceneCount = 1;
+    const AutoAxFpgaFlow::Result result = AutoAxFpgaFlow(cfg).run(accelerator());
+
+    EXPECT_EQ(result.trainingSet.size(), 22u);  // 20 random + 2 corner anchors
+    ASSERT_EQ(result.scenarios.size(), 3u);
+    for (const auto& s : result.scenarios) {
+        EXPECT_FALSE(s.autoax.empty());
+        EXPECT_LE(s.autoax.size(), cfg.archiveCap);
+        EXPECT_EQ(s.random.size(), s.realEvaluations);
+        EXPECT_GT(s.estimatorQueries, static_cast<std::size_t>(cfg.hillIterations));
+        for (const EvaluatedConfig& e : s.autoax) {
+            EXPECT_GE(e.ssim, -1.0);
+            EXPECT_LE(e.ssim, 1.0);
+            EXPECT_GT(e.cost.lutCount, 0.0);
+        }
+    }
+}
+
+TEST(AutoAxFlow, SearchBeatsNothingAtQualityExtreme) {
+    // The archive is seeded with the all-accurate corner, so AutoAx must
+    // always offer an SSIM = 1.0 design.
+    AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = 15;
+    cfg.hillIterations = 100;
+    cfg.imageSize = 48;
+    cfg.sceneCount = 1;
+    const AutoAxFpgaFlow::Result result = AutoAxFpgaFlow(cfg).run(accelerator());
+    for (const auto& s : result.scenarios) {
+        double best = 0.0;
+        for (const EvaluatedConfig& e : s.autoax) best = std::max(best, e.ssim);
+        EXPECT_DOUBLE_EQ(best, 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace axf::autoax

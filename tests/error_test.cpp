@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+
+namespace axf::error {
+namespace {
+
+using circuit::ArithSignature;
+using circuit::GateKind;
+using circuit::Netlist;
+using gen::adderSignature;
+using gen::multiplierSignature;
+
+/// 2-bit "adder" that always outputs zero — every metric is hand-checkable.
+Netlist zeroAdder2() {
+    Netlist net("zero2");
+    for (int i = 0; i < 4; ++i) net.addInput();
+    const circuit::NodeId z = net.addConst(false);
+    for (int i = 0; i < 3; ++i) net.markOutput(z);
+    return net;
+}
+
+TEST(ErrorMetrics, ExactCircuitReportsZero) {
+    const ErrorReport r = analyzeError(gen::rippleCarryAdder(4), adderSignature(4));
+    EXPECT_TRUE(r.isExact());
+    EXPECT_DOUBLE_EQ(r.med, 0.0);
+    EXPECT_DOUBLE_EQ(r.worstCaseError, 0.0);
+    EXPECT_DOUBLE_EQ(r.errorProbability, 0.0);
+    EXPECT_TRUE(r.exhaustive);
+    EXPECT_EQ(r.vectorsEvaluated, 256u);
+}
+
+TEST(ErrorMetrics, ZeroAdderHandComputed) {
+    // Over all 16 operand pairs of a 2-bit adder, sum of (a+b) = 48;
+    // mean |err| = 3; max output 6; WCE = 6; only (0,0) is error-free.
+    const ErrorReport r = analyzeError(zeroAdder2(), adderSignature(2));
+    EXPECT_DOUBLE_EQ(r.meanAbsoluteError, 3.0);
+    EXPECT_DOUBLE_EQ(r.med, 0.5);
+    EXPECT_DOUBLE_EQ(r.worstCaseError, 6.0);
+    EXPECT_DOUBLE_EQ(r.errorProbability, 15.0 / 16.0);
+    // Sum of (a+b)^2 over all pairs: value v occurs (4-|v-3|)... times:
+    // 0:1, 1:2, 2:3, 3:4, 4:3, 5:2, 6:1 -> sum v^2*count = 184.
+    EXPECT_DOUBLE_EQ(r.meanSquaredError, 184.0 / 16.0);
+}
+
+TEST(ErrorMetrics, MedNormalizationUsesMaxOutput) {
+    const ArithSignature addSig = adderSignature(8);
+    EXPECT_EQ(addSig.maxOutput(), 510u);
+    const ArithSignature mulSig = multiplierSignature(8);
+    EXPECT_EQ(mulSig.maxOutput(), 255u * 255u);
+    const ErrorReport r = analyzeError(gen::truncatedMultiplier(8, 3), mulSig);
+    EXPECT_NEAR(r.med, r.meanAbsoluteError / 65025.0, 1e-12);
+}
+
+TEST(ErrorMetrics, InterfaceMismatchThrows) {
+    const Netlist net = gen::rippleCarryAdder(4);
+    EXPECT_THROW(analyzeError(net, adderSignature(5)), std::invalid_argument);
+    EXPECT_THROW(analyzeError(net, multiplierSignature(4)), std::invalid_argument);
+}
+
+TEST(ErrorMetrics, SampledPathAgreesWithExhaustive) {
+    // Force the sampled path on an 8-bit operator and compare to the
+    // exhaustive ground truth: MED must agree within sampling noise.
+    const Netlist net = gen::loaAdder(8, 4);
+    const ErrorReport exact = analyzeError(net, adderSignature(8));
+    ASSERT_TRUE(exact.exhaustive);
+    ErrorAnalysisConfig sampled;
+    sampled.exhaustiveLimit = 1;  // never exhaustive
+    sampled.sampleCount = 1u << 15;
+    const ErrorReport approx = analyzeError(net, adderSignature(8), sampled);
+    EXPECT_FALSE(approx.exhaustive);
+    EXPECT_EQ(approx.vectorsEvaluated, sampled.sampleCount);
+    EXPECT_NEAR(approx.med, exact.med, 0.15 * exact.med + 1e-6);
+    EXPECT_NEAR(approx.errorProbability, exact.errorProbability, 0.05);
+}
+
+TEST(ErrorMetrics, SampledDeterministicPerSeed) {
+    const Netlist net = gen::etaAdder(8, 4);
+    ErrorAnalysisConfig cfg;
+    cfg.exhaustiveLimit = 1;
+    const ErrorReport a = analyzeError(net, adderSignature(8), cfg);
+    const ErrorReport b = analyzeError(net, adderSignature(8), cfg);
+    EXPECT_DOUBLE_EQ(a.med, b.med);
+    cfg.seed ^= 0xFFFF;
+    const ErrorReport c = analyzeError(net, adderSignature(8), cfg);
+    EXPECT_NE(a.med, c.med);  // different sample, different estimate
+}
+
+TEST(ErrorMetrics, WorstCaseDominatesMean) {
+    for (int k : {2, 4, 6}) {
+        const ErrorReport r = analyzeError(gen::truncatedAdder(8, k), adderSignature(8));
+        EXPECT_GE(r.worstCaseError, r.meanAbsoluteError);
+        EXPECT_GE(r.meanSquaredError, r.meanAbsoluteError * r.meanAbsoluteError);
+    }
+}
+
+TEST(ErrorMetrics, SummaryMentionsKeyNumbers) {
+    const ErrorReport r = analyzeError(zeroAdder2(), adderSignature(2));
+    const std::string s = r.summary();
+    EXPECT_NE(s.find("MED"), std::string::npos);
+    EXPECT_NE(s.find("WCE"), std::string::npos);
+    EXPECT_NE(s.find("exhaustive"), std::string::npos);
+}
+
+TEST(ErrorMetrics, PartialLastBlockHandled) {
+    // 3+3-bit space = 64 vectors exactly; also try 3+2 = 32 (sub-block).
+    Netlist net("odd");
+    for (int i = 0; i < 5; ++i) net.addInput();
+    const circuit::NodeId z = net.addConst(false);
+    for (int i = 0; i < 4; ++i) net.markOutput(z);
+    const ArithSignature sig{circuit::ArithOp::Adder, 3, 2};
+    // Interface: 3+2 inputs, adder output = widthA+1 = 4.
+    const ErrorReport r = analyzeError(net, sig);
+    EXPECT_EQ(r.vectorsEvaluated, 32u);
+    EXPECT_TRUE(r.exhaustive);
+}
+
+}  // namespace
+}  // namespace axf::error

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/circuit/export.hpp"
+#include "src/gen/adders.hpp"
+
+namespace axf::circuit {
+namespace {
+
+TEST(Export, VerilogContainsModuleInterface) {
+    const Netlist net = gen::rippleCarryAdder(4);
+    std::ostringstream os;
+    writeVerilog(os, net, "rca4");
+    const std::string v = os.str();
+    EXPECT_NE(v.find("module rca4"), std::string::npos);
+    EXPECT_NE(v.find("input  wire in0"), std::string::npos);
+    EXPECT_NE(v.find("input  wire in7"), std::string::npos);
+    EXPECT_NE(v.find("output wire out4"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+    // Each node should appear as a wire definition.
+    EXPECT_NE(v.find("wire n0 = in0;"), std::string::npos);
+}
+
+TEST(Export, VerilogEmitsAllGateOperators) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId s = net.addInput();
+    net.markOutput(net.addGate(GateKind::Maj, a, b, s));
+    net.markOutput(net.addGate(GateKind::Mux, a, b, s));
+    net.markOutput(net.addGate(GateKind::Xnor, a, b));
+    std::ostringstream os;
+    writeVerilog(os, net, "mixed");
+    const std::string v = os.str();
+    EXPECT_NE(v.find("?"), std::string::npos);   // mux
+    EXPECT_NE(v.find("~("), std::string::npos);  // xnor
+    EXPECT_NE(v.find("&"), std::string::npos);   // maj
+}
+
+TEST(Export, DotContainsNodesAndEdges) {
+    const Netlist net = gen::loaAdder(3, 1);
+    std::ostringstream os;
+    writeDot(os, net);
+    const std::string d = os.str();
+    EXPECT_NE(d.find("digraph"), std::string::npos);
+    EXPECT_NE(d.find("->"), std::string::npos);
+    EXPECT_NE(d.find("out0"), std::string::npos);
+    EXPECT_EQ(d.back(), '\n');
+}
+
+}  // namespace
+}  // namespace axf::circuit

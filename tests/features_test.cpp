@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/features.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+
+namespace axf::circuit {
+namespace {
+
+TEST(Features, DimensionMatchesNames) {
+    EXPECT_EQ(StructuralFeatures::dimension(), StructuralFeatures::names().size());
+    StructuralFeatures f;
+    EXPECT_EQ(f.toVector().size(), StructuralFeatures::dimension());
+}
+
+TEST(Features, CountsOnKnownNetlist) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId g1 = net.addGate(GateKind::And, a, b);
+    const NodeId g2 = net.addGate(GateKind::Xor, g1, b);
+    const NodeId g3 = net.addGate(GateKind::Not, g2);
+    net.markOutput(g3);
+
+    const StructuralFeatures f = extractFeatures(net);
+    EXPECT_DOUBLE_EQ(f.gateCount, 3.0);
+    EXPECT_DOUBLE_EQ(f.inputCount, 2.0);
+    EXPECT_DOUBLE_EQ(f.outputCount, 1.0);
+    EXPECT_DOUBLE_EQ(f.andClassCount, 1.0);
+    EXPECT_DOUBLE_EQ(f.xorClassCount, 1.0);
+    EXPECT_DOUBLE_EQ(f.inverterCount, 1.0);
+    EXPECT_DOUBLE_EQ(f.depth, 3.0);
+    EXPECT_DOUBLE_EQ(f.outputLevelSum, 3.0);
+}
+
+TEST(Features, ScaleWithCircuitSize) {
+    const StructuralFeatures small = extractFeatures(gen::wallaceMultiplier(4));
+    const StructuralFeatures big = extractFeatures(gen::wallaceMultiplier(8));
+    EXPECT_GT(big.gateCount, small.gateCount);
+    EXPECT_GT(big.depth, small.depth);
+    EXPECT_GT(big.xorClassCount, small.xorClassCount);
+}
+
+TEST(Features, AdderVsMultiplierProfilesDiffer) {
+    const StructuralFeatures add = extractFeatures(gen::rippleCarryAdder(8));
+    const StructuralFeatures mul = extractFeatures(gen::wallaceMultiplier(8));
+    // Multipliers carry a big AND-plane; ripple adders are XOR/MAJ chains.
+    EXPECT_GT(mul.andClassCount / mul.gateCount, add.andClassCount / add.gateCount);
+}
+
+TEST(Features, DeterministicForSameNetlist) {
+    const Netlist net = gen::loaAdder(8, 3);
+    EXPECT_EQ(extractFeatures(net).toVector(), extractFeatures(net).toVector());
+}
+
+}  // namespace
+}  // namespace axf::circuit

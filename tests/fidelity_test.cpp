@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "src/core/fidelity.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::core {
+namespace {
+
+TEST(Fidelity, PerfectEstimatorIsOne) {
+    const std::vector<double> mes = {1.0, 3.0, 2.0, 9.0};
+    EXPECT_DOUBLE_EQ(fidelity(mes, mes), 1.0);
+    // Any strictly monotone transform also has fidelity 1 (rank metric).
+    const std::vector<double> scaled = {10.0, 30.0, 20.0, 90.0};
+    EXPECT_DOUBLE_EQ(fidelity(mes, scaled), 1.0);
+    const std::vector<double> squared = {1.0, 9.0, 4.0, 81.0};
+    EXPECT_DOUBLE_EQ(fidelity(mes, squared), 1.0);
+}
+
+TEST(Fidelity, ReversedEstimatorOnlyDiagonalAgrees) {
+    const std::vector<double> mes = {1.0, 2.0, 3.0};
+    const std::vector<double> est = {3.0, 2.0, 1.0};
+    // 9 ordered pairs; only the 3 diagonal pairs agree.
+    EXPECT_DOUBLE_EQ(fidelity(mes, est), 3.0 / 9.0);
+    EXPECT_DOUBLE_EQ(fidelityOffDiagonal(mes, est), 0.0);
+}
+
+TEST(Fidelity, ConstantEstimatorScoresTieStructure) {
+    const std::vector<double> mes = {1.0, 2.0, 3.0};
+    const std::vector<double> est = {5.0, 5.0, 5.0};
+    // Estimated relation is '=' everywhere; measured '=' only on diagonal.
+    EXPECT_DOUBLE_EQ(fidelity(mes, est), 3.0 / 9.0);
+}
+
+TEST(Fidelity, HandComputedPartialAgreement) {
+    // mes: a<b, est: a<b agree; the single swapped pair halves off-diag.
+    const std::vector<double> mes = {1.0, 2.0, 3.0};
+    const std::vector<double> est = {1.0, 3.0, 2.0};
+    // Pairs (ordered, incl. diagonal): 9. Agreeing: diagonal (3) +
+    // (0,1),(1,0),(0,2),(2,0) = 4 -> 7/9.
+    EXPECT_DOUBLE_EQ(fidelity(mes, est), 7.0 / 9.0);
+}
+
+TEST(Fidelity, SymmetricInPairOrder) {
+    util::Rng rng(1);
+    std::vector<double> mes(20), est(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+        mes[i] = rng.uniformReal(0, 1);
+        est[i] = rng.uniformReal(0, 1);
+    }
+    // Swapping measured and estimated must not change pairwise agreement.
+    EXPECT_DOUBLE_EQ(fidelity(mes, est), fidelity(est, mes));
+}
+
+TEST(Fidelity, SizeMismatchThrows) {
+    EXPECT_THROW(fidelity(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Fidelity, EmptyIsZero) {
+    EXPECT_DOUBLE_EQ(fidelity(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(Fidelity, NoisierEstimatesScoreLower) {
+    util::Rng rng(2);
+    std::vector<double> mes(50), mild(50), wild(50);
+    for (std::size_t i = 0; i < 50; ++i) {
+        mes[i] = static_cast<double>(i);
+        mild[i] = mes[i] + rng.gaussian(0.0, 1.0);
+        wild[i] = mes[i] + rng.gaussian(0.0, 25.0);
+    }
+    EXPECT_GT(fidelity(mes, mild), fidelity(mes, wild));
+    EXPECT_GT(fidelity(mes, mild), 0.9);
+}
+
+TEST(Fidelity, OffDiagonalIsStricter) {
+    util::Rng rng(3);
+    std::vector<double> mes(30), est(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+        mes[i] = rng.uniformReal(0, 1);
+        est[i] = mes[i] + rng.gaussian(0.0, 0.2);
+    }
+    EXPECT_GE(fidelity(mes, est), fidelityOffDiagonal(mes, est));
+}
+
+}  // namespace
+}  // namespace axf::core

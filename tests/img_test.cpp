@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "src/img/image.hpp"
+#include "src/img/ssim.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::img {
+namespace {
+
+TEST(Image, BasicAccessAndClamping) {
+    Image im(4, 3, 7);
+    EXPECT_EQ(im.width(), 4);
+    EXPECT_EQ(im.height(), 3);
+    EXPECT_EQ(im.pixelCount(), 12u);
+    EXPECT_EQ(im.at(2, 1), 7);
+    im.set(2, 1, 200);
+    EXPECT_EQ(im.at(2, 1), 200);
+    EXPECT_EQ(im.atClamped(-5, 1), im.at(0, 1));
+    EXPECT_EQ(im.atClamped(99, 99), im.at(3, 2));
+}
+
+TEST(Image, SyntheticSceneDeterministicAndVaried) {
+    const Image a = syntheticScene(64, 64, 42);
+    const Image b = syntheticScene(64, 64, 42);
+    EXPECT_EQ(a.pixels(), b.pixels());
+    const Image c = syntheticScene(64, 64, 43);
+    EXPECT_NE(a.pixels(), c.pixels());
+
+    // Scene must have real contrast (not flat).
+    int minV = 255, maxV = 0;
+    for (std::uint8_t p : a.pixels()) {
+        minV = std::min<int>(minV, p);
+        maxV = std::max<int>(maxV, p);
+    }
+    EXPECT_GT(maxV - minV, 80);
+}
+
+TEST(Psnr, IdenticalImagesCapped) {
+    const Image a = syntheticScene(32, 32, 1);
+    EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+}
+
+TEST(Psnr, DecreasesWithNoise) {
+    const Image a = syntheticScene(64, 64, 2);
+    util::Rng rng(3);
+    Image mild = a, strong = a;
+    for (std::size_t i = 0; i < a.pixelCount(); ++i) {
+        mild.pixels()[i] = static_cast<std::uint8_t>(
+            std::clamp<int>(a.pixels()[i] + static_cast<int>(rng.gaussian(0, 2)), 0, 255));
+        strong.pixels()[i] = static_cast<std::uint8_t>(
+            std::clamp<int>(a.pixels()[i] + static_cast<int>(rng.gaussian(0, 25)), 0, 255));
+    }
+    EXPECT_GT(psnr(a, mild), psnr(a, strong));
+    EXPECT_GT(psnr(a, strong), 10.0);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+    const Image a = syntheticScene(64, 64, 4);
+    EXPECT_DOUBLE_EQ(ssim(a, a), 1.0);
+}
+
+TEST(Ssim, BoundedAndMonotoneInDistortion) {
+    const Image a = syntheticScene(64, 64, 5);
+    util::Rng rng(6);
+    Image mild = a, strong = a;
+    for (std::size_t i = 0; i < a.pixelCount(); ++i) {
+        mild.pixels()[i] = static_cast<std::uint8_t>(
+            std::clamp<int>(a.pixels()[i] + static_cast<int>(rng.gaussian(0, 4)), 0, 255));
+        strong.pixels()[i] = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    }
+    const double sMild = ssim(a, mild);
+    const double sStrong = ssim(a, strong);
+    EXPECT_LT(sStrong, sMild);
+    EXPECT_LT(sMild, 1.0);
+    EXPECT_GE(sMild, 0.5);
+    EXPECT_GE(sStrong, -1.0);
+    EXPECT_LE(sStrong, 0.6);
+}
+
+TEST(Ssim, ConstantShiftPenalizedLessThanStructureLoss) {
+    const Image a = syntheticScene(64, 64, 7);
+    Image shifted = a;
+    for (auto& p : shifted.pixels())
+        p = static_cast<std::uint8_t>(std::min(255, p + 8));  // luminance shift
+    Image flat(64, 64, 128);  // structure destroyed
+    EXPECT_GT(ssim(a, shifted), ssim(a, flat));
+}
+
+TEST(Ssim, ShapeChecks) {
+    const Image a = syntheticScene(32, 32, 8);
+    const Image b = syntheticScene(16, 16, 8);
+    EXPECT_THROW(ssim(a, b), std::invalid_argument);
+    const Image tiny(4, 4, 0);
+    EXPECT_THROW(ssim(tiny, tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axf::img

@@ -1,0 +1,116 @@
+// End-to-end integration: library generation -> ApproxFPGAs methodology ->
+// component extraction -> AutoAx-FPGA accelerator search, plus whole-
+// pipeline determinism.  Mirrors the paper's Fig. 2 + Fig. 9 pipeline on a
+// reduced budget.
+
+#include <gtest/gtest.h>
+
+#include "src/autoax/dse.hpp"
+#include "src/core/flow.hpp"
+
+namespace axf {
+namespace {
+
+gen::LibraryConfig libConfig(circuit::ArithOp op, int width) {
+    gen::LibraryConfig cfg;
+    cfg.op = op;
+    cfg.width = width;
+    cfg.medBudgets = {0.002, 0.02};
+    cfg.cgpGenerations = 40;
+    if (width >= 12) {
+        cfg.errorConfig.sampleCount = 1u << 13;
+    }
+    return cfg;
+}
+
+TEST(Integration, FullPipelineLibraryToAccelerator) {
+    // Stage 1: libraries (with real CGP evolution).
+    gen::AcLibrary mulLib = gen::buildLibrary(libConfig(circuit::ArithOp::Multiplier, 8));
+    gen::AcLibrary addLib = gen::buildLibrary(libConfig(circuit::ArithOp::Adder, 16));
+    ASSERT_GT(mulLib.size(), 50u);
+    ASSERT_GT(addLib.size(), 50u);
+
+    // Stage 2: the ApproxFPGAs methodology on both.
+    core::ApproxFpgasFlow::Config flowCfg;
+    const core::FlowResult mulFlow = core::ApproxFpgasFlow(flowCfg).run(std::move(mulLib));
+    const core::FlowResult addFlow = core::ApproxFpgasFlow(flowCfg).run(std::move(addLib));
+    EXPECT_GT(mulFlow.speedup(), 1.5);
+    EXPECT_GT(mulFlow.meanCoverage(), 0.4);
+
+    // Stage 3: component menus (paper: 9 multipliers, 8 adders).
+    std::vector<autoax::Component> mults =
+        autoax::componentsFromFlow(mulFlow, core::FpgaParam::Area, 9);
+    std::vector<autoax::Component> adders =
+        autoax::componentsFromFlow(addFlow, core::FpgaParam::Area, 8);
+    ASSERT_GE(mults.size(), 3u);
+    ASSERT_GE(adders.size(), 3u);
+    // Menus are MED-sorted with an exact design first.
+    EXPECT_TRUE(mults.front().error.isExact());
+    EXPECT_TRUE(adders.front().error.isExact());
+    for (std::size_t i = 1; i < mults.size(); ++i)
+        EXPECT_GE(mults[i].error.med, mults[i - 1].error.med);
+
+    // Stage 4: accelerator search.
+    const autoax::GaussianAccelerator accel(std::move(mults), std::move(adders));
+    autoax::AutoAxFpgaFlow::Config dseCfg;
+    dseCfg.trainConfigs = 25;
+    dseCfg.hillIterations = 250;
+    dseCfg.archiveCap = 60;
+    dseCfg.imageSize = 48;
+    dseCfg.sceneCount = 1;
+    const autoax::AutoAxFpgaFlow::Result dse = autoax::AutoAxFpgaFlow(dseCfg).run(accel);
+    ASSERT_EQ(dse.scenarios.size(), 3u);
+
+    // The discovered front must span a real quality/cost trade-off.
+    const auto& area = dse.scenarios[2];
+    ASSERT_EQ(area.param, core::FpgaParam::Area);
+    double bestSsim = 0.0, worstSsim = 2.0, minArea = 1e18, maxArea = 0.0;
+    for (std::size_t pos : autoax::qualityCostFront(area.autoax, area.param)) {
+        const autoax::EvaluatedConfig& p = area.autoax[pos];
+        bestSsim = std::max(bestSsim, p.ssim);
+        worstSsim = std::min(worstSsim, p.ssim);
+        minArea = std::min(minArea, p.cost.lutCount);
+        maxArea = std::max(maxArea, p.cost.lutCount);
+    }
+    EXPECT_DOUBLE_EQ(bestSsim, 1.0);  // exact corner reachable
+    EXPECT_LT(minArea, maxArea);      // cheaper-but-worse alternatives exist
+}
+
+TEST(Integration, MethodologyIsDeterministicEndToEnd) {
+    const auto runOnce = [] {
+        core::ApproxFpgasFlow::Config cfg;
+        cfg.evaluateCoverage = false;
+        gen::LibraryConfig lc = libConfig(circuit::ArithOp::Multiplier, 6);
+        return core::ApproxFpgasFlow(cfg).run(gen::buildLibrary(lc));
+    };
+    const core::FlowResult a = runOnce();
+    const core::FlowResult b = runOnce();
+    EXPECT_EQ(a.circuitsSynthesized, b.circuitsSynthesized);
+    EXPECT_DOUBLE_EQ(a.flowSynthSeconds, b.flowSynthSeconds);
+    ASSERT_EQ(a.leaderboard.size(), b.leaderboard.size());
+    for (std::size_t i = 0; i < a.leaderboard.size(); ++i)
+        for (const auto& [param, fidelity] : a.leaderboard[i].fidelityByParam)
+            EXPECT_DOUBLE_EQ(fidelity, b.leaderboard[i].fidelityByParam.at(param))
+                << a.leaderboard[i].id;
+}
+
+TEST(Integration, MeasuredFpgaValuesAreTheFlowArtifacts) {
+    // The paper open-sources the measured Pareto circuits; verify the flow's
+    // stored reports equal a fresh implementation run (cache coherence).
+    core::ApproxFpgasFlow::Config cfg;
+    gen::LibraryConfig lc = libConfig(circuit::ArithOp::Adder, 8);
+    lc.structuralOnly = true;
+    const core::FlowResult result = core::ApproxFpgasFlow(cfg).run(gen::buildLibrary(lc));
+    const synth::FpgaFlow fpga;
+    for (const core::TargetOutcome& t : result.targets) {
+        for (std::size_t idx : t.finalParetoIndices) {
+            const core::CharacterizedCircuit& cc = result.dataset.circuits()[idx];
+            const synth::FpgaReport fresh = fpga.implement(cc.circuit.netlist);
+            EXPECT_DOUBLE_EQ(cc.fpga.lutCount, fresh.lutCount);
+            EXPECT_DOUBLE_EQ(cc.fpga.latencyNs, fresh.latencyNs);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace axf

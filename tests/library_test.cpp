@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/error/error_metrics.hpp"
+#include "src/gen/library.hpp"
+
+namespace axf::gen {
+namespace {
+
+LibraryConfig smallConfig(circuit::ArithOp op, int width) {
+    LibraryConfig cfg;
+    cfg.op = op;
+    cfg.width = width;
+    cfg.medBudgets = {0.005};
+    cfg.cgpGenerations = 30;
+    return cfg;
+}
+
+TEST(Library, StructuralFamiliesArePopulated) {
+    const AcLibrary adders = buildStructuralFamilies(smallConfig(circuit::ArithOp::Adder, 8));
+    EXPECT_GT(adders.size(), 30u);
+    const AcLibrary mults =
+        buildStructuralFamilies(smallConfig(circuit::ArithOp::Multiplier, 8));
+    EXPECT_GT(mults.size(), 30u);
+}
+
+TEST(Library, EntriesAreConsistent) {
+    const LibraryConfig cfg = smallConfig(circuit::ArithOp::Multiplier, 4);
+    for (const LibraryCircuit& entry : buildLibrary(cfg)) {
+        EXPECT_FALSE(entry.name.empty());
+        EXPECT_FALSE(entry.origin.empty());
+        EXPECT_EQ(entry.signature.op, circuit::ArithOp::Multiplier);
+        EXPECT_EQ(static_cast<int>(entry.netlist.inputCount()), entry.signature.inputWidth());
+        EXPECT_EQ(static_cast<int>(entry.netlist.outputCount()), entry.signature.outputWidth());
+        entry.netlist.validate();
+        // Stored error must match a fresh analysis with the same config.
+        const error::ErrorReport fresh =
+            error::analyzeError(entry.netlist, entry.signature, cfg.errorConfig);
+        EXPECT_DOUBLE_EQ(entry.error.med, fresh.med) << entry.name;
+    }
+}
+
+TEST(Library, DeduplicatesByStructure) {
+    const AcLibrary lib = buildLibrary(smallConfig(circuit::ArithOp::Adder, 4));
+    std::set<std::uint64_t> hashes;
+    for (const LibraryCircuit& entry : lib) hashes.insert(entry.netlist.structuralHash());
+    EXPECT_EQ(hashes.size(), lib.size());
+}
+
+TEST(Library, ContainsExactAndApproximateDesigns) {
+    const AcLibrary lib = buildLibrary(smallConfig(circuit::ArithOp::Adder, 8));
+    bool anyExact = false, anyApprox = false;
+    for (const LibraryCircuit& entry : lib) {
+        if (entry.error.isExact()) anyExact = true;
+        if (entry.error.med > 0.0) anyApprox = true;
+    }
+    EXPECT_TRUE(anyExact);
+    EXPECT_TRUE(anyApprox);
+}
+
+TEST(Library, CgpContributesNovelDesigns) {
+    LibraryConfig cfg = smallConfig(circuit::ArithOp::Multiplier, 4);
+    cfg.cgpGenerations = 60;
+    cfg.medBudgets = {0.002, 0.02};
+    const AcLibrary lib = buildLibrary(cfg);
+    std::size_t cgp = 0;
+    for (const LibraryCircuit& entry : lib)
+        if (entry.origin == "cgp") ++cgp;
+    EXPECT_GT(cgp, 10u);
+}
+
+TEST(Library, StructuralOnlySkipsEvolution) {
+    LibraryConfig cfg = smallConfig(circuit::ArithOp::Multiplier, 4);
+    cfg.structuralOnly = true;
+    for (const LibraryCircuit& entry : buildLibrary(cfg)) EXPECT_NE(entry.origin, "cgp");
+}
+
+TEST(Library, MaxCircuitsThinningKeepsSpread) {
+    LibraryConfig cfg = smallConfig(circuit::ArithOp::Adder, 8);
+    cfg.maxCircuits = 20;
+    const AcLibrary lib = buildLibrary(cfg);
+    EXPECT_EQ(lib.size(), 20u);
+    double minMed = 1e9, maxMed = -1.0;
+    for (const LibraryCircuit& entry : lib) {
+        minMed = std::min(minMed, entry.error.med);
+        maxMed = std::max(maxMed, entry.error.med);
+    }
+    EXPECT_DOUBLE_EQ(minMed, 0.0);  // an exact design survives thinning
+    EXPECT_GT(maxMed, 0.0);
+}
+
+TEST(Library, DeterministicBuilds) {
+    const LibraryConfig cfg = smallConfig(circuit::ArithOp::Multiplier, 4);
+    const AcLibrary a = buildLibrary(cfg);
+    const AcLibrary b = buildLibrary(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].netlist.structuralHash(), b[i].netlist.structuralHash());
+}
+
+TEST(Library, SignatureHelper) {
+    const LibraryConfig cfg = smallConfig(circuit::ArithOp::Multiplier, 8);
+    EXPECT_EQ(librarySignature(cfg).toString(), "8x8 multiplier");
+}
+
+}  // namespace
+}  // namespace axf::gen

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/ml/linalg.hpp"
+
+namespace axf::ml {
+namespace {
+
+TEST(Matrix, BasicAccessorsAndIdentity) {
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+    m.at(0, 1) = 7.0;
+    EXPECT_DOUBLE_EQ(m.row(0)[1], 7.0);
+
+    const Matrix id = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(id.at(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(id.at(0, 2), 0.0);
+}
+
+TEST(Matrix, FromRowsAndRagged) {
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 6.0);
+    EXPECT_THROW(Matrix::fromRows({{1, 2}, {3}}), std::invalid_argument);
+    EXPECT_TRUE(Matrix::fromRows({}).empty());
+}
+
+TEST(Matrix, Transpose) {
+    const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(Matrix, MultiplyMatrixAndVector) {
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+
+    const Vector v = a * Vector{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 7.0);
+    EXPECT_THROW(a * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(Matrix, GramAndTransposeTimes) {
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const Matrix g = a.gram();  // A^T A
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 44.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 0), 44.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 1), 56.0);
+    const Vector aty = a.transposeTimes({1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(aty[0], 9.0);
+    EXPECT_DOUBLE_EQ(aty[1], 12.0);
+}
+
+TEST(Solve, SpdSystem) {
+    // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11]
+    Matrix a = Matrix::fromRows({{4, 1}, {1, 3}});
+    const Vector x = solveSpd(a, {1.0, 2.0});
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(Solve, NonSpdFallsBackToGaussian) {
+    // Indefinite but invertible.
+    Matrix a = Matrix::fromRows({{0, 1}, {1, 0}});
+    const Vector x = solveSpd(a, {2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, GaussianWithPivoting) {
+    Matrix a = Matrix::fromRows({{1e-14, 1.0}, {1.0, 1.0}});
+    const Vector x = solveLinear(a, {1.0, 2.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-6);
+    EXPECT_NEAR(x[1], 1.0, 1e-6);
+}
+
+TEST(Solve, SingularThrows) {
+    Matrix a = Matrix::fromRows({{1, 2}, {2, 4}});
+    EXPECT_THROW(solveLinear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Solve, ShapeMismatchThrows) {
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_THROW(solveLinear(a, {1.0}), std::invalid_argument);
+    EXPECT_THROW(solveSpd(Matrix(2, 3), {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Solve, RandomSpdRoundTrip) {
+    // Property: for X^T X + I (SPD by construction), solve then multiply
+    // back recovers b.
+    const Matrix x = Matrix::fromRows({{1, 2, 0.5}, {0.3, 1, 2}, {2, 0.1, 1}, {1, 1, 1}});
+    Matrix a = x.gram();
+    for (std::size_t i = 0; i < a.rows(); ++i) a.at(i, i) += 1.0;
+    const Vector b = {1.0, -2.0, 0.5};
+    const Vector sol = solveSpd(a, b);
+    const Vector back = a * sol;
+    for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(VectorOps, DotAndDistance) {
+    const Vector a = {1.0, 2.0, 3.0};
+    const Vector b = {4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+    EXPECT_DOUBLE_EQ(squaredDistance(a, b), 27.0);
+}
+
+}  // namespace
+}  // namespace axf::ml

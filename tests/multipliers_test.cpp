@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "src/circuit/simulator.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/multipliers.hpp"
+
+namespace axf::gen {
+namespace {
+
+using circuit::Netlist;
+
+class ExactMultipliers
+    : public ::testing::TestWithParam<std::tuple<std::function<Netlist(int)>, int>> {};
+
+TEST_P(ExactMultipliers, ComputesExactProduct) {
+    const auto& [build, width] = GetParam();
+    const Netlist net = build(width);
+    EXPECT_EQ(static_cast<int>(net.inputCount()), 2 * width);
+    EXPECT_EQ(static_cast<int>(net.outputCount()), 2 * width);
+    net.validate();
+    EXPECT_TRUE(error::isFunctionallyExact(net, multiplierSignature(width))) << net.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ExactMultipliers,
+    ::testing::Combine(::testing::Values(std::function<Netlist(int)>(arrayMultiplier),
+                                         std::function<Netlist(int)>(wallaceMultiplier)),
+                       ::testing::Values(2, 3, 4, 5, 6, 8, 10)));
+
+TEST(Multipliers, WallaceIsShallowerThanArray) {
+    EXPECT_LT(wallaceMultiplier(8).depth(), arrayMultiplier(8).depth());
+}
+
+TEST(Multipliers, WidthBounds) {
+    EXPECT_THROW(arrayMultiplier(1), std::invalid_argument);
+    EXPECT_THROW(wallaceMultiplier(17), std::invalid_argument);
+    EXPECT_THROW(truncatedMultiplier(4, 9), std::invalid_argument);
+    EXPECT_THROW(brokenArrayMultiplier(4, 9, 0), std::invalid_argument);
+    EXPECT_THROW(kulkarniMultiplier(6), std::invalid_argument);
+    EXPECT_THROW(approxCompressorMultiplier(4, -1), std::invalid_argument);
+}
+
+TEST(Multipliers, TruncatedZeroColumnsIsExact) {
+    EXPECT_TRUE(error::isFunctionallyExact(truncatedMultiplier(4, 0), multiplierSignature(4)));
+    EXPECT_TRUE(
+        error::isFunctionallyExact(brokenArrayMultiplier(4, 0, 0), multiplierSignature(4)));
+    EXPECT_TRUE(
+        error::isFunctionallyExact(approxCompressorMultiplier(4, 0), multiplierSignature(4)));
+}
+
+TEST(Multipliers, TruncatedErrorMonotonicInColumns) {
+    double previous = -1.0;
+    for (int t = 1; t <= 8; ++t) {
+        const error::ErrorReport r =
+            error::analyzeError(truncatedMultiplier(8, t), multiplierSignature(8));
+        EXPECT_GE(r.med, previous) << "t=" << t;
+        previous = r.med;
+    }
+    EXPECT_GT(previous, 0.0);
+}
+
+TEST(Multipliers, TruncatedWorstCaseBound) {
+    // Dropping columns < t can lose at most sum of those partial products.
+    const int t = 4;
+    const error::ErrorReport r =
+        error::analyzeError(truncatedMultiplier(8, t), multiplierSignature(8));
+    double bound = 0.0;
+    for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j)
+            if (i + j < t) bound += static_cast<double>(1u << (i + j));
+    EXPECT_LE(r.worstCaseError, bound);
+}
+
+TEST(Multipliers, BamErrorGrowsWithBreaks) {
+    const error::ErrorReport shallow =
+        error::analyzeError(brokenArrayMultiplier(8, 2, 0), multiplierSignature(8));
+    const error::ErrorReport deep =
+        error::analyzeError(brokenArrayMultiplier(8, 6, 0), multiplierSignature(8));
+    EXPECT_LT(shallow.med, deep.med);
+    const error::ErrorReport withVertical =
+        error::analyzeError(brokenArrayMultiplier(8, 6, 3), multiplierSignature(8));
+    EXPECT_LE(deep.med, withVertical.med);
+}
+
+TEST(Multipliers, Kulkarni2x2KnownError) {
+    // The approximate 2x2 block is exact except 3*3 = 9 -> 7.
+    const Netlist net = kulkarniMultiplier(2);
+    const error::ErrorReport r = error::analyzeError(net, multiplierSignature(2));
+    EXPECT_DOUBLE_EQ(r.errorProbability, 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(r.worstCaseError, 2.0);
+    EXPECT_DOUBLE_EQ(r.meanAbsoluteError, 2.0 / 16.0);
+}
+
+TEST(Multipliers, KulkarniRecursiveErrorProbabilityGrows) {
+    const double ep2 =
+        error::analyzeError(kulkarniMultiplier(2), multiplierSignature(2)).errorProbability;
+    const double ep4 =
+        error::analyzeError(kulkarniMultiplier(4), multiplierSignature(4)).errorProbability;
+    const double ep8 =
+        error::analyzeError(kulkarniMultiplier(8), multiplierSignature(8)).errorProbability;
+    EXPECT_LT(ep2, ep4);
+    EXPECT_LT(ep4, ep8);
+}
+
+TEST(Multipliers, CompressorColumnsMonotone) {
+    double previous = -1.0;
+    for (int c = 1; c <= 8; c += 1) {
+        const error::ErrorReport r =
+            error::analyzeError(approxCompressorMultiplier(8, c), multiplierSignature(8));
+        EXPECT_GE(r.med, previous - 1e-12) << "c=" << c;
+        previous = r.med;
+    }
+}
+
+TEST(Multipliers, DrumSmallValuesExact) {
+    // Operands that fit in k bits bypass the truncation entirely.
+    const circuit::Netlist net = drumMultiplier(8, 4);
+    circuit::Simulator sim(net);
+    for (std::uint64_t a = 0; a < 16; ++a)
+        for (std::uint64_t b = 0; b < 16; ++b)
+            EXPECT_EQ(sim.evaluateScalar(a | (b << 8)), a * b) << a << "*" << b;
+}
+
+TEST(Multipliers, DrumRelativeErrorShrinksWithK) {
+    double previous = 1.0;
+    for (int k : {2, 3, 4, 5, 6}) {
+        const error::ErrorReport r =
+            error::analyzeError(drumMultiplier(8, k), multiplierSignature(8));
+        EXPECT_LT(r.meanRelativeError, previous) << "k=" << k;
+        previous = r.meanRelativeError;
+    }
+    // DRUM's selling point: bounded relative error (~2^-k scale).
+    EXPECT_LT(previous, 0.02);
+    EXPECT_THROW(drumMultiplier(8, 1), std::invalid_argument);
+    EXPECT_THROW(drumMultiplier(8, 8), std::invalid_argument);
+}
+
+TEST(Multipliers, DrumNearlyUnbiased) {
+    // The forced-LSB trick keeps the mean *signed* error small relative to
+    // the mean absolute error.
+    const circuit::Netlist net = drumMultiplier(8, 4);
+    circuit::Simulator sim(net);
+    double signedSum = 0.0, absSum = 0.0;
+    for (std::uint64_t a = 0; a < 256; a += 3) {
+        for (std::uint64_t b = 0; b < 256; b += 3) {
+            const double approx = static_cast<double>(sim.evaluateScalar(a | (b << 8)));
+            const double exact = static_cast<double>(a * b);
+            signedSum += approx - exact;
+            absSum += std::abs(approx - exact);
+        }
+    }
+    EXPECT_LT(std::abs(signedSum), 0.25 * absSum);
+}
+
+TEST(Multipliers, MitchellPowersOfTwoExact) {
+    // Mitchell's log approximation is exact when both mantissas are zero.
+    const circuit::Netlist net = mitchellMultiplier(8);
+    circuit::Simulator sim(net);
+    for (std::uint64_t a : {0ull, 1ull, 2ull, 4ull, 8ull, 16ull, 64ull, 128ull})
+        for (std::uint64_t b : {0ull, 1ull, 2ull, 8ull, 32ull, 128ull})
+            EXPECT_EQ(sim.evaluateScalar(a | (b << 8)), a * b) << a << "*" << b;
+}
+
+TEST(Multipliers, MitchellKnownErrorEnvelope) {
+    // Classic result: Mitchell under-estimates, with worst relative error
+    // about 1 - 2*(ln 2) ... ~11.1%, and a single-digit-percent mean.
+    const error::ErrorReport r =
+        error::analyzeError(mitchellMultiplier(8), multiplierSignature(8));
+    EXPECT_GT(r.meanRelativeError, 0.005);
+    EXPECT_LT(r.meanRelativeError, 0.06);
+    const circuit::Netlist net = mitchellMultiplier(8);
+    circuit::Simulator sim(net);
+    for (std::uint64_t a = 3; a < 256; a += 17) {
+        for (std::uint64_t b = 5; b < 256; b += 13) {
+            const std::uint64_t approx = sim.evaluateScalar(a | (b << 8));
+            EXPECT_LE(approx, a * b) << "Mitchell must never over-estimate";
+            EXPECT_GE(static_cast<double>(approx), 0.87 * static_cast<double>(a * b))
+                << a << "*" << b;
+        }
+    }
+}
+
+TEST(Multipliers, ApproximationsSaveGatesAfterSimplify) {
+    const std::size_t exactGates = wallaceMultiplier(8).gateCount();
+    EXPECT_LT(truncatedMultiplier(8, 6).pruned().gateCount() + 0u, exactGates + 200u);
+    // The real comparison happens post-simplify inside the flows; here we
+    // check the family produces structurally distinct designs.
+    std::set<std::uint64_t> hashes;
+    for (int t = 0; t <= 8; ++t) hashes.insert(truncatedMultiplier(8, t).structuralHash());
+    EXPECT_EQ(hashes.size(), 9u);
+}
+
+}  // namespace
+}  // namespace axf::gen

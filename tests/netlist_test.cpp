@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/netlist.hpp"
+
+namespace axf::circuit {
+namespace {
+
+Netlist tinyXorNet() {
+    Netlist net("xor2");
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    net.markOutput(net.addGate(GateKind::Xor, a, b));
+    return net;
+}
+
+TEST(Netlist, BuilderCounts) {
+    const Netlist net = tinyXorNet();
+    EXPECT_EQ(net.nodeCount(), 3u);
+    EXPECT_EQ(net.gateCount(), 1u);
+    EXPECT_EQ(net.inputCount(), 2u);
+    EXPECT_EQ(net.outputCount(), 1u);
+    EXPECT_EQ(net.name(), "xor2");
+    net.validate();
+}
+
+TEST(Netlist, FanInCount) {
+    EXPECT_EQ(fanInCount(GateKind::Input), 0);
+    EXPECT_EQ(fanInCount(GateKind::Const1), 0);
+    EXPECT_EQ(fanInCount(GateKind::Not), 1);
+    EXPECT_EQ(fanInCount(GateKind::Buf), 1);
+    EXPECT_EQ(fanInCount(GateKind::And), 2);
+    EXPECT_EQ(fanInCount(GateKind::Mux), 3);
+    EXPECT_EQ(fanInCount(GateKind::Maj), 3);
+}
+
+TEST(Netlist, GateKindNamesUnique) {
+    std::set<std::string> names;
+    for (int k = 0; k <= static_cast<int>(GateKind::Maj); ++k)
+        names.insert(gateKindName(static_cast<GateKind>(k)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(GateKind::Maj) + 1);
+}
+
+TEST(Netlist, RejectsForwardReferences) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    EXPECT_THROW(net.addGate(GateKind::And, a, 99), std::out_of_range);
+    EXPECT_THROW(net.markOutput(42), std::out_of_range);
+    EXPECT_THROW(net.addGate(GateKind::Input, a), std::invalid_argument);
+}
+
+TEST(Netlist, LevelsAndDepth) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId g1 = net.addGate(GateKind::And, a, b);
+    const NodeId g2 = net.addGate(GateKind::Xor, g1, a);
+    net.markOutput(g2);
+    const std::vector<int> level = net.levels();
+    EXPECT_EQ(level[a], 0);
+    EXPECT_EQ(level[g1], 1);
+    EXPECT_EQ(level[g2], 2);
+    EXPECT_EQ(net.depth(), 2);
+}
+
+TEST(Netlist, Fanouts) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId g1 = net.addGate(GateKind::And, a, b);
+    net.markOutput(g1);
+    net.markOutput(g1);  // double-used output
+    const std::vector<int> fo = net.fanouts();
+    EXPECT_EQ(fo[a], 1);
+    EXPECT_EQ(fo[g1], 2);
+}
+
+TEST(Netlist, PrunedDropsDeadLogicKeepsInputs) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId live = net.addGate(GateKind::And, a, b);
+    net.addGate(GateKind::Or, a, b);  // dead
+    net.markOutput(live);
+    const Netlist pruned = net.pruned();
+    EXPECT_EQ(pruned.gateCount(), 1u);
+    EXPECT_EQ(pruned.inputCount(), 2u);  // interface preserved
+    EXPECT_EQ(pruned.outputCount(), 1u);
+    pruned.validate();
+}
+
+TEST(Netlist, PrunedKeepsUnusedInputs) {
+    Netlist net;
+    net.addInput();  // never used
+    const NodeId b = net.addInput();
+    net.markOutput(net.addGate(GateKind::Not, b));
+    const Netlist pruned = net.pruned();
+    EXPECT_EQ(pruned.inputCount(), 2u);
+}
+
+TEST(Netlist, StructuralHashDiscriminates) {
+    Netlist a = tinyXorNet();
+    Netlist b = tinyXorNet();
+    EXPECT_EQ(a.structuralHash(), b.structuralHash());
+    Netlist c("other");
+    const NodeId x = c.addInput();
+    const NodeId y = c.addInput();
+    c.markOutput(c.addGate(GateKind::And, x, y));
+    EXPECT_NE(a.structuralHash(), c.structuralHash());
+}
+
+TEST(Netlist, HashSensitiveToOutputOrder) {
+    Netlist a, b;
+    for (Netlist* net : {&a, &b}) {
+        const NodeId x = net->addInput();
+        const NodeId y = net->addInput();
+        const NodeId g1 = net->addGate(GateKind::And, x, y);
+        const NodeId g2 = net->addGate(GateKind::Or, x, y);
+        if (net == &a) {
+            net->markOutput(g1);
+            net->markOutput(g2);
+        } else {
+            net->markOutput(g2);
+            net->markOutput(g1);
+        }
+    }
+    EXPECT_NE(a.structuralHash(), b.structuralHash());
+}
+
+}  // namespace
+}  // namespace axf::circuit

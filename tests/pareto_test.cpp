@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/pareto.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::core {
+namespace {
+
+std::vector<ParetoPoint> pts(std::initializer_list<std::pair<double, double>> xs) {
+    std::vector<ParetoPoint> out;
+    std::size_t i = 0;
+    for (const auto& [x, y] : xs) out.push_back(ParetoPoint{x, y, i++});
+    return out;
+}
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+    return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+TEST(Pareto, HandCase) {
+    // (1,5) (2,3) (3,4) (4,1): front = {(1,5),(2,3),(4,1)}.
+    const auto points = pts({{1, 5}, {2, 3}, {3, 4}, {4, 1}});
+    const std::vector<std::size_t> front = paretoFront(points);
+    std::set<std::size_t> indices;
+    for (std::size_t pos : front) indices.insert(points[pos].index);
+    EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, DuplicatesAllKept) {
+    const auto points = pts({{1, 1}, {1, 1}, {2, 2}});
+    const std::vector<std::size_t> front = paretoFront(points);
+    EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(Pareto, SingleAndEmpty) {
+    EXPECT_TRUE(paretoFront({}).empty());
+    EXPECT_EQ(paretoFront(pts({{1, 1}})).size(), 1u);
+}
+
+TEST(Pareto, FrontMembersAreMutuallyNonDominatedProperty) {
+    util::Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<ParetoPoint> points(60);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            points[i] = ParetoPoint{rng.uniformReal(0, 1), rng.uniformReal(0, 1), i};
+        const std::vector<std::size_t> front = paretoFront(points);
+        ASSERT_FALSE(front.empty());
+        for (std::size_t a : front) {
+            for (std::size_t b : front) {
+                if (a == b) continue;
+                EXPECT_FALSE(dominates(points[a], points[b]));
+            }
+        }
+        // Completeness: every non-front point is dominated by some front point.
+        std::set<std::size_t> inFront(front.begin(), front.end());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (inFront.count(i)) continue;
+            bool dominated = false;
+            for (std::size_t f : front) dominated = dominated || dominates(points[f], points[i]);
+            EXPECT_TRUE(dominated) << "point " << i << " neither on front nor dominated";
+        }
+    }
+}
+
+TEST(Pareto, SuccessiveFrontsPartitionAndNest) {
+    util::Rng rng(2);
+    std::vector<ParetoPoint> points(40);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i] = ParetoPoint{rng.uniformReal(0, 1), rng.uniformReal(0, 1), i};
+    const auto fronts = successiveParetoFronts(points, 4);
+    ASSERT_GE(fronts.size(), 2u);
+    std::set<std::size_t> seen;
+    for (const auto& front : fronts) {
+        EXPECT_FALSE(front.empty());
+        for (std::size_t pos : front) EXPECT_TRUE(seen.insert(pos).second) << "overlap";
+    }
+    EXPECT_LE(seen.size(), points.size());
+    // F1 must equal the plain Pareto front.
+    const std::vector<std::size_t> f1 = paretoFront(points);
+    EXPECT_EQ(std::set<std::size_t>(fronts[0].begin(), fronts[0].end()),
+              std::set<std::size_t>(f1.begin(), f1.end()));
+}
+
+TEST(Pareto, SuccessiveFrontsExhaustSmallSets) {
+    const auto points = pts({{1, 1}, {2, 2}, {3, 3}});
+    const auto fronts = successiveParetoFronts(points, 10);
+    EXPECT_EQ(fronts.size(), 3u);  // one point per front, then exhausted
+    std::size_t total = 0;
+    for (const auto& f : fronts) total += f.size();
+    EXPECT_EQ(total, 3u);
+}
+
+TEST(Pareto, CoverageByIndex) {
+    std::vector<ParetoPoint> reference = {{0, 0, 10}, {0, 0, 11}, {0, 0, 12}, {0, 0, 13}};
+    std::vector<ParetoPoint> candidate = {{9, 9, 11}, {9, 9, 13}, {9, 9, 99}};
+    EXPECT_DOUBLE_EQ(paretoCoverage(candidate, reference), 0.5);
+    EXPECT_DOUBLE_EQ(paretoCoverage({}, reference), 0.0);
+    EXPECT_DOUBLE_EQ(paretoCoverage(candidate, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace axf::core

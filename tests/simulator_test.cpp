@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/simulator.hpp"
+#include "src/util/rng.hpp"
+
+#include <set>
+
+namespace axf::circuit {
+namespace {
+
+/// Truth-table fixture: builds a single-gate netlist and checks all input
+/// combinations against the expected function.
+struct GateCase {
+    GateKind kind;
+    int arity;
+    // expected output for input bits (a, b, c) packed as bit0=a, bit1=b, bit2=c
+    std::function<bool(bool, bool, bool)> fn;
+};
+
+class GateTruthTable : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(GateTruthTable, MatchesExpectedFunction) {
+    const GateCase& gc = GetParam();
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId c = net.addInput();
+    net.markOutput(net.addGate(gc.kind, a, gc.arity >= 2 ? b : kInvalidNode,
+                               gc.arity >= 3 ? c : kInvalidNode));
+    Simulator sim(net);
+    for (std::uint64_t in = 0; in < 8; ++in) {
+        const bool av = in & 1, bv = in & 2, cv = in & 4;
+        if (gc.arity < 2 && bv) continue;
+        if (gc.arity < 3 && cv) continue;
+        EXPECT_EQ(sim.evaluateScalar(in) & 1, gc.fn(av, bv, cv) ? 1u : 0u)
+            << gateKindName(gc.kind) << " on input " << in;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGateKinds, GateTruthTable,
+    ::testing::Values(
+        GateCase{GateKind::Buf, 1, [](bool a, bool, bool) { return a; }},
+        GateCase{GateKind::Not, 1, [](bool a, bool, bool) { return !a; }},
+        GateCase{GateKind::And, 2, [](bool a, bool b, bool) { return a && b; }},
+        GateCase{GateKind::Or, 2, [](bool a, bool b, bool) { return a || b; }},
+        GateCase{GateKind::Xor, 2, [](bool a, bool b, bool) { return a != b; }},
+        GateCase{GateKind::Nand, 2, [](bool a, bool b, bool) { return !(a && b); }},
+        GateCase{GateKind::Nor, 2, [](bool a, bool b, bool) { return !(a || b); }},
+        GateCase{GateKind::Xnor, 2, [](bool a, bool b, bool) { return a == b; }},
+        GateCase{GateKind::AndNot, 2, [](bool a, bool b, bool) { return a && !b; }},
+        GateCase{GateKind::OrNot, 2, [](bool a, bool b, bool) { return a || !b; }},
+        GateCase{GateKind::Mux, 3, [](bool a, bool b, bool c) { return c ? b : a; }},
+        GateCase{GateKind::Maj, 3,
+                 [](bool a, bool b, bool c) { return (a && b) || (a && c) || (b && c); }}),
+    [](const ::testing::TestParamInfo<GateCase>& info) {
+        return gateKindName(info.param.kind);
+    });
+
+TEST(Simulator, Constants) {
+    Netlist net;
+    net.addInput();
+    net.markOutput(net.addConst(false));
+    net.markOutput(net.addConst(true));
+    Simulator sim(net);
+    EXPECT_EQ(sim.evaluateScalar(0), 0b10u);
+}
+
+TEST(Simulator, LanesAreIndependent) {
+    // One AND gate; drive each lane with a different combination.
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    net.markOutput(net.addGate(GateKind::And, a, b));
+    Simulator sim(net);
+    const Simulator::Word wa = 0b0101;
+    const Simulator::Word wb = 0b0011;
+    std::vector<Simulator::Word> in = {wa, wb}, out(1);
+    sim.evaluate(in, out);
+    EXPECT_EQ(out[0] & 0xF, 0b0001u);
+}
+
+TEST(Simulator, ShapeChecks) {
+    Netlist net;
+    net.addInput();
+    net.markOutput(0);
+    Simulator sim(net);
+    std::vector<Simulator::Word> bad(2), out(1);
+    EXPECT_THROW(sim.evaluate(bad, out), std::invalid_argument);
+    std::vector<Simulator::Word> in(1), badOut(2);
+    EXPECT_THROW(sim.evaluate(in, badOut), std::invalid_argument);
+}
+
+TEST(Simulator, NodeValuesExposed) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId g = net.addGate(GateKind::Not, a);
+    net.markOutput(g);
+    Simulator sim(net);
+    std::vector<Simulator::Word> in = {0xFF}, out(1);
+    sim.evaluate(in, out);
+    EXPECT_EQ(sim.nodeValues()[a], 0xFFull);
+    EXPECT_EQ(sim.nodeValues()[g], ~0xFFull);
+}
+
+TEST(ActivityCounter, ConstantNodesNeverToggle) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId c = net.addConst(true);
+    net.markOutput(net.addGate(GateKind::And, a, c));
+    ActivityCounter counter(net);
+    util::Rng rng(9);
+    std::vector<Simulator::Word> block(1);
+    for (int i = 0; i < 16; ++i) {
+        block[0] = rng.uniformInt(0, ~std::uint64_t{0});
+        counter.accumulate(block);
+    }
+    const std::vector<double> rates = counter.toggleRates();
+    EXPECT_DOUBLE_EQ(rates[c], 0.0);
+    EXPECT_NEAR(rates[a], 0.5, 0.08);  // random input toggles ~half the time
+    EXPECT_EQ(counter.blocksSeen(), 16u);
+}
+
+TEST(ActivityCounter, NeedsTwoBlocks) {
+    Netlist net;
+    net.addInput();
+    net.markOutput(0);
+    ActivityCounter counter(net);
+    EXPECT_EQ(counter.toggleRates()[0], 0.0);
+}
+
+}  // namespace
+}  // namespace axf::circuit

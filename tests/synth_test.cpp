@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/synth/asic.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/synth/synth_time.hpp"
+
+namespace axf::synth {
+namespace {
+
+TEST(AsicFlow, ReportsArePositiveAndScale) {
+    AsicFlow flow;
+    const AsicReport small = flow.synthesize(gen::rippleCarryAdder(4));
+    const AsicReport big = flow.synthesize(gen::wallaceMultiplier(8));
+    for (const AsicReport& r : {small, big}) {
+        EXPECT_GT(r.areaUm2, 0.0);
+        EXPECT_GT(r.delayNs, 0.0);
+        EXPECT_GT(r.powerMw, 0.0);
+        EXPECT_GT(r.cellCount, 0.0);
+    }
+    EXPECT_GT(big.areaUm2, small.areaUm2);
+    EXPECT_GT(big.powerMw, small.powerMw);
+    EXPECT_GT(big.delayNs, small.delayNs);
+}
+
+TEST(AsicFlow, Deterministic) {
+    AsicFlow flow;
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    const AsicReport a = flow.synthesize(net);
+    const AsicReport b = flow.synthesize(net);
+    EXPECT_DOUBLE_EQ(a.areaUm2, b.areaUm2);
+    EXPECT_DOUBLE_EQ(a.delayNs, b.delayNs);
+    EXPECT_DOUBLE_EQ(a.powerMw, b.powerMw);
+}
+
+TEST(AsicFlow, CellLibraryAsymmetry) {
+    // XOR-class cells must be costlier than NAND-class cells — the CMOS
+    // asymmetry the paper's ASIC/FPGA divergence rests on.
+    EXPECT_GT(AsicFlow::cellSpec(circuit::GateKind::Xor).areaUm2,
+              AsicFlow::cellSpec(circuit::GateKind::Nand).areaUm2);
+    EXPECT_GT(AsicFlow::cellSpec(circuit::GateKind::Xor).delayNs,
+              AsicFlow::cellSpec(circuit::GateKind::Nand).delayNs);
+    EXPECT_DOUBLE_EQ(AsicFlow::cellSpec(circuit::GateKind::Input).areaUm2, 0.0);
+}
+
+TEST(AsicFlow, SimplificationReducesCost) {
+    // A netlist with dead/redundant logic must not cost more than its
+    // simplified equivalent (the flow optimizes internally).
+    circuit::Netlist net;
+    const circuit::NodeId a = net.addInput();
+    const circuit::NodeId b = net.addInput();
+    const circuit::NodeId g = net.addGate(circuit::GateKind::And, a, b);
+    for (int i = 0; i < 10; ++i) net.addGate(circuit::GateKind::Or, a, b);  // dead
+    net.markOutput(g);
+    AsicFlow flow;
+    EXPECT_DOUBLE_EQ(flow.synthesize(net).cellCount, 1.0);
+}
+
+TEST(FpgaFlow, ReportsArePlausible) {
+    FpgaFlow flow;
+    const FpgaReport r = flow.implement(gen::wallaceMultiplier(8));
+    EXPECT_GT(r.lutCount, 30.0);
+    EXPECT_LT(r.lutCount, 400.0);
+    EXPECT_DOUBLE_EQ(r.sliceCount, std::ceil(r.lutCount / 4.0));
+    EXPECT_GT(r.latencyNs, 1.0);
+    EXPECT_LT(r.latencyNs, 60.0);
+    EXPECT_GT(r.powerMw, 0.05);
+    EXPECT_GT(r.logicDepth, 2.0);
+    EXPECT_GT(r.synthSeconds, 45.0);
+}
+
+TEST(FpgaFlow, DeterministicPerCircuit) {
+    FpgaFlow flow;
+    const circuit::Netlist net = gen::loaAdder(8, 3);
+    const FpgaReport a = flow.implement(net);
+    const FpgaReport b = flow.implement(net);
+    EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs);
+    EXPECT_DOUBLE_EQ(a.powerMw, b.powerMw);
+    EXPECT_DOUBLE_EQ(a.lutCount, b.lutCount);
+}
+
+TEST(FpgaFlow, JitterVariesAcrossCircuitsNotWithinOne) {
+    // Two structurally different but similar-size adders should (almost
+    // surely) receive different routing jitter.
+    FpgaFlow flow;
+    const FpgaReport a = flow.implement(gen::loaAdder(8, 3));
+    const FpgaReport b = flow.implement(gen::etaAdder(8, 3));
+    EXPECT_NE(a.latencyNs, b.latencyNs);
+}
+
+TEST(FpgaFlow, SeedChangesJitter) {
+    const circuit::Netlist net = gen::loaAdder(8, 3);
+    FpgaFlow::Options optA;
+    FpgaFlow::Options optB;
+    optB.seed = optA.seed ^ 0x1234;
+    const FpgaReport a = FpgaFlow(optA).implement(net);
+    const FpgaReport b = FpgaFlow(optB).implement(net);
+    EXPECT_NE(a.latencyNs, b.latencyNs);
+    // But mapping-derived quantities are seed-independent.
+    EXPECT_DOUBLE_EQ(a.lutCount, b.lutCount);
+    EXPECT_DOUBLE_EQ(a.logicDepth, b.logicDepth);
+}
+
+TEST(FpgaFlow, ApproximationSavesLuts) {
+    FpgaFlow flow;
+    const double exact = flow.implement(gen::wallaceMultiplier(8)).lutCount;
+    const double trunc = flow.implement(gen::truncatedMultiplier(8, 6)).lutCount;
+    EXPECT_LT(trunc, exact);
+}
+
+TEST(FpgaFlow, DepthDrivesLatency) {
+    FpgaFlow flow;
+    const FpgaReport shallow = flow.implement(gen::koggeStoneAdder(16));
+    const FpgaReport deep = flow.implement(gen::rippleCarryAdder(16));
+    EXPECT_LT(shallow.logicDepth, deep.logicDepth);
+    EXPECT_LT(shallow.latencyNs, deep.latencyNs);
+}
+
+TEST(FpgaFlow, TechnologyMapExposed) {
+    FpgaFlow flow;
+    const LutMapper::Mapping m = flow.technologyMap(gen::rippleCarryAdder(8));
+    EXPECT_GT(m.lutCount(), 0u);
+    EXPECT_EQ(static_cast<double>(m.lutCount()), flow.implement(gen::rippleCarryAdder(8)).lutCount);
+}
+
+TEST(SynthTime, CalibrationAnchors) {
+    // ~115 s per 8x8 multiplier circuit (paper: 6 days / ~450 circuits).
+    const double mul8 = vivadoEquivalentSeconds(gen::wallaceMultiplier(8));
+    EXPECT_GT(mul8, 90.0);
+    EXPECT_LT(mul8, 180.0);
+    const double mul16 = vivadoEquivalentSeconds(gen::wallaceMultiplier(16));
+    EXPECT_GT(mul16, 300.0);   // several minutes
+    EXPECT_LT(mul16, 1200.0);
+    EXPECT_GT(mul16, mul8);
+}
+
+TEST(SynthTime, UnitConversions) {
+    EXPECT_DOUBLE_EQ(secondsToDays(86400.0), 1.0);
+    EXPECT_DOUBLE_EQ(secondsToHours(7200.0), 2.0);
+}
+
+}  // namespace
+}  // namespace axf::synth

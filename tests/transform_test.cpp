@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/circuit/simulator.hpp"
+#include "src/circuit/transform.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::circuit {
+namespace {
+
+/// Property check: two netlists with identical interfaces compute the same
+/// function on `blocks` random 64-lane blocks.
+void expectEquivalent(const Netlist& a, const Netlist& b, std::uint64_t seed, int blocks = 8) {
+    ASSERT_EQ(a.inputCount(), b.inputCount());
+    ASSERT_EQ(a.outputCount(), b.outputCount());
+    Simulator sa(a), sb(b);
+    util::Rng rng(seed);
+    std::vector<Simulator::Word> in(a.inputCount());
+    std::vector<Simulator::Word> outA(a.outputCount()), outB(b.outputCount());
+    for (int blk = 0; blk < blocks; ++blk) {
+        for (auto& w : in) w = rng.uniformInt(0, ~std::uint64_t{0});
+        sa.evaluate(in, outA);
+        sb.evaluate(in, outB);
+        for (std::size_t o = 0; o < outA.size(); ++o)
+            ASSERT_EQ(outA[o], outB[o]) << "output " << o << " differs in block " << blk;
+    }
+}
+
+TEST(Simplify, ConstantFolding) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId zero = net.addConst(false);
+    const NodeId one = net.addConst(true);
+    net.markOutput(net.addGate(GateKind::And, a, zero));  // -> 0
+    net.markOutput(net.addGate(GateKind::And, a, one));   // -> a
+    net.markOutput(net.addGate(GateKind::Xor, a, one));   // -> ~a
+    net.markOutput(net.addGate(GateKind::Or, a, one));    // -> 1
+    const Netlist simple = simplify(net);
+    // One Not gate should be the only logic left.
+    EXPECT_EQ(simple.gateCount(), 1u);
+    expectEquivalent(net, simple, 0x51);
+}
+
+TEST(Simplify, IdentityFolding) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    net.markOutput(net.addGate(GateKind::Xor, a, a));   // -> 0
+    net.markOutput(net.addGate(GateKind::And, a, a));   // -> a
+    net.markOutput(net.addGate(GateKind::Xnor, a, a));  // -> 1
+    const Netlist simple = simplify(net);
+    EXPECT_EQ(simple.gateCount(), 0u);
+    expectEquivalent(net, simple, 0x52);
+}
+
+TEST(Simplify, DoubleInversion) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    net.markOutput(net.addGate(GateKind::Not, net.addGate(GateKind::Not, a)));
+    const Netlist simple = simplify(net);
+    EXPECT_EQ(simple.gateCount(), 0u);
+    expectEquivalent(net, simple, 0x53);
+}
+
+TEST(Simplify, CommonSubexpressionElimination) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    net.markOutput(net.addGate(GateKind::And, a, b));
+    net.markOutput(net.addGate(GateKind::And, b, a));  // commutative duplicate
+    const Netlist simple = simplify(net);
+    EXPECT_EQ(simple.gateCount(), 1u);
+    expectEquivalent(net, simple, 0x54);
+}
+
+TEST(Simplify, MuxRules) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId s = net.addInput();
+    const NodeId zero = net.addConst(false);
+    const NodeId one = net.addConst(true);
+    net.markOutput(net.addGate(GateKind::Mux, a, b, zero));  // -> a
+    net.markOutput(net.addGate(GateKind::Mux, a, b, one));   // -> b
+    net.markOutput(net.addGate(GateKind::Mux, zero, one, s));  // -> s
+    net.markOutput(net.addGate(GateKind::Mux, one, zero, s));  // -> ~s
+    const Netlist simple = simplify(net);
+    EXPECT_LE(simple.gateCount(), 1u);
+    expectEquivalent(net, simple, 0x55);
+}
+
+TEST(Simplify, MajRules) {
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId zero = net.addConst(false);
+    const NodeId one = net.addConst(true);
+    net.markOutput(net.addGate(GateKind::Maj, a, b, zero));  // -> and
+    net.markOutput(net.addGate(GateKind::Maj, a, b, one));   // -> or
+    net.markOutput(net.addGate(GateKind::Maj, a, a, b));     // -> a
+    const Netlist simple = simplify(net);
+    EXPECT_EQ(simple.gateCount(), 2u);
+    expectEquivalent(net, simple, 0x56);
+}
+
+class SimplifyEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyEquivalence, PreservesArithmeticFunctions) {
+    // Property sweep over real generator outputs.
+    const int n = GetParam();
+    for (const Netlist& net :
+         {gen::rippleCarryAdder(n), gen::koggeStoneAdder(n), gen::carrySelectAdder(n, 2),
+          gen::loaAdder(n, n / 2), gen::acaAdder(n, 2)}) {
+        const Netlist simple = simplify(net);
+        expectEquivalent(net, simple, 0x60 + static_cast<std::uint64_t>(n));
+        EXPECT_LE(simple.gateCount(), net.gateCount());
+        simple.validate();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SimplifyEquivalence, ::testing::Values(2, 3, 4, 6, 8, 12));
+
+TEST(LowerToTwoInput, RemovesWideGatesPreservingFunction) {
+    for (const Netlist& net : {gen::carrySelectAdder(6, 2), gen::wallaceMultiplier(4),
+                               gen::arrayMultiplier(4)}) {
+        const Netlist lowered = lowerToTwoInput(net);
+        for (const Node& node : lowered.nodes())
+            EXPECT_LE(fanInCount(node.kind), 2) << gateKindName(node.kind);
+        expectEquivalent(net, lowered, 0x70);
+        lowered.validate();
+    }
+}
+
+TEST(Simplify, Idempotent) {
+    const Netlist net = gen::wallaceMultiplier(4);
+    const Netlist once = simplify(net);
+    const Netlist twice = simplify(once);
+    EXPECT_EQ(once.structuralHash(), twice.structuralHash());
+}
+
+}  // namespace
+}  // namespace axf::circuit

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace axf::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MedianAndPercentile) {
+    EXPECT_DOUBLE_EQ(median({1.0, 3.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+    EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> up = {2, 4, 6, 8, 10};
+    const std::vector<double> down = {5, 4, 3, 2, 1};
+    EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+    const std::vector<double> xs = {1, 2, 3};
+    const std::vector<double> c = {7, 7, 7};
+    EXPECT_DOUBLE_EQ(pearson(xs, c), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+    EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Stats, RanksAverageTies) {
+    const std::vector<double> ranked = ranks(std::vector<double>{10.0, 20.0, 20.0, 30.0});
+    EXPECT_DOUBLE_EQ(ranked[0], 1.0);
+    EXPECT_DOUBLE_EQ(ranked[1], 2.5);
+    EXPECT_DOUBLE_EQ(ranked[2], 2.5);
+    EXPECT_DOUBLE_EQ(ranked[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+    std::vector<double> xs, ys;
+    for (int i = 1; i <= 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(i * i * i);  // monotone, nonlinear
+    }
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineRecoversCoefficients) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 + 2.0 * i);
+    }
+    const LinearFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Stats, MapeAndBias) {
+    const std::vector<double> mes = {100.0, 200.0};
+    const std::vector<double> est = {110.0, 180.0};
+    EXPECT_NEAR(mape(mes, est), 10.0, 1e-9);           // (10% + 10%) / 2
+    EXPECT_NEAR(relativeBias(mes, est), 0.0, 1e-9);    // +10% and -10% cancel
+    const std::vector<double> under = {90.0, 180.0};
+    EXPECT_NEAR(relativeBias(mes, under), -10.0, 1e-9);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntInRange) {
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, IndexEmptyThrows) {
+    Rng rng(1);
+    EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+    Rng rng(3);
+    const std::vector<std::size_t> sample = rng.sampleIndices(50, 20);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::size_t v : sample) EXPECT_LT(v, 50u);
+    EXPECT_THROW(rng.sampleIndices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliRoughFrequency) {
+    Rng rng(4);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+    Rng parent(5);
+    Rng child = parent.fork();
+    // The child stream should not replay the parent's next outputs.
+    Rng parentCopy(5);
+    parentCopy.fork();
+    EXPECT_EQ(parent.uniformInt(0, 1 << 30), parentCopy.uniformInt(0, 1 << 30));
+    (void)child;
+}
+
+TEST(Table, PrintsAlignedAndCsv) {
+    Table t({"a", "b"});
+    t.addRow({"1", "hello"});
+    t.addRow({"22", "x,y"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("| a "), std::string::npos);
+    std::ostringstream csv;
+    t.writeCsv(csv);
+    EXPECT_NE(csv.str().find("\"x,y\""), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RejectsBadShapes) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+    Table t({"a"});
+    EXPECT_THROW(t.addRow({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, Formatting) {
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::integer(42), "42");
+    EXPECT_EQ(Table::percent(0.715, 1), "71.5%");
+}
+
+TEST(Timer, MeasuresElapsed) {
+    Timer t;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_GE(t.milliseconds(), t.seconds());
+}
+
+}  // namespace
+}  // namespace axf::util
