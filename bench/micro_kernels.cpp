@@ -1,16 +1,31 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels underneath the
-// experiment harnesses: bit-parallel netlist simulation, exhaustive error
-// analysis, LUT technology mapping, full FPGA implementation, and SSIM.
+// experiment harnesses: bit-parallel netlist simulation (interpreter and
+// compiled multi-word engine), exhaustive error analysis (seed baseline vs
+// engine, serial vs thread-parallel), LUT technology mapping, full FPGA
+// implementation, and SSIM.
+//
+// Emits BENCH_micro_kernels.json (google-benchmark JSON, items_per_second
+// = vectors/sec for the per-vector kernels) unless --benchmark_out= is
+// given explicitly, and prints the engine-vs-seed exhaustive-analysis
+// speedup at the end so the perf trajectory is visible per PR.
 
 #include <benchmark/benchmark.h>
 
-#include "src/error/error_metrics.hpp"
-#include "src/gen/multipliers.hpp"
-#include "src/gen/adders.hpp"
-#include "src/img/ssim.hpp"
-#include "src/synth/fpga.hpp"
-#include "src/synth/asic.hpp"
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/circuit/batch_sim.hpp"
 #include "src/circuit/simulator.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/img/ssim.hpp"
+#include "src/synth/asic.hpp"
+#include "src/synth/fpga.hpp"
 
 using namespace axf;
 
@@ -27,15 +42,71 @@ static void BM_SimulatorSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorSweep)->Arg(8)->Arg(16);
 
-static void BM_ExhaustiveError8x8(benchmark::State& state) {
+static void BM_BatchSimulatorSweep(benchmark::State& state) {
+    const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));
+    const circuit::CompiledNetlist compiled = circuit::CompiledNetlist::compile(net);
+    circuit::BatchSimulator sim(compiled);
+    constexpr std::size_t W = circuit::BatchSimulator::kWordsPerBlock;
+    std::vector<std::uint64_t> in(net.inputCount() * W, 0x0123456789ABCDEFull);
+    std::vector<std::uint64_t> out(net.outputCount() * W);
+    for (auto _ : state) {
+        sim.evaluate(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(circuit::BatchSimulator::kLanesPerBlock));
+}
+BENCHMARK(BM_BatchSimulatorSweep)->Arg(8)->Arg(16);
+
+static void BM_ExhaustiveError8x8_SeedBaseline(benchmark::State& state) {
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    for (auto _ : state) {
+        const error::ErrorReport r = error::analyzeErrorBaseline(net, sig);
+        benchmark::DoNotOptimize(r.med);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_ExhaustiveError8x8_SeedBaseline);
+
+static void BM_ExhaustiveError8x8_EngineSerial(benchmark::State& state) {
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    error::ErrorAnalysisConfig config;
+    config.threads = 1;
+    for (auto _ : state) {
+        const error::ErrorReport r = error::analyzeError(net, sig, config);
+        benchmark::DoNotOptimize(r.med);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_ExhaustiveError8x8_EngineSerial);
+
+static void BM_ExhaustiveError8x8_EngineParallel(benchmark::State& state) {
     const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
     const circuit::ArithSignature sig = gen::multiplierSignature(8);
     for (auto _ : state) {
         const error::ErrorReport r = error::analyzeError(net, sig);
         benchmark::DoNotOptimize(r.med);
     }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
 }
-BENCHMARK(BM_ExhaustiveError8x8);
+BENCHMARK(BM_ExhaustiveError8x8_EngineParallel);
+
+static void BM_SampledError16Bit(benchmark::State& state) {
+    const circuit::Netlist net = gen::loaAdder(16, 6);
+    const circuit::ArithSignature sig = gen::adderSignature(16);
+    error::ErrorAnalysisConfig config;
+    config.exhaustiveLimit = 1;  // force the sampled path
+    config.sampleCount = 1u << 14;
+    for (auto _ : state) {
+        const error::ErrorReport r = error::analyzeError(net, sig, config);
+        benchmark::DoNotOptimize(r.med);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(config.sampleCount));
+}
+BENCHMARK(BM_SampledError16Bit);
 
 static void BM_LutMapping(benchmark::State& state) {
     const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));
@@ -76,4 +147,64 @@ static void BM_Ssim(benchmark::State& state) {
 }
 BENCHMARK(BM_Ssim);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Best-of-N wall time of one exhaustive 8x8 analysis, in seconds.
+template <typename Fn>
+double bestOf(Fn fn, int reps) {
+    fn();  // warm up
+    double best = 1e30;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+void printSpeedupSummary() {
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    // Serial engine config: the headline number must isolate the engine
+    // gain, comparable across hosts with different core counts (the
+    // BM_*_EngineParallel benchmark tracks the threaded figure).
+    error::ErrorAnalysisConfig serial;
+    serial.threads = 1;
+    const double tSeed =
+        bestOf([&] { benchmark::DoNotOptimize(error::analyzeErrorBaseline(net, sig).med); }, 9);
+    const double tEngine =
+        bestOf([&] { benchmark::DoNotOptimize(error::analyzeError(net, sig, serial).med); }, 9);
+    const double tParallel =
+        bestOf([&] { benchmark::DoNotOptimize(error::analyzeError(net, sig).med); }, 9);
+    std::printf(
+        "\nexhaustive 8x8 multiplier error analysis: seed %.3f ms (%.3e vec/s), "
+        "engine %.3f ms (%.3e vec/s), single-thread speedup %.2fx "
+        "(parallel %.3f ms, %.2fx)\n",
+        tSeed * 1e3, 65536.0 / tSeed, tEngine * 1e3, 65536.0 / tEngine, tSeed / tEngine,
+        tParallel * 1e3, tSeed / tParallel);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Default to machine-readable output so the per-PR perf trajectory is
+    // tracked without remembering the flag.
+    std::vector<char*> args(argv, argv + argc);
+    std::string outFlag = "--benchmark_out=BENCH_micro_kernels.json";
+    std::string formatFlag = "--benchmark_out_format=json";
+    bool hasOut = false, hasFormat = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) hasOut = true;
+        if (std::strncmp(argv[i], "--benchmark_out_format=", 23) == 0) hasFormat = true;
+    }
+    if (!hasOut) args.push_back(outFlag.data());
+    if (!hasFormat) args.push_back(formatFlag.data());
+    int argcAdj = static_cast<int>(args.size());
+    benchmark::Initialize(&argcAdj, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argcAdj, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printSpeedupSummary();
+    return 0;
+}

@@ -26,6 +26,7 @@ img::Image sobel(const img::Image& input, const circuit::Netlist& adder) {
     constexpr std::uint32_t kBias = 1u << 12;  // keeps operands non-negative
 
     std::array<std::uint32_t, 64> ax{}, bx{}, gx{}, ay{}, by{}, gy{}, mag{};
+    autoax::BatchAddScratch scratch;  // reused across blocks: no per-call allocation
     for (std::size_t base = 0; base < total; base += 64) {
         const std::size_t lanes = std::min<std::size_t>(64, total - base);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
@@ -51,8 +52,8 @@ img::Image sobel(const img::Image& input, const circuit::Netlist& adder) {
         const auto cspan = [&](const std::array<std::uint32_t, 64>& arr) {
             return std::span<const std::uint32_t>(arr.data(), lanes);
         };
-        autoax::batchAdd16(sim, cspan(ax), cspan(bx), span(gx));
-        autoax::batchAdd16(sim, cspan(ay), cspan(by), span(gy));
+        autoax::batchAdd16(sim, cspan(ax), cspan(bx), span(gx), scratch);
+        autoax::batchAdd16(sim, cspan(ay), cspan(by), span(gy), scratch);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             const int dx = static_cast<int>(gx[lane] & 0xFFFF) - static_cast<int>(kBias);
             const int dy = static_cast<int>(gy[lane] & 0xFFFF) - static_cast<int>(kBias);

@@ -2,15 +2,74 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "src/circuit/batch_sim.hpp"
 #include "src/circuit/simulator.hpp"
 #include "src/img/ssim.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/select.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace axf::autoax {
 
+using circuit::BatchSimulator;
+using circuit::CompiledNetlist;
 using circuit::Simulator;
+using Word = CompiledNetlist::Word;
+
+namespace {
+
+constexpr std::size_t kWords = BatchSimulator::kWordsPerBlock;
+constexpr std::size_t kLanes = BatchSimulator::kLanesPerBlock;
+
+/// Wide batchAdd16: up to kLanes operand pairs per sweep on the compiled
+/// engine.  `inWords`/`outWords` are caller-owned blocks (32 * kWords and
+/// outputCount * kWords words); nothing allocates.
+void batchAdd16Wide(BatchSimulator& sim, const std::uint32_t* a, const std::uint32_t* b,
+                    std::uint32_t* out, std::size_t lanes, std::span<Word> inWords,
+                    std::span<Word> outWords) {
+    std::memset(inWords.data(), 0, inWords.size() * sizeof(Word));
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        const Word laneBit = Word{1} << (lane % 64);
+        const std::size_t w = lane / 64;
+        // Operands truncate to the adder's 16-bit interface.  Inputs can
+        // carry 17-bit values (a previous level's carry-out); without the
+        // mask, bit 16 of `a` would alias operand B's LSB and bit 16 of
+        // `b` would index past the input block.
+        std::uint32_t va = a[lane] & 0xFFFFu;
+        while (va != 0) {
+            const int bit = __builtin_ctz(va);
+            inWords[static_cast<std::size_t>(bit) * kWords + w] |= laneBit;
+            va &= va - 1;
+        }
+        std::uint32_t vb = b[lane] & 0xFFFFu;
+        while (vb != 0) {
+            const int bit = __builtin_ctz(vb);
+            inWords[static_cast<std::size_t>(16 + bit) * kWords + w] |= laneBit;
+            vb &= vb - 1;
+        }
+    }
+    sim.evaluate(inWords, outWords);
+    const std::size_t outputs = sim.compiled().outputCount();
+    std::memset(out, 0, lanes * sizeof(std::uint32_t));
+    for (std::size_t bit = 0; bit < outputs; ++bit) {
+        const std::uint32_t weight = std::uint32_t{1} << bit;
+        for (std::size_t w = 0; w * 64 < lanes; ++w) {
+            Word word = outWords[bit * kWords + w];
+            const std::size_t laneBase = w * 64;
+            while (word != 0) {
+                const int lane = __builtin_ctzll(word);
+                const std::size_t idx = laneBase + static_cast<std::size_t>(lane);
+                if (idx < lanes) out[idx] |= weight;
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+}  // namespace
 
 std::vector<Component> componentsFromFlow(const core::FlowResult& result,
                                           core::FpgaParam param, std::size_t maxComponents) {
@@ -33,14 +92,9 @@ std::vector<Component> componentsFromFlow(const core::FlowResult& result,
     }
     std::sort(menu.begin(), menu.end(),
               [](const Component& a, const Component& b) { return a.error.med < b.error.med; });
-    if (maxComponents != 0 && menu.size() > maxComponents) {
-        // Uniform thinning over the error-sorted menu keeps the spread.
-        std::vector<Component> thinned;
-        const double step = static_cast<double>(menu.size()) / static_cast<double>(maxComponents);
-        for (std::size_t i = 0; i < maxComponents; ++i)
-            thinned.push_back(std::move(menu[static_cast<std::size_t>(i * step)]));
-        menu = std::move(thinned);
-    }
+    // Uniform thinning over the error-sorted menu keeps the spread,
+    // including the cheapest (highest-MED) extreme.
+    util::thinUniform(menu, maxComponents);
     return menu;
 }
 
@@ -71,29 +125,36 @@ GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
     for (const Component& c : adders_)
         if (c.signature.op != circuit::ArithOp::Adder || c.signature.widthA != 16)
             throw std::invalid_argument("GaussianAccelerator: adder menu needs 16-bit adders");
-    multTables_.reserve(multipliers_.size());
-    for (const Component& c : multipliers_) multTables_.push_back(buildTable(c));
+
+    // Characterize the menus up front: exhaustive multiplier tables and
+    // compiled adder programs, each entry an independent task.
+    multTables_.resize(multipliers_.size());
+    util::ThreadPool::global().parallelFor(multipliers_.size(), [&](std::size_t i) {
+        multTables_[i] = buildTable(multipliers_[i]);
+    });
+    adderCompiled_.resize(adders_.size());
+    util::ThreadPool::global().parallelFor(adders_.size(), [&](std::size_t i) {
+        adderCompiled_[i] = CompiledNetlist::compile(adders_[i].netlist);
+    });
 }
 
-std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& component) const {
-    // Exhaustive 8x8 behavioural table via 64-lane sweeps.
-    static constexpr std::array<std::uint64_t, 6> kLanePattern = {
-        0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
-        0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& component) {
+    // Exhaustive 8x8 behavioural table via 256-lane sweeps.
     std::vector<std::uint16_t> table(1u << 16);
-    Simulator sim(component.netlist);
-    std::vector<std::uint64_t> in(16), out(component.netlist.outputCount());
-    for (std::uint64_t base = 0; base < (1u << 16); base += 64) {
-        for (int bit = 0; bit < 16; ++bit)
-            in[static_cast<std::size_t>(bit)] =
-                bit < 6 ? kLanePattern[static_cast<std::size_t>(bit)]
-                        : ((base >> bit) & 1u ? ~std::uint64_t{0} : std::uint64_t{0});
+    const CompiledNetlist compiled = CompiledNetlist::compile(component.netlist);
+    BatchSimulator sim(compiled);
+    std::vector<Word> in(16 * kWords), out(compiled.outputCount() * kWords);
+    for (std::uint64_t base = 0; base < (1u << 16); base += kLanes) {
+        circuit::fillExhaustiveBlock<kWords>(in, 16, base);
         sim.evaluate(in, out);
-        for (int lane = 0; lane < 64; ++lane) {
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
             std::uint32_t value = 0;
-            for (std::size_t bit = 0; bit < out.size() && bit < 16; ++bit)
-                value |= static_cast<std::uint32_t>((out[bit] >> lane) & 1u) << bit;
-            table[base + static_cast<std::uint64_t>(lane)] = static_cast<std::uint16_t>(value);
+            for (std::size_t bit = 0; bit < out.size() / kWords && bit < 16; ++bit)
+                value |= static_cast<std::uint32_t>((out[bit * kWords + lane / 64] >>
+                                                     (lane % 64)) &
+                                                    1u)
+                         << bit;
+            table[base + lane] = static_cast<std::uint16_t>(value);
         }
     }
     return table;
@@ -105,23 +166,33 @@ double GaussianAccelerator::designSpaceSize() const {
 }
 
 void batchAdd16(Simulator& sim, std::span<const std::uint32_t> a,
-                std::span<const std::uint32_t> b, std::span<std::uint32_t> out) {
-    std::vector<std::uint64_t> in(32, 0);
+                std::span<const std::uint32_t> b, std::span<std::uint32_t> out,
+                BatchAddScratch& scratch) {
+    if (a.size() > 64 || b.size() != a.size() || out.size() != a.size())
+        throw std::invalid_argument(
+            "batchAdd16: operand/result spans must agree and hold at most 64 lanes");
+    scratch.in.assign(32, 0);
     for (std::size_t lane = 0; lane < a.size(); ++lane) {
         for (int bit = 0; bit < 16; ++bit) {
-            if ((a[lane] >> bit) & 1u) in[static_cast<std::size_t>(bit)] |= std::uint64_t{1} << lane;
+            if ((a[lane] >> bit) & 1u) scratch.in[static_cast<std::size_t>(bit)] |= std::uint64_t{1} << lane;
             if ((b[lane] >> bit) & 1u)
-                in[static_cast<std::size_t>(16 + bit)] |= std::uint64_t{1} << lane;
+                scratch.in[static_cast<std::size_t>(16 + bit)] |= std::uint64_t{1} << lane;
         }
     }
-    std::vector<std::uint64_t> outWords(sim.netlist().outputCount());
-    sim.evaluate(in, outWords);
+    scratch.out.resize(sim.netlist().outputCount());
+    sim.evaluate(scratch.in, scratch.out);
     for (std::size_t lane = 0; lane < a.size(); ++lane) {
         std::uint32_t v = 0;
-        for (std::size_t bit = 0; bit < outWords.size(); ++bit)
-            v |= static_cast<std::uint32_t>((outWords[bit] >> lane) & 1u) << bit;
+        for (std::size_t bit = 0; bit < scratch.out.size(); ++bit)
+            v |= static_cast<std::uint32_t>((scratch.out[bit] >> lane) & 1u) << bit;
         out[lane] = v;
     }
+}
+
+void batchAdd16(Simulator& sim, std::span<const std::uint32_t> a,
+                std::span<const std::uint32_t> b, std::span<std::uint32_t> out) {
+    BatchAddScratch scratch;
+    batchAdd16(sim, a, b, out, scratch);
 }
 
 img::Image GaussianAccelerator::filter(const img::Image& input,
@@ -133,22 +204,30 @@ img::Image GaussianAccelerator::filter(const img::Image& input,
         if (a < 0 || static_cast<std::size_t>(a) >= adders_.size())
             throw std::out_of_range("filter: adder choice out of range");
 
-    // One simulator per adder-tree node (each node may use a different
-    // component, and simulators carry scratch state).
-    std::vector<Simulator> adderSims;
+    // One simulator workspace per adder-tree node (each node may use a
+    // different component program); every buffer the pixel loop touches is
+    // hoisted here — the loop itself performs zero heap allocations.
+    std::vector<BatchSimulator> adderSims;
     adderSims.reserve(8);
-    for (int node = 0; node < 8; ++node)
-        adderSims.emplace_back(adders_[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])].netlist);
+    std::size_t maxOutputs = 0;
+    for (int node = 0; node < 8; ++node) {
+        const auto& compiled =
+            adderCompiled_[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])];
+        maxOutputs = std::max(maxOutputs, compiled.outputCount());
+        adderSims.emplace_back(compiled);
+    }
+    std::vector<Word> inWords(32 * kWords);
+    std::vector<Word> outWords(maxOutputs * kWords);
 
     const std::array<int, 9>& weights = kernelWeights();
     img::Image output(input.width(), input.height());
     const std::size_t total = input.pixelCount();
 
-    std::array<std::array<std::uint32_t, 64>, 9> products{};
-    std::array<std::uint32_t, 64> l1a{}, l1b{}, l1c{}, l1d{}, l2a{}, l2b{}, l3{}, sum{};
+    std::array<std::array<std::uint32_t, kLanes>, 9> products{};
+    std::array<std::uint32_t, kLanes> l1a{}, l1b{}, l1c{}, l1d{}, l2a{}, l2b{}, l3{}, sum{};
 
-    for (std::size_t base = 0; base < total; base += 64) {
-        const std::size_t lanes = std::min<std::size_t>(64, total - base);
+    for (std::size_t base = 0; base < total; base += kLanes) {
+        const std::size_t lanes = std::min<std::size_t>(kLanes, total - base);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             const std::size_t pixel = base + lane;
             const int x = static_cast<int>(pixel % static_cast<std::size_t>(input.width()));
@@ -166,20 +245,21 @@ img::Image GaussianAccelerator::filter(const img::Image& input,
                 }
             }
         }
-        const auto lanesSpan = [&](std::array<std::uint32_t, 64>& arr) {
-            return std::span<std::uint32_t>(arr.data(), lanes);
+        const auto add = [&](int node, const std::array<std::uint32_t, kLanes>& a,
+                             const std::array<std::uint32_t, kLanes>& b,
+                             std::array<std::uint32_t, kLanes>& out) {
+            BatchSimulator& sim = adderSims[static_cast<std::size_t>(node)];
+            batchAdd16Wide(sim, a.data(), b.data(), out.data(), lanes, inWords,
+                           {outWords.data(), sim.compiled().outputCount() * kWords});
         };
-        const auto constSpan = [&](const std::array<std::uint32_t, 64>& arr) {
-            return std::span<const std::uint32_t>(arr.data(), lanes);
-        };
-        batchAdd16(adderSims[0], constSpan(products[0]), constSpan(products[1]), lanesSpan(l1a));
-        batchAdd16(adderSims[1], constSpan(products[2]), constSpan(products[3]), lanesSpan(l1b));
-        batchAdd16(adderSims[2], constSpan(products[4]), constSpan(products[5]), lanesSpan(l1c));
-        batchAdd16(adderSims[3], constSpan(products[6]), constSpan(products[7]), lanesSpan(l1d));
-        batchAdd16(adderSims[4], constSpan(l1a), constSpan(l1b), lanesSpan(l2a));
-        batchAdd16(adderSims[5], constSpan(l1c), constSpan(l1d), lanesSpan(l2b));
-        batchAdd16(adderSims[6], constSpan(l2a), constSpan(l2b), lanesSpan(l3));
-        batchAdd16(adderSims[7], constSpan(l3), constSpan(products[8]), lanesSpan(sum));
+        add(0, products[0], products[1], l1a);
+        add(1, products[2], products[3], l1b);
+        add(2, products[4], products[5], l1c);
+        add(3, products[6], products[7], l1d);
+        add(4, l1a, l1b, l2a);
+        add(5, l1c, l1d, l2b);
+        add(6, l2a, l2b, l3);
+        add(7, l3, products[8], sum);
 
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             const std::size_t pixel = base + lane;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/circuit/arith.hpp"
+#include "src/circuit/batch_sim.hpp"
 #include "src/circuit/netlist.hpp"
 #include "src/circuit/simulator.hpp"
 #include "src/core/flow.hpp"
@@ -31,9 +32,22 @@ struct Component {
 std::vector<Component> componentsFromFlow(const core::FlowResult& result,
                                           core::FpgaParam param, std::size_t maxComponents);
 
+/// Caller-owned scratch for `batchAdd16`: holding it across calls removes
+/// every per-call heap allocation from the hot loop.
+struct BatchAddScratch {
+    std::vector<std::uint64_t> in;
+    std::vector<std::uint64_t> out;
+};
+
 /// Applies a 16-bit adder netlist (via its simulator) to up to 64 operand
 /// pairs bit-parallel.  Shared by the accelerator behavioural models and
 /// reusable for custom accelerators (see examples/sobel_accelerator).
+void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
+                std::span<const std::uint32_t> b, std::span<std::uint32_t> out,
+                BatchAddScratch& scratch);
+
+/// Convenience overload with call-local scratch (allocates; prefer the
+/// scratch variant in loops).
 void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
                 std::span<const std::uint32_t> b, std::span<std::uint32_t> out);
 
@@ -93,8 +107,11 @@ private:
     std::vector<Component> multipliers_;
     std::vector<Component> adders_;
     std::vector<std::vector<std::uint16_t>> multTables_;  ///< 8x8 -> 16-bit LUTs
+    /// Each adder menu entry lowered once; filter() instantiates per-node
+    /// `BatchSimulator` workspaces over these shared programs.
+    std::vector<circuit::CompiledNetlist> adderCompiled_;
 
-    std::vector<std::uint16_t> buildTable(const Component& component) const;
+    static std::vector<std::uint16_t> buildTable(const Component& component);
 };
 
 }  // namespace axf::autoax

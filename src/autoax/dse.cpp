@@ -7,6 +7,7 @@
 #include "src/core/pareto.hpp"
 #include "src/ml/models.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/select.hpp"
 
 namespace axf::autoax {
 
@@ -153,16 +154,13 @@ bool archiveInsert(std::vector<ArchiveEntry>& archive, ArchiveEntry entry, std::
                (entry.estSsim > e.estSsim || entry.estCost < e.estCost);
     });
     archive.push_back(std::move(entry));
-    if (archive.size() > cap) {
-        // Thin uniformly along the cost axis, keeping the extremes.
+    if (archive.size() > cap && cap > 0) {
+        // Thin uniformly along the cost axis, keeping the extremes (the
+        // old `thinned.back() = archive.back()` patch-up could clone an
+        // entry the stride had already selected).
         std::sort(archive.begin(), archive.end(),
                   [](const ArchiveEntry& a, const ArchiveEntry& b) { return a.estCost < b.estCost; });
-        std::vector<ArchiveEntry> thinned;
-        const double step = static_cast<double>(archive.size()) / static_cast<double>(cap);
-        for (std::size_t i = 0; i < cap; ++i)
-            thinned.push_back(archive[static_cast<std::size_t>(i * step)]);
-        thinned.back() = archive.back();
-        archive = std::move(thinned);
+        util::thinUniform(archive, cap);
     }
     return true;
 }

@@ -1,0 +1,161 @@
+#include "src/circuit/batch_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace axf::circuit {
+
+CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options) {
+    const std::span<const Node> nodes = netlist.nodes();
+
+    std::vector<bool> live(nodes.size(), !options.pruneDead);
+    if (options.pruneDead) {
+        for (NodeId out : netlist.outputs()) live[out] = true;
+        for (std::size_t i = nodes.size(); i-- > 0;) {
+            if (!live[i]) continue;
+            const Node& n = nodes[i];
+            const int fanIn = fanInCount(n.kind);
+            if (fanIn >= 1) live[n.a] = true;
+            if (fanIn >= 2) live[n.b] = true;
+            if (fanIn >= 3) live[n.c] = true;
+        }
+        // The arithmetic interface survives approximation: inputs keep
+        // their slots even when the logic ignores them.
+        for (NodeId in : netlist.inputs()) live[in] = true;
+    }
+
+    CompiledNetlist compiled;
+    compiled.allNodes_ = !options.pruneDead;
+
+    std::vector<std::uint32_t> slotOf(nodes.size(), 0);
+    std::uint32_t nextSlot = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        if (live[i]) slotOf[i] = nextSlot++;
+    compiled.slotCount_ = nextSlot;
+
+    // Gate emission order: (logic level, opcode, node id).  Any order that
+    // respects levels is topologically valid; grouping equal opcodes turns
+    // the per-gate switch into a per-run switch.
+    const std::vector<int> levels = netlist.levels();
+    std::vector<std::uint32_t> gateNodes;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!live[i]) continue;
+        switch (nodes[i].kind) {
+            case GateKind::Input: break;  // loaded from the input block
+            case GateKind::Const0: compiled.constants_.emplace_back(slotOf[i], false); break;
+            case GateKind::Const1: compiled.constants_.emplace_back(slotOf[i], true); break;
+            default: gateNodes.push_back(static_cast<std::uint32_t>(i)); break;
+        }
+    }
+    std::sort(gateNodes.begin(), gateNodes.end(), [&](std::uint32_t x, std::uint32_t y) {
+        if (levels[x] != levels[y]) return levels[x] < levels[y];
+        if (nodes[x].kind != nodes[y].kind) return nodes[x].kind < nodes[y].kind;
+        return x < y;
+    });
+    compiled.instrs_.reserve(gateNodes.size());
+    for (const std::uint32_t i : gateNodes) {
+        const Node& n = nodes[i];
+        const int fanIn = fanInCount(n.kind);
+        Instr ins;
+        ins.op = n.kind;
+        ins.dst = slotOf[i];
+        ins.a = slotOf[n.a];
+        ins.b = fanIn >= 2 ? slotOf[n.b] : 0;
+        ins.c = fanIn >= 3 ? slotOf[n.c] : 0;
+        if (compiled.runs_.empty() || compiled.runs_.back().op != n.kind)
+            compiled.runs_.push_back({n.kind, static_cast<std::uint32_t>(compiled.instrs_.size()),
+                                      static_cast<std::uint32_t>(compiled.instrs_.size())});
+        compiled.instrs_.push_back(ins);
+        ++compiled.runs_.back().end;
+    }
+    compiled.inputSlots_.reserve(netlist.inputCount());
+    for (NodeId in : netlist.inputs()) compiled.inputSlots_.push_back(slotOf[in]);
+    compiled.outputSlots_.reserve(netlist.outputCount());
+    for (NodeId out : netlist.outputs()) compiled.outputSlots_.push_back(slotOf[out]);
+    return compiled;
+}
+
+void CompiledNetlist::initWorkspace(std::span<Word> workspace, std::size_t wordsPerSlot) const {
+    if (workspace.size() < workspaceWords(wordsPerSlot))
+        throw std::invalid_argument("CompiledNetlist::initWorkspace: workspace too small");
+    for (const auto& [slot, value] : constants_) {
+        Word* words = workspace.data() + static_cast<std::size_t>(slot) * wordsPerSlot;
+        for (std::size_t w = 0; w < wordsPerSlot; ++w) words[w] = value ? ~Word{0} : Word{0};
+    }
+}
+
+namespace {
+
+/// One workspace slot as a single SIMD value.  GCC/Clang lower the vector
+/// type to the widest available ISA (one zmm op for W=4 under AVX-512);
+/// the auto-vectorizer does NOT reliably do this for the equivalent
+/// 4-iteration scalar loop.  `may_alias` licenses viewing the Word
+/// workspace through the vector type.
+template <std::size_t W>
+struct SlotVec {
+    typedef CompiledNetlist::Word type
+        __attribute__((vector_size(W * sizeof(CompiledNetlist::Word)), may_alias, aligned(8)));
+};
+
+}  // namespace
+
+template <std::size_t W>
+void CompiledNetlist::run(const Word* inputs, Word* outputs, Word* ws) const {
+    using V = typename SlotVec<W>::type;
+    const auto slot = [ws](std::uint32_t s) {
+        return reinterpret_cast<V*>(ws + static_cast<std::size_t>(s) * W);
+    };
+    const std::uint32_t* inSlots = inputSlots_.data();
+    for (std::size_t i = 0; i < inputSlots_.size(); ++i)
+        *slot(inSlots[i]) = *reinterpret_cast<const V*>(inputs + i * W);
+    const Instr* instrs = instrs_.data();
+    for (const Run& run : runs_) {
+        // One dispatch per same-opcode run; the run loops are tight
+        // two-load/op/store kernels over whole W-word slots.
+        switch (run.op) {
+#define AXF_RUN(KIND, EXPR)                                                      \
+    case GateKind::KIND:                                                         \
+        for (std::uint32_t i = run.begin; i < run.end; ++i) {                    \
+            const Instr& ins = instrs[i];                                        \
+            const V a = *slot(ins.a);                                            \
+            const V b [[maybe_unused]] = *slot(ins.b);                           \
+            const V c [[maybe_unused]] = *slot(ins.c);                           \
+            *slot(ins.dst) = (EXPR);                                             \
+        }                                                                        \
+        break;
+            AXF_RUN(Buf, a)
+            AXF_RUN(Not, ~a)
+            AXF_RUN(And, a & b)
+            AXF_RUN(Or, a | b)
+            AXF_RUN(Xor, a ^ b)
+            AXF_RUN(Nand, ~(a & b))
+            AXF_RUN(Nor, ~(a | b))
+            AXF_RUN(Xnor, ~(a ^ b))
+            AXF_RUN(AndNot, a & ~b)
+            AXF_RUN(OrNot, a | ~b)
+            AXF_RUN(Mux, (c & b) | (~c & a))
+            AXF_RUN(Maj, (a & b) | (a & c) | (b & c))
+#undef AXF_RUN
+            case GateKind::Input:
+            case GateKind::Const0:
+            case GateKind::Const1: break;  // never emitted as instructions
+        }
+    }
+    const std::uint32_t* outSlots = outputSlots_.data();
+    for (std::size_t o = 0; o < outputSlots_.size(); ++o)
+        *reinterpret_cast<V*>(outputs + o * W) = *slot(outSlots[o]);
+}
+
+template void CompiledNetlist::run<1>(const Word*, Word*, Word*) const;
+template void CompiledNetlist::run<CompiledNetlist::kWordsPerBlock>(const Word*, Word*,
+                                                                    Word*) const;
+
+void BatchSimulator::evaluate(std::span<const Word> inputWords, std::span<Word> outputWords) {
+    if (inputWords.size() != compiled_->inputCount() * kWordsPerBlock)
+        throw std::invalid_argument("BatchSimulator: input word count mismatch");
+    if (outputWords.size() != compiled_->outputCount() * kWordsPerBlock)
+        throw std::invalid_argument("BatchSimulator: output word count mismatch");
+    compiled_->run<kWordsPerBlock>(inputWords.data(), outputWords.data(), workspace_);
+}
+
+}  // namespace axf::circuit

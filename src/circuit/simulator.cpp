@@ -5,47 +5,18 @@
 namespace axf::circuit {
 
 Simulator::Simulator(const Netlist& netlist)
-    : netlist_(netlist), values_(netlist.nodeCount(), 0) {}
+    : netlist_(netlist),
+      compiled_(CompiledNetlist::compile(netlist, {.pruneDead = false})),
+      values_(netlist.nodeCount(), 0) {
+    compiled_.initWorkspace(values_, 1);
+}
 
 void Simulator::evaluate(std::span<const Word> inputWords, std::span<Word> outputWords) {
-    const std::span<const NodeId> inputs = netlist_.inputs();
-    if (inputWords.size() != inputs.size())
+    if (inputWords.size() != netlist_.inputCount())
         throw std::invalid_argument("Simulator: input word count mismatch");
-    if (outputWords.size() != netlist_.outputs().size())
+    if (outputWords.size() != netlist_.outputCount())
         throw std::invalid_argument("Simulator: output word count mismatch");
-
-    const std::span<const Node> nodes = netlist_.nodes();
-    std::size_t nextInput = 0;
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        const Node& n = nodes[i];
-        Word v = 0;
-        switch (n.kind) {
-            case GateKind::Input: v = inputWords[nextInput++]; break;
-            case GateKind::Const0: v = 0; break;
-            case GateKind::Const1: v = ~Word{0}; break;
-            case GateKind::Buf: v = values_[n.a]; break;
-            case GateKind::Not: v = ~values_[n.a]; break;
-            case GateKind::And: v = values_[n.a] & values_[n.b]; break;
-            case GateKind::Or: v = values_[n.a] | values_[n.b]; break;
-            case GateKind::Xor: v = values_[n.a] ^ values_[n.b]; break;
-            case GateKind::Nand: v = ~(values_[n.a] & values_[n.b]); break;
-            case GateKind::Nor: v = ~(values_[n.a] | values_[n.b]); break;
-            case GateKind::Xnor: v = ~(values_[n.a] ^ values_[n.b]); break;
-            case GateKind::AndNot: v = values_[n.a] & ~values_[n.b]; break;
-            case GateKind::OrNot: v = values_[n.a] | ~values_[n.b]; break;
-            case GateKind::Mux:
-                v = (values_[n.c] & values_[n.b]) | (~values_[n.c] & values_[n.a]);
-                break;
-            case GateKind::Maj: {
-                const Word a = values_[n.a], b = values_[n.b], c = values_[n.c];
-                v = (a & b) | (a & c) | (b & c);
-                break;
-            }
-        }
-        values_[i] = v;
-    }
-    const std::span<const NodeId> outs = netlist_.outputs();
-    for (std::size_t i = 0; i < outs.size(); ++i) outputWords[i] = values_[outs[i]];
+    compiled_.run<1>(inputWords.data(), outputWords.data(), values_.data());
 }
 
 std::uint64_t Simulator::evaluateScalar(std::uint64_t inputBits) {
@@ -53,13 +24,14 @@ std::uint64_t Simulator::evaluateScalar(std::uint64_t inputBits) {
     const std::size_t no = netlist_.outputCount();
     if (ni > 64 || no > 64)
         throw std::invalid_argument("Simulator::evaluateScalar: interface wider than 64 bits");
-    std::vector<Word> in(ni), out(no);
+    scalarIn_.resize(ni);
+    scalarOut_.resize(no);
     for (std::size_t i = 0; i < ni; ++i)
-        in[i] = (inputBits >> i) & 1u ? ~Word{0} : Word{0};
-    evaluate(in, out);
+        scalarIn_[i] = (inputBits >> i) & 1u ? ~Word{0} : Word{0};
+    evaluate(scalarIn_, scalarOut_);
     std::uint64_t result = 0;
     for (std::size_t i = 0; i < no; ++i)
-        if (out[i] & 1u) result |= std::uint64_t{1} << i;
+        if (scalarOut_[i] & 1u) result |= std::uint64_t{1} << i;
     return result;
 }
 
@@ -67,11 +39,11 @@ ActivityCounter::ActivityCounter(const Netlist& netlist)
     : netlist_(netlist),
       simulator_(netlist),
       previous_(netlist.nodeCount(), 0),
+      outputScratch_(netlist.outputCount(), 0),
       toggles_(netlist.nodeCount(), 0) {}
 
 void ActivityCounter::accumulate(std::span<const Simulator::Word> inputWords) {
-    std::vector<Simulator::Word> outs(netlist_.outputCount());
-    simulator_.evaluate(inputWords, outs);
+    simulator_.evaluate(inputWords, outputScratch_);
     const std::span<const Simulator::Word> values = simulator_.nodeValues();
     if (blocks_ > 0) {
         for (std::size_t i = 0; i < values.size(); ++i) {

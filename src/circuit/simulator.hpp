@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "src/circuit/batch_sim.hpp"
 #include "src/circuit/netlist.hpp"
 
 namespace axf::circuit {
@@ -13,6 +14,12 @@ namespace axf::circuit {
 /// One `Word` carries 64 independent test vectors through a single sweep of
 /// the node array, which makes exhaustive 8-bit error analysis (65,536
 /// vectors = 1,024 sweeps) cheap enough to run inside unit tests.
+///
+/// Since the compiled-engine refactor this is a thin wrapper over
+/// `CompiledNetlist` run at one word per slot, compiled *without* dead-node
+/// pruning so `nodeValues()` still exposes every node (the activity-based
+/// power models depend on that).  Hot paths that sweep many vectors should
+/// prefer `BatchSimulator` (256 lanes per sweep, pruned).
 ///
 /// The evaluator keeps a scratch buffer sized to the netlist, so a single
 /// instance is not thread-safe; create one per thread if parallelizing.
@@ -39,7 +46,10 @@ public:
 
 private:
     const Netlist& netlist_;
-    std::vector<Word> values_;
+    CompiledNetlist compiled_;      ///< all nodes preserved: slot == node id
+    std::vector<Word> values_;      ///< one-word-per-node workspace
+    std::vector<Word> scalarIn_;    ///< reused by evaluateScalar
+    std::vector<Word> scalarOut_;
 };
 
 /// Per-node toggle counter for the activity-based power models.
@@ -62,6 +72,7 @@ private:
     const Netlist& netlist_;
     Simulator simulator_;
     std::vector<Simulator::Word> previous_;
+    std::vector<Simulator::Word> outputScratch_;
     std::vector<std::uint64_t> toggles_;
     std::size_t blocks_ = 0;
 };

@@ -3,84 +3,340 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "src/circuit/batch_sim.hpp"
 #include "src/circuit/simulator.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace axf::error {
 
 namespace {
 
+using circuit::BatchSimulator;
+using circuit::CompiledNetlist;
 using circuit::Simulator;
-using Word = Simulator::Word;
+using Word = CompiledNetlist::Word;
 
-/// Lane patterns for the low six bits of an exhaustively enumerated input
-/// index: bit k of lane L is bit k of L.
-constexpr std::array<Word, 6> kLanePattern = {
-    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
-    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+constexpr std::size_t kWords = BatchSimulator::kWordsPerBlock;
+constexpr std::size_t kLanes = BatchSimulator::kLanesPerBlock;
+
+/// Vectors per work chunk.  Fixed (never derived from the thread count) so
+/// the chunk decomposition — and therefore every floating-point merge
+/// order — is identical no matter how many workers execute it.  32 blocks
+/// of 256 lanes: coarse enough to amortize scheduling, fine enough that an
+/// exhaustive 8x8 analysis (65,536 vectors) still splits into 8 chunks.
+constexpr std::uint64_t kChunkVectors = 1ull << 13;
+
+/// Number of independent accumulation slots; lane i feeds slot i % 8.
+/// Eight parallel chains instead of one serial FP dependency lets the
+/// metric loop auto-vectorize; the slots reduce in a fixed order, so the
+/// result is still fully deterministic.
+constexpr std::size_t kSlots = 8;
 
 /// Accumulates metric sums over evaluated (approx, exact) result pairs.
 struct Accumulator {
-    double absSum = 0.0;
-    double relSum = 0.0;
-    double sqSum = 0.0;
-    std::uint64_t worst = 0;
-    std::uint64_t errorCount = 0;
+    std::array<double, kSlots> absSum{};
+    std::array<double, kSlots> relSum{};
+    std::array<double, kSlots> sqSum{};
+    std::array<std::uint64_t, kSlots> worst{};
+    std::array<std::uint64_t, kSlots> errorCount{};
     std::uint64_t total = 0;
 
-    void add(std::uint64_t approx, std::uint64_t exact) {
-        const std::uint64_t diff = approx > exact ? approx - exact : exact - approx;
-        absSum += static_cast<double>(diff);
-        relSum += static_cast<double>(diff) / static_cast<double>(std::max<std::uint64_t>(1, exact));
-        sqSum += static_cast<double>(diff) * static_cast<double>(diff);
-        worst = std::max(worst, diff);
-        if (diff != 0) ++errorCount;
-        ++total;
+    /// Folds one decoded block in, lanes in ascending order.  The slot
+    /// state lives in locals for the duration of the loop: the uint64
+    /// members would otherwise be assumed to alias the uint64 input
+    /// arrays, which blocks vectorization.
+    template <typename ApproxT>
+    void addBlock(const ApproxT* approx, const std::uint64_t* exact, std::size_t lanes) {
+        std::array<double, kSlots> absL = absSum, relL = relSum, sqL = sqSum;
+        std::array<std::uint64_t, kSlots> worstL = worst, errL = errorCount;
+        const std::size_t vec = lanes & ~(kSlots - 1);
+        for (std::size_t g = 0; g < vec; g += kSlots) {
+            for (std::size_t j = 0; j < kSlots; ++j) {
+                const std::uint64_t e = exact[g + j];
+                const std::uint64_t ap = approx[g + j];
+                const std::uint64_t diff = ap > e ? ap - e : e - ap;
+                const double d = static_cast<double>(diff);
+                absL[j] += d;
+                sqL[j] += d * d;
+                relL[j] += d / static_cast<double>(e ? e : 1);
+                worstL[j] = diff > worstL[j] ? diff : worstL[j];
+                errL[j] += diff != 0;
+            }
+        }
+        for (std::size_t l = vec; l < lanes; ++l) {
+            const std::size_t j = l % kSlots;
+            const std::uint64_t e = exact[l];
+            const std::uint64_t ap = approx[l];
+            const std::uint64_t diff = ap > e ? ap - e : e - ap;
+            const double d = static_cast<double>(diff);
+            absL[j] += d;
+            sqL[j] += d * d;
+            relL[j] += d / static_cast<double>(e ? e : 1);
+            worstL[j] = diff > worstL[j] ? diff : worstL[j];
+            errL[j] += diff != 0;
+        }
+        absSum = absL;
+        relSum = relL;
+        sqSum = sqL;
+        worst = worstL;
+        errorCount = errL;
+        total += lanes;
+    }
+
+    /// Folds a later chunk in.  Chunks merge strictly in index order.
+    void merge(const Accumulator& o) {
+        for (std::size_t j = 0; j < kSlots; ++j) {
+            absSum[j] += o.absSum[j];
+            relSum[j] += o.relSum[j];
+            sqSum[j] += o.sqSum[j];
+            worst[j] = std::max(worst[j], o.worst[j]);
+            errorCount[j] += o.errorCount[j];
+        }
+        total += o.total;
     }
 
     ErrorReport report(std::uint64_t maxOutput, bool exhaustive) const {
+        double abs = 0.0, rel = 0.0, sq = 0.0;
+        std::uint64_t wc = 0, errs = 0;
+        for (std::size_t j = 0; j < kSlots; ++j) {  // fixed reduction order
+            abs += absSum[j];
+            rel += relSum[j];
+            sq += sqSum[j];
+            wc = std::max(wc, worst[j]);
+            errs += errorCount[j];
+        }
         ErrorReport r;
         const double n = static_cast<double>(std::max<std::uint64_t>(1, total));
-        r.meanAbsoluteError = absSum / n;
+        r.meanAbsoluteError = abs / n;
         r.med = maxOutput == 0 ? 0.0 : r.meanAbsoluteError / static_cast<double>(maxOutput);
-        r.worstCaseError = static_cast<double>(worst);
-        r.meanRelativeError = relSum / n;
-        r.errorProbability = static_cast<double>(errorCount) / n;
-        r.meanSquaredError = sqSum / n;
+        r.worstCaseError = static_cast<double>(wc);
+        r.meanRelativeError = rel / n;
+        r.errorProbability = static_cast<double>(errs) / n;
+        r.meanSquaredError = sq / n;
         r.vectorsEvaluated = total;
         r.exhaustive = exhaustive;
         return r;
     }
 };
 
-/// Reusable per-analysis workspace (hoisted out of the block loop; the
-/// evaluator runs thousands of blocks during CGP fitness evaluation).
+/// Decodes output bit-planes into one 16-bit value per lane.  Valid for
+/// outputs <= 16 (the 8x8-multiplier case): twice the lanes per masked add
+/// compared to the 32-bit decode.
+void decodeOutputsU16(const Word* out, std::size_t outputs, std::uint16_t* approx) {
+#if defined(__AVX512BW__)
+    constexpr std::size_t kGroups = kLanes / 32;
+    __m512i acc[kGroups];
+    for (auto& a : acc) a = _mm512_setzero_si512();
+    for (std::size_t bit = 0; bit < outputs; ++bit) {
+        const __m512i weight = _mm512_set1_epi16(static_cast<short>(1u << bit));
+        const Word* words = out + bit * kWords;
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            const __mmask32 m =
+                static_cast<__mmask32>(words[(g * 32) / 64] >> ((g * 32) % 64));
+            acc[g] = _mm512_mask_add_epi16(acc[g], m, acc[g], weight);
+        }
+    }
+    for (std::size_t g = 0; g < kGroups; ++g)
+        _mm512_storeu_si512(reinterpret_cast<__m512i*>(approx + g * 32), acc[g]);
+#else
+    std::memset(approx, 0, kLanes * sizeof(std::uint16_t));
+    for (std::size_t bit = 0; bit < outputs; ++bit) {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            const Word word = out[bit * kWords + w];
+            std::uint16_t* a = approx + w * 64;
+            for (std::size_t l = 0; l < 64; ++l)
+                a[l] = static_cast<std::uint16_t>(
+                    a[l] + (static_cast<std::uint32_t>((word >> l) & 1u) << bit));
+        }
+    }
+#endif
+}
+
+/// Decodes output bit-planes (`outputs` planes of kWords words) into one
+/// 32-bit value per lane.  Valid for outputs <= 32.
+void decodeOutputsU32(const Word* out, std::size_t outputs, std::uint32_t* approx) {
+#if defined(__AVX512F__)
+    // One masked broadcast-add per (bit, 16-lane group): the bit-plane
+    // word itself is the write mask.
+    constexpr std::size_t kGroups = kLanes / 16;
+    __m512i acc[kGroups];
+    for (auto& a : acc) a = _mm512_setzero_si512();
+    for (std::size_t bit = 0; bit < outputs; ++bit) {
+        const __m512i weight = _mm512_set1_epi32(1u << bit);
+        const Word* words = out + bit * kWords;
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            const __mmask16 m =
+                static_cast<__mmask16>(words[(g * 16) / 64] >> ((g * 16) % 64));
+            acc[g] = _mm512_mask_add_epi32(acc[g], m, acc[g], weight);
+        }
+    }
+    for (std::size_t g = 0; g < kGroups; ++g)
+        _mm512_storeu_si512(reinterpret_cast<__m512i*>(approx + g * 16), acc[g]);
+#else
+    std::memset(approx, 0, kLanes * sizeof(std::uint32_t));
+    for (std::size_t bit = 0; bit < outputs; ++bit) {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            const Word word = out[bit * kWords + w];
+            std::uint32_t* a = approx + w * 64;
+            for (std::size_t l = 0; l < 64; ++l)
+                a[l] += static_cast<std::uint32_t>((word >> l) & 1u) << bit;
+        }
+    }
+#endif
+}
+
+/// 64-bit decode for wide interfaces (33..64 outputs); branchless so the
+/// compiler can vectorize with variable shifts.
+void decodeOutputsU64(const Word* out, std::size_t outputs, std::uint64_t* approx) {
+    std::memset(approx, 0, kLanes * sizeof(std::uint64_t));
+    for (std::size_t bit = 0; bit < outputs; ++bit) {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            const Word word = out[bit * kWords + w];
+            std::uint64_t* a = approx + w * 64;
+            for (std::size_t l = 0; l < 64; ++l)
+                a[l] += ((word >> l) & 1u) << bit;
+        }
+    }
+}
+
+/// Per-chunk workspace: input/output blocks plus decoded lane values.
 struct Workspace {
     std::vector<Word> in;
     std::vector<Word> out;
-    std::array<std::uint64_t, 64> approx{};
+    alignas(64) std::array<std::uint16_t, kLanes> approx16{};
+    alignas(64) std::array<std::uint32_t, kLanes> approx32{};
+    alignas(64) std::array<std::uint64_t, kLanes> approx64{};
+    alignas(64) std::array<std::uint64_t, kLanes> exact{};
 };
 
-/// Decodes output lane words into per-lane result values and accumulates
-/// error against `exact(lane)`.
-template <typename ExactFn>
-void consumeBlock(const std::vector<Word>& out, std::size_t lanes, ExactFn exact,
+/// Decodes an output block and accumulates error against the exact values
+/// already filled into `ws.exact`.
+void consumeBlock(const std::vector<Word>& out, std::size_t outputs, std::size_t lanes,
                   Accumulator& acc, Workspace& ws) {
-    ws.approx.fill(0);
-    for (std::size_t bit = 0; bit < out.size(); ++bit) {
-        Word w = out[bit];
-        if (w == 0) continue;
-        const std::uint64_t weight = std::uint64_t{1} << bit;
-        while (w != 0) {
-            const int lane = __builtin_ctzll(w);
-            ws.approx[static_cast<std::size_t>(lane)] += weight;
-            w &= w - 1;
+    if (outputs <= 16) {
+        decodeOutputsU16(out.data(), outputs, ws.approx16.data());
+        acc.addBlock(ws.approx16.data(), ws.exact.data(), lanes);
+    } else if (outputs <= 32) {
+        decodeOutputsU32(out.data(), outputs, ws.approx32.data());
+        acc.addBlock(ws.approx32.data(), ws.exact.data(), lanes);
+    } else {
+        decodeOutputsU64(out.data(), outputs, ws.approx64.data());
+        acc.addBlock(ws.approx64.data(), ws.exact.data(), lanes);
+    }
+}
+
+/// Fills `ws.exact[0..lanes)` with the golden operator results; the
+/// operator branch is hoisted out of the lane loop so both variants
+/// vectorize.
+void fillExactExhaustive(Workspace& ws, const circuit::ArithSignature& sig, std::uint64_t base,
+                         std::size_t lanes) {
+    const std::uint64_t maskA = (std::uint64_t{1} << sig.widthA) - 1;
+    const int shift = sig.widthA;
+    if (sig.op == circuit::ArithOp::Adder) {
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::uint64_t x = base + lane;
+            ws.exact[lane] = (x & maskA) + (x >> shift);
+        }
+    } else {
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::uint64_t x = base + lane;
+            ws.exact[lane] = (x & maskA) * (x >> shift);
         }
     }
-    for (std::size_t lane = 0; lane < lanes; ++lane) acc.add(ws.approx[lane], exact(lane));
+}
+
+/// Splitmix64 step — decorrelates per-chunk sample streams from the seed.
+std::uint64_t mixSeed(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Evaluates exhaustive vectors [begin, end); `begin` is block-aligned by
+/// construction (chunk size is a multiple of the block size).
+Accumulator exhaustiveChunk(const CompiledNetlist& compiled, const circuit::ArithSignature& sig,
+                            std::uint64_t begin, std::uint64_t end) {
+    BatchSimulator sim(compiled);
+    Workspace ws;
+    const int totalBits = sig.inputWidth();
+    ws.in.resize(static_cast<std::size_t>(totalBits) * kWords);
+    ws.out.resize(compiled.outputCount() * kWords);
+
+    Accumulator acc;
+    for (std::uint64_t base = begin; base < end; base += kLanes) {
+        const std::size_t lanes =
+            static_cast<std::size_t>(std::min<std::uint64_t>(kLanes, end - base));
+        circuit::fillExhaustiveBlock<kWords>(ws.in, totalBits, base);
+        sim.evaluate(ws.in, ws.out);
+        fillExactExhaustive(ws, sig, base, lanes);
+        consumeBlock(ws.out, compiled.outputCount(), lanes, acc, ws);
+    }
+    return acc;
+}
+
+/// Evaluates `count` sampled vectors with the chunk's own generator.
+/// Every lane bit is an independent fair coin, which is exactly a uniform
+/// draw over the (power-of-two) operand spaces.
+Accumulator sampledChunk(const CompiledNetlist& compiled, const circuit::ArithSignature& sig,
+                         std::uint64_t chunkSeed, std::uint64_t count) {
+    BatchSimulator sim(compiled);
+    Workspace ws;
+    const int totalBits = sig.inputWidth();
+    ws.in.resize(static_cast<std::size_t>(totalBits) * kWords);
+    ws.out.resize(compiled.outputCount() * kWords);
+
+    util::Rng rng(chunkSeed);
+    std::array<std::uint64_t, kLanes> as{}, bs{};
+    Accumulator acc;
+    std::uint64_t remaining = count;
+    while (remaining > 0) {
+        const std::size_t lanes =
+            static_cast<std::size_t>(std::min<std::uint64_t>(kLanes, remaining));
+        for (std::size_t w = 0; w < static_cast<std::size_t>(totalBits) * kWords; ++w)
+            ws.in[w] = rng.uniformInt(0, ~std::uint64_t{0});
+        sim.evaluate(ws.in, ws.out);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            std::uint64_t a = 0, b = 0;
+            for (int bit = 0; bit < sig.widthA; ++bit)
+                a |= ((ws.in[static_cast<std::size_t>(bit) * kWords + lane / 64] >> (lane % 64)) &
+                      1u)
+                     << bit;
+            for (int bit = 0; bit < sig.widthB; ++bit)
+                b |= ((ws.in[static_cast<std::size_t>(sig.widthA + bit) * kWords + lane / 64] >>
+                       (lane % 64)) &
+                      1u)
+                     << bit;
+            as[lane] = a;
+            bs[lane] = b;
+        }
+        if (sig.op == circuit::ArithOp::Adder) {
+            for (std::size_t lane = 0; lane < lanes; ++lane)
+                ws.exact[lane] = as[lane] + bs[lane];
+        } else {
+            for (std::size_t lane = 0; lane < lanes; ++lane)
+                ws.exact[lane] = as[lane] * bs[lane];
+        }
+        consumeBlock(ws.out, compiled.outputCount(), lanes, acc, ws);
+        remaining -= lanes;
+    }
+    return acc;
+}
+
+void checkInterface(const circuit::Netlist& netlist, const circuit::ArithSignature& sig) {
+    if (static_cast<int>(netlist.inputCount()) != sig.inputWidth())
+        throw std::invalid_argument("analyzeError: netlist input width != signature");
+    if (static_cast<int>(netlist.outputCount()) != sig.outputWidth())
+        throw std::invalid_argument("analyzeError: netlist output width != signature");
 }
 
 }  // namespace
@@ -95,47 +351,161 @@ std::string ErrorReport::summary() const {
 
 ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
                          const ErrorAnalysisConfig& config) {
-    if (static_cast<int>(netlist.inputCount()) != sig.inputWidth())
-        throw std::invalid_argument("analyzeError: netlist input width != signature");
-    if (static_cast<int>(netlist.outputCount()) != sig.outputWidth())
-        throw std::invalid_argument("analyzeError: netlist output width != signature");
+    checkInterface(netlist, sig);
 
-    Simulator sim(netlist);
+    const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
+    const int totalBits = sig.inputWidth();
+    const bool exhaustive =
+        totalBits < 64 && (std::uint64_t{1} << totalBits) <= config.exhaustiveLimit;
+    const std::uint64_t vectors = exhaustive ? std::uint64_t{1} << totalBits : config.sampleCount;
+    const std::uint64_t chunkCount = (vectors + kChunkVectors - 1) / kChunkVectors;
+
+    // Work is dispatched as tasks of `chunksPerTask` consecutive chunks so
+    // the partial-accumulator array stays bounded for huge input spaces
+    // (the grouping depends only on the vector count, never on the thread
+    // count, preserving the bit-identical-at-any-parallelism guarantee).
+    // Up to kMaxTasks (>= any realistic core count) the task is a single
+    // chunk, i.e. full scheduling granularity.
+    constexpr std::uint64_t kMaxTasks = 1024;
+    const std::uint64_t chunksPerTask = (chunkCount + kMaxTasks - 1) / kMaxTasks;
+    const std::size_t taskCount = chunkCount == 0
+                                      ? 0
+                                      : static_cast<std::size_t>(
+                                            (chunkCount + chunksPerTask - 1) / chunksPerTask);
+
+    std::vector<Accumulator> parts(std::max<std::size_t>(1, taskCount));
+    const auto runTask = [&](std::size_t t) {
+        const std::uint64_t firstChunk = static_cast<std::uint64_t>(t) * chunksPerTask;
+        const std::uint64_t lastChunk = std::min(chunkCount, firstChunk + chunksPerTask);
+        if (exhaustive) {
+            const std::uint64_t begin = firstChunk * kChunkVectors;
+            const std::uint64_t end = std::min(vectors, lastChunk * kChunkVectors);
+            parts[t] = exhaustiveChunk(compiled, sig, begin, end);
+        } else {
+            // Sample streams stay per-chunk so the draw sequence does not
+            // depend on the task grouping.
+            for (std::uint64_t c = firstChunk; c < lastChunk; ++c) {
+                const std::uint64_t count = std::min(kChunkVectors, vectors - c * kChunkVectors);
+                parts[t].merge(sampledChunk(compiled, sig, mixSeed(config.seed + c), count));
+            }
+        }
+    };
+    if (config.threads == 1 || taskCount <= 1) {
+        for (std::size_t t = 0; t < taskCount; ++t) runTask(t);
+    } else {
+        // threads > 1 caps the fan-out; 0 uses the whole pool.
+        util::ThreadPool::global().parallelFor(
+            taskCount, runTask,
+            config.threads > 0 ? static_cast<std::size_t>(config.threads) : 0);
+    }
+
     Accumulator acc;
+    for (const Accumulator& part : parts) acc.merge(part);
+    return acc.report(sig.maxOutput(), exhaustive);
+}
+
+ErrorReport analyzeErrorBaseline(const circuit::Netlist& netlist,
+                                 const circuit::ArithSignature& sig,
+                                 const ErrorAnalysisConfig& config) {
+    checkInterface(netlist, sig);
+
+    // The seed implementation, verbatim: one-word-at-a-time interpreter
+    // sweeps (per-node switch, frozen here so later Simulator improvements
+    // cannot shift the reference), one scalar accumulation chain,
+    // count-trailing-zeros output decode.
+    std::vector<Word> values(netlist.nodeCount(), 0);
+    const auto interpret = [&](std::span<const Word> inputWords, std::span<Word> outputWords) {
+        const std::span<const circuit::Node> nodes = netlist.nodes();
+        std::size_t nextInput = 0;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const circuit::Node& n = nodes[i];
+            Word v = 0;
+            switch (n.kind) {
+                case circuit::GateKind::Input: v = inputWords[nextInput++]; break;
+                case circuit::GateKind::Const0: v = 0; break;
+                case circuit::GateKind::Const1: v = ~Word{0}; break;
+                case circuit::GateKind::Buf: v = values[n.a]; break;
+                case circuit::GateKind::Not: v = ~values[n.a]; break;
+                case circuit::GateKind::And: v = values[n.a] & values[n.b]; break;
+                case circuit::GateKind::Or: v = values[n.a] | values[n.b]; break;
+                case circuit::GateKind::Xor: v = values[n.a] ^ values[n.b]; break;
+                case circuit::GateKind::Nand: v = ~(values[n.a] & values[n.b]); break;
+                case circuit::GateKind::Nor: v = ~(values[n.a] | values[n.b]); break;
+                case circuit::GateKind::Xnor: v = ~(values[n.a] ^ values[n.b]); break;
+                case circuit::GateKind::AndNot: v = values[n.a] & ~values[n.b]; break;
+                case circuit::GateKind::OrNot: v = values[n.a] | ~values[n.b]; break;
+                case circuit::GateKind::Mux:
+                    v = (values[n.c] & values[n.b]) | (~values[n.c] & values[n.a]);
+                    break;
+                case circuit::GateKind::Maj: {
+                    const Word a = values[n.a], b = values[n.b], c = values[n.c];
+                    v = (a & b) | (a & c) | (b & c);
+                    break;
+                }
+            }
+            values[i] = v;
+        }
+        const std::span<const circuit::NodeId> outs = netlist.outputs();
+        for (std::size_t i = 0; i < outs.size(); ++i) outputWords[i] = values[outs[i]];
+    };
+
+    struct ScalarAccumulator {
+        double absSum = 0.0, relSum = 0.0, sqSum = 0.0;
+        std::uint64_t worst = 0, errorCount = 0, total = 0;
+        void add(std::uint64_t approx, std::uint64_t exact) {
+            const std::uint64_t diff = approx > exact ? approx - exact : exact - approx;
+            absSum += static_cast<double>(diff);
+            relSum += static_cast<double>(diff) /
+                      static_cast<double>(std::max<std::uint64_t>(1, exact));
+            sqSum += static_cast<double>(diff) * static_cast<double>(diff);
+            worst = std::max(worst, diff);
+            if (diff != 0) ++errorCount;
+            ++total;
+        }
+    } acc;
+
     const int totalBits = sig.inputWidth();
     const bool exhaustive =
         totalBits < 64 && (std::uint64_t{1} << totalBits) <= config.exhaustiveLimit;
 
-    Workspace ws;
-    ws.in.resize(static_cast<std::size_t>(totalBits));
-    ws.out.resize(netlist.outputCount());
+    std::vector<Word> in(static_cast<std::size_t>(totalBits));
+    std::vector<Word> out(netlist.outputCount());
+    std::array<std::uint64_t, 64> approx{};
     const std::uint64_t maskA = (std::uint64_t{1} << sig.widthA) - 1;
+
+    const auto consume64 = [&](std::size_t lanes, auto exact) {
+        approx.fill(0);
+        for (std::size_t bit = 0; bit < out.size(); ++bit) {
+            Word w = out[bit];
+            const std::uint64_t weight = std::uint64_t{1} << bit;
+            while (w != 0) {
+                const int lane = __builtin_ctzll(w);
+                approx[static_cast<std::size_t>(lane)] += weight;
+                w &= w - 1;
+            }
+        }
+        for (std::size_t lane = 0; lane < lanes; ++lane) acc.add(approx[lane], exact(lane));
+    };
 
     if (exhaustive) {
         const std::uint64_t space = std::uint64_t{1} << totalBits;
         for (std::uint64_t base = 0; base < space; base += 64) {
             const std::size_t lanes =
                 static_cast<std::size_t>(std::min<std::uint64_t>(64, space - base));
-            // Bits below 6 follow the lane patterns; bits >= 6 are constant
-            // across the block and broadcast from the base index.
             for (int bit = 0; bit < totalBits; ++bit) {
                 if (bit < 6)
-                    ws.in[static_cast<std::size_t>(bit)] = kLanePattern[static_cast<std::size_t>(bit)];
+                    in[static_cast<std::size_t>(bit)] =
+                        circuit::kExhaustiveLanePattern[static_cast<std::size_t>(bit)];
                 else
-                    ws.in[static_cast<std::size_t>(bit)] = (base >> bit) & 1u ? ~Word{0} : Word{0};
+                    in[static_cast<std::size_t>(bit)] = (base >> bit) & 1u ? ~Word{0} : Word{0};
             }
-            sim.evaluate(ws.in, ws.out);
-            consumeBlock(
-                ws.out, lanes,
-                [&](std::size_t lane) {
-                    const std::uint64_t x = base + lane;
-                    return sig.exact(x & maskA, x >> sig.widthA);
-                },
-                acc, ws);
+            interpret(in, out);
+            consume64(lanes, [&](std::size_t lane) {
+                const std::uint64_t x = base + lane;
+                return sig.exact(x & maskA, x >> sig.widthA);
+            });
         }
     } else {
-        // Sampled path: every lane bit is an independent fair coin, which is
-        // exactly a uniform draw over the (power-of-two) operand spaces.
         util::Rng rng(config.seed);
         std::array<std::uint64_t, 64> as{}, bs{};
         std::uint64_t remaining = config.sampleCount;
@@ -143,24 +513,34 @@ ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSi
             const std::size_t lanes =
                 static_cast<std::size_t>(std::min<std::uint64_t>(64, remaining));
             for (int bit = 0; bit < totalBits; ++bit)
-                ws.in[static_cast<std::size_t>(bit)] = rng.uniformInt(0, ~std::uint64_t{0});
-            sim.evaluate(ws.in, ws.out);
+                in[static_cast<std::size_t>(bit)] = rng.uniformInt(0, ~std::uint64_t{0});
+            interpret(in, out);
             for (std::size_t lane = 0; lane < lanes; ++lane) {
                 std::uint64_t a = 0, b = 0;
                 for (int bit = 0; bit < sig.widthA; ++bit)
-                    a |= ((ws.in[static_cast<std::size_t>(bit)] >> lane) & 1u) << bit;
+                    a |= ((in[static_cast<std::size_t>(bit)] >> lane) & 1u) << bit;
                 for (int bit = 0; bit < sig.widthB; ++bit)
-                    b |= ((ws.in[static_cast<std::size_t>(sig.widthA + bit)] >> lane) & 1u) << bit;
+                    b |= ((in[static_cast<std::size_t>(sig.widthA + bit)] >> lane) & 1u) << bit;
                 as[lane] = a;
                 bs[lane] = b;
             }
-            consumeBlock(
-                ws.out, lanes, [&](std::size_t lane) { return sig.exact(as[lane], bs[lane]); },
-                acc, ws);
+            consume64(lanes, [&](std::size_t lane) { return sig.exact(as[lane], bs[lane]); });
             remaining -= lanes;
         }
     }
-    return acc.report(sig.maxOutput(), exhaustive);
+
+    ErrorReport r;
+    const double n = static_cast<double>(std::max<std::uint64_t>(1, acc.total));
+    r.meanAbsoluteError = acc.absSum / n;
+    r.med = sig.maxOutput() == 0 ? 0.0
+                                 : r.meanAbsoluteError / static_cast<double>(sig.maxOutput());
+    r.worstCaseError = static_cast<double>(acc.worst);
+    r.meanRelativeError = acc.relSum / n;
+    r.errorProbability = static_cast<double>(acc.errorCount) / n;
+    r.meanSquaredError = acc.sqSum / n;
+    r.vectorsEvaluated = acc.total;
+    r.exhaustive = exhaustive;
+    return r;
 }
 
 bool isFunctionallyExact(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,

@@ -37,14 +37,29 @@ struct ErrorAnalysisConfig {
     std::uint64_t exhaustiveLimit = 1ull << 16;  ///< 8x8 operators stay exhaustive
     std::uint64_t sampleCount = 1ull << 14;
     std::uint64_t seed = 0xE5527;
+    /// Worker threads: 0 = use the whole process-wide pool, 1 = force
+    /// serial, N > 1 = cap the fan-out at N threads.  The input space is
+    /// partitioned into fixed-size chunks whose partial results merge in
+    /// chunk order, so the report is bit-identical for every thread count.
+    int threads = 0;
 };
 
 /// Computes the error profile of `netlist` implementing `sig`.
 ///
 /// The netlist interface must be LSB-first operand A bits, then operand B
 /// bits; outputs LSB-first.  Throws std::invalid_argument on arity mismatch.
+///
+/// Runs on the compiled multi-word engine (`BatchSimulator`, 256 lanes per
+/// sweep), thread-parallel over input-space chunks per `config.threads`.
 ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
                          const ErrorAnalysisConfig& config = {});
+
+/// Reference implementation on the one-word-at-a-time interpreter
+/// (`Simulator`), retained for differential testing and as the benchmark
+/// baseline the compiled engine is measured against.  Always serial.
+ErrorReport analyzeErrorBaseline(const circuit::Netlist& netlist,
+                                 const circuit::ArithSignature& sig,
+                                 const ErrorAnalysisConfig& config = {});
 
 /// True when the circuit matches the exact operator on every evaluated
 /// vector (exhaustive for spaces within the config limit).

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/circuit/transform.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace axf::gen {
 
@@ -190,21 +191,37 @@ std::vector<CgpHarvest> CgpEvolver::run(const Netlist& seedNetlist) {
     };
     harvestIfNovel(parent, 0);
 
+    std::vector<CgpGenome> children;
+    std::vector<error::ErrorReport> childErrors;
     for (int gen = 1; gen <= options_.generations; ++gen) {
+        // Mutation draws stay on the single generation RNG (serial, same
+        // stream as a fully serial run); only the fitness evaluations —
+        // the expensive, RNG-free part — fan out over the pool.
+        children.clear();
+        children.reserve(static_cast<std::size_t>(options_.lambda));
+        for (int k = 0; k < options_.lambda; ++k) {
+            CgpGenome child = parent;
+            child.mutate(options_.mutatedGenes, rng);
+            children.push_back(std::move(child));
+        }
+        childErrors.assign(children.size(), error::ErrorReport{});
+        util::ThreadPool::global().parallelFor(
+            children.size(), [&](std::size_t k) { childErrors[k] = fitness(children[k]); });
+
+        // Selection scans offspring in index order, exactly as the serial
+        // loop did, so results are independent of evaluation scheduling.
         CgpGenome bestChild = parent;
         error::ErrorReport bestChildError = parentError;
         int bestChildCost = parentCost;
         bool improved = false;
-        for (int k = 0; k < options_.lambda; ++k) {
-            CgpGenome child = parent;
-            child.mutate(options_.mutatedGenes, rng);
-            const error::ErrorReport err = fitness(child);
+        for (std::size_t k = 0; k < children.size(); ++k) {
+            const error::ErrorReport& err = childErrors[k];
             if (err.med > options_.medBudget) continue;
-            const int cost = child.activeCells();
+            const int cost = children[k].activeCells();
             // Neutral moves (equal cost) are accepted — they drive the walk
             // across plateaus and each novel plateau point is harvested.
             if (cost <= bestChildCost) {
-                bestChild = std::move(child);
+                bestChild = std::move(children[k]);
                 bestChildError = err;
                 bestChildCost = cost;
                 improved = true;

@@ -7,6 +7,8 @@
 #include "src/gen/adders.hpp"
 #include "src/gen/cgp.hpp"
 #include "src/gen/multipliers.hpp"
+#include "src/util/select.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace axf::gen {
 
@@ -20,47 +22,61 @@ circuit::ArithSignature librarySignature(const LibraryConfig& config) {
 
 namespace {
 
-/// Accumulates circuits, deduplicating by structural hash.
-class LibraryAccumulator {
+/// Collects raw generator output, then characterizes it in a three-stage
+/// pipeline: parallel simplify+hash, ordered dedup, parallel error
+/// analysis, ordered append.  The dedup and append stages walk candidates
+/// in submission order, so the resulting library is identical to the old
+/// fully-serial accumulation no matter how many workers run.
+class CandidateSet {
 public:
-    LibraryAccumulator(ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig)
-        : sig_(sig), errorConfig_(errorConfig) {}
-
     void add(Netlist netlist, const std::string& origin) {
-        Netlist simplified = circuit::simplify(netlist);
-        if (!seen_.insert(simplified.structuralHash()).second) return;
-        LibraryCircuit entry;
-        entry.name = simplified.name();
-        entry.origin = origin;
-        entry.error = error::analyzeError(simplified, sig_, errorConfig_);
-        entry.netlist = std::move(simplified);
-        entry.signature = sig_;
-        library_.push_back(std::move(entry));
+        candidates_.push_back({std::move(netlist), origin});
     }
 
-    /// CGP harvests already carry simplified netlists and error reports.
-    void addHarvest(CgpHarvest harvest, const std::string& name, const std::string& origin) {
-        if (!seen_.insert(harvest.netlist.structuralHash()).second) return;
-        LibraryCircuit entry;
-        entry.name = name;
-        entry.origin = origin;
-        entry.netlist = std::move(harvest.netlist);
-        entry.netlist.setName(entry.name);
-        entry.signature = sig_;
-        entry.error = harvest.error;
-        library_.push_back(std::move(entry));
-    }
+    void characterizeInto(AcLibrary& library, std::unordered_set<std::uint64_t>& seen,
+                          ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig) {
+        struct Prepared {
+            Netlist simplified;
+            std::uint64_t hash = 0;
+        };
+        std::vector<Prepared> prepared(candidates_.size());
+        util::ThreadPool::global().parallelFor(candidates_.size(), [&](std::size_t i) {
+            prepared[i].simplified = circuit::simplify(candidates_[i].netlist);
+            prepared[i].hash = prepared[i].simplified.structuralHash();
+        });
 
-    AcLibrary take() { return std::move(library_); }
+        std::vector<std::size_t> unique;
+        unique.reserve(prepared.size());
+        for (std::size_t i = 0; i < prepared.size(); ++i)
+            if (seen.insert(prepared[i].hash).second) unique.push_back(i);
+
+        std::vector<error::ErrorReport> reports(unique.size());
+        util::ThreadPool::global().parallelFor(unique.size(), [&](std::size_t u) {
+            reports[u] = error::analyzeError(prepared[unique[u]].simplified, sig, errorConfig);
+        });
+
+        for (std::size_t u = 0; u < unique.size(); ++u) {
+            const std::size_t i = unique[u];
+            LibraryCircuit entry;
+            entry.name = prepared[i].simplified.name();
+            entry.origin = candidates_[i].origin;
+            entry.error = reports[u];
+            entry.netlist = std::move(prepared[i].simplified);
+            entry.signature = sig;
+            library.push_back(std::move(entry));
+        }
+        candidates_.clear();
+    }
 
 private:
-    ArithSignature sig_;
-    error::ErrorAnalysisConfig errorConfig_;
-    AcLibrary library_;
-    std::unordered_set<std::uint64_t> seen_;
+    struct Candidate {
+        Netlist netlist;
+        std::string origin;
+    };
+    std::vector<Candidate> candidates_;
 };
 
-void addAdderFamilies(LibraryAccumulator& acc, int n) {
+void addAdderFamilies(CandidateSet& acc, int n) {
     acc.add(rippleCarryAdder(n), "exact_rca");
     acc.add(carryLookaheadAdder(n), "exact_cla");
     acc.add(carrySelectAdder(n, 2), "exact_csel");
@@ -80,7 +96,7 @@ void addAdderFamilies(LibraryAccumulator& acc, int n) {
         for (int k = 1; k < n; ++k) acc.add(approxCellAdder(n, k, kind), "afa");
 }
 
-void addMultiplierFamilies(LibraryAccumulator& acc, int n) {
+void addMultiplierFamilies(CandidateSet& acc, int n) {
     acc.add(arrayMultiplier(n), "exact_array");
     acc.add(wallaceMultiplier(n), "exact_wallace");
     for (int t = 1; t <= n; ++t) acc.add(truncatedMultiplier(n, t), "trunc");
@@ -99,64 +115,89 @@ Netlist cgpSeed(const LibraryConfig& config, int which) {
     return which == 0 ? wallaceMultiplier(config.width) : arrayMultiplier(config.width);
 }
 
-}  // namespace
-
-AcLibrary buildStructuralFamilies(const LibraryConfig& config) {
-    LibraryAccumulator acc(librarySignature(config), config.errorConfig);
+void addStructural(CandidateSet& acc, const LibraryConfig& config) {
     if (config.op == ArithOp::Adder)
         addAdderFamilies(acc, config.width);
     else
         addMultiplierFamilies(acc, config.width);
-    return acc.take();
+}
+
+}  // namespace
+
+AcLibrary buildStructuralFamilies(const LibraryConfig& config) {
+    AcLibrary library;
+    std::unordered_set<std::uint64_t> seen;
+    CandidateSet candidates;
+    addStructural(candidates, config);
+    candidates.characterizeInto(library, seen, librarySignature(config), config.errorConfig);
+    return library;
 }
 
 AcLibrary buildLibrary(const LibraryConfig& config) {
     const ArithSignature sig = librarySignature(config);
-    LibraryAccumulator acc(sig, config.errorConfig);
-    if (config.op == ArithOp::Adder)
-        addAdderFamilies(acc, config.width);
-    else
-        addMultiplierFamilies(acc, config.width);
+    AcLibrary library;
+    std::unordered_set<std::uint64_t> seen;
+
+    CandidateSet candidates;
+    addStructural(candidates, config);
+    candidates.characterizeInto(library, seen, sig, config.errorConfig);
 
     if (!config.structuralOnly) {
+        // Every (MED budget, seed architecture) pair is an independent
+        // evolutionary run with its own seed: fan the runs out over the
+        // pool, then fold the harvests back in the serial loop order so
+        // the library content and naming never depend on scheduling.
+        struct RunSpec {
+            std::size_t budgetIdx;
+            int seedArch;
+            std::uint64_t seed;
+        };
+        std::vector<RunSpec> runs;
         std::uint64_t runSeed = config.seed;
-        for (std::size_t budgetIdx = 0; budgetIdx < config.medBudgets.size(); ++budgetIdx) {
-            for (int seedArch = 0; seedArch < 2; ++seedArch) {
-                CgpEvolver::Options options;
-                options.medBudget = config.medBudgets[budgetIdx];
-                options.lambda = config.cgpLambda;
-                options.generations = config.cgpGenerations;
-                options.seed = runSeed++;
-                options.reportConfig = config.errorConfig;
-                CgpEvolver evolver(sig, options);
-                std::vector<CgpHarvest> harvests = evolver.run(cgpSeed(config, seedArch));
-                int idx = 0;
-                for (CgpHarvest& h : harvests) {
-                    const std::string name =
-                        (config.op == ArithOp::Adder ? "add" : "mul") +
-                        std::to_string(config.width) + "_cgp_b" + std::to_string(budgetIdx) +
-                        "_s" + std::to_string(seedArch) + "_" + std::to_string(idx++);
-                    acc.addHarvest(std::move(h), name, "cgp");
-                }
+        for (std::size_t budgetIdx = 0; budgetIdx < config.medBudgets.size(); ++budgetIdx)
+            for (int seedArch = 0; seedArch < 2; ++seedArch)
+                runs.push_back({budgetIdx, seedArch, runSeed++});
+
+        std::vector<std::vector<CgpHarvest>> harvests(runs.size());
+        util::ThreadPool::global().parallelFor(runs.size(), [&](std::size_t r) {
+            CgpEvolver::Options options;
+            options.medBudget = config.medBudgets[runs[r].budgetIdx];
+            options.lambda = config.cgpLambda;
+            options.generations = config.cgpGenerations;
+            options.seed = runs[r].seed;
+            options.reportConfig = config.errorConfig;
+            CgpEvolver evolver(sig, options);
+            harvests[r] = evolver.run(cgpSeed(config, runs[r].seedArch));
+        });
+
+        for (std::size_t r = 0; r < runs.size(); ++r) {
+            int idx = 0;
+            for (CgpHarvest& h : harvests[r]) {
+                const std::string name =
+                    (config.op == ArithOp::Adder ? "add" : "mul") + std::to_string(config.width) +
+                    "_cgp_b" + std::to_string(runs[r].budgetIdx) + "_s" +
+                    std::to_string(runs[r].seedArch) + "_" + std::to_string(idx++);
+                if (!seen.insert(h.netlist.structuralHash()).second) continue;
+                LibraryCircuit entry;
+                entry.name = name;
+                entry.origin = "cgp";
+                entry.netlist = std::move(h.netlist);
+                entry.netlist.setName(entry.name);
+                entry.signature = sig;
+                entry.error = h.error;
+                library.push_back(std::move(entry));
             }
         }
     }
 
-    AcLibrary library = acc.take();
     if (config.maxCircuits != 0 && library.size() > config.maxCircuits) {
         // Deterministic uniform thinning over the error-sorted order keeps
-        // the full MED spread while bounding the library size.
+        // the full MED spread (both extremes) while bounding the size.
         std::sort(library.begin(), library.end(),
                   [](const LibraryCircuit& a, const LibraryCircuit& b) {
                       return a.error.med < b.error.med;
                   });
-        AcLibrary thinned;
-        thinned.reserve(config.maxCircuits);
-        const double step =
-            static_cast<double>(library.size()) / static_cast<double>(config.maxCircuits);
-        for (std::size_t i = 0; i < config.maxCircuits; ++i)
-            thinned.push_back(std::move(library[static_cast<std::size_t>(i * step)]));
-        library = std::move(thinned);
+        util::thinUniform(library, config.maxCircuits);
     }
     return library;
 }

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace axf::util {
+
+/// Thins a sorted vector down to `cap` entries by the endpoint-exact
+/// uniform stride i*(n-1)/(cap-1): strictly increasing whenever n > cap,
+/// keeps both extremes, never duplicates an element (a naive
+/// `i * n/cap` stride drops the last element, and patching it back in
+/// afterwards can clone an already-selected one).
+///
+/// `cap == 0` means unlimited (no-op); `cap == 1` keeps the first entry.
+template <typename T>
+void thinUniform(std::vector<T>& items, std::size_t cap) {
+    if (cap == 0 || items.size() <= cap) return;
+    std::vector<T> kept;
+    kept.reserve(cap);
+    const std::size_t n = items.size();
+    if (cap == 1) {
+        kept.push_back(std::move(items.front()));
+    } else {
+        for (std::size_t i = 0; i < cap; ++i)
+            kept.push_back(std::move(items[i * (n - 1) / (cap - 1)]));
+    }
+    items = std::move(kept);
+}
+
+}  // namespace axf::util

@@ -1,0 +1,138 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace axf::util {
+
+namespace {
+thread_local bool tlsInWorker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) {
+        // Auto-size: on a single-core host spawn no workers at all —
+        // parallelFor degrades to an inline loop and submit runs inline,
+        // instead of two threads contending for one core.
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw <= 1 ? 0 : hw;
+    }
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+    tlsInWorker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    if (workers_.empty()) {  // worker-less pool: run synchronously
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                             std::size_t maxThreads) {
+    if (n == 0) return;
+    // Inline when small, when the pool has no extra workers, when capped
+    // to one thread, or when already running on a worker (nested call):
+    // the outer level owns the parallelism and recursion into the queue
+    // could deadlock.
+    if (n == 1 || workers_.empty() || maxThreads == 1 || inWorkerThread()) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+
+    struct Shared {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> inflight{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex errorMutex;
+        std::mutex doneMutex;
+        std::condition_variable done;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    // The caller waits for *iteration* completion (inflight == 0 after its
+    // own drain exhausted the index space), never for the helper tasks
+    // themselves: queued helpers may sit behind unrelated long-running
+    // pool work, and a nested parallelFor must not stall on it.  A helper
+    // that starts late claims no index and touches nothing but `shared`
+    // (kept alive by its closure), so returning early is safe.
+    const auto drain = [shared, &body, n] {
+        for (;;) {
+            // inflight brackets the claim itself so the caller can never
+            // observe "all indices claimed" while a body is still running.
+            shared->inflight.fetch_add(1, std::memory_order_acq_rel);
+            std::size_t i = n;
+            // Abandon not-yet-claimed iterations once any body threw; a
+            // long loop should not grind on for minutes before reporting.
+            if (!shared->failed.load(std::memory_order_acquire))
+                i = shared->next.fetch_add(1, std::memory_order_relaxed);
+            const bool run = i < n;
+            if (run) {
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(shared->errorMutex);
+                    if (!shared->error) shared->error = std::current_exception();
+                    shared->failed.store(true, std::memory_order_release);
+                }
+            }
+            if (shared->inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> lock(shared->doneMutex);
+                shared->done.notify_all();
+            }
+            if (!run) return;
+        }
+    };
+
+    std::size_t helpers = std::min(workers_.size(), n - 1);
+    if (maxThreads != 0) helpers = std::min(helpers, maxThreads - 1);
+    for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+    drain();  // the calling thread works too; exits only once next >= n or failed
+    {
+        std::unique_lock<std::mutex> lock(shared->doneMutex);
+        shared->done.wait(lock, [&] {
+            return shared->inflight.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (shared->error) std::rethrow_exception(shared->error);
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+bool ThreadPool::inWorkerThread() { return tlsInWorker; }
+
+}  // namespace axf::util

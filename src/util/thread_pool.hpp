@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace axf::util {
+
+/// Reusable worker-thread pool shared by the characterization pipeline
+/// (error analysis, CGP offspring evaluation, library builds).
+///
+/// Design points:
+///  - `parallelFor` is work-sharing: the calling thread participates, so a
+///    pool of size 1 (or 0) degrades to a plain serial loop with no
+///    hand-off latency.
+///  - Calls from inside a worker thread run inline (no task submission),
+///    which makes nested parallelism — e.g. a parallel `analyzeError`
+///    inside a parallel library build — deadlock-free by construction.
+///  - The pool only schedules *where* work runs; every consumer in this
+///    codebase is written so results are merged in a deterministic order,
+///    keeping reports bit-identical to serial execution.
+class ThreadPool {
+public:
+    /// `threads == 0` sizes the pool to the hardware concurrency (on a
+    /// single-core host that means no workers: all work runs inline).
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /// Enqueues a task for asynchronous execution.
+    void submit(std::function<void()> task);
+
+    /// Runs `body(i)` for every i in [0, n), distributing iterations over
+    /// the workers plus the calling thread; returns when all are done.
+    /// Iterations must be independent.  Exceptions thrown by `body`
+    /// propagate to the caller (the first one encountered); once a body
+    /// throws, not-yet-started iterations are abandoned.
+    /// `maxThreads` caps the number of threads working on this loop
+    /// (0 = no cap beyond the pool size).
+    void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                     std::size_t maxThreads = 0);
+
+    /// Process-wide pool, lazily constructed at hardware concurrency.
+    static ThreadPool& global();
+
+    /// True when the calling thread is a worker of any ThreadPool.
+    static bool inWorkerThread();
+
+private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+}  // namespace axf::util

@@ -62,6 +62,28 @@ TEST(GaussianAccelerator, ExactConfigMatchesReference) {
     EXPECT_DOUBLE_EQ(accelerator().quality(exact, {scene}), 1.0);
 }
 
+TEST(GaussianAccelerator, CarryOutputsTruncateLikeTheHardware) {
+    // A degenerate multiplier whose table is all-65535 drives every
+    // adder-tree level to a 17-bit result (carry-out set).  The behavioural
+    // model must truncate operands to the adder's 16-bit interface when
+    // feeding the next level — 2 * 65535 -> 131070, truncated to 65534 on
+    // re-entry, etc. — ending at min(255, 131063 >> 4) = 255 everywhere.
+    circuit::Netlist ones("mul8_allones");
+    for (int i = 0; i < 16; ++i) ones.addInput();
+    const circuit::NodeId one = ones.addConst(true);
+    for (int i = 0; i < 16; ++i) ones.markOutput(one);
+    std::vector<Component> mults;
+    mults.push_back(makeComponent(std::move(ones), gen::multiplierSignature(8)));
+    std::vector<Component> adds;
+    adds.push_back(makeComponent(gen::rippleCarryAdder(16), gen::adderSignature(16)));
+    const GaussianAccelerator accel(std::move(mults), std::move(adds));
+
+    const img::Image scene = img::syntheticScene(40, 40, 0x21);
+    const img::Image out = accel.filter(scene, AcceleratorConfig{});
+    for (std::size_t i = 0; i < out.pixelCount(); ++i)
+        ASSERT_EQ(out.pixels()[i], 255) << "pixel " << i;
+}
+
 TEST(GaussianAccelerator, ApproximationDegradesQualityMonotonically) {
     const std::vector<img::Image> scenes = {img::syntheticScene(48, 48, 0xF)};
     double previous = 1.1;
@@ -111,8 +133,20 @@ TEST(BatchAdd16, MatchesScalarSimulation) {
         a[lane] = static_cast<std::uint32_t>(rng.uniformInt(0, 0xFFFF));
         b[lane] = static_cast<std::uint32_t>(rng.uniformInt(0, 0xFFFF));
     }
+    BatchAddScratch scratch;
     batchAdd16(batchSim, std::span<const std::uint32_t>(a),
-               std::span<const std::uint32_t>(b), std::span<std::uint32_t>(out));
+               std::span<const std::uint32_t>(b), std::span<std::uint32_t>(out), scratch);
+    std::array<std::uint32_t, 64> out2{};
+    batchAdd16(batchSim, std::span<const std::uint32_t>(a),
+               std::span<const std::uint32_t>(b), std::span<std::uint32_t>(out2));
+    EXPECT_EQ(out, out2);  // scratch and convenience overloads agree
+    // More than 64 lanes cannot be packed into one word sweep: reject
+    // instead of silently aliasing lane 64 onto lane 0.
+    std::vector<std::uint32_t> big(65, 1), bigOut(65);
+    EXPECT_THROW(batchAdd16(batchSim, std::span<const std::uint32_t>(big),
+                            std::span<const std::uint32_t>(big),
+                            std::span<std::uint32_t>(bigOut)),
+                 std::invalid_argument);
     for (std::size_t lane = 0; lane < 64; ++lane) {
         const std::uint64_t packed =
             static_cast<std::uint64_t>(a[lane]) | (static_cast<std::uint64_t>(b[lane]) << 16);

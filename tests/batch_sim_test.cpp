@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/circuit/batch_sim.hpp"
+#include "src/circuit/simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::circuit {
+namespace {
+
+/// Random DAG over the full gate alphabet: every kind is drawn with equal
+/// probability, operands reference any earlier node (netlist invariant).
+Netlist randomNetlist(int inputs, int gates, int outputs, util::Rng& rng) {
+    static constexpr GateKind kAllKinds[] = {
+        GateKind::Const0, GateKind::Const1, GateKind::Buf,    GateKind::Not,
+        GateKind::And,    GateKind::Or,     GateKind::Xor,    GateKind::Nand,
+        GateKind::Nor,    GateKind::Xnor,   GateKind::AndNot, GateKind::OrNot,
+        GateKind::Mux,    GateKind::Maj};
+    Netlist net("random");
+    for (int i = 0; i < inputs; ++i) net.addInput();
+    for (int g = 0; g < gates; ++g) {
+        const GateKind kind = kAllKinds[rng.index(std::size(kAllKinds))];
+        const auto pickNode = [&] {
+            return static_cast<NodeId>(rng.index(net.nodeCount()));
+        };
+        if (kind == GateKind::Const0 || kind == GateKind::Const1) {
+            net.addConst(kind == GateKind::Const1);
+        } else {
+            net.addGate(kind, pickNode(), pickNode(), pickNode());
+        }
+    }
+    for (int o = 0; o < outputs; ++o)
+        net.markOutput(static_cast<NodeId>(rng.index(net.nodeCount())));
+    return net;
+}
+
+/// Exhaustively cross-checks BatchSimulator (256-lane blocks, pruned
+/// compile) against Simulator::evaluateScalar (all-nodes compile) over the
+/// full input space of the netlist.
+void crossCheckExhaustive(const Netlist& net) {
+    const int totalBits = static_cast<int>(net.inputCount());
+    ASSERT_LE(totalBits, 12);
+    const std::uint64_t space = std::uint64_t{1} << totalBits;
+
+    Simulator scalar(net);
+    const CompiledNetlist compiled = CompiledNetlist::compile(net);
+    BatchSimulator batch(compiled);
+    EXPECT_LE(compiled.slotCount(), net.nodeCount());
+
+    constexpr std::size_t W = BatchSimulator::kWordsPerBlock;
+    std::vector<CompiledNetlist::Word> in(net.inputCount() * W);
+    std::vector<CompiledNetlist::Word> out(net.outputCount() * W);
+    for (std::uint64_t base = 0; base < space; base += BatchSimulator::kLanesPerBlock) {
+        fillExhaustiveBlock<W>(in, totalBits, base);
+        batch.evaluate(in, out);
+        const std::uint64_t lanes =
+            std::min<std::uint64_t>(BatchSimulator::kLanesPerBlock, space - base);
+        for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+            std::uint64_t batchResult = 0;
+            for (std::size_t o = 0; o < net.outputCount(); ++o)
+                if ((out[o * W + lane / 64] >> (lane % 64)) & 1u)
+                    batchResult |= std::uint64_t{1} << o;
+            ASSERT_EQ(batchResult, scalar.evaluateScalar(base + lane))
+                << "vector " << base + lane;
+        }
+    }
+}
+
+TEST(BatchSimulator, MatchesScalarOnRandomNetlists) {
+    util::Rng rng(0xBA7C);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int inputs = 4 + static_cast<int>(rng.index(7));   // 4..10
+        const int gates = 20 + static_cast<int>(rng.index(60));  // plenty of dead logic
+        const int outputs = 1 + static_cast<int>(rng.index(8));
+        crossCheckExhaustive(randomNetlist(inputs, gates, outputs, rng));
+    }
+}
+
+TEST(BatchSimulator, EveryGateKindExercised) {
+    // One tiny netlist per kind, checked over its full input space, so a
+    // wrong lowering of any single gate cannot hide inside a random DAG.
+    for (const GateKind kind :
+         {GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Or, GateKind::Xor,
+          GateKind::Nand, GateKind::Nor, GateKind::Xnor, GateKind::AndNot, GateKind::OrNot,
+          GateKind::Mux, GateKind::Maj}) {
+        Netlist net(gateKindName(kind));
+        const NodeId a = net.addInput();
+        const NodeId b = net.addInput();
+        const NodeId c = net.addInput();
+        net.markOutput(net.addGate(kind, a, fanInCount(kind) >= 2 ? b : kInvalidNode,
+                                   fanInCount(kind) >= 3 ? c : kInvalidNode));
+        crossCheckExhaustive(net);
+    }
+}
+
+TEST(BatchSimulator, ConstantsAndDeadInputs) {
+    Netlist net("consts");
+    net.addInput();  // dead input: interface must survive pruning
+    const NodeId one = net.addConst(true);
+    const NodeId zero = net.addConst(false);
+    net.markOutput(one);
+    net.markOutput(zero);
+    const CompiledNetlist compiled = CompiledNetlist::compile(net);
+    EXPECT_EQ(compiled.inputCount(), 1u);
+    EXPECT_EQ(compiled.instructionCount(), 0u);
+    crossCheckExhaustive(net);
+}
+
+TEST(BatchSimulator, PruningDropsDeadCone) {
+    Netlist net("dead");
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId live = net.addGate(GateKind::And, a, b);
+    net.addGate(GateKind::Xor, a, b);  // dead
+    net.addGate(GateKind::Or, a, b);   // dead
+    net.markOutput(live);
+    const CompiledNetlist pruned = CompiledNetlist::compile(net);
+    EXPECT_EQ(pruned.instructionCount(), 1u);
+    const CompiledNetlist full = CompiledNetlist::compile(net, {.pruneDead = false});
+    EXPECT_EQ(full.instructionCount(), 3u);
+    EXPECT_TRUE(full.preservesAllNodes());
+    crossCheckExhaustive(net);
+}
+
+TEST(BatchSimulator, ShapeChecks) {
+    Netlist net("shape");
+    net.addInput();
+    net.markOutput(0);
+    const CompiledNetlist compiled = CompiledNetlist::compile(net);
+    BatchSimulator sim(compiled);
+    std::vector<CompiledNetlist::Word> bad(BatchSimulator::kWordsPerBlock * 2);
+    std::vector<CompiledNetlist::Word> out(BatchSimulator::kWordsPerBlock);
+    EXPECT_THROW(sim.evaluate(bad, out), std::invalid_argument);
+    std::vector<CompiledNetlist::Word> in(BatchSimulator::kWordsPerBlock);
+    std::vector<CompiledNetlist::Word> badOut(BatchSimulator::kWordsPerBlock * 3);
+    EXPECT_THROW(sim.evaluate(in, badOut), std::invalid_argument);
+}
+
+TEST(FillExhaustiveBlock, LaneCarriesItsIndex) {
+    constexpr std::size_t W = CompiledNetlist::kWordsPerBlock;
+    const int totalBits = 10;
+    std::vector<CompiledNetlist::Word> in(static_cast<std::size_t>(totalBits) * W);
+    const std::uint64_t base = 512;  // multiple of 256
+    fillExhaustiveBlock<W>(in, totalBits, base);
+    for (std::uint64_t lane = 0; lane < CompiledNetlist::kLanesPerBlock; ++lane) {
+        std::uint64_t value = 0;
+        for (int bit = 0; bit < totalBits; ++bit)
+            if ((in[static_cast<std::size_t>(bit) * W + lane / 64] >> (lane % 64)) & 1u)
+                value |= std::uint64_t{1} << bit;
+        ASSERT_EQ(value, base + lane);
+    }
+}
+
+}  // namespace
+}  // namespace axf::circuit

@@ -104,6 +104,69 @@ TEST(ErrorMetrics, SummaryMentionsKeyNumbers) {
     EXPECT_NE(s.find("exhaustive"), std::string::npos);
 }
 
+/// Field-by-field bit-exact comparison (EXPECT_EQ on doubles is exact).
+void expectBitIdentical(const ErrorReport& a, const ErrorReport& b) {
+    EXPECT_EQ(a.med, b.med);
+    EXPECT_EQ(a.meanAbsoluteError, b.meanAbsoluteError);
+    EXPECT_EQ(a.worstCaseError, b.worstCaseError);
+    EXPECT_EQ(a.meanRelativeError, b.meanRelativeError);
+    EXPECT_EQ(a.errorProbability, b.errorProbability);
+    EXPECT_EQ(a.meanSquaredError, b.meanSquaredError);
+    EXPECT_EQ(a.vectorsEvaluated, b.vectorsEvaluated);
+    EXPECT_EQ(a.exhaustive, b.exhaustive);
+}
+
+TEST(ErrorMetrics, ParallelMatchesSerialBitIdentical) {
+    // Chunked accumulation merges partial results in chunk order, so the
+    // report must not depend on the thread count — exhaustive and sampled,
+    // adders and multipliers.
+    const std::vector<std::pair<Netlist, ArithSignature>> cases = [] {
+        std::vector<std::pair<Netlist, ArithSignature>> cs;
+        cs.emplace_back(gen::truncatedMultiplier(8, 4), multiplierSignature(8));
+        cs.emplace_back(gen::loaAdder(8, 3), adderSignature(8));
+        cs.emplace_back(gen::wallaceMultiplier(8), multiplierSignature(8));
+        cs.emplace_back(gen::etaAdder(8, 4), adderSignature(8));
+        return cs;
+    }();
+    for (const auto& [net, sig] : cases) {
+        for (const bool sampled : {false, true}) {
+            ErrorAnalysisConfig serial;
+            if (sampled) {
+                serial.exhaustiveLimit = 1;  // force the sampled path
+                serial.sampleCount = 1u << 15;
+            }
+            serial.threads = 1;
+            ErrorAnalysisConfig parallel = serial;
+            parallel.threads = 0;  // process-wide pool
+            ErrorAnalysisConfig capped = serial;
+            capped.threads = 2;  // bounded fan-out
+            const ErrorReport ref = analyzeError(net, sig, serial);
+            expectBitIdentical(analyzeError(net, sig, parallel), ref);
+            expectBitIdentical(analyzeError(net, sig, capped), ref);
+        }
+    }
+}
+
+TEST(ErrorMetrics, EngineAgreesWithBaselineInterpreter) {
+    // The compiled multi-word engine and the retained one-word reference
+    // must agree exactly on the integer-derived metrics and to rounding on
+    // the accumulated means (the engine merges per-chunk partial sums).
+    for (const auto& [net, sig] :
+         {std::pair{gen::truncatedMultiplier(8, 4), multiplierSignature(8)},
+          std::pair{gen::gearAdder(8, 2, 2), adderSignature(8)}}) {
+        const ErrorReport engine = analyzeError(net, sig);
+        const ErrorReport baseline = analyzeErrorBaseline(net, sig);
+        EXPECT_EQ(engine.worstCaseError, baseline.worstCaseError);
+        EXPECT_EQ(engine.errorProbability, baseline.errorProbability);
+        EXPECT_EQ(engine.vectorsEvaluated, baseline.vectorsEvaluated);
+        EXPECT_NEAR(engine.med, baseline.med, 1e-15);
+        EXPECT_NEAR(engine.meanAbsoluteError, baseline.meanAbsoluteError,
+                    1e-9 * (1.0 + baseline.meanAbsoluteError));
+        EXPECT_NEAR(engine.meanSquaredError, baseline.meanSquaredError,
+                    1e-9 * (1.0 + baseline.meanSquaredError));
+    }
+}
+
 TEST(ErrorMetrics, PartialLastBlockHandled) {
     // 3+3-bit space = 64 vectors exactly; also try 3+2 = 32 (sub-block).
     Netlist net("odd");

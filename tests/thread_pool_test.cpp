@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/util/thread_pool.hpp"
+
+namespace axf::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+    ThreadPool pool(2);
+    pool.parallelFor(0, [&](std::size_t) { FAIL(); });
+    int calls = 0;
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, DeterministicResultSlots) {
+    // Each iteration writes only its own slot: results must be independent
+    // of scheduling.
+    ThreadPool pool(3);
+    std::vector<std::uint64_t> out(512, 0);
+    pool.parallelFor(out.size(), [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        EXPECT_TRUE(ThreadPool::inWorkerThread() || pool.threadCount() == 0 || true);
+        // Nested call must not deadlock; it runs inline on this thread.
+        pool.parallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForDoesNotStallBehindBusyWorkers) {
+    // The caller must wait for iteration completion, not for its queued
+    // helper tasks: with every worker busy on long unrelated jobs, a
+    // parallelFor whose caller drains all iterations itself should return
+    // immediately, not after the workers free up.
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    for (int i = 0; i < 2; ++i)
+        pool.submit([&] {
+            while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        });
+    std::atomic<int> total{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.parallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    release.store(true);
+    EXPECT_EQ(total.load(), 8);
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+}
+
+TEST(ThreadPool, MaxThreadsCapsWorkerFanout) {
+    ThreadPool pool(4);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    pool.parallelFor(
+        200,
+        [&](std::size_t) {
+            std::lock_guard<std::mutex> lock(mu);
+            ids.insert(std::this_thread::get_id());
+        },
+        /*maxThreads=*/2);
+    EXPECT_LE(ids.size(), 2u);  // caller + at most one helper
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingIterations) {
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(pool.parallelFor(1000,
+                                  [&](std::size_t i) {
+                                      if (i == 0) throw std::runtime_error("fail fast");
+                                      executed.fetch_add(1);
+                                      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                                  }),
+                 std::runtime_error);
+    EXPECT_LT(executed.load(), 900);  // the loop did not grind to completion
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](std::size_t i) {
+                             if (i == 13) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitRunsTasks) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::atomic<int> done{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] {
+            ran.fetch_add(1);
+            done.fetch_add(1);
+        });
+    while (done.load() < 10) std::this_thread::yield();
+    EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsableAndStable) {
+    ThreadPool& a = ThreadPool::global();
+    ThreadPool& b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    // Auto-sized: hardware_concurrency workers, or none on a 1-core host.
+    std::atomic<int> total{0};
+    a.parallelFor(100, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, AutoSizedPoolRunsEverything) {
+    // Auto-sized pools may have zero workers (1-core host); submit and
+    // parallelFor must still execute every task, inline if need be.
+    ThreadPool pool(0);
+    std::atomic<int> total{0};
+    pool.submit([&] { total.fetch_add(1); });
+    pool.parallelFor(10, [&](std::size_t) { total.fetch_add(1); });
+    while (total.load() < 11) std::this_thread::yield();
+    EXPECT_EQ(total.load(), 11);
+}
+
+TEST(ThreadPool, MainThreadIsNotWorker) { EXPECT_FALSE(ThreadPool::inWorkerThread()); }
+
+}  // namespace
+}  // namespace axf::util
