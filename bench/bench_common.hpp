@@ -9,8 +9,11 @@
 // the smallest smoke configuration.
 
 #include <cstdlib>
+#include <iostream>
+#include <memory>
 #include <string>
 
+#include "src/cache/characterization_cache.hpp"
 #include "src/gen/library.hpp"
 
 namespace axf::bench {
@@ -26,7 +29,47 @@ inline Scale scaleFromEnv() {
     return Scale::Default;
 }
 
+/// Process-wide characterization cache shared by every bench stage.
+///
+/// `AXF_CACHE_DIR` selects the backing store:
+///   - unset        -> `.axf_cache` in the working directory (persistent, so
+///                     repeated bench runs and multi-process fleets share
+///                     one characterization corpus);
+///   - a path       -> that directory;
+///   - `mem`        -> in-memory only (no files written);
+///   - `off`/`none`/`0`/empty -> disabled (every run recomputes).
+///
+/// Cached results are bit-identical to recomputation, so bench output never
+/// depends on the cache state — only wall time does.
+inline cache::CharacterizationCache* sharedCache() {
+    static const std::unique_ptr<cache::CharacterizationCache> instance = [] {
+        const char* env = std::getenv("AXF_CACHE_DIR");
+        std::string dir = env == nullptr ? ".axf_cache" : env;
+        if (dir.empty() || dir == "off" || dir == "none" || dir == "0")
+            return std::unique_ptr<cache::CharacterizationCache>();
+        cache::CharacterizationCache::Options options;
+        if (dir != "mem") options.directory = dir;
+        return std::make_unique<cache::CharacterizationCache>(options);
+    }();
+    return instance.get();
+}
+
+/// Flushes the shared cache and prints its hit/miss/evict counters (the
+/// benches call this once at the end of their report).
+inline void printCacheStats(std::ostream& os) {
+    cache::CharacterizationCache* cache = sharedCache();
+    if (cache == nullptr) {
+        os << "[characterization cache: off]\n";
+        return;
+    }
+    cache->flush();
+    os << "[characterization cache: " << cache->stats().summary();
+    if (!cache->directory().empty()) os << "; store: " << cache->directory();
+    os << "]\n";
+}
+
 /// Library-generation policy for one operator/width at the chosen scale.
+/// The returned config routes characterization through `sharedCache()`.
 inline gen::LibraryConfig libraryConfig(circuit::ArithOp op, int width, Scale scale) {
     gen::LibraryConfig cfg;
     cfg.op = op;
@@ -52,6 +95,7 @@ inline gen::LibraryConfig libraryConfig(circuit::ArithOp op, int width, Scale sc
         cfg.errorConfig.exhaustiveLimit = 1u << 16;
         cfg.errorConfig.sampleCount = 1u << 15;
     }
+    cfg.cache = sharedCache();
     return cfg;
 }
 

@@ -23,7 +23,8 @@ int main() {
     gen::AcLibrary library = gen::buildLibrary(bench::libraryConfig(circuit::ArithOp::Multiplier, 8, scale));
     std::cout << "library size: " << library.size() << " circuits\n";
 
-    core::CircuitDataset dataset = core::CircuitDataset::characterize(std::move(library));
+    core::CircuitDataset dataset = core::CircuitDataset::characterize(
+        std::move(library), synth::AsicFlow(), bench::sharedCache());
     synth::FpgaFlow fpga;
     for (core::CharacterizedCircuit& cc : dataset.circuits()) {
         cc.fpga = fpga.implement(cc.circuit.netlist);

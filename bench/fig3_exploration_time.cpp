@@ -35,6 +35,7 @@ int main() {
 
         core::ApproxFpgasFlow::Config cfg;
         cfg.evaluateCoverage = false;  // time accounting only
+        cfg.cache = bench::sharedCache();
         const core::FlowResult result = core::ApproxFpgasFlow(cfg).run(std::move(library));
 
         cumulativeExhaustive += result.exhaustiveSynthSeconds;
@@ -57,5 +58,6 @@ int main() {
               << util::Table::num(cumulativeExhaustive / cumulativeFlow, 1)
               << "x (paper: ~10x)\n"
               << "[harness wall time: " << util::Table::num(wall.seconds(), 1) << " s]\n";
+    bench::printCacheStats(std::cout);
     return 0;
 }

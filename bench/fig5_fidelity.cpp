@@ -18,14 +18,16 @@ namespace {
 /// Characterizes a library and synthesizes a fraction of it.
 core::CircuitDataset measuredDataset(gen::AcLibrary library, double fraction,
                                      std::uint64_t seed) {
-    core::CircuitDataset ds = core::CircuitDataset::characterize(std::move(library));
+    core::CircuitDataset ds = core::CircuitDataset::characterize(
+        std::move(library), synth::AsicFlow(), bench::sharedCache());
     util::Rng rng(seed);
     synth::FpgaFlow fpga;
     std::vector<std::size_t> subset = rng.sampleIndices(
         ds.size(), std::max<std::size_t>(10, static_cast<std::size_t>(
                                                  fraction * static_cast<double>(ds.size()))));
     for (std::size_t idx : subset) {
-        ds.circuits()[idx].fpga = fpga.implement(ds.circuits()[idx].circuit.netlist);
+        ds.circuits()[idx].fpga = cache::implementCached(bench::sharedCache(), fpga,
+                                                         ds.circuits()[idx].circuit.netlist);
         ds.circuits()[idx].fpgaMeasured = true;
     }
     return ds;
@@ -57,6 +59,7 @@ int main() {
 
     core::ApproxFpgasFlow::Config cfg;
     cfg.evaluateCoverage = false;
+    cfg.cache = bench::sharedCache();
     const core::FlowResult result = core::ApproxFpgasFlow(cfg).run(std::move(library));
 
     util::Table fid({"model", "name", "latency", "power", "area"});
@@ -106,5 +109,6 @@ int main() {
               << " (paper: ~88%)\naverage cross-width fidelity: "
               << util::Table::percent(crossAcc / static_cast<double>(ids.size()))
               << " (paper: ~53%)\n";
+    bench::printCacheStats(std::cout);
     return 0;
 }

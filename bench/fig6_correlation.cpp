@@ -23,10 +23,11 @@ int main() {
 
     // Measure everything once (ground truth for the scatter), train on a
     // 10% subset like the methodology does.
-    core::CircuitDataset ds = core::CircuitDataset::characterize(std::move(library));
+    core::CircuitDataset ds = core::CircuitDataset::characterize(
+        std::move(library), synth::AsicFlow(), bench::sharedCache());
     synth::FpgaFlow fpga;
     for (core::CharacterizedCircuit& cc : ds.circuits()) {
-        cc.fpga = fpga.implement(cc.circuit.netlist);
+        cc.fpga = cache::implementCached(bench::sharedCache(), fpga, cc.circuit.netlist);
         cc.fpgaMeasured = true;
     }
     util::Rng rng(0xF16);
@@ -68,5 +69,6 @@ int main() {
     }
     std::cout << "\n(paper: Bayesian ridge and PLS usable standalone for all three parameters;\n"
                  " latency estimates carry the largest bias)\n";
+    bench::printCacheStats(std::cout);
     return 0;
 }

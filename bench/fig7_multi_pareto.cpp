@@ -24,7 +24,8 @@ int main() {
     const std::size_t n = library.size();
     std::cout << "library size: " << n << " circuits\n";
 
-    core::CircuitDataset ds = core::CircuitDataset::characterize(std::move(library));
+    core::CircuitDataset ds = core::CircuitDataset::characterize(
+        std::move(library), synth::AsicFlow(), bench::sharedCache());
     synth::FpgaFlow fpga;
     for (core::CharacterizedCircuit& cc : ds.circuits()) {
         cc.fpga = fpga.implement(cc.circuit.netlist);  // ground truth for evaluation

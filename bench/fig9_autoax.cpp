@@ -41,6 +41,7 @@ int main() {
     // Component menus from two ApproxFPGAs runs (paper: 9 multipliers, 8 adders).
     std::cout << "building FPGA-AC component menus via ApproxFPGAs...\n";
     core::ApproxFpgasFlow::Config flowCfg;
+    flowCfg.cache = bench::sharedCache();
     const core::FlowResult mulFlow = core::ApproxFpgasFlow(flowCfg).run(
         gen::buildLibrary(bench::libraryConfig(circuit::ArithOp::Multiplier, 8, scale)));
     const core::FlowResult addFlow = core::ApproxFpgasFlow(flowCfg).run(
@@ -52,7 +53,8 @@ int main() {
         autoax::componentsFromFlow(addFlow, core::FpgaParam::Area, 8);
     std::cout << "multiplier menu: " << mults.size() << ", adder menu: " << adders.size() << "\n";
 
-    const autoax::GaussianAccelerator accel(std::move(mults), std::move(adders));
+    const autoax::GaussianAccelerator accel(std::move(mults), std::move(adders),
+                                            bench::sharedCache());
     std::cout << "design space: " << accel.designSpaceSize()
               << " configurations (paper: 4.95e14)\n\n";
 
@@ -93,5 +95,6 @@ int main() {
                   << front.rowCount() << " designs):\n";
         front.print(std::cout);
     }
+    bench::printCacheStats(std::cout);
     return 0;
 }

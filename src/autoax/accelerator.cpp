@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 
 #include "src/circuit/batch_sim.hpp"
 #include "src/circuit/simulator.hpp"
@@ -115,7 +116,8 @@ const std::array<int, 9>& GaussianAccelerator::kernelWeights() {
 }
 
 GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
-                                         std::vector<Component> adderMenu)
+                                         std::vector<Component> adderMenu,
+                                         cache::CharacterizationCache* cache)
     : multipliers_(std::move(multiplierMenu)), adders_(std::move(adderMenu)) {
     if (multipliers_.empty() || adders_.empty())
         throw std::invalid_argument("GaussianAccelerator: empty component menu");
@@ -130,7 +132,7 @@ GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
     // compiled adder programs, each entry an independent task.
     multTables_.resize(multipliers_.size());
     util::ThreadPool::global().parallelFor(multipliers_.size(), [&](std::size_t i) {
-        multTables_[i] = buildTable(multipliers_[i]);
+        multTables_[i] = buildTable(multipliers_[i], cache);
     });
     adderCompiled_.resize(adders_.size());
     util::ThreadPool::global().parallelFor(adders_.size(), [&](std::size_t i) {
@@ -138,8 +140,25 @@ GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
     });
 }
 
-std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& component) {
-    // Exhaustive 8x8 behavioural table via 256-lane sweeps.
+std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& component,
+                                                           cache::CharacterizationCache* cache) {
+    // Exhaustive 8x8 behavioural table via 256-lane sweeps; the result is
+    // a pure function of the netlist, so it is content-addressed in the
+    // characterization cache (little-endian u16 blob, 128 KiB).
+    constexpr std::string_view kTableTag = "multtable16.v1";
+    const cache::CacheKey key = cache != nullptr
+                                    ? cache::CharacterizationCache::blobKey(
+                                          component.netlist.structuralHash(), kTableTag)
+                                    : cache::CacheKey{};
+    if (cache != nullptr) {
+        if (const auto bytes = cache->findBytes(key); bytes && bytes->size() == 2u << 16) {
+            std::vector<std::uint16_t> table(1u << 16);
+            for (std::size_t i = 0; i < table.size(); ++i)
+                table[i] = static_cast<std::uint16_t>((*bytes)[2 * i] |
+                                                      ((*bytes)[2 * i + 1] << 8));
+            return table;
+        }
+    }
     std::vector<std::uint16_t> table(1u << 16);
     const CompiledNetlist compiled = CompiledNetlist::compile(component.netlist);
     BatchSimulator sim(compiled);
@@ -156,6 +175,14 @@ std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& comp
                          << bit;
             table[base + lane] = static_cast<std::uint16_t>(value);
         }
+    }
+    if (cache != nullptr) {
+        std::vector<std::uint8_t> bytes(2 * table.size());
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            bytes[2 * i] = static_cast<std::uint8_t>(table[i] & 0xFF);
+            bytes[2 * i + 1] = static_cast<std::uint8_t>(table[i] >> 8);
+        }
+        cache->putBytes(key, std::move(bytes));
     }
     return table;
 }

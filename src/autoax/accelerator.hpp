@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/characterization_cache.hpp"
 #include "src/circuit/arith.hpp"
 #include "src/circuit/batch_sim.hpp"
 #include "src/circuit/netlist.hpp"
@@ -78,8 +79,11 @@ struct AcceleratorCost {
 /// bit-parallel (64 pixels per sweep) and composes hardware costs.
 class GaussianAccelerator {
 public:
-    GaussianAccelerator(std::vector<Component> multiplierMenu,
-                        std::vector<Component> adderMenu);
+    /// A non-null characterization cache reuses the exhaustive 8x8
+    /// multiplier behavioural tables (content-addressed by component
+    /// netlist hash) across accelerators, runs and processes.
+    GaussianAccelerator(std::vector<Component> multiplierMenu, std::vector<Component> adderMenu,
+                        cache::CharacterizationCache* cache = nullptr);
 
     const std::vector<Component>& multiplierMenu() const { return multipliers_; }
     const std::vector<Component>& adderMenu() const { return adders_; }
@@ -111,7 +115,8 @@ private:
     /// `BatchSimulator` workspaces over these shared programs.
     std::vector<circuit::CompiledNetlist> adderCompiled_;
 
-    static std::vector<std::uint16_t> buildTable(const Component& component);
+    static std::vector<std::uint16_t> buildTable(const Component& component,
+                                                 cache::CharacterizationCache* cache);
 };
 
 }  // namespace axf::autoax

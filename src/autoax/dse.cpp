@@ -38,7 +38,10 @@ std::vector<double> configFeatures(const GaussianAccelerator& accel,
         multLut += c.fpga.lutCount;
         multPow += c.fpga.powerMw;
         multLatMax = std::max(multLatMax, c.fpga.latencyNs);
-        if (c.error.isExact()) exactMults += 1.0;
+        // Feature semantics: "component showed no error" — 16-bit adder
+        // menus carry sampled reports, for which strict `isExact` can
+        // never hold, so the estimator feature uses the observed predicate.
+        if (c.error.observedExact()) exactMults += 1.0;
     }
     double addMedSum = 0, addMedMax = 0, addWceSum = 0, addLut = 0, addPow = 0, addLatSum = 0,
            exactAdders = 0;
@@ -53,7 +56,7 @@ std::vector<double> configFeatures(const GaussianAccelerator& accel,
         addLut += c.fpga.lutCount;
         addPow += c.fpga.powerMw;
         addLatSum += c.fpga.latencyNs;
-        if (c.error.isExact()) exactAdders += 1.0;
+        if (c.error.observedExact()) exactAdders += 1.0;
     }
     return {multMedSum, multMedMax, std::log1p(multWceSum), multLut, multPow, multLatMax,
             exactMults, addMedSum,  addMedMax, std::log1p(addWceSum), addLut, addPow,

@@ -1,0 +1,432 @@
+#include "src/cache/characterization_cache.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+namespace axf::cache {
+
+namespace {
+
+constexpr std::uint32_t kShardMagic = 0x43465841;  // "AXFC" little-endian
+
+/// FNV-1a over a byte range (payload checksums).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/// splitmix64 — cheap avalanche for digest accumulation.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Order-sensitive digest builder for config structs.
+class Digest {
+public:
+    Digest& u64(std::uint64_t v) {
+        state_ = mix64(state_ ^ mix64(v + count_++));
+        return *this;
+    }
+    Digest& f64(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        return u64(bits);
+    }
+    Digest& i(long long v) { return u64(static_cast<std::uint64_t>(v)); }
+    Digest& str(std::string_view s) {
+        u64(s.size());
+        return u64(fnv1a(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+    }
+    std::uint64_t value() const { return state_; }
+
+private:
+    std::uint64_t state_ = 0x5CA1AB1E0DDBA11ull;
+    std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
+    std::uint64_t h = mix64(k.structuralHash);
+    h = mix64(h ^ k.signatureDigest);
+    h = mix64(h ^ k.configDigest);
+    h = mix64(h ^ k.kind);
+    return static_cast<std::size_t>(h);
+}
+
+std::string CacheStats::summary() const {
+    std::ostringstream os;
+    const std::uint64_t lookups = hits + misses;
+    os << hits << "/" << lookups << " hits";
+    if (lookups > 0)
+        os << " (" << static_cast<int>(100.0 * static_cast<double>(hits) /
+                                       static_cast<double>(lookups) + 0.5)
+           << "%)";
+    os << ", " << stores << " stores, " << evictions << " evictions, " << diskEntriesLoaded
+       << " loaded from disk, " << corruptEntriesDropped << " corrupt dropped, "
+       << entriesFlushed << " flushed";
+    return os.str();
+}
+
+CharacterizationCache::CharacterizationCache(Options options) : options_(std::move(options)) {
+    if (options_.directory.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(options_.directory, ec);  // best effort
+    for (std::size_t i = 0; i < kStripes; ++i) loadShard(i);
+}
+
+CharacterizationCache::~CharacterizationCache() {
+    try {
+        flush();
+    } catch (...) {
+        // Best effort: a full disk at shutdown must not terminate the
+        // process; the cache is a pure accelerator.
+    }
+}
+
+std::string CharacterizationCache::shardPath(std::size_t stripe) const {
+    char name[32];
+    std::snprintf(name, sizeof name, "shard_%02zx.axc", stripe);
+    return options_.directory + "/" + name;
+}
+
+void CharacterizationCache::loadShard(std::size_t stripe) {
+    std::ifstream in(shardPath(stripe), std::ios::binary);
+    if (!in) return;
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    util::ByteReader reader(bytes);
+
+    std::uint32_t magic = 0, version = 0;
+    std::uint64_t count = 0;
+    if (!reader.u32(magic) || !reader.u32(version) || !reader.u64(count) ||
+        magic != kShardMagic || version != kSchemaVersion) {
+        // Foreign or stale-schema file: ignore wholesale, entries recompute.
+        corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    Stripe& s = stripes_[stripe];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (std::uint64_t e = 0; e < count; ++e) {
+        CacheKey key;
+        std::uint32_t payloadSize = 0;
+        std::uint64_t checksum = 0;
+        reader.u64(key.structuralHash);
+        reader.u64(key.signatureDigest);
+        reader.u64(key.configDigest);
+        reader.u32(key.kind);
+        if (!reader.u32(payloadSize) || !reader.u64(checksum) ||
+            reader.remaining() < payloadSize) {
+            // Truncated entry: nothing after it can be framed reliably.
+            corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        std::vector<std::uint8_t> payload(payloadSize);
+        reader.raw(payload.data(), payloadSize);
+        if (fnv1a(payload.data(), payload.size()) != checksum || stripeOf(key) != stripe) {
+            // Bit rot (or an entry filed under the wrong prefix): skip this
+            // entry but keep scanning — the framing is still intact.
+            corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        if (s.entries.emplace(key, std::move(payload)).second) {
+            s.order.push_back(key);
+            diskEntriesLoaded_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+void CharacterizationCache::writeShard(std::size_t stripe, Stripe& s) {
+    util::ByteWriter out;
+    out.u32(kShardMagic);
+    out.u32(kSchemaVersion);
+    out.u64(s.entries.size());
+    // Walk in insertion order so shard files are deterministic for a given
+    // store sequence (stable diffs, reproducible fleet artifacts).
+    for (const CacheKey& key : s.order) {
+        const auto it = s.entries.find(key);
+        if (it == s.entries.end()) continue;  // evicted after insertion
+        const std::vector<std::uint8_t>& payload = it->second;
+        out.u64(key.structuralHash);
+        out.u64(key.signatureDigest);
+        out.u64(key.configDigest);
+        out.u32(key.kind);
+        out.u32(static_cast<std::uint32_t>(payload.size()));
+        out.u64(fnv1a(payload.data(), payload.size()));
+        out.raw(payload.data(), payload.size());
+    }
+
+    const std::string path = shardPath(stripe);
+    const std::string tmp =
+        path + ".tmp" +
+        std::to_string(std::chrono::steady_clock::now().time_since_epoch().count());
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file) return;
+        file.write(reinterpret_cast<const char*>(out.bytes().data()),
+                   static_cast<std::streamsize>(out.bytes().size()));
+        if (!file) {
+            file.close();
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);  // atomic replace on POSIX
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    entriesFlushed_.fetch_add(s.entries.size(), std::memory_order_relaxed);
+    s.dirty = false;
+}
+
+void CharacterizationCache::flush() {
+    if (options_.directory.empty()) return;
+    for (std::size_t i = 0; i < kStripes; ++i) {
+        Stripe& s = stripes_[i];
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (s.dirty) writeShard(i, s);
+    }
+}
+
+std::optional<std::vector<std::uint8_t>> CharacterizationCache::findBytes(const CacheKey& key) {
+    Stripe& s = stripes_[stripeOf(key)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void CharacterizationCache::putBytes(const CacheKey& key, std::vector<std::uint8_t> payload) {
+    Stripe& s = stripes_[stripeOf(key)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Content-addressed entries are interchangeable, so overwriting is
+    // harmless under races — and it self-heals an undecodable payload that
+    // slipped past the shard checksum (the caller recomputed it).
+    auto [it, inserted] = s.entries.insert_or_assign(key, std::move(payload));
+    s.dirty = true;
+    if (!inserted) return;
+    s.order.push_back(key);
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.maxEntries != 0) {
+        const std::size_t perStripe = std::max<std::size_t>(1, options_.maxEntries / kStripes);
+        while (s.entries.size() > perStripe && !s.order.empty()) {
+            s.entries.erase(s.order.front());
+            s.order.pop_front();
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+namespace {
+
+template <typename Report>
+std::optional<Report> decodeReport(std::optional<std::vector<std::uint8_t>> bytes) {
+    if (!bytes) return std::nullopt;
+    util::ByteReader reader(*bytes);
+    Report report;
+    if (!Report::deserialize(reader, report)) return std::nullopt;
+    return report;
+}
+
+template <typename Report>
+std::vector<std::uint8_t> encodeReport(const Report& report) {
+    util::ByteWriter out;
+    report.serialize(out);
+    return out.take();
+}
+
+void checkKind(const CacheKey& key, PayloadKind kind) {
+    if (key.kind != static_cast<std::uint32_t>(kind))
+        throw std::logic_error("CharacterizationCache: key/payload kind mismatch");
+}
+
+}  // namespace
+
+std::optional<error::ErrorReport> CharacterizationCache::findError(const CacheKey& key) {
+    checkKind(key, PayloadKind::ErrorProfile);
+    return decodeReport<error::ErrorReport>(findBytes(key));
+}
+
+void CharacterizationCache::putError(const CacheKey& key, const error::ErrorReport& report) {
+    checkKind(key, PayloadKind::ErrorProfile);
+    putBytes(key, encodeReport(report));
+}
+
+std::optional<synth::AsicReport> CharacterizationCache::findAsic(const CacheKey& key) {
+    checkKind(key, PayloadKind::AsicReport);
+    return decodeReport<synth::AsicReport>(findBytes(key));
+}
+
+void CharacterizationCache::putAsic(const CacheKey& key, const synth::AsicReport& report) {
+    checkKind(key, PayloadKind::AsicReport);
+    putBytes(key, encodeReport(report));
+}
+
+std::optional<synth::FpgaReport> CharacterizationCache::findFpga(const CacheKey& key) {
+    checkKind(key, PayloadKind::FpgaReport);
+    return decodeReport<synth::FpgaReport>(findBytes(key));
+}
+
+void CharacterizationCache::putFpga(const CacheKey& key, const synth::FpgaReport& report) {
+    checkKind(key, PayloadKind::FpgaReport);
+    putBytes(key, encodeReport(report));
+}
+
+CacheStats CharacterizationCache::stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.stores = stores_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.diskEntriesLoaded = diskEntriesLoaded_.load(std::memory_order_relaxed);
+    s.corruptEntriesDropped = corruptEntriesDropped_.load(std::memory_order_relaxed);
+    s.entriesFlushed = entriesFlushed_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::size_t CharacterizationCache::size() const {
+    std::size_t n = 0;
+    for (const Stripe& s : stripes_) {
+        std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(s.mutex));
+        n += s.entries.size();
+    }
+    return n;
+}
+
+// --- digests and keys -------------------------------------------------------
+
+std::uint64_t CharacterizationCache::digestOf(const circuit::ArithSignature& sig) {
+    return Digest()
+        .i(static_cast<long long>(sig.op))
+        .i(sig.widthA)
+        .i(sig.widthB)
+        .value();
+}
+
+std::uint64_t CharacterizationCache::digestOf(const error::ErrorAnalysisConfig& config,
+                                              const circuit::ArithSignature& sig) {
+    // Same predicate the analyzer uses to pick its path — a single shared
+    // helper, so the key canonicalization can never drift from it.
+    const bool exhaustive = config.isExhaustiveFor(sig);
+    Digest d;
+    d.str("error-analysis.v1");
+    d.u64(exhaustive ? 1 : 0);
+    if (!exhaustive) d.u64(config.sampleCount).u64(config.seed);
+    // `threads` deliberately excluded: chunk-ordered merging keeps reports
+    // bit-identical at any thread count.
+    return d.value();
+}
+
+std::uint64_t CharacterizationCache::digestOf(const synth::AsicFlow::Options& options) {
+    return Digest()
+        .str("asic-flow.v1")
+        .f64(options.clockMhz)
+        .i(options.activityBlocks)
+        .u64(options.activitySeed)
+        .f64(options.staticPowerPerCellUw)
+        .value();
+}
+
+std::uint64_t CharacterizationCache::digestOf(const synth::FpgaFlow::Options& options) {
+    return Digest()
+        .str("fpga-flow.v1")
+        .i(options.mapper.lutInputs)
+        .i(options.mapper.cutsPerNode)
+        .f64(options.lutDelayNs)
+        .f64(options.netDelayBaseNs)
+        .f64(options.netDelayFanoutNs)
+        .f64(options.ioDelayNs)
+        .f64(options.routingJitterNs)
+        .f64(options.clockMhz)
+        .f64(options.lutCapFf)
+        .f64(options.wireCapFf)
+        .f64(options.staticPowerPerLutUw)
+        .f64(options.powerJitterFraction)
+        .i(options.activityBlocks)
+        .u64(options.seed)
+        .u64(options.activitySeed)
+        .value();
+}
+
+CacheKey CharacterizationCache::errorKey(std::uint64_t structuralHash,
+                                         const circuit::ArithSignature& sig,
+                                         const error::ErrorAnalysisConfig& config) {
+    return CacheKey{structuralHash, digestOf(sig), digestOf(config, sig),
+                    static_cast<std::uint32_t>(PayloadKind::ErrorProfile)};
+}
+
+CacheKey CharacterizationCache::asicKey(std::uint64_t structuralHash,
+                                        const synth::AsicFlow::Options& options) {
+    return CacheKey{structuralHash, 0, digestOf(options),
+                    static_cast<std::uint32_t>(PayloadKind::AsicReport)};
+}
+
+CacheKey CharacterizationCache::fpgaKey(std::uint64_t structuralHash,
+                                        const synth::FpgaFlow::Options& options) {
+    return CacheKey{structuralHash, 0, digestOf(options),
+                    static_cast<std::uint32_t>(PayloadKind::FpgaReport)};
+}
+
+CacheKey CharacterizationCache::blobKey(std::uint64_t structuralHash, std::string_view tag) {
+    return CacheKey{structuralHash, 0, Digest().str(tag).value(),
+                    static_cast<std::uint32_t>(PayloadKind::Blob)};
+}
+
+// --- null-tolerant wrappers --------------------------------------------------
+
+error::ErrorReport analyzeErrorCached(CharacterizationCache* cache, std::uint64_t structuralHash,
+                                      const circuit::Netlist& netlist,
+                                      const circuit::ArithSignature& sig,
+                                      const error::ErrorAnalysisConfig& config) {
+    if (cache == nullptr) return error::analyzeError(netlist, sig, config);
+    const CacheKey key = CharacterizationCache::errorKey(structuralHash, sig, config);
+    if (std::optional<error::ErrorReport> hit = cache->findError(key)) return *hit;
+    const error::ErrorReport report = error::analyzeError(netlist, sig, config);
+    cache->putError(key, report);
+    return report;
+}
+
+synth::AsicReport synthesizeCached(CharacterizationCache* cache, const synth::AsicFlow& flow,
+                                   const circuit::Netlist& netlist) {
+    if (cache == nullptr) return flow.synthesize(netlist);
+    const CacheKey key =
+        CharacterizationCache::asicKey(netlist.structuralHash(), flow.options());
+    if (std::optional<synth::AsicReport> hit = cache->findAsic(key)) return *hit;
+    const synth::AsicReport report = flow.synthesize(netlist);
+    cache->putAsic(key, report);
+    return report;
+}
+
+synth::FpgaReport implementCached(CharacterizationCache* cache, const synth::FpgaFlow& flow,
+                                  const circuit::Netlist& netlist) {
+    if (cache == nullptr) return flow.implement(netlist);
+    const CacheKey key =
+        CharacterizationCache::fpgaKey(netlist.structuralHash(), flow.options());
+    if (std::optional<synth::FpgaReport> hit = cache->findFpga(key)) return *hit;
+    const synth::FpgaReport report = flow.implement(netlist);
+    cache->putFpga(key, report);
+    return report;
+}
+
+}  // namespace axf::cache

@@ -154,6 +154,65 @@ Netlist Netlist::pruned() const {
     return out;
 }
 
+void Netlist::serialize(util::ByteWriter& out) const {
+    out.u32(static_cast<std::uint32_t>(name_.size()));
+    out.raw(name_.data(), name_.size());
+    out.u32(static_cast<std::uint32_t>(nodes_.size()));
+    for (const Node& node : nodes_) {
+        out.u8(static_cast<std::uint8_t>(node.kind));
+        const int arity = fanInCount(node.kind);
+        if (arity >= 1) out.u32(node.a);
+        if (arity >= 2) out.u32(node.b);
+        if (arity >= 3) out.u32(node.c);
+    }
+    out.u32(static_cast<std::uint32_t>(outputs_.size()));
+    for (NodeId id : outputs_) out.u32(id);
+}
+
+std::optional<Netlist> Netlist::deserialize(util::ByteReader& in) {
+    std::uint32_t nameLen = 0;
+    if (!in.u32(nameLen) || in.remaining() < nameLen) return std::nullopt;
+    std::string name(nameLen, '\0');
+    in.raw(name.data(), nameLen);
+
+    Netlist net(std::move(name));
+    std::uint32_t nodeCount = 0;
+    // Each serialized node occupies at least one byte, so `remaining()`
+    // bounds the plausible count — a corrupt length cannot trigger a huge
+    // allocation before the rebuild loop fails.
+    if (!in.u32(nodeCount) || in.remaining() < nodeCount) return std::nullopt;
+    try {
+        for (std::uint32_t i = 0; i < nodeCount; ++i) {
+            std::uint8_t kindByte = 0;
+            if (!in.u8(kindByte) || kindByte > static_cast<std::uint8_t>(GateKind::Maj))
+                return std::nullopt;
+            const GateKind kind = static_cast<GateKind>(kindByte);
+            NodeId a = kInvalidNode, b = kInvalidNode, c = kInvalidNode;
+            const int arity = fanInCount(kind);
+            if (arity >= 1) in.u32(a);
+            if (arity >= 2) in.u32(b);
+            if (arity >= 3) in.u32(c);
+            if (!in.ok()) return std::nullopt;
+            if (kind == GateKind::Input)
+                net.addInput();
+            else if (kind == GateKind::Const0 || kind == GateKind::Const1)
+                net.addConst(kind == GateKind::Const1);
+            else
+                net.addGate(kind, a, b, c);
+        }
+        std::uint32_t outputCount = 0;
+        if (!in.u32(outputCount) || in.remaining() < outputCount * 4ull) return std::nullopt;
+        for (std::uint32_t i = 0; i < outputCount; ++i) {
+            NodeId id = kInvalidNode;
+            in.u32(id);
+            net.markOutput(id);
+        }
+    } catch (const std::logic_error&) {
+        return std::nullopt;  // corrupt operand reference
+    }
+    return in.ok() ? std::optional<Netlist>(std::move(net)) : std::nullopt;
+}
+
 std::uint64_t Netlist::structuralHash() const {
     // FNV-1a over the node stream plus the output list.  Order-sensitive,
     // which is exactly what library deduplication needs: CGP decode emits

@@ -2,9 +2,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "src/util/bytes.hpp"
 
 namespace axf::circuit {
 
@@ -117,6 +120,14 @@ public:
 
     /// Order-sensitive structural hash (used for library deduplication).
     std::uint64_t structuralHash() const;
+
+    /// Fixed-order binary encoding (name, nodes, outputs) for the
+    /// characterization cache.
+    void serialize(util::ByteWriter& out) const;
+    /// Rebuilds a netlist written by `serialize` through the builder API,
+    /// so every structural invariant is re-validated; nullopt on truncated
+    /// or invariant-breaking input.
+    static std::optional<Netlist> deserialize(util::ByteReader& in);
 
 private:
     std::string name_;

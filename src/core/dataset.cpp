@@ -23,12 +23,13 @@ double fpgaParamOf(const synth::FpgaReport& report, FpgaParam p) {
 }
 
 CircuitDataset CircuitDataset::characterize(gen::AcLibrary library,
-                                            const synth::AsicFlow& asicFlow) {
+                                            const synth::AsicFlow& asicFlow,
+                                            cache::CharacterizationCache* cache) {
     CircuitDataset ds;
     ds.circuits_.reserve(library.size());
     for (gen::LibraryCircuit& entry : library) {
         CharacterizedCircuit cc;
-        cc.asic = asicFlow.synthesize(entry.netlist);
+        cc.asic = cache::synthesizeCached(cache, asicFlow, entry.netlist);
         const circuit::StructuralFeatures sf = circuit::extractFeatures(entry.netlist);
         cc.features = sf.toVector();
         cc.features.push_back(cc.asic.areaUm2);

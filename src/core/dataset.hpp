@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/cache/characterization_cache.hpp"
 #include "src/circuit/features.hpp"
 #include "src/gen/library.hpp"
 #include "src/ml/linalg.hpp"
@@ -34,9 +35,11 @@ class CircuitDataset {
 public:
     /// Runs ASIC characterization and feature extraction over a library.
     /// (No FPGA synthesis happens here — that is the expensive step the
-    /// methodology rations.)
+    /// methodology rations.)  A non-null cache reuses content-addressed
+    /// ASIC reports from earlier runs; results are identical either way.
     static CircuitDataset characterize(gen::AcLibrary library,
-                                       const synth::AsicFlow& asicFlow = synth::AsicFlow());
+                                       const synth::AsicFlow& asicFlow = synth::AsicFlow(),
+                                       cache::CharacterizationCache* cache = nullptr);
 
     std::vector<CharacterizedCircuit>& circuits() { return circuits_; }
     const std::vector<CharacterizedCircuit>& circuits() const { return circuits_; }

@@ -23,10 +23,12 @@ namespace {
 
 /// Synthesizes (or reuses) the FPGA measurement of one circuit and charges
 /// its Vivado-equivalent cost to `secondsAccount` when newly synthesized.
+/// A characterization-cache hit still charges the modeled seconds: the
+/// cache accelerates the simulation infrastructure, not the methodology.
 bool measureCircuit(CharacterizedCircuit& cc, const synth::FpgaFlow& flow,
-                    double& secondsAccount) {
+                    cache::CharacterizationCache* cache, double& secondsAccount) {
     if (cc.fpgaMeasured) return false;
-    cc.fpga = flow.implement(cc.circuit.netlist);
+    cc.fpga = cache::implementCached(cache, flow, cc.circuit.netlist);
     cc.fpgaMeasured = true;
     secondsAccount += cc.fpga.synthSeconds;
     return true;
@@ -36,7 +38,8 @@ bool measureCircuit(CharacterizedCircuit& cc, const synth::FpgaFlow& flow,
 
 FlowResult ApproxFpgasFlow::run(gen::AcLibrary library) const {
     FlowResult result;
-    result.dataset = CircuitDataset::characterize(std::move(library), config_.asicFlow);
+    result.dataset =
+        CircuitDataset::characterize(std::move(library), config_.asicFlow, config_.cache);
     std::vector<CharacterizedCircuit>& circuits = result.dataset.circuits();
     const std::size_t n = circuits.size();
     util::Rng rng(config_.seed);
@@ -51,7 +54,7 @@ FlowResult ApproxFpgasFlow::run(gen::AcLibrary library) const {
                                                           static_cast<double>(n)));
     std::vector<std::size_t> subset = rng.sampleIndices(n, std::min(subsetSize, n));
     for (std::size_t idx : subset)
-        measureCircuit(circuits[idx], config_.fpgaFlow, result.flowSynthSeconds);
+        measureCircuit(circuits[idx], config_.fpgaFlow, config_.cache, result.flowSynthSeconds);
 
     // --- step 2: train/validation split -----------------------------------
     const std::size_t valCount = std::max<std::size_t>(
@@ -154,7 +157,8 @@ FlowResult ApproxFpgasFlow::run(gen::AcLibrary library) const {
 
         // Re-synthesize the pseudo-Pareto circuits to get true numbers.
         for (std::size_t idx : outcome.pseudoParetoIndices)
-            if (measureCircuit(circuits[idx], config_.fpgaFlow, result.flowSynthSeconds))
+            if (measureCircuit(circuits[idx], config_.fpgaFlow, config_.cache,
+                               result.flowSynthSeconds))
                 outcome.resynthesized.push_back(idx);
 
         result.targets.push_back(std::move(outcome));
@@ -182,8 +186,10 @@ FlowResult ApproxFpgasFlow::run(gen::AcLibrary library) const {
         // Ground-truth measurements (not charged to the flow's time).
         std::vector<synth::FpgaReport> truth(n);
         for (std::size_t i = 0; i < n; ++i)
-            truth[i] = circuits[i].fpgaMeasured ? circuits[i].fpga
-                                                : config_.fpgaFlow.implement(circuits[i].circuit.netlist);
+            truth[i] = circuits[i].fpgaMeasured
+                           ? circuits[i].fpga
+                           : cache::implementCached(config_.cache, config_.fpgaFlow,
+                                                    circuits[i].circuit.netlist);
         for (TargetOutcome& outcome : result.targets) {
             std::vector<ParetoPoint> all(n);
             for (std::size_t i = 0; i < n; ++i)

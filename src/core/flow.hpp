@@ -69,6 +69,12 @@ public:
         /// Compute ground-truth fronts for coverage reporting (synthesizes
         /// everything once; never counted into flow time).
         bool evaluateCoverage = true;
+        /// Optional characterization cache (not owned): ASIC and FPGA
+        /// reports are reused across runs and processes.  The *modeled*
+        /// Vivado-equivalent seconds are still charged on cache hits —
+        /// results (including exploration-time accounting) are identical
+        /// with and without the cache; only wall-clock changes.
+        cache::CharacterizationCache* cache = nullptr;
     };
 
     explicit ApproxFpgasFlow(Config config) : config_(std::move(config)) {}

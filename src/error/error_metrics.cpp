@@ -355,8 +355,7 @@ ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSi
 
     const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
     const int totalBits = sig.inputWidth();
-    const bool exhaustive =
-        totalBits < 64 && (std::uint64_t{1} << totalBits) <= config.exhaustiveLimit;
+    const bool exhaustive = config.isExhaustiveFor(sig);
     const std::uint64_t vectors = exhaustive ? std::uint64_t{1} << totalBits : config.sampleCount;
     const std::uint64_t chunkCount = (vectors + kChunkVectors - 1) / kChunkVectors;
 
@@ -465,8 +464,7 @@ ErrorReport analyzeErrorBaseline(const circuit::Netlist& netlist,
     } acc;
 
     const int totalBits = sig.inputWidth();
-    const bool exhaustive =
-        totalBits < 64 && (std::uint64_t{1} << totalBits) <= config.exhaustiveLimit;
+    const bool exhaustive = config.isExhaustiveFor(sig);
 
     std::vector<Word> in(static_cast<std::size_t>(totalBits));
     std::vector<Word> out(netlist.outputCount());
@@ -545,7 +543,34 @@ ErrorReport analyzeErrorBaseline(const circuit::Netlist& netlist,
 
 bool isFunctionallyExact(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
                          const ErrorAnalysisConfig& config) {
-    return analyzeError(netlist, sig, config).isExact();
+    // Documented contract: exact on every *evaluated* vector.  For spaces
+    // within the exhaustive limit this is a proof; for sampled spaces it is
+    // the best the evaluation can assert (use `ErrorReport::isExact` when
+    // a proof is required).
+    return analyzeError(netlist, sig, config).observedExact();
+}
+
+void ErrorReport::serialize(util::ByteWriter& out) const {
+    out.f64(med);
+    out.f64(meanAbsoluteError);
+    out.f64(worstCaseError);
+    out.f64(meanRelativeError);
+    out.f64(errorProbability);
+    out.f64(meanSquaredError);
+    out.u64(vectorsEvaluated);
+    out.boolean(exhaustive);
+}
+
+bool ErrorReport::deserialize(util::ByteReader& in, ErrorReport& out) {
+    in.f64(out.med);
+    in.f64(out.meanAbsoluteError);
+    in.f64(out.worstCaseError);
+    in.f64(out.meanRelativeError);
+    in.f64(out.errorProbability);
+    in.f64(out.meanSquaredError);
+    in.u64(out.vectorsEvaluated);
+    in.boolean(out.exhaustive);
+    return in.ok();
 }
 
 }  // namespace axf::error

@@ -5,6 +5,7 @@
 
 #include "src/circuit/arith.hpp"
 #include "src/circuit/netlist.hpp"
+#include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
 
 namespace axf::error {
@@ -26,8 +27,24 @@ struct ErrorReport {
     std::uint64_t vectorsEvaluated = 0;
     bool exhaustive = false;
 
-    bool isExact() const { return errorProbability == 0.0; }
+    /// Provably exact: zero error over the *exhaustive* input space.  A
+    /// sampled report can never prove exactness (a mismatch may hide in the
+    /// unsampled vectors), so this is false for sampled reports even when
+    /// no mismatch was observed.
+    bool isExact() const { return exhaustive && errorProbability == 0.0; }
+
+    /// No mismatch on the evaluated vectors — the weaker, sampled-friendly
+    /// predicate ("exact as far as the evaluation can tell").  Equal to
+    /// `isExact()` whenever the report is exhaustive.
+    bool observedExact() const { return errorProbability == 0.0; }
+
     std::string summary() const;
+
+    /// Fixed-order binary encoding for the characterization cache.
+    void serialize(util::ByteWriter& out) const;
+    /// Decodes a report written by `serialize`; false on truncated input
+    /// (the reader is left failed, `out` unspecified).
+    static bool deserialize(util::ByteReader& in, ErrorReport& out);
 };
 
 /// Evaluation policy.  `exhaustiveLimit` bounds the input-space size (in
@@ -42,6 +59,15 @@ struct ErrorAnalysisConfig {
     /// partitioned into fixed-size chunks whose partial results merge in
     /// chunk order, so the report is bit-identical for every thread count.
     int threads = 0;
+
+    /// True when `sig`'s input space is swept exhaustively under this
+    /// config.  The single source of truth for the analyzer's path choice
+    /// AND the characterization-cache key canonicalization — keep it that
+    /// way, or cached reports could be served for the wrong policy.
+    bool isExhaustiveFor(const circuit::ArithSignature& sig) const {
+        const int inputWidth = sig.inputWidth();
+        return inputWidth < 64 && (std::uint64_t{1} << inputWidth) <= exhaustiveLimit;
+    }
 };
 
 /// Computes the error profile of `netlist` implementing `sig`.

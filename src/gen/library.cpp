@@ -1,6 +1,8 @@
 #include "src/gen/library.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string_view>
 #include <unordered_set>
 
 #include "src/circuit/transform.hpp"
@@ -22,11 +24,21 @@ circuit::ArithSignature librarySignature(const LibraryConfig& config) {
 
 namespace {
 
+/// Artifact-family tag of cached simplified netlists (bump on any change
+/// to `circuit::simplify` semantics).
+constexpr std::string_view kSimplifyTag = "simplified-netlist.v1";
+
 /// Collects raw generator output, then characterizes it in a three-stage
 /// pipeline: parallel simplify+hash, ordered dedup, parallel error
 /// analysis, ordered append.  The dedup and append stages walk candidates
 /// in submission order, so the resulting library is identical to the old
 /// fully-serial accumulation no matter how many workers run.
+///
+/// With a characterization cache both parallel stages become
+/// content-addressed: simplified netlists are keyed by the raw netlist's
+/// structural hash, error reports by the simplified hash + signature +
+/// analysis-config digest.  Hits skip the computation but produce the
+/// same bits, so warm builds are identical to cold ones.
 class CandidateSet {
 public:
     void add(Netlist netlist, const std::string& origin) {
@@ -34,15 +46,22 @@ public:
     }
 
     void characterizeInto(AcLibrary& library, std::unordered_set<std::uint64_t>& seen,
-                          ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig) {
+                          ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig,
+                          cache::CharacterizationCache* cache) {
         struct Prepared {
             Netlist simplified;
             std::uint64_t hash = 0;
         };
         std::vector<Prepared> prepared(candidates_.size());
         util::ThreadPool::global().parallelFor(candidates_.size(), [&](std::size_t i) {
+            if (cache != nullptr && loadSimplified(*cache, candidates_[i].netlist,
+                                                  prepared[i].simplified, prepared[i].hash))
+                return;
             prepared[i].simplified = circuit::simplify(candidates_[i].netlist);
             prepared[i].hash = prepared[i].simplified.structuralHash();
+            if (cache != nullptr)
+                storeSimplified(*cache, candidates_[i].netlist, prepared[i].simplified,
+                                prepared[i].hash);
         });
 
         std::vector<std::size_t> unique;
@@ -52,7 +71,8 @@ public:
 
         std::vector<error::ErrorReport> reports(unique.size());
         util::ThreadPool::global().parallelFor(unique.size(), [&](std::size_t u) {
-            reports[u] = error::analyzeError(prepared[unique[u]].simplified, sig, errorConfig);
+            const Prepared& p = prepared[unique[u]];
+            reports[u] = cache::analyzeErrorCached(cache, p.hash, p.simplified, sig, errorConfig);
         });
 
         for (std::size_t u = 0; u < unique.size(); ++u) {
@@ -73,6 +93,39 @@ private:
         Netlist netlist;
         std::string origin;
     };
+
+    /// Cached-simplification payload: simplified-structural-hash prefix +
+    /// serialized simplified netlist, keyed by the raw netlist's hash.
+    static bool loadSimplified(cache::CharacterizationCache& cache, const Netlist& raw,
+                               Netlist& simplified, std::uint64_t& hash) {
+        const cache::CacheKey key =
+            cache::CharacterizationCache::blobKey(raw.structuralHash(), kSimplifyTag);
+        const std::optional<std::vector<std::uint8_t>> bytes = cache.findBytes(key);
+        if (!bytes) return false;
+        util::ByteReader reader(*bytes);
+        std::uint64_t storedHash = 0;
+        if (!reader.u64(storedHash)) return false;
+        std::optional<Netlist> net = Netlist::deserialize(reader);
+        if (!net || net->structuralHash() != storedHash) return false;
+        simplified = std::move(*net);
+        // The key hashes structure only, so same-structure candidates with
+        // different names share this entry; `simplify` preserves its input
+        // name, so restoring the caller's keeps warm == cold per candidate.
+        simplified.setName(raw.name());
+        hash = storedHash;
+        return true;
+    }
+
+    static void storeSimplified(cache::CharacterizationCache& cache, const Netlist& raw,
+                                const Netlist& simplified, std::uint64_t hash) {
+        const cache::CacheKey key =
+            cache::CharacterizationCache::blobKey(raw.structuralHash(), kSimplifyTag);
+        util::ByteWriter out;
+        out.u64(hash);
+        simplified.serialize(out);
+        cache.putBytes(key, out.take());
+    }
+
     std::vector<Candidate> candidates_;
 };
 
@@ -129,7 +182,8 @@ AcLibrary buildStructuralFamilies(const LibraryConfig& config) {
     std::unordered_set<std::uint64_t> seen;
     CandidateSet candidates;
     addStructural(candidates, config);
-    candidates.characterizeInto(library, seen, librarySignature(config), config.errorConfig);
+    candidates.characterizeInto(library, seen, librarySignature(config), config.errorConfig,
+                                config.cache);
     return library;
 }
 
@@ -140,7 +194,7 @@ AcLibrary buildLibrary(const LibraryConfig& config) {
 
     CandidateSet candidates;
     addStructural(candidates, config);
-    candidates.characterizeInto(library, seen, sig, config.errorConfig);
+    candidates.characterizeInto(library, seen, sig, config.errorConfig, config.cache);
 
     if (!config.structuralOnly) {
         // Every (MED budget, seed architecture) pair is an independent

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/characterization_cache.hpp"
 #include "src/circuit/arith.hpp"
 #include "src/circuit/netlist.hpp"
 #include "src/error/error_metrics.hpp"
@@ -44,6 +45,13 @@ struct LibraryConfig {
 
     /// Skip the (slow) evolutionary part; structural families only.
     bool structuralOnly = false;
+
+    /// Optional characterization cache (not owned).  When set, the
+    /// simplify+error-analysis pipeline reuses content-addressed results
+    /// from earlier builds (same or other processes via the on-disk
+    /// store); null keeps the fully-recomputing behavior.  Warm builds are
+    /// bit-identical to cold builds at any thread count.
+    cache::CharacterizationCache* cache = nullptr;
 };
 
 /// Generates the full library for the configuration: structural families

@@ -1,8 +1,25 @@
 #include "src/img/ssim.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace axf::img {
+
+namespace {
+
+/// Window start coordinates along one dimension: the stride-4 sweep plus a
+/// clamped tail window so the right/bottom border is always scored even
+/// when `(dim - window) % stride != 0`.  On aligned dimensions the tail
+/// coincides with the last stride position and nothing is added, keeping
+/// historical scores unchanged there.
+std::vector<int> windowStarts(int dim, int window, int stride) {
+    std::vector<int> starts;
+    for (int v = 0; v + window <= dim; v += stride) starts.push_back(v);
+    if (starts.back() + window < dim) starts.push_back(dim - window);
+    return starts;
+}
+
+}  // namespace
 
 double ssim(const Image& reference, const Image& distorted) {
     if (reference.width() != distorted.width() || reference.height() != distorted.height())
@@ -17,8 +34,10 @@ double ssim(const Image& reference, const Image& distorted) {
     double total = 0.0;
     std::size_t windows = 0;
     constexpr int kStride = 4;  // half-overlapping windows
-    for (int y0 = 0; y0 + kWindow <= h; y0 += kStride) {
-        for (int x0 = 0; x0 + kWindow <= w; x0 += kStride) {
+    const std::vector<int> ys = windowStarts(h, kWindow, kStride);
+    const std::vector<int> xs = windowStarts(w, kWindow, kStride);
+    for (const int y0 : ys) {
+        for (const int x0 : xs) {
             double sumA = 0, sumB = 0, sumAA = 0, sumBB = 0, sumAB = 0;
             for (int y = y0; y < y0 + kWindow; ++y) {
                 for (int x = x0; x < x0 + kWindow; ++x) {

@@ -37,6 +37,8 @@ public:
     /// Synthesizes (optimizes + maps + analyzes) the netlist.
     AsicReport synthesize(const circuit::Netlist& netlist) const;
 
+    const Options& options() const { return options_; }
+
 private:
     Options options_{};
 };

@@ -69,7 +69,7 @@ FpgaReport FpgaFlow::implement(const Netlist& netlist) const {
 
     // --- power: switching activity of the LUT output nets ------------------
     circuit::ActivityCounter activity(optimized);
-    util::Rng activityRng(0xAC7DE);
+    util::Rng activityRng(options_.activitySeed);
     std::vector<circuit::Simulator::Word> block(optimized.inputCount());
     for (int b = 0; b < options_.activityBlocks; ++b) {
         for (auto& w : block) w = activityRng.uniformInt(0, ~std::uint64_t{0});

@@ -33,6 +33,10 @@ public:
         double powerJitterFraction = 0.06;  ///< +/- fraction on total power
         int activityBlocks = 24;
         std::uint64_t seed = 0xF96A;   ///< flow seed (mixed with circuit hash)
+        /// Stimulus seed of the switching-activity estimation (symmetric
+        /// with `AsicFlow::Options::activitySeed`); the default reproduces
+        /// the historical hardwired stream.
+        std::uint64_t activitySeed = 0xAC7DE;
     };
 
     FpgaFlow() = default;

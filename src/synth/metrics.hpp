@@ -1,5 +1,7 @@
 #pragma once
 
+#include "src/util/bytes.hpp"
+
 namespace axf::synth {
 
 /// The three FPGA parameters the ApproxFPGAs ML models estimate, plus the
@@ -11,6 +13,26 @@ struct FpgaReport {
     double powerMw = 0.0;     ///< dynamic + static at the model frequency
     double logicDepth = 0.0;  ///< LUT levels on the critical path
     double synthSeconds = 0.0;  ///< Vivado-equivalent synthesis+P&R wall time
+
+    /// Fixed-order binary encoding for the characterization cache.
+    void serialize(util::ByteWriter& out) const {
+        out.f64(lutCount);
+        out.f64(sliceCount);
+        out.f64(latencyNs);
+        out.f64(powerMw);
+        out.f64(logicDepth);
+        out.f64(synthSeconds);
+    }
+
+    static bool deserialize(util::ByteReader& in, FpgaReport& out) {
+        in.f64(out.lutCount);
+        in.f64(out.sliceCount);
+        in.f64(out.latencyNs);
+        in.f64(out.powerMw);
+        in.f64(out.logicDepth);
+        in.f64(out.synthSeconds);
+        return in.ok();
+    }
 };
 
 /// ASIC-side reference metrics (the cheap, known quantities models ML1-ML3
@@ -20,6 +42,22 @@ struct AsicReport {
     double delayNs = 0.0;
     double powerMw = 0.0;
     double cellCount = 0.0;
+
+    /// Fixed-order binary encoding for the characterization cache.
+    void serialize(util::ByteWriter& out) const {
+        out.f64(areaUm2);
+        out.f64(delayNs);
+        out.f64(powerMw);
+        out.f64(cellCount);
+    }
+
+    static bool deserialize(util::ByteReader& in, AsicReport& out) {
+        in.f64(out.areaUm2);
+        in.f64(out.delayNs);
+        in.f64(out.powerMw);
+        in.f64(out.cellCount);
+        return in.ok();
+    }
 };
 
 }  // namespace axf::synth

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace axf::util {
+
+/// Append-only little-endian binary encoder used by the characterization
+/// cache payloads.  Fixed field order and explicit widths keep shard files
+/// portable across hosts; no framing — the consumer knows the layout.
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    /// Doubles travel as their IEEE-754 bit pattern: serialization must be
+    /// bit-exact, not round-trip-through-text exact.
+    void f64(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void raw(const void* data, std::size_t n) {
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        buf_.insert(buf_.end(), p, p + n);
+    }
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked decoder over a byte span.  Every accessor reports success;
+/// after the first failed read the reader stays failed (`ok()` == false), so
+/// a decode routine can read all fields and check once at the end.
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> data)
+        : p_(data.data()), end_(data.data() + data.size()) {}
+
+    bool u8(std::uint8_t& v) {
+        if (!take(1)) return false;
+        v = p_[-1];
+        return true;
+    }
+
+    bool u32(std::uint32_t& v) {
+        if (!take(4)) return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p_[i - 4]) << (8 * i);
+        return true;
+    }
+
+    bool u64(std::uint64_t& v) {
+        if (!take(8)) return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p_[i - 8]) << (8 * i);
+        return true;
+    }
+
+    bool f64(double& v) {
+        std::uint64_t bits;
+        if (!u64(bits)) return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+
+    bool boolean(bool& v) {
+        std::uint8_t byte;
+        if (!u8(byte)) return false;
+        v = byte != 0;
+        return true;
+    }
+
+    bool raw(void* out, std::size_t n) {
+        if (!take(n)) return false;
+        std::memcpy(out, p_ - n, n);
+        return true;
+    }
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+private:
+    bool take(std::size_t n) {
+        if (!ok_ || remaining() < n) {
+            ok_ = false;
+            return false;
+        }
+        p_ += n;
+        return true;
+    }
+
+    const std::uint8_t* p_;
+    const std::uint8_t* end_;
+    bool ok_ = true;
+};
+
+}  // namespace axf::util

@@ -44,6 +44,27 @@ const GaussianAccelerator& accelerator() {
     return kAccel;
 }
 
+TEST(GaussianAccelerator, CachedMultiplierTablesReproduceBehaviour) {
+    // Table builds are content-addressed: a second accelerator over the
+    // same menus loads the exhaustive 8x8 tables from the cache and must
+    // behave identically to the uncached construction.
+    cache::CharacterizationCache cache;
+    const GaussianAccelerator cold(multiplierMenu(), adderMenu(), &cache);
+    EXPECT_GT(cache.stats().stores, 0u);
+    const GaussianAccelerator warm(multiplierMenu(), adderMenu(), &cache);
+    EXPECT_GT(cache.stats().hits, 0u);
+
+    const img::Image scene = img::syntheticScene(40, 40, 0xAB);
+    AcceleratorConfig mixed{};
+    for (std::size_t slot = 0; slot < mixed.multiplier.size(); ++slot)
+        mixed.multiplier[slot] = static_cast<int>(slot % multiplierMenu().size());
+    for (std::size_t node = 0; node < mixed.adder.size(); ++node)
+        mixed.adder[node] = static_cast<int>(node % adderMenu().size());
+    const img::Image reference = accelerator().filter(scene, mixed);
+    EXPECT_EQ(cold.filter(scene, mixed).pixels(), reference.pixels());
+    EXPECT_EQ(warm.filter(scene, mixed).pixels(), reference.pixels());
+}
+
 TEST(GaussianAccelerator, RejectsBadMenus) {
     EXPECT_THROW(GaussianAccelerator({}, adderMenu()), std::invalid_argument);
     // 8-bit adders in the adder menu are the wrong width.

@@ -88,6 +88,49 @@ TEST(ErrorMetrics, SampledDeterministicPerSeed) {
     EXPECT_NE(a.med, c.med);  // different sample, different estimate
 }
 
+TEST(ErrorMetrics, SampledReportsAreNeverProvablyExact) {
+    // A sampled report with zero observed mismatches must not claim
+    // exactness: a mismatch may hide in the unsampled vectors.  This used
+    // to mislabel approximate circuits as exact during library dedup.
+    const Netlist net = gen::rippleCarryAdder(8);
+    ErrorAnalysisConfig sampled;
+    sampled.exhaustiveLimit = 1;  // force the sampled path
+    sampled.sampleCount = 1u << 10;
+    const ErrorReport r = analyzeError(net, adderSignature(8), sampled);
+    ASSERT_FALSE(r.exhaustive);
+    ASSERT_DOUBLE_EQ(r.errorProbability, 0.0);  // truly exact circuit
+    EXPECT_FALSE(r.isExact());
+    EXPECT_TRUE(r.observedExact());
+
+    const ErrorReport exhaustive = analyzeError(net, adderSignature(8));
+    ASSERT_TRUE(exhaustive.exhaustive);
+    EXPECT_TRUE(exhaustive.isExact());
+    EXPECT_TRUE(exhaustive.observedExact());
+}
+
+TEST(ErrorMetrics, ReportSerializationRoundTripsBitExact) {
+    const ErrorReport r = analyzeError(gen::truncatedMultiplier(8, 3), multiplierSignature(8));
+    util::ByteWriter out;
+    r.serialize(out);
+    util::ByteReader in(out.bytes());
+    ErrorReport back;
+    ASSERT_TRUE(ErrorReport::deserialize(in, back));
+    EXPECT_EQ(r.med, back.med);
+    EXPECT_EQ(r.meanAbsoluteError, back.meanAbsoluteError);
+    EXPECT_EQ(r.worstCaseError, back.worstCaseError);
+    EXPECT_EQ(r.meanRelativeError, back.meanRelativeError);
+    EXPECT_EQ(r.errorProbability, back.errorProbability);
+    EXPECT_EQ(r.meanSquaredError, back.meanSquaredError);
+    EXPECT_EQ(r.vectorsEvaluated, back.vectorsEvaluated);
+    EXPECT_EQ(r.exhaustive, back.exhaustive);
+
+    // Truncated input is rejected, not misread.
+    util::ByteReader truncated(
+        std::span<const std::uint8_t>(out.bytes().data(), out.bytes().size() - 1));
+    ErrorReport bad;
+    EXPECT_FALSE(ErrorReport::deserialize(truncated, bad));
+}
+
 TEST(ErrorMetrics, WorstCaseDominatesMean) {
     for (int k : {2, 4, 6}) {
         const ErrorReport r = analyzeError(gen::truncatedAdder(8, k), adderSignature(8));

@@ -86,6 +86,58 @@ TEST(Ssim, ConstantShiftPenalizedLessThanStructureLoss) {
     EXPECT_GT(ssim(a, shifted), ssim(a, flat));
 }
 
+TEST(Ssim, BorderArtifactsAreScoredOnUnalignedDimensions) {
+    // 70 - 8 = 62, 62 % 4 != 0: the stride-4 sweep alone stops at x0 = 60,
+    // so columns 68..69 (and rows 68..69) fall outside every window.  The
+    // clamped tail windows must pick them up.
+    const Image a = syntheticScene(70, 70, 9);
+    Image distorted = a;
+    for (int y = 0; y < 70; ++y)
+        for (int x = 68; x < 70; ++x)
+            distorted.set(x, y, static_cast<std::uint8_t>(255 - distorted.at(x, y)));
+    EXPECT_LT(ssim(a, distorted), 1.0);
+
+    Image bottomRow = a;
+    for (int x = 0; x < 70; ++x)
+        bottomRow.set(x, 69, static_cast<std::uint8_t>(255 - bottomRow.at(x, 69)));
+    EXPECT_LT(ssim(a, bottomRow), 1.0);
+}
+
+TEST(Ssim, AlignedDimensionsMatchPlainStrideSweep) {
+    // When (dim - 8) % 4 == 0 the tail window coincides with the last
+    // stride position; the score must equal the historical plain sweep.
+    const Image a = syntheticScene(64, 64, 10);
+    const Image b = syntheticScene(64, 64, 11);
+    constexpr int kWindow = 8, kStride = 4;
+    constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+    constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+    double total = 0.0;
+    std::size_t windows = 0;
+    for (int y0 = 0; y0 + kWindow <= 64; y0 += kStride) {
+        for (int x0 = 0; x0 + kWindow <= 64; x0 += kStride) {
+            double sumA = 0, sumB = 0, sumAA = 0, sumBB = 0, sumAB = 0;
+            for (int y = y0; y < y0 + kWindow; ++y) {
+                for (int x = x0; x < x0 + kWindow; ++x) {
+                    const double va = a.at(x, y), vb = b.at(x, y);
+                    sumA += va;
+                    sumB += vb;
+                    sumAA += va * va;
+                    sumBB += vb * vb;
+                    sumAB += va * vb;
+                }
+            }
+            constexpr double n = kWindow * kWindow;
+            const double muA = sumA / n, muB = sumB / n;
+            const double varA = sumAA / n - muA * muA, varB = sumBB / n - muB * muB;
+            const double cov = sumAB / n - muA * muB;
+            total += ((2.0 * muA * muB + kC1) * (2.0 * cov + kC2)) /
+                     ((muA * muA + muB * muB + kC1) * (varA + varB + kC2));
+            ++windows;
+        }
+    }
+    EXPECT_DOUBLE_EQ(ssim(a, b), total / static_cast<double>(windows));
+}
+
 TEST(Ssim, ShapeChecks) {
     const Image a = syntheticScene(32, 32, 8);
     const Image b = syntheticScene(16, 16, 8);

@@ -44,9 +44,12 @@ TEST(Integration, FullPipelineLibraryToAccelerator) {
         autoax::componentsFromFlow(addFlow, core::FpgaParam::Area, 8);
     ASSERT_GE(mults.size(), 3u);
     ASSERT_GE(adders.size(), 3u);
-    // Menus are MED-sorted with an exact design first.
+    // Menus are MED-sorted with an exact design first.  The 8x8 multiplier
+    // reports are exhaustive (provably exact); the 16-bit adder space is
+    // sampled, so only the observed predicate can hold there.
     EXPECT_TRUE(mults.front().error.isExact());
-    EXPECT_TRUE(adders.front().error.isExact());
+    EXPECT_TRUE(adders.front().error.observedExact());
+    EXPECT_FALSE(adders.front().error.exhaustive);
     for (std::size_t i = 1; i < mults.size(); ++i)
         EXPECT_GE(mults[i].error.med, mults[i - 1].error.med);
 

@@ -104,6 +104,24 @@ TEST(FpgaFlow, SeedChangesJitter) {
     EXPECT_DOUBLE_EQ(a.logicDepth, b.logicDepth);
 }
 
+TEST(FpgaFlow, ActivitySeedDrivesPowerStimulus) {
+    // The power estimate must respond to the configured activity seed
+    // (it used to be hardwired to 0xAC7DE regardless of the options).
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    FpgaFlow::Options optA;
+    FpgaFlow::Options optB;
+    optB.activitySeed = optA.activitySeed ^ 0xBEEF;
+    const FpgaReport a = FpgaFlow(optA).implement(net);
+    const FpgaReport b = FpgaFlow(optB).implement(net);
+    EXPECT_NE(a.powerMw, b.powerMw);
+    // Everything outside the activity estimation is untouched.
+    EXPECT_DOUBLE_EQ(a.lutCount, b.lutCount);
+    EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs);
+    EXPECT_DOUBLE_EQ(a.logicDepth, b.logicDepth);
+    // And the default reproduces the historical hardwired stream.
+    EXPECT_EQ(FpgaFlow::Options{}.activitySeed, 0xAC7DEull);
+}
+
 TEST(FpgaFlow, ApproximationSavesLuts) {
     FpgaFlow flow;
     const double exact = flow.implement(gen::wallaceMultiplier(8)).lutCount;
