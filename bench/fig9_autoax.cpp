@@ -10,9 +10,12 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
+#include "src/autoax/accelerator.hpp"
 #include "src/autoax/dse.hpp"
+#include "src/autoax/sobel.hpp"
 #include "src/core/flow.hpp"
 #include "src/util/table.hpp"
+#include "src/util/timer.hpp"
 
 using namespace axf;
 
@@ -64,7 +67,14 @@ int main() {
         cfg.hillIterations = 800;
         cfg.imageSize = 64;
     }
+    util::Timer dseTimer;
     const autoax::AutoAxFpgaFlow::Result result = autoax::AutoAxFpgaFlow(cfg).run(accel);
+    const double dseSeconds = dseTimer.seconds();
+    std::size_t dseEvaluations = result.totalRealEvaluations;
+    std::cout << "DSE wall clock: " << util::Table::num(dseSeconds, 2) << " s, "
+              << dseEvaluations << " fresh real evaluations -> "
+              << util::Table::num(static_cast<double>(dseEvaluations) / dseSeconds, 1)
+              << " configs evaluated/s (batched engine)\n";
 
     for (const autoax::AutoAxFpgaFlow::ScenarioResult& s : result.scenarios) {
         util::printBanner(std::cout, std::string("scenario: SSIM vs FPGA ") +
@@ -95,6 +105,37 @@ int main() {
                   << front.rowCount() << " designs):\n";
         front.print(std::cout);
     }
+    // --- second workload: Sobel through the same engine --------------------
+    // New scenario, same methodology: the adder menu transfers to the Sobel
+    // edge detector and the identical AutoAxFpgaFlow/EvalEngine machinery
+    // explores its (|menu|^3) design space.
+    util::printBanner(std::cout, "second workload: Sobel edge detector, same engine");
+    const autoax::SobelAccelerator sobel(
+        autoax::componentsFromFlow(addFlow, core::FpgaParam::Area, 8));
+    autoax::AutoAxFpgaFlow::Config sobelCfg;
+    sobelCfg.trainConfigs = scale == bench::Scale::Ci ? 40 : 80;
+    sobelCfg.hillIterations = scale == bench::Scale::Ci ? 400 : 1200;
+    sobelCfg.imageSize = scale == bench::Scale::Ci ? 64 : 96;
+    util::Timer sobelTimer;
+    const autoax::AutoAxFpgaFlow::Result sobelResult =
+        autoax::AutoAxFpgaFlow(sobelCfg).run(sobel);
+    std::cout << "design space: " << sobel.designSpaceSize() << " configurations, DSE "
+              << util::Table::num(sobelTimer.seconds(), 2) << " s, "
+              << sobelResult.totalRealEvaluations << " fresh real evaluations\n\n";
+    util::Table sobelTable({"scenario", "front size", "best SSIM", "cheapest design"});
+    for (const auto& s : sobelResult.scenarios) {
+        double best = 0.0, cheapest = std::numeric_limits<double>::infinity();
+        const std::vector<std::size_t> front = autoax::qualityCostFront(s.autoax, s.param);
+        for (std::size_t pos : front) {
+            best = std::max(best, s.autoax[pos].ssim);
+            cheapest = std::min(cheapest, autoax::costParamOf(s.autoax[pos].cost, s.param));
+        }
+        sobelTable.addRow({std::string("SSIM vs ") + core::fpgaParamName(s.param),
+                           std::to_string(front.size()), util::Table::num(best, 4),
+                           util::Table::num(cheapest, 2)});
+    }
+    sobelTable.print(std::cout);
+
     bench::printCacheStats(std::cout);
     return 0;
 }

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "src/autoax/accelerator.hpp"
+#include "src/autoax/eval_engine.hpp"
 #include "src/circuit/batch_sim.hpp"
 #include "src/circuit/simulator.hpp"
 #include "src/error/error_metrics.hpp"
@@ -26,6 +28,7 @@
 #include "src/img/ssim.hpp"
 #include "src/synth/asic.hpp"
 #include "src/synth/fpga.hpp"
+#include "src/util/rng.hpp"
 
 using namespace axf;
 
@@ -137,6 +140,80 @@ static void BM_AsicSynthesis(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_AsicSynthesis);
+
+namespace {
+
+/// Small fixed accelerator shared by the autoax kernels (built once; menu
+/// characterization is setup cost, not what the kernel times).
+const autoax::GaussianAccelerator& benchAccelerator() {
+    static const autoax::GaussianAccelerator kAccel = [] {
+        const auto make = [](circuit::Netlist net, circuit::ArithSignature sig) {
+            autoax::Component c;
+            c.name = net.name();
+            c.signature = sig;
+            c.error = error::analyzeError(net, sig);
+            c.fpga = synth::FpgaFlow().implement(net);
+            c.netlist = std::move(net);
+            return c;
+        };
+        std::vector<autoax::Component> mults;
+        mults.push_back(make(gen::wallaceMultiplier(8), gen::multiplierSignature(8)));
+        for (int t : {4, 6})
+            mults.push_back(make(gen::truncatedMultiplier(8, t), gen::multiplierSignature(8)));
+        std::vector<autoax::Component> adds;
+        adds.push_back(make(gen::rippleCarryAdder(16), gen::adderSignature(16)));
+        adds.push_back(make(gen::loaAdder(16, 6), gen::adderSignature(16)));
+        return autoax::GaussianAccelerator(std::move(mults), std::move(adds));
+    }();
+    return kAccel;
+}
+
+std::vector<autoax::AcceleratorConfig> benchConfigs(std::size_t n) {
+    util::Rng rng(0xBC);
+    std::vector<autoax::AcceleratorConfig> configs;
+    for (std::size_t i = 0; i < n; ++i)
+        configs.push_back(benchAccelerator().configSpace().randomConfig(rng));
+    return configs;
+}
+
+}  // namespace
+
+/// Batched accelerator-quality evaluation (the DSE hot loop): 16 configs x
+/// 2 scenes through `EvalEngine::evaluateBatch` — exact references and
+/// SSIM window stats hoisted, per-thread workspaces reused, memoization
+/// off so every iteration pays the full simulation.  items_per_second =
+/// config evaluations/sec.
+static void BM_AutoAxQualityBatch(benchmark::State& state) {
+    const std::vector<img::Image> scenes = {img::syntheticScene(64, 64, 0xA1),
+                                            img::syntheticScene(64, 64, 0xA2)};
+    autoax::EvalEngine engine(benchAccelerator(), scenes, {.memoize = false});
+    const std::vector<autoax::AcceleratorConfig> configs = benchConfigs(16);
+    for (auto _ : state) {
+        const std::vector<autoax::EvaluatedConfig> results = engine.evaluateBatch(configs);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_AutoAxQualityBatch);
+
+/// The scalar reference path for the same work (one config x scene at a
+/// time, exact reference recomputed per call) — the engine speedup is
+/// BM_AutoAxQualityBatch / BM_AutoAxQualityScalar per item.
+static void BM_AutoAxQualityScalar(benchmark::State& state) {
+    const std::vector<img::Image> scenes = {img::syntheticScene(64, 64, 0xA1),
+                                            img::syntheticScene(64, 64, 0xA2)};
+    const std::vector<autoax::AcceleratorConfig> configs = benchConfigs(16);
+    for (auto _ : state) {
+        for (const autoax::AcceleratorConfig& c : configs) {
+            benchmark::DoNotOptimize(benchAccelerator().quality(c, scenes));
+            benchmark::DoNotOptimize(benchAccelerator().cost(c));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(configs.size()));
+}
+BENCHMARK(BM_AutoAxQualityScalar);
 
 static void BM_Ssim(benchmark::State& state) {
     const img::Image a = img::syntheticScene(128, 128, 1);

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "src/autoax/accelerator.hpp"
 #include "src/autoax/dse.hpp"
 #include "src/core/flow.hpp"
 #include "src/util/table.hpp"

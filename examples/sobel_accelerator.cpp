@@ -1,15 +1,18 @@
-// Second application scenario: a Sobel edge-detection accelerator that
-// reuses the 16-bit approximate adders from the FPGA-AC library for its
-// gradient accumulation (Sobel's x2 weights are shifts, so adders dominate
-// the datapath).  Shows how library components transfer across kernels.
+// Second application scenario: the Sobel edge-detection accelerator
+// (`autoax::SobelAccelerator`, promoted from this example into the library
+// as a first-class workload) reuses 16-bit approximate adders for its
+// gradient and magnitude additions (Sobel's x2 weights are shifts, so
+// adders dominate the datapath).  Shows how library components transfer
+// across kernels, and runs the same batched evaluation engine and AutoAx
+// DSE the Gaussian case study uses.
 
-#include <cmath>
 #include <iostream>
 #include <vector>
 
-#include "src/autoax/accelerator.hpp"
+#include "src/autoax/dse.hpp"
+#include "src/autoax/sobel.hpp"
+#include "src/error/error_metrics.hpp"
 #include "src/gen/adders.hpp"
-#include "src/img/ssim.hpp"
 #include "src/synth/fpga.hpp"
 #include "src/util/table.hpp"
 
@@ -17,92 +20,75 @@ using namespace axf;
 
 namespace {
 
-/// Sobel gradient magnitude (|gx| + |gy| approximation) where the six
-/// row/column accumulations run through the supplied 16-bit adder netlist.
-img::Image sobel(const img::Image& input, const circuit::Netlist& adder) {
-    circuit::Simulator sim(adder);
-    img::Image output(input.width(), input.height());
-    const std::size_t total = input.pixelCount();
-    constexpr std::uint32_t kBias = 1u << 12;  // keeps operands non-negative
-
-    std::array<std::uint32_t, 64> ax{}, bx{}, gx{}, ay{}, by{}, gy{}, mag{};
-    autoax::BatchAddScratch scratch;  // reused across blocks: no per-call allocation
-    for (std::size_t base = 0; base < total; base += 64) {
-        const std::size_t lanes = std::min<std::size_t>(64, total - base);
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-            const std::size_t pixel = base + lane;
-            const int x = static_cast<int>(pixel % static_cast<std::size_t>(input.width()));
-            const int y = static_cast<int>(pixel / static_cast<std::size_t>(input.width()));
-            const auto p = [&](int dx, int dy) {
-                return static_cast<std::uint32_t>(input.atClamped(x + dx, y + dy));
-            };
-            // gx = (p(1,-1)+2p(1,0)+p(1,1)) - (p(-1,-1)+2p(-1,0)+p(-1,1))
-            ax[lane] = p(1, -1) + 2 * p(1, 0) + p(1, 1) + kBias;
-            bx[lane] = p(-1, -1) + 2 * p(-1, 0) + p(-1, 1);
-            ay[lane] = p(-1, 1) + 2 * p(0, 1) + p(1, 1) + kBias;
-            by[lane] = p(-1, -1) + 2 * p(0, -1) + p(1, -1);
-            // Two's-complement subtraction via the approximate adder:
-            // a + (~b) + 1, folded into the bias term.
-            bx[lane] = (~bx[lane] + 1) & 0xFFFF;
-            by[lane] = (~by[lane] + 1) & 0xFFFF;
-        }
-        const auto span = [&](std::array<std::uint32_t, 64>& arr) {
-            return std::span<std::uint32_t>(arr.data(), lanes);
-        };
-        const auto cspan = [&](const std::array<std::uint32_t, 64>& arr) {
-            return std::span<const std::uint32_t>(arr.data(), lanes);
-        };
-        autoax::batchAdd16(sim, cspan(ax), cspan(bx), span(gx), scratch);
-        autoax::batchAdd16(sim, cspan(ay), cspan(by), span(gy), scratch);
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-            const int dx = static_cast<int>(gx[lane] & 0xFFFF) - static_cast<int>(kBias);
-            const int dy = static_cast<int>(gy[lane] & 0xFFFF) - static_cast<int>(kBias);
-            mag[lane] = static_cast<std::uint32_t>(std::min(255, (std::abs(dx) + std::abs(dy)) / 4));
-        }
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-            const std::size_t pixel = base + lane;
-            output.set(static_cast<int>(pixel % static_cast<std::size_t>(input.width())),
-                       static_cast<int>(pixel / static_cast<std::size_t>(input.width())),
-                       static_cast<std::uint8_t>(mag[lane]));
-        }
-    }
-    return output;
+autoax::Component makeComponent(const char* label, circuit::Netlist netlist) {
+    autoax::Component c;
+    c.name = std::string(label) + " (" + netlist.name() + ")";
+    c.signature = gen::adderSignature(16);
+    c.error = error::analyzeError(netlist, c.signature);
+    c.fpga = synth::FpgaFlow().implement(netlist);
+    c.netlist = std::move(netlist);
+    return c;
 }
 
 }  // namespace
 
 int main() {
-    const img::Image scene = img::syntheticScene(96, 96, 0x50BE1);
-    const synth::FpgaFlow fpga;
+    // Candidate 16-bit adders: the exact baseline plus LOA/ETA
+    // approximations of increasing aggressiveness (MED-sorted by
+    // construction: the exact ripple adder first).
+    std::vector<autoax::Component> menu;
+    menu.push_back(makeComponent("exact ripple", gen::rippleCarryAdder(16)));
+    for (int k : {4, 6, 8, 10}) menu.push_back(makeComponent("LOA", gen::loaAdder(16, k)));
+    for (int k : {6, 8}) menu.push_back(makeComponent("ETA", gen::etaAdder(16, k)));
 
-    // Candidate 16-bit adders: the exact baseline plus LOA/ETA/truncated
-    // approximations of increasing aggressiveness.
-    struct Candidate {
-        const char* label;
-        circuit::Netlist netlist;
-    };
-    std::vector<Candidate> candidates;
-    candidates.push_back({"exact ripple", gen::rippleCarryAdder(16)});
-    for (int k : {4, 6, 8, 10})
-        candidates.push_back({"LOA", gen::loaAdder(16, k)});
-    for (int k : {6, 8})
-        candidates.push_back({"ETA", gen::etaAdder(16, k)});
+    const autoax::SobelAccelerator sobel(menu);
+    std::cout << "Sobel accelerator design space: " << sobel.designSpaceSize()
+              << " configurations (3 adder slots x " << menu.size() << " menu entries)\n\n";
 
-    const img::Image reference = sobel(scene, candidates.front().netlist);
+    // Uniform sweeps (all three slots pick the same adder) against the
+    // exact reference, evaluated through the batched engine.
+    const std::vector<img::Image> scenes = {img::syntheticScene(96, 96, 0x50BE1)};
+    autoax::EvalEngine engine(sobel, scenes);
 
-    util::Table table({"adder", "gates", "#LUTs", "power [mW]", "SSIM", "PSNR [dB]"});
-    for (const Candidate& c : candidates) {
-        const synth::FpgaReport report = fpga.implement(c.netlist);
-        const img::Image out = sobel(scene, c.netlist);
-        table.addRow({std::string(c.label) + " (" + c.netlist.name() + ")",
-                      std::to_string(c.netlist.gateCount()),
-                      util::Table::num(report.lutCount, 0), util::Table::num(report.powerMw, 3),
-                      util::Table::num(img::ssim(reference, out), 4),
-                      util::Table::num(img::psnr(reference, out), 1)});
+    std::vector<autoax::AcceleratorConfig> uniform;
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+        autoax::AcceleratorConfig c;
+        c.choice.assign(autoax::SobelAccelerator::kAdderSlots, static_cast<int>(i));
+        uniform.push_back(std::move(c));
     }
-    std::cout << "Sobel edge detector, 96x96 synthetic scene; gradient adders swapped for\n"
-                 "approximate 16-bit FPGA-ACs from the library:\n\n";
+    const std::vector<autoax::EvaluatedConfig> evaluated = engine.evaluateBatch(uniform);
+
+    util::Table table({"adder", "gates", "#LUTs", "power [mW]", "SSIM"});
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+        table.addRow({menu[i].name, std::to_string(menu[i].netlist.gateCount()),
+                      util::Table::num(evaluated[i].cost.lutCount, 0),
+                      util::Table::num(evaluated[i].cost.powerMw, 3),
+                      util::Table::num(evaluated[i].ssim, 4)});
+    }
+    std::cout << "uniform slot assignments, 96x96 synthetic scene:\n\n";
     table.print(std::cout);
+
+    // Mixed assignments are where the DSE earns its keep: a small AutoAx
+    // run over the Sobel design space, same engine and methodology as the
+    // Gaussian case study.
+    autoax::AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = 60;
+    cfg.hillIterations = 600;
+    cfg.imageSize = 64;
+    cfg.sceneCount = 1;
+    const autoax::AutoAxFpgaFlow::Result result = autoax::AutoAxFpgaFlow(cfg).run(sobel);
+    for (const auto& scenario : result.scenarios) {
+        if (scenario.param != core::FpgaParam::Power) continue;
+        std::cout << "\nSSIM-power front discovered by AutoAx (really evaluated "
+                  << scenario.realEvaluations << " fresh designs):\n";
+        for (std::size_t pos : autoax::qualityCostFront(scenario.autoax, scenario.param)) {
+            const autoax::EvaluatedConfig& p = scenario.autoax[pos];
+            std::cout << "  SSIM " << util::Table::num(p.ssim, 4) << "  power "
+                      << util::Table::num(p.cost.powerMw, 3) << " mW  slots ["
+                      << p.config.choice[0] << " " << p.config.choice[1] << " "
+                      << p.config.choice[2] << "]\n";
+        }
+    }
     std::cout << "\nLOA with a deep approximate lower part trades visible-but-small SSIM loss\n"
                  "for LUT and power savings — the same trade the Gaussian case study automates.\n";
     return 0;

@@ -2,22 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <stdexcept>
 #include <string_view>
 
 #include "src/circuit/batch_sim.hpp"
-#include "src/circuit/simulator.hpp"
-#include "src/img/ssim.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/select.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace axf::autoax {
 
 using circuit::BatchSimulator;
 using circuit::CompiledNetlist;
-using circuit::Simulator;
 using Word = CompiledNetlist::Word;
 
 namespace {
@@ -25,90 +20,7 @@ namespace {
 constexpr std::size_t kWords = BatchSimulator::kWordsPerBlock;
 constexpr std::size_t kLanes = BatchSimulator::kLanesPerBlock;
 
-/// Wide batchAdd16: up to kLanes operand pairs per sweep on the compiled
-/// engine.  `inWords`/`outWords` are caller-owned blocks (32 * kWords and
-/// outputCount * kWords words); nothing allocates.
-void batchAdd16Wide(BatchSimulator& sim, const std::uint32_t* a, const std::uint32_t* b,
-                    std::uint32_t* out, std::size_t lanes, std::span<Word> inWords,
-                    std::span<Word> outWords) {
-    std::memset(inWords.data(), 0, inWords.size() * sizeof(Word));
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-        const Word laneBit = Word{1} << (lane % 64);
-        const std::size_t w = lane / 64;
-        // Operands truncate to the adder's 16-bit interface.  Inputs can
-        // carry 17-bit values (a previous level's carry-out); without the
-        // mask, bit 16 of `a` would alias operand B's LSB and bit 16 of
-        // `b` would index past the input block.
-        std::uint32_t va = a[lane] & 0xFFFFu;
-        while (va != 0) {
-            const int bit = __builtin_ctz(va);
-            inWords[static_cast<std::size_t>(bit) * kWords + w] |= laneBit;
-            va &= va - 1;
-        }
-        std::uint32_t vb = b[lane] & 0xFFFFu;
-        while (vb != 0) {
-            const int bit = __builtin_ctz(vb);
-            inWords[static_cast<std::size_t>(16 + bit) * kWords + w] |= laneBit;
-            vb &= vb - 1;
-        }
-    }
-    sim.evaluate(inWords, outWords);
-    const std::size_t outputs = sim.compiled().outputCount();
-    std::memset(out, 0, lanes * sizeof(std::uint32_t));
-    for (std::size_t bit = 0; bit < outputs; ++bit) {
-        const std::uint32_t weight = std::uint32_t{1} << bit;
-        for (std::size_t w = 0; w * 64 < lanes; ++w) {
-            Word word = outWords[bit * kWords + w];
-            const std::size_t laneBase = w * 64;
-            while (word != 0) {
-                const int lane = __builtin_ctzll(word);
-                const std::size_t idx = laneBase + static_cast<std::size_t>(lane);
-                if (idx < lanes) out[idx] |= weight;
-                word &= word - 1;
-            }
-        }
-    }
-}
-
 }  // namespace
-
-std::vector<Component> componentsFromFlow(const core::FlowResult& result,
-                                          core::FpgaParam param, std::size_t maxComponents) {
-    const core::TargetOutcome* outcome = nullptr;
-    for (const core::TargetOutcome& t : result.targets)
-        if (t.param == param) outcome = &t;
-    if (outcome == nullptr) throw std::invalid_argument("componentsFromFlow: param not in result");
-
-    std::vector<Component> menu;
-    for (std::size_t idx : outcome->finalParetoIndices) {
-        const core::CharacterizedCircuit& cc = result.dataset.circuits()[idx];
-        if (!cc.fpgaMeasured) continue;
-        Component c;
-        c.name = cc.circuit.name;
-        c.signature = cc.circuit.signature;
-        c.error = cc.circuit.error;
-        c.fpga = cc.fpga;
-        c.netlist = cc.circuit.netlist;
-        menu.push_back(std::move(c));
-    }
-    std::sort(menu.begin(), menu.end(),
-              [](const Component& a, const Component& b) { return a.error.med < b.error.med; });
-    // Uniform thinning over the error-sorted menu keeps the spread,
-    // including the cheapest (highest-MED) extreme.
-    util::thinUniform(menu, maxComponents);
-    return menu;
-}
-
-std::uint64_t AcceleratorConfig::hash() const {
-    std::uint64_t h = 1469598103934665603ull;
-    const auto mix = [&h](std::uint64_t v) {
-        h ^= v + 1;
-        h *= 1099511628211ull;
-    };
-    for (int m : multiplier) mix(static_cast<std::uint64_t>(m));
-    for (int a : adder) mix(static_cast<std::uint64_t>(a));
-    return h;
-}
 
 const std::array<int, 9>& GaussianAccelerator::kernelWeights() {
     static const std::array<int, 9> kWeights = {1, 2, 1, 2, 4, 2, 1, 2, 1};
@@ -127,6 +39,10 @@ GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
     for (const Component& c : adders_)
         if (c.signature.op != circuit::ArithOp::Adder || c.signature.widthA != 16)
             throw std::invalid_argument("GaussianAccelerator: adder menu needs 16-bit adders");
+    space_.groups = {
+        {"multiplier", kMultiplierSlots, static_cast<int>(multipliers_.size())},
+        {"adder", kAdderSlots, static_cast<int>(adders_.size())},
+    };
 
     // Characterize the menus up front: exhaustive multiplier tables and
     // compiled adder programs, each entry an independent task.
@@ -187,64 +103,41 @@ std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& comp
     return table;
 }
 
-double GaussianAccelerator::designSpaceSize() const {
-    return std::pow(static_cast<double>(multipliers_.size()), 9.0) *
-           std::pow(static_cast<double>(adders_.size()), 8.0);
+/// Per-thread evaluation scratch: one rebindable simulator workspace per
+/// adder-tree node plus the shared input/output word blocks.  Rebinding to
+/// the node's program is free when consecutive configs agree on it, so a
+/// workspace held across a batch amortizes to zero setup.
+struct GaussianAccelerator::WorkspaceImpl : AcceleratorModel::Workspace {
+    std::vector<BatchSimulator> sims;  ///< one per adder-tree node, lazily built
+    std::vector<Word> inWords;
+    std::vector<Word> outWords;
+};
+
+std::unique_ptr<AcceleratorModel::Workspace> GaussianAccelerator::makeWorkspace() const {
+    auto ws = std::make_unique<WorkspaceImpl>();
+    ws->inWords.resize(32 * kWords);
+    return ws;
 }
 
-void batchAdd16(Simulator& sim, std::span<const std::uint32_t> a,
-                std::span<const std::uint32_t> b, std::span<std::uint32_t> out,
-                BatchAddScratch& scratch) {
-    if (a.size() > 64 || b.size() != a.size() || out.size() != a.size())
-        throw std::invalid_argument(
-            "batchAdd16: operand/result spans must agree and hold at most 64 lanes");
-    scratch.in.assign(32, 0);
-    for (std::size_t lane = 0; lane < a.size(); ++lane) {
-        for (int bit = 0; bit < 16; ++bit) {
-            if ((a[lane] >> bit) & 1u) scratch.in[static_cast<std::size_t>(bit)] |= std::uint64_t{1} << lane;
-            if ((b[lane] >> bit) & 1u)
-                scratch.in[static_cast<std::size_t>(16 + bit)] |= std::uint64_t{1} << lane;
-        }
-    }
-    scratch.out.resize(sim.netlist().outputCount());
-    sim.evaluate(scratch.in, scratch.out);
-    for (std::size_t lane = 0; lane < a.size(); ++lane) {
-        std::uint32_t v = 0;
-        for (std::size_t bit = 0; bit < scratch.out.size(); ++bit)
-            v |= static_cast<std::uint32_t>((scratch.out[bit] >> lane) & 1u) << bit;
-        out[lane] = v;
-    }
-}
+img::Image GaussianAccelerator::filter(const img::Image& input, const AcceleratorConfig& config,
+                                       Workspace& workspace) const {
+    space_.validate(config);
+    auto& ws = dynamic_cast<WorkspaceImpl&>(workspace);
 
-void batchAdd16(Simulator& sim, std::span<const std::uint32_t> a,
-                std::span<const std::uint32_t> b, std::span<std::uint32_t> out) {
-    BatchAddScratch scratch;
-    batchAdd16(sim, a, b, out, scratch);
-}
-
-img::Image GaussianAccelerator::filter(const img::Image& input,
-                                       const AcceleratorConfig& config) const {
-    for (int m : config.multiplier)
-        if (m < 0 || static_cast<std::size_t>(m) >= multipliers_.size())
-            throw std::out_of_range("filter: multiplier choice out of range");
-    for (int a : config.adder)
-        if (a < 0 || static_cast<std::size_t>(a) >= adders_.size())
-            throw std::out_of_range("filter: adder choice out of range");
-
-    // One simulator workspace per adder-tree node (each node may use a
-    // different component program); every buffer the pixel loop touches is
-    // hoisted here — the loop itself performs zero heap allocations.
-    std::vector<BatchSimulator> adderSims;
-    adderSims.reserve(8);
+    // Bind every adder-tree node's program into the reusable workspace;
+    // every buffer the pixel loop touches lives in `ws` or on the stack —
+    // the loop itself performs zero heap allocations once warmed up.
     std::size_t maxOutputs = 0;
-    for (int node = 0; node < 8; ++node) {
-        const auto& compiled =
-            adderCompiled_[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])];
+    for (int node = 0; node < kAdderSlots; ++node) {
+        const auto& compiled = adderCompiled_[static_cast<std::size_t>(
+            config.choice[adderSlot(node)])];
         maxOutputs = std::max(maxOutputs, compiled.outputCount());
-        adderSims.emplace_back(compiled);
+        if (ws.sims.size() <= static_cast<std::size_t>(node))
+            ws.sims.emplace_back(compiled);
+        else
+            ws.sims[static_cast<std::size_t>(node)].rebind(compiled);
     }
-    std::vector<Word> inWords(32 * kWords);
-    std::vector<Word> outWords(maxOutputs * kWords);
+    if (ws.outWords.size() < maxOutputs * kWords) ws.outWords.resize(maxOutputs * kWords);
 
     const std::array<int, 9>& weights = kernelWeights();
     img::Image output(input.width(), input.height());
@@ -266,7 +159,7 @@ img::Image GaussianAccelerator::filter(const img::Image& input,
                     const std::uint32_t coeff = static_cast<std::uint32_t>(
                         weights[static_cast<std::size_t>(slot)]);
                     const std::size_t tableIdx = static_cast<std::size_t>(
-                        config.multiplier[static_cast<std::size_t>(slot)]);
+                        config.choice[multiplierSlot(slot)]);
                     products[static_cast<std::size_t>(slot)][lane] =
                         multTables_[tableIdx][pix | (coeff << 8)];
                 }
@@ -275,9 +168,9 @@ img::Image GaussianAccelerator::filter(const img::Image& input,
         const auto add = [&](int node, const std::array<std::uint32_t, kLanes>& a,
                              const std::array<std::uint32_t, kLanes>& b,
                              std::array<std::uint32_t, kLanes>& out) {
-            BatchSimulator& sim = adderSims[static_cast<std::size_t>(node)];
-            batchAdd16Wide(sim, a.data(), b.data(), out.data(), lanes, inWords,
-                           {outWords.data(), sim.compiled().outputCount() * kWords});
+            BatchSimulator& sim = ws.sims[static_cast<std::size_t>(node)];
+            batchAdd16Wide(sim, a.data(), b.data(), out.data(), lanes, ws.inWords,
+                           {ws.outWords.data(), sim.compiled().outputCount() * kWords});
         };
         add(0, products[0], products[1], l1a);
         add(1, products[2], products[3], l1b);
@@ -316,21 +209,13 @@ img::Image GaussianAccelerator::filterExact(const img::Image& input) const {
     return output;
 }
 
-double GaussianAccelerator::quality(const AcceleratorConfig& config,
-                                    const std::vector<img::Image>& scenes) const {
-    if (scenes.empty()) throw std::invalid_argument("quality: no scenes");
-    double acc = 0.0;
-    for (const img::Image& scene : scenes)
-        acc += img::ssim(filterExact(scene), filter(scene, config));
-    return acc / static_cast<double>(scenes.size());
-}
-
 AcceleratorCost GaussianAccelerator::cost(const AcceleratorConfig& config) const {
+    space_.validate(config);
     AcceleratorCost cost;
     double maxMultLatency = 0.0;
-    for (int slot = 0; slot < 9; ++slot) {
+    for (int slot = 0; slot < kMultiplierSlots; ++slot) {
         const Component& c =
-            multipliers_[static_cast<std::size_t>(config.multiplier[static_cast<std::size_t>(slot)])];
+            multipliers_[static_cast<std::size_t>(config.choice[multiplierSlot(slot)])];
         cost.lutCount += c.fpga.lutCount;
         cost.powerMw += c.fpga.powerMw;
         maxMultLatency = std::max(maxMultLatency, c.fpga.latencyNs);
@@ -339,9 +224,8 @@ AcceleratorCost GaussianAccelerator::cost(const AcceleratorConfig& config) const
     // Adder-tree critical path: the slowest adder of each level in series.
     static constexpr std::array<int, 8> kLevel = {1, 1, 1, 1, 2, 2, 3, 4};
     std::array<double, 5> levelWorst{};
-    for (int node = 0; node < 8; ++node) {
-        const Component& c =
-            adders_[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])];
+    for (int node = 0; node < kAdderSlots; ++node) {
+        const Component& c = adders_[static_cast<std::size_t>(config.choice[adderSlot(node)])];
         cost.lutCount += c.fpga.lutCount;
         cost.powerMw += c.fpga.powerMw;
         cost.synthSeconds += 0.25 * c.fpga.synthSeconds;
@@ -361,6 +245,46 @@ AcceleratorCost GaussianAccelerator::cost(const AcceleratorConfig& config) const
     cost.powerMw *= 1.0 + jitter.uniformReal(-0.03, 0.03);
     cost.latencyNs *= 1.0 + jitter.uniformReal(-0.03, 0.03);
     return cost;
+}
+
+std::vector<double> GaussianAccelerator::features(const AcceleratorConfig& config) const {
+    space_.validate(config);
+    const std::array<int, 9>& weights = kernelWeights();
+
+    double multMedSum = 0, multMedMax = 0, multWceSum = 0, multLut = 0, multPow = 0,
+           multLatMax = 0, exactMults = 0;
+    for (int slot = 0; slot < kMultiplierSlots; ++slot) {
+        const Component& c =
+            multipliers_[static_cast<std::size_t>(config.choice[multiplierSlot(slot)])];
+        const double w = static_cast<double>(weights[static_cast<std::size_t>(slot)]) / 16.0;
+        multMedSum += c.error.med * w;
+        multMedMax = std::max(multMedMax, c.error.med);
+        multWceSum += c.error.worstCaseError * w;
+        multLut += c.fpga.lutCount;
+        multPow += c.fpga.powerMw;
+        multLatMax = std::max(multLatMax, c.fpga.latencyNs);
+        // Feature semantics: "component showed no error" — 16-bit adder
+        // menus carry sampled reports, for which strict `isExact` can
+        // never hold, so the estimator feature uses the observed predicate.
+        if (c.error.observedExact()) exactMults += 1.0;
+    }
+    double addMedSum = 0, addMedMax = 0, addWceSum = 0, addLut = 0, addPow = 0, addLatSum = 0,
+           exactAdders = 0;
+    static constexpr std::array<double, 8> kLevelWeight = {1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.25, 0.25};
+    for (int node = 0; node < kAdderSlots; ++node) {
+        const Component& c = adders_[static_cast<std::size_t>(config.choice[adderSlot(node)])];
+        const double w = kLevelWeight[static_cast<std::size_t>(node)];
+        addMedSum += c.error.med * w;
+        addMedMax = std::max(addMedMax, c.error.med);
+        addWceSum += c.error.worstCaseError * w;
+        addLut += c.fpga.lutCount;
+        addPow += c.fpga.powerMw;
+        addLatSum += c.fpga.latencyNs;
+        if (c.error.observedExact()) exactAdders += 1.0;
+    }
+    return {multMedSum, multMedMax, std::log1p(multWceSum), multLut, multPow, multLatMax,
+            exactMults, addMedSum,  addMedMax, std::log1p(addWceSum), addLut, addPow,
+            addLatSum,  exactAdders};
 }
 
 }  // namespace axf::autoax

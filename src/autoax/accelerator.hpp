@@ -2,83 +2,28 @@
 
 #include <array>
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
+#include "src/autoax/model.hpp"
 #include "src/cache/characterization_cache.hpp"
-#include "src/circuit/arith.hpp"
 #include "src/circuit/batch_sim.hpp"
-#include "src/circuit/netlist.hpp"
-#include "src/circuit/simulator.hpp"
-#include "src/core/flow.hpp"
-#include "src/error/error_metrics.hpp"
-#include "src/img/image.hpp"
-#include "src/synth/metrics.hpp"
 
 namespace axf::autoax {
 
-/// One Pareto-optimal FPGA-AC offered to the accelerator builder (a menu
-/// entry): behavioral netlist plus measured FPGA parameters and error.
-struct Component {
-    std::string name;
-    circuit::ArithSignature signature;
-    error::ErrorReport error;
-    synth::FpgaReport fpga;
-    circuit::Netlist netlist;
-};
-
-/// Extracts the final Pareto-optimal circuits of an ApproxFPGAs run as a
-/// component menu (capped at `maxComponents`, spread over the error range).
-std::vector<Component> componentsFromFlow(const core::FlowResult& result,
-                                          core::FpgaParam param, std::size_t maxComponents);
-
-/// Caller-owned scratch for `batchAdd16`: holding it across calls removes
-/// every per-call heap allocation from the hot loop.
-struct BatchAddScratch {
-    std::vector<std::uint64_t> in;
-    std::vector<std::uint64_t> out;
-};
-
-/// Applies a 16-bit adder netlist (via its simulator) to up to 64 operand
-/// pairs bit-parallel.  Shared by the accelerator behavioural models and
-/// reusable for custom accelerators (see examples/sobel_accelerator).
-void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
-                std::span<const std::uint32_t> b, std::span<std::uint32_t> out,
-                BatchAddScratch& scratch);
-
-/// Convenience overload with call-local scratch (allocates; prefer the
-/// scratch variant in loops).
-void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
-                std::span<const std::uint32_t> b, std::span<std::uint32_t> out);
-
-/// Configuration of the Gaussian-filter accelerator: a component choice for
-/// each of the 9 multiplier slots and each of the 8 adder-tree nodes.
-struct AcceleratorConfig {
-    std::array<int, 9> multiplier{};  ///< indices into the multiplier menu
-    std::array<int, 8> adder{};       ///< indices into the adder menu
-
-    std::uint64_t hash() const;
-    friend bool operator==(const AcceleratorConfig&, const AcceleratorConfig&) = default;
-};
-
-/// Composed "measured" hardware cost of one configuration — the stand-in
-/// for synthesizing the full accelerator with Vivado.  Area and power are
-/// additive over component instances (plus glue); latency follows the
-/// slowest multiplier and the adder-tree critical path.  A small
-/// deterministic per-configuration jitter models P&R variance.
-struct AcceleratorCost {
-    double lutCount = 0.0;
-    double powerMw = 0.0;
-    double latencyNs = 0.0;
-    double synthSeconds = 0.0;  ///< Vivado-equivalent accelerator synthesis
-};
-
 /// 3x3 Gaussian-blur hardware accelerator (kernel [1 2 1; 2 4 2; 1 2 1]/16)
 /// built from approximate components.  Evaluates the behavioural model
-/// bit-parallel (64 pixels per sweep) and composes hardware costs.
-class GaussianAccelerator {
+/// bit-parallel (256 pixels per sweep) and composes hardware costs.
+///
+/// Configuration slots (see `configSpace()`): choices 0..8 pick the
+/// multiplier of the 9 kernel taps (row-major), choices 9..16 pick the
+/// adder of the 8 adder-tree nodes (4+2+1 reduction levels plus the final
+/// center-tap add).
+class GaussianAccelerator : public AcceleratorModel {
 public:
+    static constexpr int kMultiplierSlots = 9;
+    static constexpr int kAdderSlots = 8;
+
     /// A non-null characterization cache reuses the exhaustive 8x8
     /// multiplier behavioural tables (content-addressed by component
     /// netlist hash) across accelerators, runs and processes.
@@ -88,31 +33,36 @@ public:
     const std::vector<Component>& multiplierMenu() const { return multipliers_; }
     const std::vector<Component>& adderMenu() const { return adders_; }
 
-    /// Number of distinct configurations (|M|^9 * |A|^8 as a double; the
-    /// paper quotes 4.95e14 for its menus).
-    double designSpaceSize() const;
+    /// Global slot index of multiplier tap `slot` (0..8) / adder node
+    /// `node` (0..7) in an `AcceleratorConfig`.
+    static std::size_t multiplierSlot(int slot) { return static_cast<std::size_t>(slot); }
+    static std::size_t adderSlot(int node) {
+        return static_cast<std::size_t>(kMultiplierSlots + node);
+    }
 
-    /// Runs the behavioural model over an image.
-    img::Image filter(const img::Image& input, const AcceleratorConfig& config) const;
-
-    /// Reference output (all-exact components).
-    img::Image filterExact(const img::Image& input) const;
-
-    /// QoR: mean SSIM of the approximate output against the exact output
-    /// over the given scenes.
-    double quality(const AcceleratorConfig& config, const std::vector<img::Image>& scenes) const;
-
-    AcceleratorCost cost(const AcceleratorConfig& config) const;
+    // --- AcceleratorModel --------------------------------------------------
+    std::string name() const override { return "gaussian3x3"; }
+    const ConfigSpace& configSpace() const override { return space_; }
+    using AcceleratorModel::filter;  // the one-shot-scratch convenience
+    img::Image filter(const img::Image& input, const AcceleratorConfig& config,
+                      Workspace& workspace) const override;
+    img::Image filterExact(const img::Image& input) const override;
+    AcceleratorCost cost(const AcceleratorConfig& config) const override;
+    std::vector<double> features(const AcceleratorConfig& config) const override;
+    std::unique_ptr<Workspace> makeWorkspace() const override;
 
     /// The kernel weights in slot order (row-major 3x3).
     static const std::array<int, 9>& kernelWeights();
 
 private:
+    struct WorkspaceImpl;
+
     std::vector<Component> multipliers_;
     std::vector<Component> adders_;
+    ConfigSpace space_;
     std::vector<std::vector<std::uint16_t>> multTables_;  ///< 8x8 -> 16-bit LUTs
-    /// Each adder menu entry lowered once; filter() instantiates per-node
-    /// `BatchSimulator` workspaces over these shared programs.
+    /// Each adder menu entry lowered once; workspaces rebind per-node
+    /// `BatchSimulator` scratch over these shared programs.
     std::vector<circuit::CompiledNetlist> adderCompiled_;
 
     static std::vector<std::uint16_t> buildTable(const Component& component,

@@ -20,55 +20,12 @@ double costParamOf(const AcceleratorCost& cost, core::FpgaParam param) {
     return 0.0;
 }
 
-std::vector<double> configFeatures(const GaussianAccelerator& accel,
-                                   const AcceleratorConfig& config) {
-    const auto& mults = accel.multiplierMenu();
-    const auto& adders = accel.adderMenu();
-    const std::array<int, 9>& weights = GaussianAccelerator::kernelWeights();
-
-    double multMedSum = 0, multMedMax = 0, multWceSum = 0, multLut = 0, multPow = 0,
-           multLatMax = 0, exactMults = 0;
-    for (int slot = 0; slot < 9; ++slot) {
-        const Component& c =
-            mults[static_cast<std::size_t>(config.multiplier[static_cast<std::size_t>(slot)])];
-        const double w = static_cast<double>(weights[static_cast<std::size_t>(slot)]) / 16.0;
-        multMedSum += c.error.med * w;
-        multMedMax = std::max(multMedMax, c.error.med);
-        multWceSum += c.error.worstCaseError * w;
-        multLut += c.fpga.lutCount;
-        multPow += c.fpga.powerMw;
-        multLatMax = std::max(multLatMax, c.fpga.latencyNs);
-        // Feature semantics: "component showed no error" — 16-bit adder
-        // menus carry sampled reports, for which strict `isExact` can
-        // never hold, so the estimator feature uses the observed predicate.
-        if (c.error.observedExact()) exactMults += 1.0;
-    }
-    double addMedSum = 0, addMedMax = 0, addWceSum = 0, addLut = 0, addPow = 0, addLatSum = 0,
-           exactAdders = 0;
-    static constexpr std::array<double, 8> kLevelWeight = {1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.25, 0.25};
-    for (int node = 0; node < 8; ++node) {
-        const Component& c =
-            adders[static_cast<std::size_t>(config.adder[static_cast<std::size_t>(node)])];
-        const double w = kLevelWeight[static_cast<std::size_t>(node)];
-        addMedSum += c.error.med * w;
-        addMedMax = std::max(addMedMax, c.error.med);
-        addWceSum += c.error.worstCaseError * w;
-        addLut += c.fpga.lutCount;
-        addPow += c.fpga.powerMw;
-        addLatSum += c.fpga.latencyNs;
-        if (c.error.observedExact()) exactAdders += 1.0;
-    }
-    return {multMedSum, multMedMax, std::log1p(multWceSum), multLut, multPow, multLatMax,
-            exactMults, addMedSum,  addMedMax, std::log1p(addWceSum), addLut, addPow,
-            addLatSum,  exactAdders};
-}
-
-AcceleratorEstimators AcceleratorEstimators::train(const GaussianAccelerator& accel,
+AcceleratorEstimators AcceleratorEstimators::train(const AcceleratorModel& model,
                                                    const std::vector<EvaluatedConfig>& samples) {
     std::vector<ml::Vector> rows;
     ml::Vector ssim, area, power, latency;
     for (const EvaluatedConfig& s : samples) {
-        rows.push_back(configFeatures(accel, s.config));
+        rows.push_back(model.features(s.config));
         ssim.push_back(s.ssim);
         area.push_back(s.cost.lutCount);
         power.push_back(s.cost.powerMw);
@@ -91,15 +48,15 @@ AcceleratorEstimators AcceleratorEstimators::train(const GaussianAccelerator& ac
     return est;
 }
 
-double AcceleratorEstimators::estimateSsim(const GaussianAccelerator& accel,
+double AcceleratorEstimators::estimateSsim(const AcceleratorModel& model,
                                            const AcceleratorConfig& c) const {
-    return qor_->predict(configFeatures(accel, c));
+    return qor_->predict(model.features(c));
 }
 
-double AcceleratorEstimators::estimateCost(const GaussianAccelerator& accel,
+double AcceleratorEstimators::estimateCost(const AcceleratorModel& model,
                                            const AcceleratorConfig& c,
                                            core::FpgaParam param) const {
-    const std::vector<double> f = configFeatures(accel, c);
+    const std::vector<double> f = model.features(c);
     switch (param) {
         case core::FpgaParam::Latency: return latency_->predict(f);
         case core::FpgaParam::Power: return power_->predict(f);
@@ -118,21 +75,11 @@ std::vector<std::size_t> qualityCostFront(const std::vector<EvaluatedConfig>& po
 
 namespace {
 
-AcceleratorConfig randomConfig(const GaussianAccelerator& accel, util::Rng& rng) {
-    AcceleratorConfig c;
-    for (int& m : c.multiplier) m = static_cast<int>(rng.index(accel.multiplierMenu().size()));
-    for (int& a : c.adder) a = static_cast<int>(rng.index(accel.adderMenu().size()));
-    return c;
-}
-
-AcceleratorConfig mutate(const GaussianAccelerator& accel, AcceleratorConfig c, util::Rng& rng) {
+AcceleratorConfig mutate(const ConfigSpace& space, AcceleratorConfig c, util::Rng& rng) {
     const int moves = 1 + static_cast<int>(rng.index(2));
     for (int i = 0; i < moves; ++i) {
-        if (rng.bernoulli(9.0 / 17.0)) {
-            c.multiplier[rng.index(9)] = static_cast<int>(rng.index(accel.multiplierMenu().size()));
-        } else {
-            c.adder[rng.index(8)] = static_cast<int>(rng.index(accel.adderMenu().size()));
-        }
+        const std::size_t slot = rng.index(c.choice.size());
+        c.choice[slot] = static_cast<int>(rng.index(static_cast<std::size_t>(space.menuSizeOf(slot))));
     }
     return c;
 }
@@ -170,41 +117,46 @@ bool archiveInsert(std::vector<ArchiveEntry>& archive, ArchiveEntry entry, std::
 
 }  // namespace
 
-AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const GaussianAccelerator& accel) const {
+AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const {
     util::Rng rng(config_.seed);
+    const ConfigSpace& space = model.configSpace();
     Result result;
-    result.designSpaceSize = accel.designSpaceSize();
+    result.designSpaceSize = space.designSpaceSize();
 
+    // Scenes and their exact references are built exactly once and shared
+    // by the training sample, all three scenarios and the baselines.
     std::vector<img::Image> scenes;
     for (int s = 0; s < config_.sceneCount; ++s)
         scenes.push_back(img::syntheticScene(config_.imageSize, config_.imageSize,
                                              config_.seed + static_cast<std::uint64_t>(s)));
-
-    const auto evaluate = [&](const AcceleratorConfig& c) {
-        EvaluatedConfig e;
-        e.config = c;
-        e.ssim = accel.quality(c, scenes);
-        e.cost = accel.cost(c);
-        return e;
-    };
+    EvalEngine engine(model, std::move(scenes),
+                      {.threads = config_.threads, .pool = config_.pool});
 
     // --- training sample (random approximation assignments) ---------------
+    // The distinct-sample target is capped at the design-space size (a
+    // small workload — e.g. a Sobel accelerator over a short menu — holds
+    // fewer distinct configs than the default trainConfigs), and rejection
+    // sampling is attempt-bounded so near-exhausted spaces terminate too.
+    std::size_t trainTarget = static_cast<std::size_t>(config_.trainConfigs);
+    if (space.designSpaceSize() < static_cast<double>(trainTarget))
+        trainTarget = static_cast<std::size_t>(space.designSpaceSize());
     std::unordered_set<std::uint64_t> seen;
-    while (result.trainingSet.size() < static_cast<std::size_t>(config_.trainConfigs)) {
-        const AcceleratorConfig c = randomConfig(accel, rng);
+    std::vector<AcceleratorConfig> trainConfigs;
+    std::size_t attempts = 0;
+    const std::size_t maxAttempts = 64 * trainTarget + 1024;
+    while (trainConfigs.size() < trainTarget && attempts++ < maxAttempts) {
+        AcceleratorConfig c = space.randomConfig(rng);
         if (!seen.insert(c.hash()).second) continue;
-        result.trainingSet.push_back(evaluate(c));
+        trainConfigs.push_back(std::move(c));
     }
     // Anchor the estimators (and the search archives below) with the two
     // known corners: all-most-accurate (menus are MED-sorted, index 0) and
     // all-cheapest.  Random assignments almost never hit these extremes.
-    AcceleratorConfig accurateCorner{};
-    AcceleratorConfig cheapCorner;
-    cheapCorner.multiplier.fill(static_cast<int>(accel.multiplierMenu().size()) - 1);
-    cheapCorner.adder.fill(static_cast<int>(accel.adderMenu().size()) - 1);
-    for (const AcceleratorConfig& corner : {accurateCorner, cheapCorner})
-        if (seen.insert(corner.hash()).second) result.trainingSet.push_back(evaluate(corner));
-    const AcceleratorEstimators estimators = AcceleratorEstimators::train(accel, result.trainingSet);
+    for (AcceleratorConfig corner : {space.accurateCorner(), space.cheapCorner()})
+        if (seen.insert(corner.hash()).second) trainConfigs.push_back(std::move(corner));
+    result.trainingSet = engine.evaluateBatch(trainConfigs);
+    const AcceleratorEstimators estimators =
+        AcceleratorEstimators::train(model, result.trainingSet);
 
     // --- per-scenario archive hill-climbing --------------------------------
     for (core::FpgaParam param : core::kAllFpgaParams) {
@@ -213,13 +165,16 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const GaussianAccelerator& accel) con
         util::Rng searchRng = rng.fork();
 
         std::vector<ArchiveEntry> archive;
-        const auto estimated = [&](const AcceleratorConfig& c) {
+        const auto estimated = [&](AcceleratorConfig c) {
             ++scenario.estimatorQueries;
-            return ArchiveEntry{c, estimators.estimateSsim(accel, c),
-                                estimators.estimateCost(accel, c, param)};
+            ArchiveEntry e;
+            e.estSsim = estimators.estimateSsim(model, c);
+            e.estCost = estimators.estimateCost(model, c, param);
+            e.config = std::move(c);
+            return e;
         };
         for (int i = 0; i < config_.archiveSeed; ++i)
-            archiveInsert(archive, estimated(randomConfig(accel, searchRng)), config_.archiveCap);
+            archiveInsert(archive, estimated(space.randomConfig(searchRng)), config_.archiveCap);
         for (const EvaluatedConfig& t : result.trainingSet)  // reuse the free knowledge
             archiveInsert(archive,
                           ArchiveEntry{t.config, t.ssim, costParamOf(t.cost, param)},
@@ -227,20 +182,43 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const GaussianAccelerator& accel) con
 
         for (int it = 0; it < config_.hillIterations; ++it) {
             const ArchiveEntry& parent = archive[searchRng.index(archive.size())];
-            archiveInsert(archive, estimated(mutate(accel, parent.config, searchRng)),
+            archiveInsert(archive, estimated(mutate(space, parent.config, searchRng)),
                           config_.archiveCap);
         }
 
-        // Re-evaluate the discovered pseudo-Pareto configurations for real.
-        for (const ArchiveEntry& e : archive) scenario.autoax.push_back(evaluate(e.config));
-        scenario.realEvaluations = scenario.autoax.size();
+        // Re-evaluate the discovered pseudo-Pareto configurations for real
+        // — in one batch, and paying only for configs not measured before
+        // (the engine memo spans training set and earlier scenarios).
+        std::vector<AcceleratorConfig> archiveConfigs;
+        archiveConfigs.reserve(archive.size());
+        for (const ArchiveEntry& e : archive) archiveConfigs.push_back(e.config);
+        const std::size_t freshBefore = engine.freshEvaluations();
+        scenario.autoax = engine.evaluateBatch(archiveConfigs);
+        scenario.realEvaluations = engine.freshEvaluations() - freshBefore;
 
-        // Equal-budget random baseline.
-        for (std::size_t i = 0; i < scenario.realEvaluations; ++i)
-            scenario.random.push_back(evaluate(randomConfig(accel, searchRng)));
+        // Equal-budget random baseline: as many *fresh* simulations as the
+        // archive re-evaluation cost.  Draws that would be served from the
+        // memo (or repeat an earlier draw) don't consume budget, so the
+        // baseline is re-drawn until it really pays the same simulation
+        // bill; when a small space runs out of unseen configs the
+        // attempt-bounded loop stops and plain draws pad the result count.
+        std::vector<AcceleratorConfig> randomConfigs;
+        std::unordered_set<std::uint64_t> drawn;
+        std::size_t drawAttempts = 0;
+        const std::size_t maxDrawAttempts = 64 * scenario.realEvaluations + 1024;
+        while (randomConfigs.size() < scenario.realEvaluations &&
+               drawAttempts++ < maxDrawAttempts) {
+            AcceleratorConfig c = space.randomConfig(searchRng);
+            if (engine.isMemoized(c) || !drawn.insert(c.hash()).second) continue;
+            randomConfigs.push_back(std::move(c));
+        }
+        while (randomConfigs.size() < scenario.realEvaluations)
+            randomConfigs.push_back(space.randomConfig(searchRng));
+        scenario.random = engine.evaluateBatch(randomConfigs);
 
         result.scenarios.push_back(std::move(scenario));
     }
+    result.totalRealEvaluations = engine.freshEvaluations();
     return result;
 }
 

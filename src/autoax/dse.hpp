@@ -2,33 +2,27 @@
 
 #include <vector>
 
-#include "src/autoax/accelerator.hpp"
+#include "src/autoax/eval_engine.hpp"
+#include "src/autoax/model.hpp"
 #include "src/ml/regressor.hpp"
+
+namespace axf::util {
+class ThreadPool;
+}
 
 namespace axf::autoax {
 
-/// One really-evaluated accelerator configuration (behavioural SSIM plus
-/// composed hardware cost) — the unit Fig. 9 plots.
-struct EvaluatedConfig {
-    AcceleratorConfig config;
-    double ssim = 0.0;
-    AcceleratorCost cost;
-};
-
-/// Feature vector of a configuration for the AutoAx estimators: error-mass
-/// and hardware aggregates of the chosen components.
-std::vector<double> configFeatures(const GaussianAccelerator& accel,
-                                   const AcceleratorConfig& config);
-
 /// QoR and per-parameter hardware-cost estimators trained on a random
-/// sample of really-evaluated configurations (the AutoAx recipe).
+/// sample of really-evaluated configurations (the AutoAx recipe).  Feature
+/// extraction is delegated to the model (`AcceleratorModel::features`), so
+/// the estimators work for any workload.
 class AcceleratorEstimators {
 public:
-    static AcceleratorEstimators train(const GaussianAccelerator& accel,
+    static AcceleratorEstimators train(const AcceleratorModel& model,
                                        const std::vector<EvaluatedConfig>& samples);
 
-    double estimateSsim(const GaussianAccelerator& accel, const AcceleratorConfig& c) const;
-    double estimateCost(const GaussianAccelerator& accel, const AcceleratorConfig& c,
+    double estimateSsim(const AcceleratorModel& model, const AcceleratorConfig& c) const;
+    double estimateCost(const AcceleratorModel& model, const AcceleratorConfig& c,
                         core::FpgaParam param) const;
 
 private:
@@ -41,7 +35,10 @@ private:
 /// AutoAx-FPGA: the AutoAx design-space exploration retargeted at FPGA
 /// parameters — random training sample, estimator construction, archive
 /// hill-climbing per (FPGA parameter, SSIM) scenario, and re-evaluation of
-/// the discovered pseudo-Pareto configurations.
+/// the discovered pseudo-Pareto configurations.  Runs polymorphically over
+/// any `AcceleratorModel`; every real evaluation is routed through one
+/// batched `EvalEngine` (scenes and exact references built once, results
+/// memoized by config hash, thread-parallel yet bit-identical to serial).
 class AutoAxFpgaFlow {
 public:
     struct Config {
@@ -52,6 +49,11 @@ public:
         int imageSize = 96;
         int sceneCount = 2;
         std::uint64_t seed = 0x40A7;
+        /// Worker cap for the evaluation engine (0 = whole pool,
+        /// 1 = serial); results are identical either way.
+        std::size_t threads = 0;
+        /// Thread pool override (nullptr = the process-global pool).
+        util::ThreadPool* pool = nullptr;
     };
 
     struct ScenarioResult {
@@ -59,6 +61,10 @@ public:
         std::vector<EvaluatedConfig> autoax;  ///< re-evaluated archive front
         std::vector<EvaluatedConfig> random;  ///< equal-budget random baseline
         std::size_t estimatorQueries = 0;
+        /// Configurations actually simulated for this scenario's archive
+        /// (configs already measured — training corners, reused training
+        /// entries, earlier scenarios — are deduplicated by
+        /// `AcceleratorConfig::hash` and not paid for again).
         std::size_t realEvaluations = 0;
     };
 
@@ -66,11 +72,14 @@ public:
         double designSpaceSize = 0.0;
         std::vector<EvaluatedConfig> trainingSet;
         std::vector<ScenarioResult> scenarios;  ///< latency-, power-, area-SSIM
+        /// Total configurations simulated across training, scenario
+        /// re-evaluation and the random baselines (memo hits excluded).
+        std::size_t totalRealEvaluations = 0;
     };
 
     explicit AutoAxFpgaFlow(Config config) : config_(config) {}
 
-    Result run(const GaussianAccelerator& accel) const;
+    Result run(const AcceleratorModel& model) const;
 
 private:
     Config config_;

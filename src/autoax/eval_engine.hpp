@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/autoax/model.hpp"
+#include "src/img/image.hpp"
+#include "src/img/ssim.hpp"
+
+namespace axf::util {
+class ThreadPool;
+}
+
+namespace axf::autoax {
+
+/// One really-evaluated accelerator configuration (behavioural SSIM plus
+/// composed hardware cost) — the unit Fig. 9 plots.
+struct EvaluatedConfig {
+    AcceleratorConfig config;
+    double ssim = 0.0;
+    AcceleratorCost cost;
+};
+
+/// Batched, thread-parallel, memoizing evaluator of accelerator
+/// configurations against a fixed scene set — the shared engine behind the
+/// DSE training sample, the archive re-evaluation and the random baseline.
+///
+/// What it hoists out of the per-evaluation path:
+///  - the exact reference image of every scene (computed once per engine,
+///    not once per config x scene as the scalar path does);
+///  - the reference half of the SSIM window statistics
+///    (`img::SsimReference`, once per scene);
+///  - one model workspace per worker (compiled-program simulator scratch
+///    and word buffers survive across configs via `BatchSimulator::rebind`);
+///  - repeat evaluations: results are memoized by `AcceleratorConfig::hash`,
+///    so a config already measured (training set, earlier scenario) is
+///    never simulated twice.  `freshEvaluations()` counts real work only.
+///
+/// Determinism: the (config x scene) grid is fanned out with one fixed
+/// work item per pair and every per-config reduction (mean over scenes)
+/// runs serially in scene order, so `evaluateBatch` is bit-identical to
+/// the scalar `AcceleratorModel::quality` path at any thread count.
+class EvalEngine {
+public:
+    struct Options {
+        std::size_t threads = 0;        ///< cap on workers (0 = whole pool, 1 = serial)
+        util::ThreadPool* pool = nullptr;  ///< nullptr = the process-global pool
+        bool memoize = true;            ///< disable for throughput benchmarking
+    };
+
+    EvalEngine(const AcceleratorModel& model, std::vector<img::Image> scenes,
+               Options options);
+    EvalEngine(const AcceleratorModel& model, std::vector<img::Image> scenes);
+    ~EvalEngine();
+
+    const AcceleratorModel& model() const { return model_; }
+    const std::vector<img::Image>& scenes() const { return scenes_; }
+    /// Exact reference outputs, one per scene (shared across every config).
+    const std::vector<img::Image>& exactReferences() const { return exact_; }
+
+    /// Evaluates every config against the scene set.  Results arrive in
+    /// input order; duplicates (within the batch or against the memo) are
+    /// served from the memo without re-simulation.
+    std::vector<EvaluatedConfig> evaluateBatch(std::span<const AcceleratorConfig> configs);
+
+    /// Single-config convenience (still batched over scenes).
+    EvaluatedConfig evaluate(const AcceleratorConfig& config);
+
+    /// Number of configurations actually simulated so far (memo hits and
+    /// in-batch duplicates excluded).
+    std::size_t freshEvaluations() const { return fresh_; }
+
+    /// True when the config is already in the memo (evaluating it again
+    /// would cost nothing fresh).
+    bool isMemoized(const AcceleratorConfig& config) const {
+        return memo_.contains(config.hash());
+    }
+
+private:
+    class WorkspacePool;
+
+    const AcceleratorModel& model_;
+    std::vector<img::Image> scenes_;
+    std::vector<img::Image> exact_;
+    std::vector<img::SsimReference> ssimRefs_;
+    Options options_;
+    std::unordered_map<std::uint64_t, EvaluatedConfig> memo_;
+    std::size_t fresh_ = 0;
+    std::unique_ptr<WorkspacePool> workspaces_;
+};
+
+}  // namespace axf::autoax

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/autoax/model.hpp"
+#include "src/circuit/batch_sim.hpp"
+
+namespace axf::autoax {
+
+/// Sobel edge-detection accelerator — the second application scenario of
+/// the methodology.  Gradient magnitude `min(255, (|gx| + |gy|) / 4)`
+/// where the row/column 1-2-1 accumulations stay exact (Sobel's x2 weights
+/// are shifts, so adders dominate the datapath) and the three wide
+/// additions run through approximate 16-bit FPGA-AC adders from the
+/// library:
+///
+///   slot 0  gx = colsum(x+1) - colsum(x-1)   (two's-complement add)
+///   slot 1  gy = rowsum(y+1) - rowsum(y-1)   (two's-complement add)
+///   slot 2  |gx| + |gy|                       (magnitude accumulation)
+///
+/// Each slot independently picks one entry of a 16-bit adder menu, giving
+/// a |menu|^3 design space explored by the same `AutoAxFpgaFlow` /
+/// `EvalEngine` machinery as the Gaussian case study.
+class SobelAccelerator : public AcceleratorModel {
+public:
+    static constexpr int kAdderSlots = 3;
+
+    explicit SobelAccelerator(std::vector<Component> adderMenu);
+
+    const std::vector<Component>& adderMenu() const { return adders_; }
+
+    // --- AcceleratorModel --------------------------------------------------
+    std::string name() const override { return "sobel3x3"; }
+    const ConfigSpace& configSpace() const override { return space_; }
+    using AcceleratorModel::filter;
+    img::Image filter(const img::Image& input, const AcceleratorConfig& config,
+                      Workspace& workspace) const override;
+    img::Image filterExact(const img::Image& input) const override;
+    AcceleratorCost cost(const AcceleratorConfig& config) const override;
+    std::vector<double> features(const AcceleratorConfig& config) const override;
+    std::unique_ptr<Workspace> makeWorkspace() const override;
+
+private:
+    struct WorkspaceImpl;
+
+    std::vector<Component> adders_;
+    ConfigSpace space_;
+    std::vector<circuit::CompiledNetlist> adderCompiled_;
+};
+
+}  // namespace axf::autoax

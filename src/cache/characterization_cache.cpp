@@ -340,7 +340,9 @@ std::uint64_t CharacterizationCache::digestOf(const error::ErrorAnalysisConfig& 
 
 std::uint64_t CharacterizationCache::digestOf(const synth::AsicFlow::Options& options) {
     return Digest()
-        .str("asic-flow.v1")
+        // v2: activity stimulus moved to addressable per-block seeds
+        // (chunk-parallel estimation) — power figures differ from v1.
+        .str("asic-flow.v2")
         .f64(options.clockMhz)
         .i(options.activityBlocks)
         .u64(options.activitySeed)
@@ -350,7 +352,9 @@ std::uint64_t CharacterizationCache::digestOf(const synth::AsicFlow::Options& op
 
 std::uint64_t CharacterizationCache::digestOf(const synth::FpgaFlow::Options& options) {
     return Digest()
-        .str("fpga-flow.v1")
+        // v2: activity stimulus moved to addressable per-block seeds
+        // (chunk-parallel estimation) — power figures differ from v1.
+        .str("fpga-flow.v2")
         .i(options.mapper.lutInputs)
         .i(options.mapper.cutsPerNode)
         .f64(options.lutDelayNs)

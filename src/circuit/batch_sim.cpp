@@ -150,6 +150,18 @@ template void CompiledNetlist::run<1>(const Word*, Word*, Word*) const;
 template void CompiledNetlist::run<CompiledNetlist::kWordsPerBlock>(const Word*, Word*,
                                                                     Word*) const;
 
+void BatchSimulator::rebind(const CompiledNetlist& compiled) {
+    if (compiled_ == &compiled) return;  // constants already in place
+    compiled_ = &compiled;
+    const std::size_t needed = compiled.workspaceWords(kWordsPerBlock) + kAlignWords;
+    if (storage_.size() < needed) storage_.assign(needed, 0);
+    const std::size_t misalign =
+        reinterpret_cast<std::uintptr_t>(storage_.data()) % (kAlignWords * sizeof(Word));
+    workspace_ = storage_.data() + (misalign ? kAlignWords - misalign / sizeof(Word) : 0);
+    compiled.initWorkspace({workspace_, compiled.workspaceWords(kWordsPerBlock)},
+                           kWordsPerBlock);
+}
+
 void BatchSimulator::evaluate(std::span<const Word> inputWords, std::span<Word> outputWords) {
     if (inputWords.size() != compiled_->inputCount() * kWordsPerBlock)
         throw std::invalid_argument("BatchSimulator: input word count mismatch");

@@ -126,6 +126,13 @@ public:
     /// receives `outputCount() * kWordsPerBlock` words output-major.
     void evaluate(std::span<const Word> inputWords, std::span<Word> outputWords);
 
+    /// Rebinds this workspace to a different compiled program, reusing the
+    /// existing allocation whenever it is large enough.  This is the
+    /// workspace-reuse hook for evaluation loops that sweep many programs
+    /// (e.g. one accelerator config after another) with one per-thread
+    /// scratch: rebinding to the program already bound is free.
+    void rebind(const CompiledNetlist& compiled);
+
     const CompiledNetlist& compiled() const { return *compiled_; }
 
 private:

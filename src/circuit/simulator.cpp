@@ -1,6 +1,10 @@
 #include "src/circuit/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace axf::circuit {
 
@@ -61,6 +65,91 @@ std::vector<double> ActivityCounter::toggleRates() const {
     const double denom = static_cast<double>((blocks_ - 1) * 64);
     for (std::size_t i = 0; i < toggles_.size(); ++i)
         rates[i] = static_cast<double>(toggles_[i]) / denom;
+    return rates;
+}
+
+namespace {
+
+/// Splitmix64 step — decorrelates the per-block stimulus streams.
+std::uint64_t mixSeed(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Transitions per chunk.  Fixed (never derived from the thread count) so
+/// the chunk decomposition is identical no matter how many workers run it;
+/// the default 24-block estimation splits into 3 chunks, enough
+/// granularity for the flows' nested use under a parallel library build.
+constexpr std::uint64_t kTransitionsPerChunk = 8;
+
+}  // namespace
+
+void fillActivityBlock(std::uint64_t seed, std::uint64_t b,
+                       std::span<Simulator::Word> inputWords) {
+    // Splitmix64 stream seeded per block: every word an independent draw,
+    // and constructing the generator costs nothing (a mt19937-class engine
+    // here would dominate small-netlist synthesis with its seeding loop).
+    std::uint64_t state = mixSeed(seed + b);
+    for (auto& w : inputWords) {
+        state += 0x9E3779B97F4A7C15ull;
+        std::uint64_t x = state;
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+        w = x ^ (x >> 31);
+    }
+}
+
+std::vector<double> estimateToggleRates(const Netlist& netlist, std::uint64_t seed, int blocks,
+                                        util::ThreadPool* pool) {
+    std::vector<double> rates(netlist.nodeCount(), 0.0);
+    if (blocks < 2) return rates;
+
+    // Transition t in [1, blocks) toggles block t-1 -> t; chunk c owns the
+    // fixed transition range [1 + c*K, 1 + (c+1)*K) and evaluates blocks
+    // [first-1, last], so every cross-chunk transition is counted exactly
+    // once by the chunk that owns it.
+    const std::uint64_t transitions = static_cast<std::uint64_t>(blocks) - 1;
+    const std::size_t chunkCount =
+        static_cast<std::size_t>((transitions + kTransitionsPerChunk - 1) / kTransitionsPerChunk);
+
+    // Compile once without pruning (slot == node id, like `Simulator`);
+    // every chunk gets its own workspace over the shared program.
+    const CompiledNetlist compiled = CompiledNetlist::compile(netlist, {.pruneDead = false});
+    const std::size_t nodes = netlist.nodeCount();
+
+    std::vector<std::vector<std::uint64_t>> parts(chunkCount);
+    const auto runChunk = [&](std::size_t c) {
+        const std::uint64_t firstTransition = 1 + static_cast<std::uint64_t>(c) * kTransitionsPerChunk;
+        const std::uint64_t lastTransition =
+            std::min<std::uint64_t>(transitions, firstTransition + kTransitionsPerChunk - 1);
+        std::vector<Simulator::Word> values(nodes, 0), previous(nodes, 0);
+        std::vector<Simulator::Word> in(netlist.inputCount());
+        std::vector<Simulator::Word> out(netlist.outputCount());
+        compiled.initWorkspace(values, 1);
+        std::vector<std::uint64_t> toggles(nodes, 0);
+        for (std::uint64_t b = firstTransition - 1; b <= lastTransition; ++b) {
+            fillActivityBlock(seed, b, in);
+            compiled.run<1>(in.data(), out.data(), values.data());
+            if (b >= firstTransition)
+                for (std::size_t i = 0; i < nodes; ++i)
+                    toggles[i] += static_cast<std::uint64_t>(
+                        __builtin_popcountll(values[i] ^ previous[i]));
+            previous.assign(values.begin(), values.end());
+        }
+        parts[c] = std::move(toggles);
+    };
+    (pool != nullptr ? *pool : util::ThreadPool::global()).parallelFor(chunkCount, runChunk);
+
+    // Ordered merge (integer counts: associative, but the order is kept
+    // fixed anyway so the pattern matches the FP-sensitive consumers).
+    std::vector<std::uint64_t> total(nodes, 0);
+    for (const std::vector<std::uint64_t>& part : parts)
+        for (std::size_t i = 0; i < nodes; ++i) total[i] += part[i];
+    const double denom = static_cast<double>(transitions * 64);
+    for (std::size_t i = 0; i < nodes; ++i)
+        rates[i] = static_cast<double>(total[i]) / denom;
     return rates;
 }
 

@@ -7,6 +7,10 @@
 #include "src/circuit/batch_sim.hpp"
 #include "src/circuit/netlist.hpp"
 
+namespace axf::util {
+class ThreadPool;
+}
+
 namespace axf::circuit {
 
 /// 64-way bit-parallel netlist evaluator.
@@ -68,6 +72,10 @@ public:
     std::vector<double> toggleRates() const;
     std::size_t blocksSeen() const { return blocks_; }
 
+    /// Raw per-node toggle counts accumulated so far (ordered-merge hook
+    /// for the chunk-parallel estimator and its differential tests).
+    std::span<const std::uint64_t> toggleCounts() const { return toggles_; }
+
 private:
     const Netlist& netlist_;
     Simulator simulator_;
@@ -76,5 +84,27 @@ private:
     std::vector<std::uint64_t> toggles_;
     std::size_t blocks_ = 0;
 };
+
+/// Fills the 64-lane stimulus block `b` of the activity-estimation stream
+/// derived from `seed`: every lane bit an independent fair coin, the block
+/// a pure function of (seed, b).  Addressable blocks are what make the
+/// estimation chunk-parallel — any worker can regenerate any block,
+/// including a chunk's predecessor, without replaying the whole stream.
+void fillActivityBlock(std::uint64_t seed, std::uint64_t b,
+                       std::span<Simulator::Word> inputWords);
+
+/// Per-node toggle rates over `blocks` stimulus blocks (see
+/// `fillActivityBlock`), estimated thread-parallel with the same
+/// chunk-deterministic pattern as `error::analyzeError`: the transition
+/// sequence is cut into fixed-size chunks (never derived from the thread
+/// count), each chunk re-evaluates its predecessor block and counts its
+/// own transitions on a private counter, and the per-chunk counts merge in
+/// block order — so the result is bit-identical at any thread count, and
+/// identical to feeding the same blocks through one `ActivityCounter`.
+///
+/// `pool` selects the thread pool (nullptr = the process-global pool); the
+/// netlist is compiled once and shared read-only across workers.
+std::vector<double> estimateToggleRates(const Netlist& netlist, std::uint64_t seed, int blocks,
+                                        util::ThreadPool* pool = nullptr);
 
 }  // namespace axf::circuit

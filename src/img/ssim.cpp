@@ -7,6 +7,11 @@ namespace axf::img {
 
 namespace {
 
+constexpr int kWindow = 8;
+constexpr int kStride = 4;  // half-overlapping windows
+constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
+constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
+
 /// Window start coordinates along one dimension: the stride-4 sweep plus a
 /// clamped tail window so the right/bottom border is always scored even
 /// when `(dim - window) % stride != 0`.  On aligned dimensions the tail
@@ -21,39 +26,55 @@ std::vector<int> windowStarts(int dim, int window, int stride) {
 
 }  // namespace
 
-double ssim(const Image& reference, const Image& distorted) {
-    if (reference.width() != distorted.width() || reference.height() != distorted.height())
-        throw std::invalid_argument("ssim: image dimensions differ");
-    constexpr int kWindow = 8;
-    constexpr double kC1 = (0.01 * 255.0) * (0.01 * 255.0);
-    constexpr double kC2 = (0.03 * 255.0) * (0.03 * 255.0);
-    const int w = reference.width();
-    const int h = reference.height();
-    if (w < kWindow || h < kWindow) throw std::invalid_argument("ssim: image too small");
-
-    double total = 0.0;
-    std::size_t windows = 0;
-    constexpr int kStride = 4;  // half-overlapping windows
-    const std::vector<int> ys = windowStarts(h, kWindow, kStride);
-    const std::vector<int> xs = windowStarts(w, kWindow, kStride);
-    for (const int y0 : ys) {
-        for (const int x0 : xs) {
-            double sumA = 0, sumB = 0, sumAA = 0, sumBB = 0, sumAB = 0;
+SsimReference::SsimReference(const Image& reference)
+    : width_(reference.width()), height_(reference.height()), pixels_(reference.pixels()) {
+    if (width_ < kWindow || height_ < kWindow)
+        throw std::invalid_argument("ssim: image too small");
+    ys_ = windowStarts(height_, kWindow, kStride);
+    xs_ = windowStarts(width_, kWindow, kStride);
+    stats_.reserve(ys_.size() * xs_.size());
+    for (const int y0 : ys_) {
+        for (const int x0 : xs_) {
+            WindowStat s;
             for (int y = y0; y < y0 + kWindow; ++y) {
                 for (int x = x0; x < x0 + kWindow; ++x) {
                     const double a = reference.at(x, y);
+                    s.sumA += a;
+                    s.sumAA += a * a;
+                }
+            }
+            stats_.push_back(s);
+        }
+    }
+}
+
+double SsimReference::compare(const Image& distorted) const {
+    if (width_ != distorted.width() || height_ != distorted.height())
+        throw std::invalid_argument("ssim: image dimensions differ");
+    double total = 0.0;
+    std::size_t windows = 0;
+    const std::uint8_t* ref = pixels_.data();
+    for (std::size_t yi = 0; yi < ys_.size(); ++yi) {
+        const int y0 = ys_[yi];
+        for (std::size_t xi = 0; xi < xs_.size(); ++xi) {
+            const int x0 = xs_[xi];
+            const WindowStat& s = stats_[yi * xs_.size() + xi];
+            double sumB = 0, sumBB = 0, sumAB = 0;
+            for (int y = y0; y < y0 + kWindow; ++y) {
+                const std::size_t row =
+                    static_cast<std::size_t>(y) * static_cast<std::size_t>(width_);
+                for (int x = x0; x < x0 + kWindow; ++x) {
+                    const double a = ref[row + static_cast<std::size_t>(x)];
                     const double b = distorted.at(x, y);
-                    sumA += a;
                     sumB += b;
-                    sumAA += a * a;
                     sumBB += b * b;
                     sumAB += a * b;
                 }
             }
             constexpr double n = kWindow * kWindow;
-            const double muA = sumA / n;
+            const double muA = s.sumA / n;
             const double muB = sumB / n;
-            const double varA = sumAA / n - muA * muA;
+            const double varA = s.sumAA / n - muA * muA;
             const double varB = sumBB / n - muB * muB;
             const double cov = sumAB / n - muA * muB;
             const double value = ((2.0 * muA * muB + kC1) * (2.0 * cov + kC2)) /
@@ -63,6 +84,10 @@ double ssim(const Image& reference, const Image& distorted) {
         }
     }
     return windows == 0 ? 1.0 : total / static_cast<double>(windows);
+}
+
+double ssim(const Image& reference, const Image& distorted) {
+    return SsimReference(reference).compare(distorted);
 }
 
 }  // namespace axf::img

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <vector>
+
 #include "src/img/image.hpp"
 
 namespace axf::img {
@@ -9,5 +11,38 @@ namespace axf::img {
 /// with the standard stabilizers C1=(0.01*255)^2, C2=(0.03*255)^2.
 /// Returns a value in [-1, 1]; 1 means identical.
 double ssim(const Image& reference, const Image& distorted);
+
+/// Precomputed reference side of the SSIM sweep: window positions plus the
+/// per-window sum / sum-of-squares of the reference image.  When one
+/// reference is scored against many distorted candidates (the accelerator
+/// evaluation engine compares every config against the same exact output),
+/// holding an `SsimReference` per scene halves the window arithmetic and
+/// skips re-walking the reference pixels entirely.
+///
+/// `compare` is bit-identical to `ssim(reference, distorted)` — same window
+/// order, same accumulation order, same formula.
+class SsimReference {
+public:
+    explicit SsimReference(const Image& reference);
+
+    /// SSIM of `distorted` against the bound reference.
+    double compare(const Image& distorted) const;
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+private:
+    struct WindowStat {
+        double sumA = 0.0;   ///< reference pixel sum over the window
+        double sumAA = 0.0;  ///< reference pixel square sum
+    };
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<int> xs_;  ///< window start columns (stride sweep + clamped tail)
+    std::vector<int> ys_;  ///< window start rows
+    std::vector<WindowStat> stats_;  ///< row-major over (ys_, xs_)
+    std::vector<std::uint8_t> pixels_;  ///< reference copy for the cross term
+};
 
 }  // namespace axf::img

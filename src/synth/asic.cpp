@@ -75,14 +75,10 @@ AsicReport AsicFlow::synthesize(const Netlist& raw) const {
         report.delayNs = std::max(report.delayNs, arrival[out]);
 
     // --- switching-activity power ----------------------------------------
-    circuit::ActivityCounter activity(netlist);
-    util::Rng rng(options_.activitySeed);
-    std::vector<circuit::Simulator::Word> block(netlist.inputCount());
-    for (int b = 0; b < options_.activityBlocks; ++b) {
-        for (auto& w : block) w = rng.uniformInt(0, ~std::uint64_t{0});
-        activity.accumulate(block);
-    }
-    const std::vector<double> toggles = activity.toggleRates();
+    // Same chunk-deterministic parallel estimation as the FPGA flow: fixed
+    // transition chunks, per-chunk counters, ordered merge.
+    const std::vector<double> toggles =
+        circuit::estimateToggleRates(netlist, options_.activitySeed, options_.activityBlocks);
 
     // P_dyn ~ sum(alpha_i * C_i) * f * V^2; constants folded into the cap
     // scale so an exact 8x8 multiplier lands in the ~0.1-1 mW regime.

@@ -68,14 +68,12 @@ FpgaReport FpgaFlow::implement(const Netlist& netlist) const {
     if (mapping.luts.empty()) report.latencyNs = options_.ioDelayNs;
 
     // --- power: switching activity of the LUT output nets ------------------
-    circuit::ActivityCounter activity(optimized);
-    util::Rng activityRng(options_.activitySeed);
-    std::vector<circuit::Simulator::Word> block(optimized.inputCount());
-    for (int b = 0; b < options_.activityBlocks; ++b) {
-        for (auto& w : block) w = activityRng.uniformInt(0, ~std::uint64_t{0});
-        activity.accumulate(block);
-    }
-    const std::vector<double> toggles = activity.toggleRates();
+    // Chunk-deterministic and thread-parallel (per-chunk counters merged in
+    // block order): identical rates at any worker count, and safe when
+    // `implement` itself runs inside a parallel library build (nested
+    // parallelFor degrades to inline execution).
+    const std::vector<double> toggles =
+        circuit::estimateToggleRates(optimized, options_.activitySeed, options_.activityBlocks);
 
     double dynamicMw = 0.0;
     for (const LutMapper::Lut& lut : mapping.luts) {

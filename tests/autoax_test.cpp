@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/autoax/accelerator.hpp"
 #include "src/autoax/dse.hpp"
 #include "src/error/error_metrics.hpp"
 #include "src/gen/adders.hpp"
@@ -44,6 +45,9 @@ const GaussianAccelerator& accelerator() {
     return kAccel;
 }
 
+/// All-exact configuration of the shared accelerator.
+AcceleratorConfig exactConfig() { return accelerator().configSpace().accurateCorner(); }
+
 TEST(GaussianAccelerator, CachedMultiplierTablesReproduceBehaviour) {
     // Table builds are content-addressed: a second accelerator over the
     // same menus loads the exhaustive 8x8 tables from the cache and must
@@ -55,11 +59,13 @@ TEST(GaussianAccelerator, CachedMultiplierTablesReproduceBehaviour) {
     EXPECT_GT(cache.stats().hits, 0u);
 
     const img::Image scene = img::syntheticScene(40, 40, 0xAB);
-    AcceleratorConfig mixed{};
-    for (std::size_t slot = 0; slot < mixed.multiplier.size(); ++slot)
-        mixed.multiplier[slot] = static_cast<int>(slot % multiplierMenu().size());
-    for (std::size_t node = 0; node < mixed.adder.size(); ++node)
-        mixed.adder[node] = static_cast<int>(node % adderMenu().size());
+    AcceleratorConfig mixed = exactConfig();
+    for (int slot = 0; slot < GaussianAccelerator::kMultiplierSlots; ++slot)
+        mixed.choice[GaussianAccelerator::multiplierSlot(slot)] =
+            static_cast<int>(static_cast<std::size_t>(slot) % multiplierMenu().size());
+    for (int node = 0; node < GaussianAccelerator::kAdderSlots; ++node)
+        mixed.choice[GaussianAccelerator::adderSlot(node)] =
+            static_cast<int>(static_cast<std::size_t>(node) % adderMenu().size());
     const img::Image reference = accelerator().filter(scene, mixed);
     EXPECT_EQ(cold.filter(scene, mixed).pixels(), reference.pixels());
     EXPECT_EQ(warm.filter(scene, mixed).pixels(), reference.pixels());
@@ -76,11 +82,10 @@ TEST(GaussianAccelerator, RejectsBadMenus) {
 
 TEST(GaussianAccelerator, ExactConfigMatchesReference) {
     const img::Image scene = img::syntheticScene(48, 48, 0xE);
-    AcceleratorConfig exact{};  // all zeros = exact components
-    const img::Image hw = accelerator().filter(scene, exact);
+    const img::Image hw = accelerator().filter(scene, exactConfig());
     const img::Image ref = accelerator().filterExact(scene);
     EXPECT_EQ(hw.pixels(), ref.pixels());
-    EXPECT_DOUBLE_EQ(accelerator().quality(exact, {scene}), 1.0);
+    EXPECT_DOUBLE_EQ(accelerator().quality(exactConfig(), {scene}), 1.0);
 }
 
 TEST(GaussianAccelerator, CarryOutputsTruncateLikeTheHardware) {
@@ -100,7 +105,7 @@ TEST(GaussianAccelerator, CarryOutputsTruncateLikeTheHardware) {
     const GaussianAccelerator accel(std::move(mults), std::move(adds));
 
     const img::Image scene = img::syntheticScene(40, 40, 0x21);
-    const img::Image out = accel.filter(scene, AcceleratorConfig{});
+    const img::Image out = accel.filter(scene, accel.configSpace().accurateCorner());
     for (std::size_t i = 0; i < out.pixelCount(); ++i)
         ASSERT_EQ(out.pixels()[i], 255) << "pixel " << i;
 }
@@ -109,8 +114,9 @@ TEST(GaussianAccelerator, ApproximationDegradesQualityMonotonically) {
     const std::vector<img::Image> scenes = {img::syntheticScene(48, 48, 0xF)};
     double previous = 1.1;
     for (int level = 0; level < 4; ++level) {
-        AcceleratorConfig config{};
-        config.multiplier.fill(level);
+        AcceleratorConfig config = exactConfig();
+        for (int slot = 0; slot < GaussianAccelerator::kMultiplierSlots; ++slot)
+            config.choice[GaussianAccelerator::multiplierSlot(slot)] = level;
         const double q = accelerator().quality(config, scenes);
         EXPECT_LE(q, previous + 1e-9) << "level " << level;
         EXPECT_GE(q, 0.0);
@@ -139,9 +145,12 @@ TEST(GaussianAccelerator, FilterSmoothsImage) {
 
 TEST(GaussianAccelerator, ConfigValidation) {
     const img::Image scene = img::syntheticScene(48, 48, 0x11);
-    AcceleratorConfig bad{};
-    bad.multiplier[0] = 99;
+    AcceleratorConfig bad = exactConfig();
+    bad.choice[GaussianAccelerator::multiplierSlot(0)] = 99;
     EXPECT_THROW(accelerator().filter(scene, bad), std::out_of_range);
+    AcceleratorConfig shortConfig;
+    shortConfig.choice = {0, 0, 0};
+    EXPECT_THROW(accelerator().cost(shortConfig), std::out_of_range);
 }
 
 TEST(BatchAdd16, MatchesScalarSimulation) {
@@ -176,21 +185,17 @@ TEST(BatchAdd16, MatchesScalarSimulation) {
 }
 
 TEST(AcceleratorCost, AccurateCornerCostsMoreThanCheapCorner) {
-    AcceleratorConfig accurate{};
-    AcceleratorConfig cheap{};
-    cheap.multiplier.fill(static_cast<int>(accelerator().multiplierMenu().size()) - 1);
-    cheap.adder.fill(static_cast<int>(accelerator().adderMenu().size()) - 1);
-    const AcceleratorCost a = accelerator().cost(accurate);
-    const AcceleratorCost c = accelerator().cost(cheap);
+    const AcceleratorCost a = accelerator().cost(accelerator().configSpace().accurateCorner());
+    const AcceleratorCost c = accelerator().cost(accelerator().configSpace().cheapCorner());
     EXPECT_GT(a.lutCount, c.lutCount);
     EXPECT_GT(a.powerMw, c.powerMw);
     EXPECT_GT(a.synthSeconds, 0.0);
 }
 
 TEST(AcceleratorCost, DeterministicPerConfig) {
-    AcceleratorConfig config{};
-    config.multiplier[3] = 1;
-    config.adder[5] = 2;
+    AcceleratorConfig config = exactConfig();
+    config.choice[GaussianAccelerator::multiplierSlot(3)] = 1;
+    config.choice[GaussianAccelerator::adderSlot(5)] = 2;
     const AcceleratorCost a = accelerator().cost(config);
     const AcceleratorCost b = accelerator().cost(config);
     EXPECT_DOUBLE_EQ(a.lutCount, b.lutCount);
@@ -198,14 +203,30 @@ TEST(AcceleratorCost, DeterministicPerConfig) {
 }
 
 TEST(AcceleratorConfig, HashDiscriminates) {
-    AcceleratorConfig a{}, b{};
-    b.adder[7] = 1;
+    AcceleratorConfig a = exactConfig();
+    AcceleratorConfig b = exactConfig();
+    b.choice[GaussianAccelerator::adderSlot(7)] = 1;
     EXPECT_NE(a.hash(), b.hash());
-    EXPECT_EQ(a.hash(), AcceleratorConfig{}.hash());
+    EXPECT_EQ(a.hash(), exactConfig().hash());
+}
+
+TEST(ConfigSpace, DescribesTheGaussianDatapath) {
+    const ConfigSpace& space = accelerator().configSpace();
+    ASSERT_EQ(space.groups.size(), 2u);
+    EXPECT_EQ(space.groups[0].name, "multiplier");
+    EXPECT_EQ(space.groups[0].slots, 9);
+    EXPECT_EQ(space.groups[1].name, "adder");
+    EXPECT_EQ(space.groups[1].slots, 8);
+    EXPECT_EQ(space.slotCount(), 17u);
+    EXPECT_EQ(space.menuSizeOf(0), static_cast<int>(accelerator().multiplierMenu().size()));
+    EXPECT_EQ(space.menuSizeOf(16), static_cast<int>(accelerator().adderMenu().size()));
+    const AcceleratorConfig cheap = space.cheapCorner();
+    EXPECT_EQ(cheap.choice[0], static_cast<int>(accelerator().multiplierMenu().size()) - 1);
+    EXPECT_EQ(cheap.choice[16], static_cast<int>(accelerator().adderMenu().size()) - 1);
 }
 
 TEST(ConfigFeatures, ExactConfigProfile) {
-    const std::vector<double> f = configFeatures(accelerator(), AcceleratorConfig{});
+    const std::vector<double> f = accelerator().features(exactConfig());
     ASSERT_EQ(f.size(), 14u);
     EXPECT_DOUBLE_EQ(f[0], 0.0);   // mult MED mass
     EXPECT_DOUBLE_EQ(f[6], 9.0);   // exact multiplier count
@@ -249,10 +270,14 @@ TEST(AutoAxFlow, SmallRunProducesAllScenarios) {
 
     EXPECT_EQ(result.trainingSet.size(), 22u);  // 20 random + 2 corner anchors
     ASSERT_EQ(result.scenarios.size(), 3u);
+    EXPECT_GE(result.totalRealEvaluations, result.trainingSet.size());
     for (const auto& s : result.scenarios) {
         EXPECT_FALSE(s.autoax.empty());
         EXPECT_LE(s.autoax.size(), cfg.archiveCap);
         EXPECT_EQ(s.random.size(), s.realEvaluations);
+        // Dedup accounting: the archive reuses training entries (at least
+        // the two corners), so fresh evaluations stay below its size.
+        EXPECT_LE(s.realEvaluations, s.autoax.size());
         EXPECT_GT(s.estimatorQueries, static_cast<std::size_t>(cfg.hillIterations));
         for (const EvaluatedConfig& e : s.autoax) {
             EXPECT_GE(e.ssim, -1.0);

@@ -1,0 +1,168 @@
+// Batched evaluation engine: batched-vs-scalar equality, memo dedup
+// accounting, and the bit-identical-at-any-thread-count guarantee for both
+// `EvalEngine::evaluateBatch` and a whole `AutoAxFpgaFlow::Result`.
+
+#include <gtest/gtest.h>
+
+#include "src/autoax/accelerator.hpp"
+#include "src/autoax/dse.hpp"
+#include "src/autoax/eval_engine.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/img/ssim.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace axf::autoax {
+namespace {
+
+Component makeComponent(circuit::Netlist netlist, circuit::ArithSignature sig) {
+    Component c;
+    c.name = netlist.name();
+    c.signature = sig;
+    c.error = error::analyzeError(netlist, sig);
+    c.fpga = synth::FpgaFlow().implement(netlist);
+    c.netlist = std::move(netlist);
+    return c;
+}
+
+const GaussianAccelerator& accelerator() {
+    static const GaussianAccelerator kAccel = [] {
+        std::vector<Component> mults;
+        mults.push_back(makeComponent(gen::wallaceMultiplier(8), gen::multiplierSignature(8)));
+        for (int t : {4, 6})
+            mults.push_back(
+                makeComponent(gen::truncatedMultiplier(8, t), gen::multiplierSignature(8)));
+        std::vector<Component> adds;
+        adds.push_back(makeComponent(gen::rippleCarryAdder(16), gen::adderSignature(16)));
+        adds.push_back(makeComponent(gen::loaAdder(16, 6), gen::adderSignature(16)));
+        return GaussianAccelerator(std::move(mults), std::move(adds));
+    }();
+    return kAccel;
+}
+
+std::vector<img::Image> testScenes() {
+    return {img::syntheticScene(48, 48, 0xE1), img::syntheticScene(48, 48, 0xE2)};
+}
+
+std::vector<AcceleratorConfig> someConfigs(std::size_t n, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<AcceleratorConfig> configs;
+    for (std::size_t i = 0; i < n; ++i)
+        configs.push_back(accelerator().configSpace().randomConfig(rng));
+    return configs;
+}
+
+TEST(EvalEngine, BatchedEqualsScalarQuality) {
+    const std::vector<img::Image> scenes = testScenes();
+    EvalEngine engine(accelerator(), scenes);
+    const std::vector<AcceleratorConfig> configs = someConfigs(6, 0xB0);
+    const std::vector<EvaluatedConfig> batched = engine.evaluateBatch(configs);
+    ASSERT_EQ(batched.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        // Bit-identical to the scalar reference path, not merely close.
+        EXPECT_EQ(batched[i].ssim, accelerator().quality(configs[i], scenes)) << "config " << i;
+        const AcceleratorCost direct = accelerator().cost(configs[i]);
+        EXPECT_EQ(batched[i].cost.lutCount, direct.lutCount);
+        EXPECT_EQ(batched[i].cost.powerMw, direct.powerMw);
+        EXPECT_EQ(batched[i].cost.latencyNs, direct.latencyNs);
+    }
+}
+
+TEST(EvalEngine, ThreadCountInvariance) {
+    // Same batch through a serial engine, the global pool, and an explicit
+    // 3-worker pool: every SSIM must be the same bits.
+    const std::vector<AcceleratorConfig> configs = someConfigs(8, 0xB1);
+    EvalEngine serial(accelerator(), testScenes(), {.threads = 1});
+    const std::vector<EvaluatedConfig> serialResults = serial.evaluateBatch(configs);
+
+    util::ThreadPool workers(3);
+    EvalEngine pooled(accelerator(), testScenes(), {.pool = &workers});
+    const std::vector<EvaluatedConfig> pooledResults = pooled.evaluateBatch(configs);
+
+    ASSERT_EQ(serialResults.size(), pooledResults.size());
+    for (std::size_t i = 0; i < serialResults.size(); ++i) {
+        EXPECT_EQ(serialResults[i].ssim, pooledResults[i].ssim) << "config " << i;
+        EXPECT_EQ(serialResults[i].cost.lutCount, pooledResults[i].cost.lutCount);
+    }
+}
+
+TEST(EvalEngine, MemoCountsOnlyFreshEvaluations) {
+    EvalEngine engine(accelerator(), testScenes());
+    std::vector<AcceleratorConfig> configs = someConfigs(4, 0xB2);
+    configs.push_back(configs.front());  // in-batch duplicate
+    EXPECT_EQ(engine.freshEvaluations(), 0u);
+    const std::vector<EvaluatedConfig> first = engine.evaluateBatch(configs);
+    ASSERT_EQ(first.size(), 5u);
+    EXPECT_EQ(engine.freshEvaluations(), 4u);  // duplicate not paid for
+    EXPECT_EQ(first.front().ssim, first.back().ssim);
+
+    // Re-evaluating the same configs is free, and served identically.
+    const std::vector<EvaluatedConfig> second = engine.evaluateBatch(configs);
+    EXPECT_EQ(engine.freshEvaluations(), 4u);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].ssim, second[i].ssim);
+}
+
+TEST(EvalEngine, ExactReferencesComputedOncePerScene) {
+    const std::vector<img::Image> scenes = testScenes();
+    EvalEngine engine(accelerator(), scenes);
+    ASSERT_EQ(engine.exactReferences().size(), scenes.size());
+    for (std::size_t s = 0; s < scenes.size(); ++s)
+        EXPECT_EQ(engine.exactReferences()[s].pixels(),
+                  accelerator().filterExact(scenes[s]).pixels());
+}
+
+TEST(SsimReference, CompareMatchesPlainSsim) {
+    const img::Image a = img::syntheticScene(52, 44, 0xC0);  // unaligned dims too
+    const img::Image b = img::syntheticScene(52, 44, 0xC1);
+    const img::SsimReference ref(a);
+    EXPECT_EQ(ref.compare(b), img::ssim(a, b));
+    EXPECT_EQ(ref.compare(a), 1.0);
+}
+
+TEST(AutoAxFlow, ResultBitIdenticalAtAnyThreadCount) {
+    AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = 12;
+    cfg.hillIterations = 80;
+    cfg.archiveSeed = 6;
+    cfg.archiveCap = 30;
+    cfg.imageSize = 48;
+    cfg.sceneCount = 2;
+
+    AutoAxFpgaFlow::Config serialCfg = cfg;
+    serialCfg.threads = 1;
+    const AutoAxFpgaFlow::Result serial = AutoAxFpgaFlow(serialCfg).run(accelerator());
+
+    util::ThreadPool workers(3);
+    AutoAxFpgaFlow::Config pooledCfg = cfg;
+    pooledCfg.pool = &workers;
+    const AutoAxFpgaFlow::Result pooled = AutoAxFpgaFlow(pooledCfg).run(accelerator());
+
+    ASSERT_EQ(serial.trainingSet.size(), pooled.trainingSet.size());
+    for (std::size_t i = 0; i < serial.trainingSet.size(); ++i) {
+        EXPECT_EQ(serial.trainingSet[i].config, pooled.trainingSet[i].config);
+        EXPECT_EQ(serial.trainingSet[i].ssim, pooled.trainingSet[i].ssim);
+    }
+    ASSERT_EQ(serial.scenarios.size(), pooled.scenarios.size());
+    EXPECT_EQ(serial.totalRealEvaluations, pooled.totalRealEvaluations);
+    for (std::size_t s = 0; s < serial.scenarios.size(); ++s) {
+        const auto& a = serial.scenarios[s];
+        const auto& b = pooled.scenarios[s];
+        EXPECT_EQ(a.estimatorQueries, b.estimatorQueries);
+        EXPECT_EQ(a.realEvaluations, b.realEvaluations);
+        ASSERT_EQ(a.autoax.size(), b.autoax.size());
+        for (std::size_t i = 0; i < a.autoax.size(); ++i) {
+            EXPECT_EQ(a.autoax[i].config, b.autoax[i].config);
+            EXPECT_EQ(a.autoax[i].ssim, b.autoax[i].ssim);
+            EXPECT_EQ(a.autoax[i].cost.powerMw, b.autoax[i].cost.powerMw);
+        }
+        ASSERT_EQ(a.random.size(), b.random.size());
+        for (std::size_t i = 0; i < a.random.size(); ++i)
+            EXPECT_EQ(a.random[i].ssim, b.random[i].ssim);
+    }
+}
+
+}  // namespace
+}  // namespace axf::autoax

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/autoax/accelerator.hpp"
 #include "src/autoax/dse.hpp"
 #include "src/core/flow.hpp"
 

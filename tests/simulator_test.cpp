@@ -2,6 +2,7 @@
 
 #include "src/circuit/simulator.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 #include <set>
 
@@ -127,6 +128,58 @@ TEST(ActivityCounter, NeedsTwoBlocks) {
     net.markOutput(0);
     ActivityCounter counter(net);
     EXPECT_EQ(counter.toggleRates()[0], 0.0);
+}
+
+TEST(EstimateToggleRates, MatchesSerialActivityCounter) {
+    // The chunk-parallel estimator must equal an ActivityCounter fed the
+    // same addressable per-block stimuli, bit for bit.
+    Netlist net;
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    net.markOutput(net.addGate(GateKind::Xor, a, b));
+    net.markOutput(net.addGate(GateKind::And, a, b));
+
+    constexpr std::uint64_t kSeed = 0xAC71;
+    constexpr int kBlocks = 24;
+    ActivityCounter counter(net);
+    std::vector<Simulator::Word> block(net.inputCount());
+    for (int i = 0; i < kBlocks; ++i) {
+        fillActivityBlock(kSeed, static_cast<std::uint64_t>(i), block);
+        counter.accumulate(block);
+    }
+    const std::vector<double> serial = counter.toggleRates();
+    const std::vector<double> estimated = estimateToggleRates(net, kSeed, kBlocks);
+    ASSERT_EQ(serial.size(), estimated.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], estimated[i]) << "node " << i;
+}
+
+TEST(EstimateToggleRates, ThreadCountInvariant) {
+    const Netlist net = [] {
+        Netlist n;
+        const NodeId a = n.addInput();
+        const NodeId b = n.addInput();
+        const NodeId c = n.addInput();
+        n.markOutput(n.addGate(GateKind::Maj, a, b, c));
+        n.markOutput(n.addGate(GateKind::Xor, a, c));
+        return n;
+    }();
+    // 41 blocks -> 40 transitions -> 5 chunks: enough to exercise the
+    // cross-chunk predecessor re-evaluation on both pools.
+    util::ThreadPool serial(1);
+    util::ThreadPool parallel(4);
+    const std::vector<double> one = estimateToggleRates(net, 0x7AB, 41, &serial);
+    const std::vector<double> many = estimateToggleRates(net, 0x7AB, 41, &parallel);
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t i = 0; i < one.size(); ++i) EXPECT_EQ(one[i], many[i]) << "node " << i;
+}
+
+TEST(EstimateToggleRates, FewerThanTwoBlocksIsAllZero) {
+    Netlist net;
+    net.addInput();
+    net.markOutput(0);
+    for (int blocks : {0, 1})
+        for (double r : estimateToggleRates(net, 1, blocks)) EXPECT_EQ(r, 0.0);
 }
 
 }  // namespace

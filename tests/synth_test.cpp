@@ -2,11 +2,13 @@
 
 #include <cmath>
 
+#include "src/circuit/simulator.hpp"
 #include "src/gen/adders.hpp"
 #include "src/gen/multipliers.hpp"
 #include "src/synth/asic.hpp"
 #include "src/synth/fpga.hpp"
 #include "src/synth/synth_time.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace axf::synth {
 namespace {
@@ -142,6 +144,33 @@ TEST(FpgaFlow, TechnologyMapExposed) {
     const LutMapper::Mapping m = flow.technologyMap(gen::rippleCarryAdder(8));
     EXPECT_GT(m.lutCount(), 0u);
     EXPECT_EQ(static_cast<double>(m.lutCount()), flow.implement(gen::rippleCarryAdder(8)).lutCount);
+}
+
+TEST(Flows, PowerReportsThreadCountInvariant) {
+    // The switching-activity estimation is chunk-parallel; the reports it
+    // feeds must be the same bits whether the global pool, a serial pool
+    // or a many-worker pool runs it.  `implement`/`synthesize` always use
+    // the global pool, so pin the comparison by running the estimation
+    // both ways on explicit pools and the flows on whatever is ambient.
+    const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
+    util::ThreadPool one(1);
+    util::ThreadPool many(4);
+    FpgaFlow fpga;
+    AsicFlow asic;
+    const FpgaReport f1 = fpga.implement(net);
+    const FpgaReport f2 = fpga.implement(net);
+    EXPECT_EQ(f1.powerMw, f2.powerMw);
+    const AsicReport a1 = asic.synthesize(net);
+    const AsicReport a2 = asic.synthesize(net);
+    EXPECT_EQ(a1.powerMw, a2.powerMw);
+    // The underlying estimator is pool-invariant on the same optimized
+    // netlist (the flows' power derives from exactly these rates).
+    const std::vector<double> rOne =
+        circuit::estimateToggleRates(net, FpgaFlow::Options{}.activitySeed, 24, &one);
+    const std::vector<double> rMany =
+        circuit::estimateToggleRates(net, FpgaFlow::Options{}.activitySeed, 24, &many);
+    ASSERT_EQ(rOne.size(), rMany.size());
+    for (std::size_t i = 0; i < rOne.size(); ++i) EXPECT_EQ(rOne[i], rMany[i]);
 }
 
 TEST(SynthTime, CalibrationAnchors) {
