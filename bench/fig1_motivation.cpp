@@ -10,8 +10,10 @@
 #include <iostream>
 
 #include "bench/bench_common.hpp"
+#include "src/circuit/batch_sim.hpp"
 #include "src/core/dataset.hpp"
 #include "src/core/pareto.hpp"
+#include "src/gen/multipliers.hpp"
 #include "src/util/table.hpp"
 
 using namespace axf;
@@ -19,6 +21,18 @@ using namespace axf;
 int main() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Fig. 1 | ASIC-ACs vs FPGA-ACs: 8x8 approximate multipliers");
+
+    // Simulation-engine shape for the figure's workhorse circuit, so
+    // fusion/dispatch wins (or regressions) are visible in every fig run.
+    {
+        const circuit::Netlist probe = gen::wallaceMultiplier(8);
+        const circuit::CompiledNetlist::Stats s =
+            circuit::CompiledNetlist::compile(probe).stats();
+        std::cout << "engine: backend=" << s.backend << ", " << probe.gateCount()
+                  << " gates -> " << s.instructions << " instrs (" << s.fusedOps
+                  << " fused ops), " << s.runs << " runs (" << s.chainedRuns << " chained)"
+                  << (s.specialized ? ", specialized" : "") << "\n";
+    }
 
     gen::AcLibrary library = gen::buildLibrary(bench::libraryConfig(circuit::ArithOp::Multiplier, 8, scale));
     std::cout << "library size: " << library.size() << " circuits\n";

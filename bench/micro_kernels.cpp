@@ -240,9 +240,24 @@ double bestOf(Fn fn, int reps) {
     return best;
 }
 
+void printCompiledStats(const circuit::Netlist& net) {
+    const circuit::CompiledNetlist::Stats s = circuit::CompiledNetlist::compile(net).stats();
+    std::printf(
+        "compiled %-14s backend=%-8s %3zu gates -> %3zu instrs (%zu fused ops, %zu gates "
+        "folded), %zu runs (longest %zu, %zu chained)%s\n",
+        net.name().c_str(), s.backend, net.gateCount(), s.instructions, s.fusedOps,
+        s.gatesFused, s.runs, s.longestRun, s.chainedRuns,
+        s.specialized ? ", specialized" : "");
+}
+
 void printSpeedupSummary() {
     const circuit::Netlist net = gen::truncatedMultiplier(8, 4);
     const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    std::printf("\n");
+    printCompiledStats(net);
+    printCompiledStats(gen::wallaceMultiplier(8));
+    printCompiledStats(gen::wallaceMultiplier(16));
+    printCompiledStats(gen::rippleCarryAdder(16));
     // Serial engine config: the headline number must isolate the engine
     // gain, comparable across hosts with different core counts (the
     // BM_*_EngineParallel benchmark tracks the threaded figure).

@@ -75,9 +75,12 @@ struct CacheStats {
 /// recomputes and the next flush repairs the file.
 class CharacterizationCache {
 public:
-    /// Bump whenever any serialized payload layout changes; shard files
-    /// written under another version are ignored wholesale.
-    static constexpr std::uint32_t kSchemaVersion = 1;
+    /// Bump whenever any serialized payload layout changes — or when a
+    /// producer's numeric output may shift (v2: the error-metric
+    /// accumulator moved to explicit vector arithmetic, which can contract
+    /// differently at the last ulp than the old scalar codegen); shard
+    /// files written under another version are ignored wholesale.
+    static constexpr std::uint32_t kSchemaVersion = 2;
 
     struct Options {
         std::string directory;  ///< empty = in-memory only (no persistence)

@@ -7,36 +7,73 @@
 #include <utility>
 #include <vector>
 
+#include "src/circuit/kernels.hpp"
 #include "src/circuit/netlist.hpp"
 
 namespace axf::circuit {
 
 /// A `Netlist` lowered once into a flat instruction stream for repeated
 /// evaluation: dead nodes pruned (unless preservation is requested), slots
-/// compacted, constants hoisted out of the sweep entirely.  The compiled
-/// form is immutable and sharable — one `CompiledNetlist` can back any
-/// number of `BatchSimulator` workspaces (e.g. one per worker thread).
+/// compacted, constants hoisted out of the sweep entirely, and — in the
+/// pruned configuration — single-use 2-gate chains peephole-fused into the
+/// extended `kernels::OpCode` alphabet (Not absorption into And/Or/Xor/…,
+/// full-adder sums into `Xor3`, Xor+And carry pairs into dual-destination
+/// `HalfAdd`, Mux operand-inversion variants).  The compiled form is
+/// immutable and sharable — one `CompiledNetlist` can back any number of
+/// `BatchSimulator` workspaces (e.g. one per worker thread).
+///
+/// Evaluation is driven by a kernel *plan*: one pre-resolved function
+/// pointer per maximal same-opcode run, snapshot against a
+/// `kernels::Backend` (runtime CPU dispatch: AVX-512 / AVX2 / NEON /
+/// portable) at compile() time.  Every backend computes bit-identical
+/// results; only instruction selection differs.
 ///
 /// Instruction operands are *slot* indices into a workspace of
 /// `slotCount() * W` words, where `W` is the number of 64-bit words carried
 /// per slot.  `run<W>()` evaluates one block of `W * 64` independent lanes;
-/// the per-gate dispatch is amortized over the W words and the inner loops
-/// are plain contiguous array ops, which auto-vectorize.
+/// the per-gate dispatch is amortized over the W words and over whole
+/// same-opcode runs.
 class CompiledNetlist {
 public:
     using Word = std::uint64_t;
 
     /// Words per slot of the wide (`BatchSimulator`) configuration.  4
-    /// words = 256 lanes per sweep; one AVX-512 op per gate per block.
+    /// words = 256 lanes per sweep; one 256-bit op per gate per block.
     /// (8 words measured slightly slower: the larger workspace starts
     /// spilling out of L1 without amortizing any more dispatch.)
     static constexpr std::size_t kWordsPerBlock = 4;
     static constexpr std::size_t kLanesPerBlock = kWordsPerBlock * 64;
+    static_assert(kWordsPerBlock == kernels::kWideWords,
+                  "kernel tables are instantiated for this width");
+
+    /// Programs at or below this instruction count are specialized
+    /// automatically: short runs dispatch to fully unrolled straight-line
+    /// kernel instantiations (the "superblock" plan).
+    static constexpr std::size_t kAutoSpecializeInstructions = 256;
 
     struct Options {
         /// Drop gates outside the output cone.  Disable when per-node
-        /// values of *every* node are needed (slot == node id then).
+        /// values of *every* node are needed (slot == node id then; this
+        /// also disables opcode fusion, which would merge nodes away).
         bool pruneDead = true;
+        /// Peephole-fuse single-use gate chains (pruned compiles only).
+        bool fuseOps = true;
+        /// Kernel backend to resolve the plan against; nullptr selects the
+        /// process-wide `kernels::selectedBackend()`.
+        const kernels::Backend* backend = nullptr;
+    };
+
+    /// Compile-time shape of the program, for observability (printed by
+    /// the benches so fusion/dispatch wins stay visible per PR).
+    struct Stats {
+        std::size_t instructions = 0;  ///< emitted instructions (post-fusion)
+        std::size_t runs = 0;          ///< same-opcode dispatch groups
+        std::size_t longestRun = 0;    ///< instructions in the largest run
+        std::size_t chainedRuns = 0;   ///< runs using register-chained kernels
+        std::size_t fusedOps = 0;      ///< peephole rewrites applied
+        std::size_t gatesFused = 0;    ///< live gates folded away by fusion
+        const char* backend = "";      ///< kernel backend the plan resolves to
+        bool specialized = false;      ///< unrolled straight-line plan active
     };
 
     CompiledNetlist() = default;
@@ -53,6 +90,15 @@ public:
     /// True when compiled with pruneDead=false: slot i holds node i.
     bool preservesAllNodes() const { return allNodes_; }
 
+    Stats stats() const;
+
+    /// Rebuilds the kernel plan with the unrolled short-run ("superblock")
+    /// variants.  compile() applies this automatically at or below
+    /// kAutoSpecializeInstructions; calling it on larger programs forces
+    /// the straight-line plan.  Idempotent; results are bit-identical.
+    void specialize();
+    bool specialized() const { return specialized_; }
+
     std::size_t workspaceWords(std::size_t wordsPerSlot) const {
         return slotCount_ * wordsPerSlot;
     }
@@ -63,32 +109,46 @@ public:
 
     /// Evaluates one block of W*64 lanes.  `inputs` is input-major
     /// (`inputCount() * W` words: input i occupies [i*W, i*W+W)), `outputs`
-    /// likewise.  `workspace` must hold `workspaceWords(W)` words and have
-    /// been initialized with `initWorkspace` once.
+    /// likewise.  `workspace` must hold `workspaceWords(W)` words, be
+    /// aligned to `W * sizeof(Word)` bytes (the kernels use whole-slot
+    /// vector accesses; `BatchSimulator` 64-byte-aligns its workspace) and
+    /// have been initialized with `initWorkspace` once.  The input/output
+    /// buffers carry no alignment requirement.
     template <std::size_t W>
     void run(const Word* inputs, Word* outputs, Word* workspace) const;
 
 private:
-    struct Instr {
-        GateKind op;
-        std::uint32_t dst, a, b, c;
-    };
     /// Maximal run of same-opcode instructions: the evaluator dispatches
     /// once per run, not once per gate.  Compile sorts gates of equal
     /// logic level by opcode (legal: every fan-in lives in a lower level)
     /// so structured circuits collapse into a handful of long runs.
     struct Run {
-        GateKind op;
+        kernels::OpCode op;
         std::uint32_t begin, end;  ///< [begin, end) into instrs_
+        /// Every instruction after the first reads its predecessor's
+        /// destination as operand a: dispatches to the chained kernels.
+        bool chained = false;
+    };
+    /// One plan entry per run: kernels pre-resolved against `backend_`.
+    struct PlannedRun {
+        kernels::KernelFn wide, narrow;
+        std::uint32_t begin, count;
     };
 
-    std::vector<Instr> instrs_;
+    void buildPlan();
+
+    std::vector<kernels::Instr> instrs_;
     std::vector<Run> runs_;
+    std::vector<PlannedRun> plan_;
     std::vector<std::uint32_t> inputSlots_;
     std::vector<std::uint32_t> outputSlots_;
     std::vector<std::pair<std::uint32_t, bool>> constants_;
     std::size_t slotCount_ = 0;
+    std::size_t fusedOps_ = 0;
+    std::size_t gatesFused_ = 0;
+    const kernels::Backend* backend_ = nullptr;
     bool allNodes_ = false;
+    bool specialized_ = false;
 };
 
 /// Multi-word evaluator: carries `kLanesPerBlock` (256) independent test

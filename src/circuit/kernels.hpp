@@ -1,0 +1,148 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace axf::circuit::kernels {
+
+using Word = std::uint64_t;
+
+/// Words per slot of the wide (256-lane) configuration.  Mirrored by
+/// `CompiledNetlist::kWordsPerBlock` (static_asserted there): the kernel
+/// tables are instantiated for exactly this width plus W=1.
+inline constexpr std::size_t kWideWords = 4;
+inline constexpr std::size_t kWideLanes = kWideWords * 64;
+
+/// Instruction alphabet of the compiled engine: every logic `GateKind`
+/// plus the fused instructions produced by the peephole pass in
+/// `CompiledNetlist::compile`.  Fused ops exist so a 2-gate single-use
+/// chain costs one dispatch, one destination store and (on AVX-512) a
+/// single `vpternlogq` instead of two full workspace round-trips.
+enum class OpCode : std::uint8_t {
+    Buf,      ///< a
+    Not,      ///< ~a
+    And,      ///< a & b
+    Or,       ///< a | b
+    Xor,      ///< a ^ b
+    Nand,     ///< ~(a & b)
+    Nor,      ///< ~(a | b)
+    Xnor,     ///< ~(a ^ b)
+    AndNot,   ///< a & ~b
+    OrNot,    ///< a | ~b
+    Mux,      ///< c ? b : a
+    Maj,      ///< majority(a, b, c)
+    Xor3,     ///< a ^ b ^ c        (fused full-adder sum)
+    MuxNotA,  ///< c ? b : ~a       (fused Not -> Mux data-low)
+    MuxNotB,  ///< c ? ~b : a       (fused Not -> Mux data-high)
+    HalfAdd,  ///< dst = a ^ b  AND  slot c = a & b  (dual-destination pair)
+};
+inline constexpr std::size_t kOpCount = 16;
+
+const char* opCodeName(OpCode op);
+
+/// Operand count of an opcode.  HalfAdd reads a and b; its c field is the
+/// second *destination*.  Single source of truth for both the compiler's
+/// fusion/scheduling passes and the kernel bodies — a drift between the
+/// two would make the compiler emit operands a kernel never reads (or
+/// vice versa) with silently wrong results.
+constexpr int opFanIn(OpCode op) {
+    switch (op) {
+        case OpCode::Buf:
+        case OpCode::Not: return 1;
+        case OpCode::Mux:
+        case OpCode::Maj:
+        case OpCode::Xor3:
+        case OpCode::MuxNotA:
+        case OpCode::MuxNotB: return 3;
+        default: return 2;
+    }
+}
+
+/// One compiled instruction.  Operands are workspace slot indices; for
+/// `HalfAdd` the `c` field is the *second destination* (the carry slot),
+/// not an operand.
+struct Instr {
+    OpCode op;
+    std::uint32_t dst, a, b, c;
+};
+
+/// Evaluates one maximal same-opcode run of `count` instructions against a
+/// workspace of (slotCount * W) words.  The instruction pointer addresses
+/// the first instruction of the run.
+///
+/// Chained kernels additionally require (compile guarantees it) that every
+/// instruction after the first reads the previous instruction's primary
+/// destination as operand `a` — the hot value then rides in a register
+/// through the whole run instead of round-tripping through the workspace
+/// (the latency killer of ripple-carry-style serial chains).
+using KernelFn = void (*)(const Instr* instrs, std::uint32_t count, Word* ws);
+
+/// Decodes `bits` output bit-planes of a wide block (kWideWords words per
+/// plane, plane-major) into one integer per lane (kWideLanes lanes).
+using Decode16Fn = void (*)(const Word* planes, std::size_t bits, std::uint16_t* out);
+using Decode32Fn = void (*)(const Word* planes, std::size_t bits, std::uint32_t* out);
+
+/// Longest run the unrolled ("superblock") kernel variants cover; runs of
+/// `n <= kMaxUnroll` instructions dispatch to a fully unrolled template
+/// instantiation when the compiled netlist is specialized.
+inline constexpr std::uint32_t kMaxUnroll = 4;
+
+/// One ISA backend: a complete kernel table selected once per process (or
+/// forced per compile).  All backends compute bit-identical results — the
+/// tables differ only in instruction selection.
+struct Backend {
+    const char* name;
+    /// Generic per-run kernels, W = kWideWords (256 lanes).
+    std::array<KernelFn, kOpCount> wide;
+    /// Generic per-run kernels, W = 1 (64 lanes; `Simulator`, activity).
+    std::array<KernelFn, kOpCount> narrow;
+    /// Fully unrolled straight-line variants for runs of 1..kMaxUnroll
+    /// instructions, indexed [op][count - 1]; nullptr falls back to `wide`.
+    std::array<std::array<KernelFn, kMaxUnroll>, kOpCount> wideUnrolled;
+    /// Register-chained variants (see KernelFn) for runs where each
+    /// instruction consumes its predecessor's destination.
+    std::array<KernelFn, kOpCount> wideChained;
+    std::array<KernelFn, kOpCount> narrowChained;
+    Decode16Fn decode16;
+    Decode32Fn decode32;
+};
+
+/// Backend chosen for this process: the widest ISA the CPU supports
+/// (avx512 > avx2 > neon > portable), overridable with AXF_FORCE_BACKEND
+/// (values: portable, avx2, avx512, neon).  Forcing a backend the CPU
+/// cannot execute throws std::runtime_error at first use.  Detection runs
+/// once; the reference stays valid for the process lifetime.
+const Backend& selectedBackend();
+
+/// Backend by name, or nullptr when unknown or unsupported on this CPU.
+const Backend* backendByName(std::string_view name);
+
+/// Every backend executable on this CPU, portable first.
+std::vector<const Backend*> availableBackends();
+
+/// RAII test hook: routes `selectedBackend()` to a specific backend so
+/// code that compiles netlists internally (analyzeError, the autoax flow)
+/// can be exercised per backend in-process.  Not for concurrent use with
+/// compilation on other threads.
+class ScopedBackendOverride {
+public:
+    explicit ScopedBackendOverride(const Backend* backend);
+    ~ScopedBackendOverride();
+    ScopedBackendOverride(const ScopedBackendOverride&) = delete;
+    ScopedBackendOverride& operator=(const ScopedBackendOverride&) = delete;
+
+private:
+    const Backend* previous_;
+};
+
+/// Per-TU backend accessors; nullptr when the ISA is not compiled in.
+/// (Runtime support is checked by the selection logic, not here.)
+const Backend* portableBackend();
+const Backend* avx2Backend();
+const Backend* avx512Backend();
+const Backend* neonBackend();
+
+}  // namespace axf::circuit::kernels

@@ -1,0 +1,205 @@
+// AVX-512 backend.  Slots are 256-bit (kWideWords = 4), so the wide
+// kernels run on ymm with the AVX-512VL instruction set — the win over
+// AVX2 is vpternlogq: every 3-input or inverted gate (Mux, Maj, Xor3,
+// Nand, Nor, Xnor, OrNot, MuxNot*) is exactly ONE logic instruction whose
+// truth-table immediate is computed at compile time from the shared OpCode
+// semantics.  The bit-plane decoders use AVX-512BW masked broadcast-adds
+// (the plane word itself is the write mask).
+//
+// CMake compiles this TU with -march=x86-64-v4; nothing in it executes
+// unless runtime detection confirmed avx512{f,bw,vl,dq}.
+
+#include "src/circuit/kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__) && \
+    defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace axf::circuit::kernels {
+namespace avx512_impl {
+
+#include "src/circuit/kernels_generic.inc"
+
+/// Reference boolean semantics of every opcode (HalfAdd's primary result
+/// is the sum); the single source the ternlog immediates derive from.
+constexpr bool evalOp(OpCode op, bool a, bool b, bool c) {
+    switch (op) {
+        case OpCode::Buf: return a;
+        case OpCode::Not: return !a;
+        case OpCode::And: return a && b;
+        case OpCode::Or: return a || b;
+        case OpCode::Xor: return a != b;
+        case OpCode::Nand: return !(a && b);
+        case OpCode::Nor: return !(a || b);
+        case OpCode::Xnor: return a == b;
+        case OpCode::AndNot: return a && !b;
+        case OpCode::OrNot: return a || !b;
+        case OpCode::Mux: return c ? b : a;
+        case OpCode::Maj: return (a && b) || (a && c) || (b && c);
+        case OpCode::Xor3: return (a != b) != c;
+        case OpCode::MuxNotA: return c ? b : !a;
+        case OpCode::MuxNotB: return c ? !b : a;
+        case OpCode::HalfAdd: return a != b;
+    }
+    return false;
+}
+
+/// vpternlogq immediate: result bit = imm[(A << 2) | (B << 1) | C] for
+/// operand order ternarylogic(a, b, c, imm).
+template <OpCode Op>
+constexpr int ternImm() {
+    int imm = 0;
+    for (int k = 0; k < 8; ++k)
+        if (evalOp(Op, (k & 4) != 0, (k & 2) != 0, (k & 1) != 0)) imm |= 1 << k;
+    return imm;
+}
+
+/// Single-result opcode on 256-bit lanes: plain ops where one instruction
+/// suffices, vpternlogq everywhere else.
+template <OpCode Op>
+inline __m256i applyWide(__m256i a, __m256i b, __m256i c) {
+    if constexpr (Op == OpCode::Buf) return a;
+    if constexpr (Op == OpCode::And) return _mm256_and_si256(a, b);
+    if constexpr (Op == OpCode::Or) return _mm256_or_si256(a, b);
+    if constexpr (Op == OpCode::Xor) return _mm256_xor_si256(a, b);
+    if constexpr (Op == OpCode::AndNot) return _mm256_andnot_si256(b, a);  // ~b & a
+    if constexpr (Op == OpCode::Not) return _mm256_ternarylogic_epi64(a, a, a, ternImm<Op>());
+    if constexpr (Op == OpCode::Nand || Op == OpCode::Nor || Op == OpCode::Xnor ||
+                  Op == OpCode::OrNot)
+        return _mm256_ternarylogic_epi64(a, b, b, ternImm<Op>());  // imm ignores C
+    if constexpr (opFanIn(Op) == 3) return _mm256_ternarylogic_epi64(a, b, c, ternImm<Op>());
+}
+
+template <OpCode Op, int N>
+void runWide(const Instr* instrs, std::uint32_t count, Word* ws) {
+    const auto ptr = [ws](std::uint32_t s) {
+        return reinterpret_cast<__m256i*>(ws + static_cast<std::size_t>(s) * kWideWords);
+    };
+    const std::uint32_t n = N >= 0 ? static_cast<std::uint32_t>(N) : count;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Instr& ins = instrs[i];
+        const __m256i a = _mm256_loadu_si256(ptr(ins.a));
+        if constexpr (Op == OpCode::HalfAdd) {
+            const __m256i b = _mm256_loadu_si256(ptr(ins.b));
+            _mm256_storeu_si256(ptr(ins.c), _mm256_and_si256(a, b));
+            _mm256_storeu_si256(ptr(ins.dst), _mm256_xor_si256(a, b));
+        } else {
+            __m256i b = a, c = a;
+            if constexpr (opFanIn(Op) >= 2) b = _mm256_loadu_si256(ptr(ins.b));
+            if constexpr (opFanIn(Op) >= 3) c = _mm256_loadu_si256(ptr(ins.c));
+            _mm256_storeu_si256(ptr(ins.dst), applyWide<Op>(a, b, c));
+        }
+    }
+}
+
+/// Chained run: instruction i > 0 consumes instruction i-1's destination
+/// as operand `a` from a register (see KernelFn in kernels.hpp).
+template <OpCode Op>
+void chainWide(const Instr* instrs, std::uint32_t count, Word* ws) {
+    const auto ptr = [ws](std::uint32_t s) {
+        return reinterpret_cast<__m256i*>(ws + static_cast<std::size_t>(s) * kWideWords);
+    };
+    __m256i prev = _mm256_loadu_si256(ptr(instrs[0].a));
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const Instr& ins = instrs[i];
+        const __m256i a = prev;
+        if constexpr (Op == OpCode::HalfAdd) {
+            const __m256i b = _mm256_loadu_si256(ptr(ins.b));
+            _mm256_storeu_si256(ptr(ins.c), _mm256_and_si256(a, b));
+            prev = _mm256_xor_si256(a, b);
+        } else {
+            __m256i b = a, c = a;
+            if constexpr (opFanIn(Op) >= 2) b = _mm256_loadu_si256(ptr(ins.b));
+            if constexpr (opFanIn(Op) >= 3) c = _mm256_loadu_si256(ptr(ins.c));
+            prev = applyWide<Op>(a, b, c);
+        }
+        _mm256_storeu_si256(ptr(ins.dst), prev);
+    }
+}
+
+#define AXF_KERNEL_ROW(N)                                                                   \
+    {&runWide<OpCode::Buf, N>,     &runWide<OpCode::Not, N>,  &runWide<OpCode::And, N>,     \
+     &runWide<OpCode::Or, N>,      &runWide<OpCode::Xor, N>,  &runWide<OpCode::Nand, N>,    \
+     &runWide<OpCode::Nor, N>,     &runWide<OpCode::Xnor, N>, &runWide<OpCode::AndNot, N>,  \
+     &runWide<OpCode::OrNot, N>,   &runWide<OpCode::Mux, N>,  &runWide<OpCode::Maj, N>,     \
+     &runWide<OpCode::Xor3, N>,    &runWide<OpCode::MuxNotA, N>,                            \
+     &runWide<OpCode::MuxNotB, N>, &runWide<OpCode::HalfAdd, N>}
+
+constexpr std::array<KernelFn, kOpCount> kWideTable = AXF_KERNEL_ROW(-1);
+
+#define AXF_CHAIN_ROW_512                                                                  \
+    {&chainWide<OpCode::Buf>,     &chainWide<OpCode::Not>,  &chainWide<OpCode::And>,       \
+     &chainWide<OpCode::Or>,      &chainWide<OpCode::Xor>,  &chainWide<OpCode::Nand>,      \
+     &chainWide<OpCode::Nor>,     &chainWide<OpCode::Xnor>, &chainWide<OpCode::AndNot>,    \
+     &chainWide<OpCode::OrNot>,   &chainWide<OpCode::Mux>,  &chainWide<OpCode::Maj>,       \
+     &chainWide<OpCode::Xor3>,    &chainWide<OpCode::MuxNotA>,                             \
+     &chainWide<OpCode::MuxNotB>, &chainWide<OpCode::HalfAdd>}
+
+constexpr std::array<KernelFn, kOpCount> kWideChainTable = AXF_CHAIN_ROW_512;
+#undef AXF_CHAIN_ROW_512
+
+constexpr std::array<std::array<KernelFn, kMaxUnroll>, kOpCount> makeUnrolled() {
+    constexpr std::array<std::array<KernelFn, kOpCount>, kMaxUnroll> byCount = {
+        {AXF_KERNEL_ROW(1), AXF_KERNEL_ROW(2), AXF_KERNEL_ROW(3), AXF_KERNEL_ROW(4)}};
+    static_assert(kMaxUnroll == 4, "extend the unrolled-kernel rows");
+    std::array<std::array<KernelFn, kMaxUnroll>, kOpCount> t{};
+    for (std::size_t op = 0; op < kOpCount; ++op)
+        for (std::size_t n = 0; n < kMaxUnroll; ++n) t[op][n] = byCount[n][op];
+    return t;
+}
+
+#undef AXF_KERNEL_ROW
+
+/// One masked broadcast-add per (bit, 32-lane group): twice the lanes per
+/// add of the 32-bit decode, valid for bits <= 16.
+void decode16Avx512(const Word* planes, std::size_t bits, std::uint16_t* out) {
+    constexpr std::size_t kGroups = kWideLanes / 32;
+    __m512i acc[kGroups];
+    for (auto& g : acc) g = _mm512_setzero_si512();
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+        const __m512i weight = _mm512_set1_epi16(static_cast<short>(1u << bit));
+        const Word* words = planes + bit * kWideWords;
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            const __mmask32 m = static_cast<__mmask32>(words[(g * 32) / 64] >> ((g * 32) % 64));
+            acc[g] = _mm512_mask_add_epi16(acc[g], m, acc[g], weight);
+        }
+    }
+    for (std::size_t g = 0; g < kGroups; ++g)
+        _mm512_storeu_si512(reinterpret_cast<__m512i*>(out + g * 32), acc[g]);
+}
+
+void decode32Avx512(const Word* planes, std::size_t bits, std::uint32_t* out) {
+    constexpr std::size_t kGroups = kWideLanes / 16;
+    __m512i acc[kGroups];
+    for (auto& g : acc) g = _mm512_setzero_si512();
+    for (std::size_t bit = 0; bit < bits; ++bit) {
+        const __m512i weight = _mm512_set1_epi32(1u << bit);
+        const Word* words = planes + bit * kWideWords;
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            const __mmask16 m = static_cast<__mmask16>(words[(g * 16) / 64] >> ((g * 16) % 64));
+            acc[g] = _mm512_mask_add_epi32(acc[g], m, acc[g], weight);
+        }
+    }
+    for (std::size_t g = 0; g < kGroups; ++g)
+        _mm512_storeu_si512(reinterpret_cast<__m512i*>(out + g * 16), acc[g]);
+}
+
+constexpr Backend kBackend = {
+    "avx512",        kWideTable,            kGenericNarrow,  makeUnrolled(),
+    kWideChainTable, kGenericNarrowChained, &decode16Avx512, &decode32Avx512,
+};
+
+}  // namespace avx512_impl
+
+const Backend* avx512Backend() { return &avx512_impl::kBackend; }
+
+}  // namespace axf::circuit::kernels
+
+#else
+
+namespace axf::circuit::kernels {
+const Backend* avx512Backend() { return nullptr; }
+}  // namespace axf::circuit::kernels
+
+#endif

@@ -8,11 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#endif
-
 #include "src/circuit/batch_sim.hpp"
+#include "src/circuit/kernels.hpp"
 #include "src/circuit/simulator.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -51,44 +48,58 @@ struct Accumulator {
     std::uint64_t total = 0;
 
     /// Folds one decoded block in, lanes in ascending order.  The slot
-    /// state lives in locals for the duration of the loop: the uint64
-    /// members would otherwise be assumed to alias the uint64 input
-    /// arrays, which blocks vectorization.
+    /// chains are computed with explicit kSlots-wide vector extensions:
+    /// element-wise IEEE ops in the exact same per-slot order as the
+    /// scalar formulation (results are the same bits — GCC's
+    /// auto-vectorizer was leaving the divide loop scalar, which dominated
+    /// the whole exhaustive analysis).
     template <typename ApproxT>
     void addBlock(const ApproxT* approx, const std::uint64_t* exact, std::size_t lanes) {
-        std::array<double, kSlots> absL = absSum, relL = relSum, sqL = sqSum;
-        std::array<std::uint64_t, kSlots> worstL = worst, errL = errorCount;
+        // Alignment downgrades live in second typedefs: fused with
+        // vector_size they would be overridden by the vector alignment.
+        typedef std::uint64_t VecU0 __attribute__((vector_size(kSlots * 8), may_alias));
+        typedef VecU0 VecU __attribute__((aligned(8)));
+        typedef double VecD0 __attribute__((vector_size(kSlots * 8), may_alias));
+        typedef VecD0 VecD __attribute__((aligned(8)));
+        typedef ApproxT VecA0
+            __attribute__((vector_size(kSlots * sizeof(ApproxT)), may_alias));
+        typedef VecA0 VecA __attribute__((aligned(2)));
+        VecD absV = *reinterpret_cast<const VecD*>(absSum.data());
+        VecD relV = *reinterpret_cast<const VecD*>(relSum.data());
+        VecD sqV = *reinterpret_cast<const VecD*>(sqSum.data());
+        VecU worstV = *reinterpret_cast<const VecU*>(worst.data());
+        VecU errV = *reinterpret_cast<const VecU*>(errorCount.data());
         const std::size_t vec = lanes & ~(kSlots - 1);
         for (std::size_t g = 0; g < vec; g += kSlots) {
-            for (std::size_t j = 0; j < kSlots; ++j) {
-                const std::uint64_t e = exact[g + j];
-                const std::uint64_t ap = approx[g + j];
-                const std::uint64_t diff = ap > e ? ap - e : e - ap;
-                const double d = static_cast<double>(diff);
-                absL[j] += d;
-                sqL[j] += d * d;
-                relL[j] += d / static_cast<double>(e ? e : 1);
-                worstL[j] = diff > worstL[j] ? diff : worstL[j];
-                errL[j] += diff != 0;
-            }
+            const VecU e = *reinterpret_cast<const VecU*>(exact + g);
+            const VecU ap =
+                __builtin_convertvector(*reinterpret_cast<const VecA*>(approx + g), VecU);
+            const VecU diff = ap > e ? ap - e : e - ap;
+            const VecD d = __builtin_convertvector(diff, VecD);
+            absV += d;
+            sqV += d * d;
+            // (e == 0) is an all-ones lane mask, so e - mask == max(e, 1).
+            relV += d / __builtin_convertvector(e - static_cast<VecU>(e == 0), VecD);
+            worstV = diff > worstV ? diff : worstV;
+            errV += static_cast<VecU>(diff != 0) & 1;
         }
+        *reinterpret_cast<VecD*>(absSum.data()) = absV;
+        *reinterpret_cast<VecD*>(relSum.data()) = relV;
+        *reinterpret_cast<VecD*>(sqSum.data()) = sqV;
+        *reinterpret_cast<VecU*>(worst.data()) = worstV;
+        *reinterpret_cast<VecU*>(errorCount.data()) = errV;
         for (std::size_t l = vec; l < lanes; ++l) {
             const std::size_t j = l % kSlots;
             const std::uint64_t e = exact[l];
             const std::uint64_t ap = approx[l];
             const std::uint64_t diff = ap > e ? ap - e : e - ap;
             const double d = static_cast<double>(diff);
-            absL[j] += d;
-            sqL[j] += d * d;
-            relL[j] += d / static_cast<double>(e ? e : 1);
-            worstL[j] = diff > worstL[j] ? diff : worstL[j];
-            errL[j] += diff != 0;
+            absSum[j] += d;
+            sqSum[j] += d * d;
+            relSum[j] += d / static_cast<double>(e ? e : 1);
+            worst[j] = diff > worst[j] ? diff : worst[j];
+            errorCount[j] += diff != 0;
         }
-        absSum = absL;
-        relSum = relL;
-        sqSum = sqL;
-        worst = worstL;
-        errorCount = errL;
         total += lanes;
     }
 
@@ -128,70 +139,19 @@ struct Accumulator {
     }
 };
 
-/// Decodes output bit-planes into one 16-bit value per lane.  Valid for
-/// outputs <= 16 (the 8x8-multiplier case): twice the lanes per masked add
-/// compared to the 32-bit decode.
+/// Decodes output bit-planes into one 16-bit value per lane (outputs <=
+/// 16, the 8x8-multiplier case) through the runtime-dispatched kernel
+/// backend: AVX-512BW masked broadcast-adds when the CPU has them, the
+/// portable sweep otherwise.  Every backend decodes to identical bits.
 void decodeOutputsU16(const Word* out, std::size_t outputs, std::uint16_t* approx) {
-#if defined(__AVX512BW__)
-    constexpr std::size_t kGroups = kLanes / 32;
-    __m512i acc[kGroups];
-    for (auto& a : acc) a = _mm512_setzero_si512();
-    for (std::size_t bit = 0; bit < outputs; ++bit) {
-        const __m512i weight = _mm512_set1_epi16(static_cast<short>(1u << bit));
-        const Word* words = out + bit * kWords;
-        for (std::size_t g = 0; g < kGroups; ++g) {
-            const __mmask32 m =
-                static_cast<__mmask32>(words[(g * 32) / 64] >> ((g * 32) % 64));
-            acc[g] = _mm512_mask_add_epi16(acc[g], m, acc[g], weight);
-        }
-    }
-    for (std::size_t g = 0; g < kGroups; ++g)
-        _mm512_storeu_si512(reinterpret_cast<__m512i*>(approx + g * 32), acc[g]);
-#else
-    std::memset(approx, 0, kLanes * sizeof(std::uint16_t));
-    for (std::size_t bit = 0; bit < outputs; ++bit) {
-        for (std::size_t w = 0; w < kWords; ++w) {
-            const Word word = out[bit * kWords + w];
-            std::uint16_t* a = approx + w * 64;
-            for (std::size_t l = 0; l < 64; ++l)
-                a[l] = static_cast<std::uint16_t>(
-                    a[l] + (static_cast<std::uint32_t>((word >> l) & 1u) << bit));
-        }
-    }
-#endif
+    circuit::kernels::selectedBackend().decode16(out, outputs, approx);
 }
 
 /// Decodes output bit-planes (`outputs` planes of kWords words) into one
-/// 32-bit value per lane.  Valid for outputs <= 32.
+/// 32-bit value per lane (outputs <= 32); runtime-dispatched like the
+/// 16-bit variant.
 void decodeOutputsU32(const Word* out, std::size_t outputs, std::uint32_t* approx) {
-#if defined(__AVX512F__)
-    // One masked broadcast-add per (bit, 16-lane group): the bit-plane
-    // word itself is the write mask.
-    constexpr std::size_t kGroups = kLanes / 16;
-    __m512i acc[kGroups];
-    for (auto& a : acc) a = _mm512_setzero_si512();
-    for (std::size_t bit = 0; bit < outputs; ++bit) {
-        const __m512i weight = _mm512_set1_epi32(1u << bit);
-        const Word* words = out + bit * kWords;
-        for (std::size_t g = 0; g < kGroups; ++g) {
-            const __mmask16 m =
-                static_cast<__mmask16>(words[(g * 16) / 64] >> ((g * 16) % 64));
-            acc[g] = _mm512_mask_add_epi32(acc[g], m, acc[g], weight);
-        }
-    }
-    for (std::size_t g = 0; g < kGroups; ++g)
-        _mm512_storeu_si512(reinterpret_cast<__m512i*>(approx + g * 16), acc[g]);
-#else
-    std::memset(approx, 0, kLanes * sizeof(std::uint32_t));
-    for (std::size_t bit = 0; bit < outputs; ++bit) {
-        for (std::size_t w = 0; w < kWords; ++w) {
-            const Word word = out[bit * kWords + w];
-            std::uint32_t* a = approx + w * 64;
-            for (std::size_t l = 0; l < 64; ++l)
-                a[l] += static_cast<std::uint32_t>((word >> l) & 1u) << bit;
-        }
-    }
-#endif
+    circuit::kernels::selectedBackend().decode32(out, outputs, approx);
 }
 
 /// 64-bit decode for wide interfaces (33..64 outputs); branchless so the
@@ -234,20 +194,34 @@ void consumeBlock(const std::vector<Word>& out, std::size_t outputs, std::size_t
     }
 }
 
-/// Fills `ws.exact[0..lanes)` with the golden operator results; the
-/// operator branch is hoisted out of the lane loop so both variants
-/// vectorize.
+/// Fills `ws.exact[0..lanes)` with the golden operator results (pure
+/// integer math — the explicit 8-wide vectors only change how the same
+/// values are computed).  The operator branch is hoisted out of the lane
+/// loop.
 void fillExactExhaustive(Workspace& ws, const circuit::ArithSignature& sig, std::uint64_t base,
                          std::size_t lanes) {
+    typedef std::uint64_t VecU0 __attribute__((vector_size(64), may_alias));
+    typedef VecU0 VecU __attribute__((aligned(8)));
+    constexpr std::size_t kVec = 8;
+    constexpr VecU kIota = {0, 1, 2, 3, 4, 5, 6, 7};
     const std::uint64_t maskA = (std::uint64_t{1} << sig.widthA) - 1;
     const int shift = sig.widthA;
+    const std::size_t vec = lanes & ~(kVec - 1);
     if (sig.op == circuit::ArithOp::Adder) {
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
+        for (std::size_t lane = 0; lane < vec; lane += kVec) {
+            const VecU x = (base + lane) + kIota;
+            *reinterpret_cast<VecU*>(ws.exact.data() + lane) = (x & maskA) + (x >> shift);
+        }
+        for (std::size_t lane = vec; lane < lanes; ++lane) {
             const std::uint64_t x = base + lane;
             ws.exact[lane] = (x & maskA) + (x >> shift);
         }
     } else {
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
+        for (std::size_t lane = 0; lane < vec; lane += kVec) {
+            const VecU x = (base + lane) + kIota;
+            *reinterpret_cast<VecU*>(ws.exact.data() + lane) = (x & maskA) * (x >> shift);
+        }
+        for (std::size_t lane = vec; lane < lanes; ++lane) {
             const std::uint64_t x = base + lane;
             ws.exact[lane] = (x & maskA) * (x >> shift);
         }

@@ -1,21 +1,37 @@
 #include "src/util/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 namespace axf::util {
 
 namespace {
 thread_local bool tlsInWorker = false;
+
+/// AXF_THREADS pins the default pool sizing (benches, CI and fleet runs
+/// want a reproducible worker count); values <= 1 mean fully serial.
+/// Invalid or unset values fall back to the hardware concurrency.
+unsigned defaultThreadCount() {
+    if (const char* env = std::getenv("AXF_THREADS"); env != nullptr && *env != '\0') {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != nullptr && *end == '\0' && parsed <= 4096)
+            return parsed <= 1 ? 0 : static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw <= 1 ? 0 : hw;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
     if (threads == 0) {
-        // Auto-size: on a single-core host spawn no workers at all —
-        // parallelFor degrades to an inline loop and submit runs inline,
-        // instead of two threads contending for one core.
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw <= 1 ? 0 : hw;
+        // Auto-size (AXF_THREADS override, else hardware concurrency): on
+        // a single-core host spawn no workers at all — parallelFor
+        // degrades to an inline loop and submit runs inline, instead of
+        // two threads contending for one core.
+        threads = defaultThreadCount();
     }
     workers_.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)

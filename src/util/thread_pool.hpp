@@ -25,8 +25,10 @@ namespace axf::util {
 ///    keeping reports bit-identical to serial execution.
 class ThreadPool {
 public:
-    /// `threads == 0` sizes the pool to the hardware concurrency (on a
-    /// single-core host that means no workers: all work runs inline).
+    /// `threads == 0` sizes the pool to the AXF_THREADS environment
+    /// override when set (<= 1 means fully serial), else to the hardware
+    /// concurrency (on a single-core host that means no workers: all work
+    /// runs inline).  An explicit nonzero `threads` always wins.
     explicit ThreadPool(unsigned threads = 0);
     ~ThreadPool();
 

@@ -1,0 +1,301 @@
+// Kernel-backend dispatch and opcode-fusion tests: every backend the CPU
+// can execute must produce bit-identical results for raw runs, for whole
+// ErrorReports and for a complete AutoAxFpgaFlow::Result; the peephole
+// rewrites must preserve semantics gate-for-gate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/autoax/dse.hpp"
+#include "src/autoax/sobel.hpp"
+#include "src/circuit/batch_sim.hpp"
+#include "src/circuit/kernels.hpp"
+#include "src/circuit/simulator.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::circuit {
+namespace {
+
+/// Random DAG over the full gate alphabet (mirrors batch_sim_test).
+Netlist randomNetlist(int inputs, int gates, int outputs, util::Rng& rng) {
+    static constexpr GateKind kAllKinds[] = {
+        GateKind::Const0, GateKind::Const1, GateKind::Buf,    GateKind::Not,
+        GateKind::And,    GateKind::Or,     GateKind::Xor,    GateKind::Nand,
+        GateKind::Nor,    GateKind::Xnor,   GateKind::AndNot, GateKind::OrNot,
+        GateKind::Mux,    GateKind::Maj};
+    Netlist net("random");
+    for (int i = 0; i < inputs; ++i) net.addInput();
+    for (int g = 0; g < gates; ++g) {
+        const GateKind kind = kAllKinds[rng.index(std::size(kAllKinds))];
+        const auto pick = [&] { return static_cast<NodeId>(rng.index(net.nodeCount())); };
+        if (kind == GateKind::Const0 || kind == GateKind::Const1)
+            net.addConst(kind == GateKind::Const1);
+        else
+            net.addGate(kind, pick(), pick(), pick());
+    }
+    for (int o = 0; o < outputs; ++o)
+        net.markOutput(static_cast<NodeId>(rng.index(net.nodeCount())));
+    return net;
+}
+
+/// Exhaustive batch-vs-scalar cross-check of one compiled program.
+void crossCheck(const Netlist& net, const CompiledNetlist& compiled) {
+    const int totalBits = static_cast<int>(net.inputCount());
+    ASSERT_LE(totalBits, 12);
+    const std::uint64_t space = std::uint64_t{1} << totalBits;
+    Simulator scalar(net);
+    BatchSimulator batch(compiled);
+    constexpr std::size_t W = BatchSimulator::kWordsPerBlock;
+    std::vector<CompiledNetlist::Word> in(net.inputCount() * W);
+    std::vector<CompiledNetlist::Word> out(net.outputCount() * W);
+    for (std::uint64_t base = 0; base < space; base += BatchSimulator::kLanesPerBlock) {
+        fillExhaustiveBlock<W>(in, totalBits, base);
+        batch.evaluate(in, out);
+        const std::uint64_t lanes =
+            std::min<std::uint64_t>(BatchSimulator::kLanesPerBlock, space - base);
+        for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+            std::uint64_t result = 0;
+            for (std::size_t o = 0; o < net.outputCount(); ++o)
+                if ((out[o * W + lane / 64] >> (lane % 64)) & 1u)
+                    result |= std::uint64_t{1} << o;
+            ASSERT_EQ(result, scalar.evaluateScalar(base + lane)) << "vector " << base + lane;
+        }
+    }
+}
+
+TEST(KernelBackends, PortableAlwaysAvailable) {
+    const auto backends = kernels::availableBackends();
+    ASSERT_FALSE(backends.empty());
+    EXPECT_STREQ(backends.front()->name, "portable");
+    std::set<std::string> names;
+    for (const kernels::Backend* b : backends) names.insert(b->name);
+    EXPECT_EQ(names.size(), backends.size()) << "duplicate backend names";
+    // The selected backend is one of the available ones.
+    names.clear();
+    for (const kernels::Backend* b : backends) names.insert(b->name);
+    EXPECT_TRUE(names.count(kernels::selectedBackend().name));
+}
+
+TEST(KernelBackends, UnknownNameRejected) {
+    EXPECT_EQ(kernels::backendByName("bogus"), nullptr);
+    EXPECT_NE(kernels::backendByName("portable"), nullptr);
+}
+
+TEST(KernelBackends, RunsBitIdenticalAcrossBackends) {
+    util::Rng rng(0x5EED);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Netlist net = randomNetlist(4 + static_cast<int>(rng.index(7)),
+                                          30 + static_cast<int>(rng.index(80)),
+                                          1 + static_cast<int>(rng.index(8)), rng);
+        for (const kernels::Backend* backend : kernels::availableBackends()) {
+            CompiledNetlist::Options options;
+            options.backend = backend;
+            const CompiledNetlist compiled = CompiledNetlist::compile(net, options);
+            EXPECT_STREQ(compiled.stats().backend, backend->name);
+            crossCheck(net, compiled);  // scalar reference == ground truth
+        }
+    }
+}
+
+TEST(KernelBackends, NarrowPathBitIdenticalAcrossBackends) {
+    // run<1> (Simulator / activity estimation path), all nodes preserved.
+    util::Rng rng(0xA11);
+    const Netlist net = randomNetlist(8, 60, 6, rng);
+    CompiledNetlist::Options options;
+    options.pruneDead = false;
+    const CompiledNetlist reference = CompiledNetlist::compile(net, options);
+    std::vector<CompiledNetlist::Word> in(net.inputCount());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = 0x9E3779B97F4A7C15ull * (i + 1);
+    std::vector<CompiledNetlist::Word> refOut(net.outputCount());
+    std::vector<CompiledNetlist::Word> refWs(reference.workspaceWords(1), 0);
+    reference.initWorkspace(refWs, 1);
+    reference.run<1>(in.data(), refOut.data(), refWs.data());
+    for (const kernels::Backend* backend : kernels::availableBackends()) {
+        CompiledNetlist::Options o = options;
+        o.backend = backend;
+        const CompiledNetlist compiled = CompiledNetlist::compile(net, o);
+        std::vector<CompiledNetlist::Word> out(net.outputCount());
+        std::vector<CompiledNetlist::Word> ws(compiled.workspaceWords(1), 0);
+        compiled.initWorkspace(ws, 1);
+        compiled.run<1>(in.data(), out.data(), ws.data());
+        EXPECT_EQ(out, refOut) << backend->name;
+        EXPECT_EQ(ws, refWs) << backend->name;  // every node value identical
+    }
+}
+
+TEST(KernelFusion, RewriteRulesPreserveSemantics) {
+    // One targeted netlist per rewrite family, checked exhaustively: a
+    // wrong fusion identity cannot hide inside a random DAG.
+    using GK = GateKind;
+    const auto single = [](GK inner, GK outer) {
+        Netlist net(std::string(gateKindName(inner)) + "_into_" + gateKindName(outer));
+        const NodeId a = net.addInput();
+        const NodeId b = net.addInput();
+        const NodeId c = net.addInput();
+        const NodeId inv = net.addGate(inner, a, b, c);
+        net.markOutput(net.addGate(outer, inv, b, c));
+        net.markOutput(net.addGate(outer, b, inv, c));
+        if (fanInCount(outer) >= 3) net.markOutput(net.addGate(outer, b, c, inv));
+        return net;
+    };
+    for (const GK outer : {GK::And, GK::Or, GK::Xor, GK::Nand, GK::Nor, GK::Xnor, GK::AndNot,
+                           GK::OrNot, GK::Mux, GK::Maj}) {
+        const Netlist net = single(GK::Not, outer);
+        crossCheck(net, CompiledNetlist::compile(net));
+    }
+    {
+        // Double negation, Buf chains and output-side inversion.
+        Netlist net("chains");
+        const NodeId a = net.addInput();
+        const NodeId b = net.addInput();
+        const NodeId n1 = net.addGate(GK::Not, a);
+        const NodeId n2 = net.addGate(GK::Not, n1);  // ~~a
+        const NodeId buf = net.addGate(GK::Buf, n2);
+        const NodeId buf2 = net.addGate(GK::Buf, buf);
+        const NodeId g = net.addGate(GK::And, buf2, b);
+        net.markOutput(net.addGate(GK::Not, g));  // And -> Nand dual
+        const CompiledNetlist compiled = CompiledNetlist::compile(net);
+        EXPECT_GT(compiled.stats().fusedOps, 0u);
+        EXPECT_LT(compiled.instructionCount(), net.gateCount());
+        crossCheck(net, compiled);
+    }
+    {
+        // Full adder + half adder: Xor3 and HalfAdd fusion.
+        Netlist net("adder_cell");
+        const NodeId a = net.addInput();
+        const NodeId b = net.addInput();
+        const NodeId cin = net.addInput();
+        const NodeId axb = net.addGate(GK::Xor, a, b);
+        net.markOutput(net.addGate(GK::Xor, axb, cin));    // sum -> Xor3
+        net.markOutput(net.addGate(GK::Maj, a, b, cin));   // carry
+        const NodeId hs = net.addGate(GK::Xor, a, cin);    // half-adder pair
+        const NodeId hc = net.addGate(GK::And, a, cin);
+        net.markOutput(hs);
+        net.markOutput(hc);
+        const CompiledNetlist compiled = CompiledNetlist::compile(net);
+        // 7 gates -> Xor3 + Maj + HalfAdd = 3 instructions.
+        EXPECT_EQ(compiled.instructionCount(), 3u);
+        crossCheck(net, compiled);
+    }
+}
+
+TEST(KernelFusion, GeneratorCircuitsShrink) {
+    const Netlist net = gen::wallaceMultiplier(6);  // 12-bit space: exhaustive check
+    const CompiledNetlist fused = CompiledNetlist::compile(net);
+    CompiledNetlist::Options plain;
+    plain.fuseOps = false;
+    const CompiledNetlist unfused = CompiledNetlist::compile(net, plain);
+    EXPECT_LT(fused.instructionCount(), unfused.instructionCount());
+    EXPECT_GT(fused.stats().gatesFused, 0u);
+    EXPECT_EQ(unfused.stats().gatesFused, 0u);
+    crossCheck(net, fused);
+    crossCheck(net, unfused);
+}
+
+TEST(KernelFusion, SpecializedPlanBitIdentical) {
+    const Netlist net = gen::wallaceMultiplier(16);  // above the auto threshold
+    const CompiledNetlist generic = CompiledNetlist::compile(net);
+    ASSERT_FALSE(generic.specialized());
+    CompiledNetlist forced = CompiledNetlist::compile(net);
+    forced.specialize();
+    ASSERT_TRUE(forced.specialized());
+    BatchSimulator a(generic), b(forced);
+    constexpr std::size_t W = BatchSimulator::kWordsPerBlock;
+    std::vector<CompiledNetlist::Word> in(net.inputCount() * W);
+    util::Rng rng(0x77);
+    for (auto& w : in) w = rng.uniformInt(0, ~std::uint64_t{0});
+    std::vector<CompiledNetlist::Word> outA(net.outputCount() * W), outB(outA.size());
+    a.evaluate(in, outA);
+    b.evaluate(in, outB);
+    EXPECT_EQ(outA, outB);
+}
+
+TEST(KernelBackends, ErrorReportsBitIdenticalAcrossBackends) {
+    const Netlist mul = gen::truncatedMultiplier(8, 4);
+    const auto mulSig = gen::multiplierSignature(8);
+    const Netlist add = gen::loaAdder(16, 6);
+    const auto addSig = gen::adderSignature(16);
+    error::ErrorAnalysisConfig sampled;
+    sampled.exhaustiveLimit = 1;  // force the sampled path
+    sampled.sampleCount = 1u << 12;
+
+    const error::ErrorReport refMul = error::analyzeError(mul, mulSig);
+    const error::ErrorReport refAdd = error::analyzeError(add, addSig, sampled);
+    for (const kernels::Backend* backend : kernels::availableBackends()) {
+        kernels::ScopedBackendOverride override(backend);
+        const error::ErrorReport m = error::analyzeError(mul, mulSig);
+        const error::ErrorReport s = error::analyzeError(add, addSig, sampled);
+        EXPECT_EQ(m.med, refMul.med) << backend->name;
+        EXPECT_EQ(m.meanAbsoluteError, refMul.meanAbsoluteError) << backend->name;
+        EXPECT_EQ(m.worstCaseError, refMul.worstCaseError) << backend->name;
+        EXPECT_EQ(m.meanRelativeError, refMul.meanRelativeError) << backend->name;
+        EXPECT_EQ(m.errorProbability, refMul.errorProbability) << backend->name;
+        EXPECT_EQ(m.meanSquaredError, refMul.meanSquaredError) << backend->name;
+        EXPECT_EQ(m.vectorsEvaluated, refMul.vectorsEvaluated) << backend->name;
+        EXPECT_EQ(s.med, refAdd.med) << backend->name;
+        EXPECT_EQ(s.meanSquaredError, refAdd.meanSquaredError) << backend->name;
+        EXPECT_EQ(s.errorProbability, refAdd.errorProbability) << backend->name;
+    }
+}
+
+TEST(KernelBackends, FlowResultBitIdenticalAcrossBackends) {
+    // A whole AutoAxFpgaFlow::Result (Sobel workload: adder menu only, the
+    // cheapest full pipeline), re-run per backend from component
+    // characterization up — every quality figure must be the same bits.
+    const auto runFlow = [] {
+        std::vector<autoax::Component> adders;
+        for (auto net : {gen::rippleCarryAdder(16), gen::loaAdder(16, 8)}) {
+            autoax::Component c;
+            c.name = net.name();
+            c.signature = gen::adderSignature(16);
+            c.error = error::analyzeError(net, c.signature);
+            c.fpga = synth::FpgaFlow().implement(net);
+            c.netlist = std::move(net);
+            adders.push_back(std::move(c));
+        }
+        autoax::SobelAccelerator model(std::move(adders));
+        autoax::AutoAxFpgaFlow::Config cfg;
+        cfg.trainConfigs = 6;
+        cfg.hillIterations = 20;
+        cfg.archiveSeed = 4;
+        cfg.archiveCap = 12;
+        cfg.imageSize = 32;
+        cfg.sceneCount = 1;
+        cfg.threads = 1;
+        return autoax::AutoAxFpgaFlow(cfg).run(model);
+    };
+    const autoax::AutoAxFpgaFlow::Result ref = runFlow();
+    for (const kernels::Backend* backend : kernels::availableBackends()) {
+        kernels::ScopedBackendOverride override(backend);
+        const autoax::AutoAxFpgaFlow::Result r = runFlow();
+        EXPECT_EQ(r.totalRealEvaluations, ref.totalRealEvaluations) << backend->name;
+        ASSERT_EQ(r.trainingSet.size(), ref.trainingSet.size()) << backend->name;
+        for (std::size_t i = 0; i < ref.trainingSet.size(); ++i) {
+            EXPECT_EQ(r.trainingSet[i].config, ref.trainingSet[i].config) << backend->name;
+            EXPECT_EQ(r.trainingSet[i].ssim, ref.trainingSet[i].ssim) << backend->name;
+        }
+        ASSERT_EQ(r.scenarios.size(), ref.scenarios.size()) << backend->name;
+        for (std::size_t s = 0; s < ref.scenarios.size(); ++s) {
+            EXPECT_EQ(r.scenarios[s].realEvaluations, ref.scenarios[s].realEvaluations)
+                << backend->name;
+            ASSERT_EQ(r.scenarios[s].autoax.size(), ref.scenarios[s].autoax.size())
+                << backend->name;
+            for (std::size_t p = 0; p < ref.scenarios[s].autoax.size(); ++p) {
+                EXPECT_EQ(r.scenarios[s].autoax[p].ssim, ref.scenarios[s].autoax[p].ssim)
+                    << backend->name;
+                EXPECT_EQ(r.scenarios[s].autoax[p].config, ref.scenarios[s].autoax[p].config)
+                    << backend->name;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace axf::circuit

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/util/thread_pool.hpp"
@@ -142,6 +143,45 @@ TEST(ThreadPool, AutoSizedPoolRunsEverything) {
 }
 
 TEST(ThreadPool, MainThreadIsNotWorker) { EXPECT_FALSE(ThreadPool::inWorkerThread()); }
+
+TEST(ThreadPool, AxfThreadsEnvPinsDefaultSizing) {
+    // AXF_THREADS pins auto-sized pools (benches/CI reproducibility);
+    // explicit constructor arguments always win; <= 1 means fully serial.
+    const auto withEnv = [](const char* value, auto&& body) {
+        const char* prior = getenv("AXF_THREADS");
+        const std::string saved = prior != nullptr ? prior : "";
+        setenv("AXF_THREADS", value, 1);
+        body();
+        // Restore rather than unset: CI pins AXF_THREADS for the whole
+        // ctest run and later tests must still see it.
+        if (prior != nullptr)
+            setenv("AXF_THREADS", saved.c_str(), 1);
+        else
+            unsetenv("AXF_THREADS");
+    };
+    withEnv("3", [] {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threadCount(), 3u);
+    });
+    withEnv("1", [] {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threadCount(), 0u);  // serial: no workers
+    });
+    withEnv("0", [] {
+        ThreadPool pool;
+        EXPECT_EQ(pool.threadCount(), 0u);
+    });
+    withEnv("2", [] {
+        ThreadPool pool(5);  // explicit size beats the override
+        EXPECT_EQ(pool.threadCount(), 5u);
+    });
+    withEnv("not-a-number", [] {
+        ThreadPool pool;  // falls back to hardware sizing; must not throw
+        std::atomic<int> total{0};
+        pool.parallelFor(4, [&](std::size_t) { total.fetch_add(1); });
+        EXPECT_EQ(total.load(), 4);
+    });
+}
 
 }  // namespace
 }  // namespace axf::util
