@@ -15,6 +15,7 @@
 #include "src/autoax/sobel.hpp"
 #include "src/core/flow.hpp"
 #include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
 #include "src/util/timer.hpp"
 
 using namespace axf;
@@ -33,6 +34,35 @@ double bestCostAt(const std::vector<autoax::EvaluatedConfig>& points, core::Fpga
 
 std::string costStr(double v) {
     return std::isfinite(v) ? util::Table::num(v, 2) : std::string("-");
+}
+
+/// Full bit-level comparison of two DSE results (the determinism contract
+/// of the island search: same island count -> same bits at any thread
+/// count).
+bool sameResult(const autoax::AutoAxFpgaFlow::Result& a,
+                const autoax::AutoAxFpgaFlow::Result& b) {
+    if (a.trainingSet.size() != b.trainingSet.size() ||
+        a.scenarios.size() != b.scenarios.size() ||
+        a.totalRealEvaluations != b.totalRealEvaluations)
+        return false;
+    for (std::size_t i = 0; i < a.trainingSet.size(); ++i)
+        if (a.trainingSet[i].config != b.trainingSet[i].config ||
+            a.trainingSet[i].ssim != b.trainingSet[i].ssim)
+            return false;
+    for (std::size_t s = 0; s < a.scenarios.size(); ++s) {
+        const auto& x = a.scenarios[s];
+        const auto& y = b.scenarios[s];
+        if (x.autoax.size() != y.autoax.size() || x.random.size() != y.random.size() ||
+            x.estimatorQueries != y.estimatorQueries)
+            return false;
+        for (std::size_t i = 0; i < x.autoax.size(); ++i)
+            if (x.autoax[i].config != y.autoax[i].config || x.autoax[i].ssim != y.autoax[i].ssim)
+                return false;
+        for (std::size_t i = 0; i < x.random.size(); ++i)
+            if (x.random[i].config != y.random[i].config || x.random[i].ssim != y.random[i].ssim)
+                return false;
+    }
+    return true;
 }
 
 }  // namespace
@@ -62,19 +92,46 @@ int main() {
               << " configurations (paper: 4.95e14)\n\n";
 
     autoax::AutoAxFpgaFlow::Config cfg;
+    cfg.islands = 4;
+    cfg.searchBatch = 8;
+    cfg.migrationInterval = 8;
     if (scale == bench::Scale::Ci) {
         cfg.trainConfigs = 60;
         cfg.hillIterations = 800;
         cfg.imageSize = 64;
     }
+
+    // Before: the same 4-island search single-threaded — the determinism
+    // reference and the wall-clock baseline for the island speedup.
+    autoax::AutoAxFpgaFlow::Config serialCfg = cfg;
+    serialCfg.threads = 1;
+    util::Timer serialTimer;
+    const autoax::AutoAxFpgaFlow::Result serialResult =
+        autoax::AutoAxFpgaFlow(serialCfg).run(accel);
+    const double serialSeconds = serialTimer.seconds();
+
+    // After: same island count over the whole pool (search islands AND
+    // the evaluation engine fan out).
     util::Timer dseTimer;
     const autoax::AutoAxFpgaFlow::Result result = autoax::AutoAxFpgaFlow(cfg).run(accel);
     const double dseSeconds = dseTimer.seconds();
-    std::size_t dseEvaluations = result.totalRealEvaluations;
-    std::cout << "DSE wall clock: " << util::Table::num(dseSeconds, 2) << " s, "
+
+    const std::size_t dseEvaluations = result.totalRealEvaluations;
+    std::cout << "island search: " << cfg.islands << " islands x batch " << cfg.searchBatch
+              << " (" << search::strategyName(cfg.strategy) << "), pool of "
+              << util::ThreadPool::global().threadCount() << " workers\n";
+    std::cout << "DSE wall clock (1 thread):  " << util::Table::num(serialSeconds, 2) << " s, "
+              << serialResult.totalRealEvaluations << " fresh real evaluations -> "
+              << util::Table::num(
+                     static_cast<double>(serialResult.totalRealEvaluations) / serialSeconds, 1)
+              << " configs evaluated/s\n";
+    std::cout << "DSE wall clock (parallel):  " << util::Table::num(dseSeconds, 2) << " s, "
               << dseEvaluations << " fresh real evaluations -> "
               << util::Table::num(static_cast<double>(dseEvaluations) / dseSeconds, 1)
-              << " configs evaluated/s (batched engine)\n";
+              << " configs evaluated/s\n";
+    std::cout << "multi-island DSE speedup: " << util::Table::num(serialSeconds / dseSeconds, 2)
+              << "x, parallel result bit-identical to serial: "
+              << (sameResult(serialResult, result) ? "yes" : "NO (DETERMINISM BUG)") << "\n";
 
     for (const autoax::AutoAxFpgaFlow::ScenarioResult& s : result.scenarios) {
         util::printBanner(std::cout, std::string("scenario: SSIM vs FPGA ") +
@@ -116,6 +173,12 @@ int main() {
     sobelCfg.trainConfigs = scale == bench::Scale::Ci ? 40 : 80;
     sobelCfg.hillIterations = scale == bench::Scale::Ci ? 400 : 1200;
     sobelCfg.imageSize = scale == bench::Scale::Ci ? 64 : 96;
+    // A mixed-strategy island fleet on the second workload: same engine,
+    // different metaheuristics per island.
+    sobelCfg.islands = 3;
+    sobelCfg.searchBatch = 4;
+    sobelCfg.islandStrategies = {search::Strategy::HillClimb, search::Strategy::Anneal,
+                                 search::Strategy::Genetic};
     util::Timer sobelTimer;
     const autoax::AutoAxFpgaFlow::Result sobelResult =
         autoax::AutoAxFpgaFlow(sobelCfg).run(sobel);

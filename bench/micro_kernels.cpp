@@ -26,6 +26,8 @@
 #include "src/gen/adders.hpp"
 #include "src/gen/multipliers.hpp"
 #include "src/img/ssim.hpp"
+#include "src/search/island_search.hpp"
+#include "src/search/toy_problem.hpp"
 #include "src/synth/asic.hpp"
 #include "src/synth/fpga.hpp"
 #include "src/util/rng.hpp"
@@ -214,6 +216,42 @@ static void BM_AutoAxQualityScalar(benchmark::State& state) {
                             static_cast<std::int64_t>(configs.size()));
 }
 BENCHMARK(BM_AutoAxQualityScalar);
+
+/// The shared near-free reference Problem (12 slots over a 16-entry
+/// menu) times the search engine itself — mutation drafts, archive
+/// dominance scans, thinning, migration — rather than any estimator.
+/// items_per_second = candidate evaluations/sec of pure engine
+/// throughput (the DSE regression gate for search overhead).
+using BenchSearchProblem = search::ToyProblem<12, 16>;
+
+/// Single-threaded island-search throughput (4 islands, speculative
+/// batches, ring migration, capped archives) — threads are pinned to 1 so
+/// the figure isolates engine overhead and stays comparable across hosts.
+static void BM_IslandSearch(benchmark::State& state) {
+    const BenchSearchProblem problem;
+    search::IslandSearch<BenchSearchProblem>::Options options;
+    options.islands = 4;
+    options.generations = 50;
+    options.batch = 4;
+    options.seedsPerIsland = 8;
+    options.migrationInterval = 8;
+    options.migrants = 4;
+    options.archiveCap = 64;
+    options.seed = 0xBE;
+    options.islandStrategies = {search::Strategy::HillClimb, search::Strategy::Anneal,
+                                search::Strategy::Genetic};
+    options.threads = 1;
+    const std::size_t evaluationsPerRun =
+        static_cast<std::size_t>(options.islands) *
+        static_cast<std::size_t>(options.seedsPerIsland + options.generations * options.batch);
+    for (auto _ : state) {
+        const auto result = search::IslandSearch(problem, options).run();
+        benchmark::DoNotOptimize(result.archive.entries().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(evaluationsPerRun));
+}
+BENCHMARK(BM_IslandSearch);
 
 static void BM_Ssim(benchmark::State& state) {
     const img::Image a = img::syntheticScene(128, 128, 1);

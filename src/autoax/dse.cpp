@@ -4,10 +4,10 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/autoax/search_problem.hpp"
 #include "src/core/pareto.hpp"
 #include "src/ml/models.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/select.hpp"
 
 namespace axf::autoax {
 
@@ -75,44 +75,31 @@ std::vector<std::size_t> qualityCostFront(const std::vector<EvaluatedConfig>& po
 
 namespace {
 
-AcceleratorConfig mutate(const ConfigSpace& space, AcceleratorConfig c, util::Rng& rng) {
-    const int moves = 1 + static_cast<int>(rng.index(2));
-    for (int i = 0; i < moves; ++i) {
-        const std::size_t slot = rng.index(c.choice.size());
-        c.choice[slot] = static_cast<int>(rng.index(static_cast<std::size_t>(space.menuSizeOf(slot))));
+/// Equal-budget random baseline: exactly `count` configurations, drawn so
+/// the batch pays the same number of FRESH simulations as the archive
+/// re-evaluation it is compared against.  Budget invariant: a draw the
+/// engine would serve from its memo — or one repeating an earlier draw of
+/// this batch — costs nothing fresh, so it consumes one of the
+/// `64 * count + 1024` bounded attempts instead of budget; once attempts
+/// are exhausted (a small, nearly-memoized design space), plain draws pad
+/// the result, so the returned batch always holds `count` configs and
+/// never pays more than `count` fresh simulations.
+std::vector<AcceleratorConfig> drawEqualBudgetBaseline(const ConfigSpace& space,
+                                                       const EvalEngine& engine,
+                                                       util::Rng& rng, std::size_t count) {
+    std::vector<AcceleratorConfig> configs;
+    configs.reserve(count);
+    std::unordered_set<std::uint64_t> drawn;
+    std::size_t attempts = 0;
+    const std::size_t maxAttempts = 64 * count + 1024;
+    while (configs.size() < count) {
+        AcceleratorConfig c = space.randomConfig(rng);
+        if (attempts++ < maxAttempts &&
+            (engine.isMemoized(c) || !drawn.insert(c.hash()).second))
+            continue;
+        configs.push_back(std::move(c));
     }
-    return c;
-}
-
-/// Archive entry during estimator-guided search.
-struct ArchiveEntry {
-    AcceleratorConfig config;
-    double estSsim = 0.0;
-    double estCost = 0.0;
-};
-
-/// Keeps the archive non-dominated (maximize ssim, minimize cost).
-bool archiveInsert(std::vector<ArchiveEntry>& archive, ArchiveEntry entry, std::size_t cap) {
-    for (const ArchiveEntry& e : archive) {
-        if (e.config == entry.config) return false;  // already archived
-        if (e.estSsim >= entry.estSsim && e.estCost <= entry.estCost &&
-            (e.estSsim > entry.estSsim || e.estCost < entry.estCost))
-            return false;  // dominated
-    }
-    std::erase_if(archive, [&](const ArchiveEntry& e) {
-        return entry.estSsim >= e.estSsim && entry.estCost <= e.estCost &&
-               (entry.estSsim > e.estSsim || entry.estCost < e.estCost);
-    });
-    archive.push_back(std::move(entry));
-    if (archive.size() > cap && cap > 0) {
-        // Thin uniformly along the cost axis, keeping the extremes (the
-        // old `thinned.back() = archive.back()` patch-up could clone an
-        // entry the stride had already selected).
-        std::sort(archive.begin(), archive.end(),
-                  [](const ArchiveEntry& a, const ArchiveEntry& b) { return a.estCost < b.estCost; });
-        util::thinUniform(archive, cap);
-    }
-    return true;
+    return configs;
 }
 
 }  // namespace
@@ -158,63 +145,67 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     const AcceleratorEstimators estimators =
         AcceleratorEstimators::train(model, result.trainingSet);
 
-    // --- per-scenario archive hill-climbing --------------------------------
+    // --- per-scenario estimator-guided island search -----------------------
+    // The search itself runs on the `search::IslandSearch` engine: N
+    // islands (1 = the legacy serial archive hill-climb, bit-for-bit)
+    // over the `AcceleratorSearchProblem` adapter, ring migration, and a
+    // block-ordered merge — deterministic at any thread count.
+    using Search = search::IslandSearch<AcceleratorSearchProblem>;
     for (core::FpgaParam param : core::kAllFpgaParams) {
         ScenarioResult scenario;
         scenario.param = param;
-        util::Rng searchRng = rng.fork();
+        // One draw per scenario (the legacy `rng.fork()`): island 0 keeps
+        // this seed, so the flow RNG stream and the single-island search
+        // stream both match the pre-engine code exactly.
+        const std::uint64_t searchSeed = rng.uniformInt(0, UINT64_MAX);
 
-        std::vector<ArchiveEntry> archive;
-        const auto estimated = [&](AcceleratorConfig c) {
-            ++scenario.estimatorQueries;
-            ArchiveEntry e;
-            e.estSsim = estimators.estimateSsim(model, c);
-            e.estCost = estimators.estimateCost(model, c, param);
-            e.config = std::move(c);
-            return e;
-        };
-        for (int i = 0; i < config_.archiveSeed; ++i)
-            archiveInsert(archive, estimated(space.randomConfig(searchRng)), config_.archiveCap);
-        for (const EvaluatedConfig& t : result.trainingSet)  // reuse the free knowledge
-            archiveInsert(archive,
-                          ArchiveEntry{t.config, t.ssim, costParamOf(t.cost, param)},
-                          config_.archiveCap);
+        const AcceleratorSearchProblem problem(model, estimators, param);
+        Search::Options searchOptions;
+        searchOptions.islands = config_.islands;
+        searchOptions.batch = config_.searchBatch;
+        // hillIterations stays the TOTAL estimator-guided move budget: it
+        // is split across islands and speculative batches (rounded up).
+        const int perGeneration = std::max(1, config_.islands * config_.searchBatch);
+        searchOptions.generations =
+            (config_.hillIterations + perGeneration - 1) / perGeneration;
+        searchOptions.seedsPerIsland = config_.archiveSeed;
+        searchOptions.migrationInterval = config_.migrationInterval;
+        searchOptions.migrants = config_.migrants;
+        searchOptions.archiveCap = config_.archiveCap;
+        searchOptions.epsilon = config_.searchEpsilon;
+        searchOptions.seed = searchSeed;
+        searchOptions.strategy = config_.strategy;
+        searchOptions.islandStrategies = config_.islandStrategies;
+        searchOptions.threads = config_.threads;
+        searchOptions.pool = config_.pool;
 
-        for (int it = 0; it < config_.hillIterations; ++it) {
-            const ArchiveEntry& parent = archive[searchRng.index(archive.size())];
-            archiveInsert(archive, estimated(mutate(space, parent.config, searchRng)),
-                          config_.archiveCap);
-        }
+        // The training sample is free knowledge: every island archive is
+        // seeded with it (after its private random seeds), real SSIM and
+        // cost standing in for estimates exactly as before.
+        std::vector<Search::Entry> seeded;
+        seeded.reserve(result.trainingSet.size());
+        for (const EvaluatedConfig& t : result.trainingSet)
+            seeded.push_back({t.config, AcceleratorSearchProblem::objectivesOf(
+                                            t.ssim, costParamOf(t.cost, param))});
+        Search::Result searched = Search(problem, searchOptions).run(seeded);
+        scenario.estimatorQueries = searched.evaluations;
 
         // Re-evaluate the discovered pseudo-Pareto configurations for real
         // — in one batch, and paying only for configs not measured before
         // (the engine memo spans training set and earlier scenarios).
         std::vector<AcceleratorConfig> archiveConfigs;
-        archiveConfigs.reserve(archive.size());
-        for (const ArchiveEntry& e : archive) archiveConfigs.push_back(e.config);
+        archiveConfigs.reserve(searched.archive.size());
+        for (const Search::Entry& e : searched.archive.entries())
+            archiveConfigs.push_back(e.genome);
         const std::size_t freshBefore = engine.freshEvaluations();
         scenario.autoax = engine.evaluateBatch(archiveConfigs);
         scenario.realEvaluations = engine.freshEvaluations() - freshBefore;
 
-        // Equal-budget random baseline: as many *fresh* simulations as the
-        // archive re-evaluation cost.  Draws that would be served from the
-        // memo (or repeat an earlier draw) don't consume budget, so the
-        // baseline is re-drawn until it really pays the same simulation
-        // bill; when a small space runs out of unseen configs the
-        // attempt-bounded loop stops and plain draws pad the result count.
-        std::vector<AcceleratorConfig> randomConfigs;
-        std::unordered_set<std::uint64_t> drawn;
-        std::size_t drawAttempts = 0;
-        const std::size_t maxDrawAttempts = 64 * scenario.realEvaluations + 1024;
-        while (randomConfigs.size() < scenario.realEvaluations &&
-               drawAttempts++ < maxDrawAttempts) {
-            AcceleratorConfig c = space.randomConfig(searchRng);
-            if (engine.isMemoized(c) || !drawn.insert(c.hash()).second) continue;
-            randomConfigs.push_back(std::move(c));
-        }
-        while (randomConfigs.size() < scenario.realEvaluations)
-            randomConfigs.push_back(space.randomConfig(searchRng));
-        scenario.random = engine.evaluateBatch(randomConfigs);
+        // The baseline continues island 0's RNG stream — with one island
+        // that is exactly where the legacy serial search left it.
+        util::Rng baselineRng = std::move(searched.islandRngs.front());
+        scenario.random = engine.evaluateBatch(drawEqualBudgetBaseline(
+            space, engine, baselineRng, scenario.realEvaluations));
 
         result.scenarios.push_back(std::move(scenario));
     }

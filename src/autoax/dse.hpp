@@ -5,6 +5,7 @@
 #include "src/autoax/eval_engine.hpp"
 #include "src/autoax/model.hpp"
 #include "src/ml/regressor.hpp"
+#include "src/search/island_search.hpp"
 
 namespace axf::util {
 class ThreadPool;
@@ -49,11 +50,32 @@ public:
         int imageSize = 96;
         int sceneCount = 2;
         std::uint64_t seed = 0x40A7;
-        /// Worker cap for the evaluation engine (0 = whole pool,
-        /// 1 = serial); results are identical either way.
+        /// Worker cap for the evaluation engine AND the island search
+        /// (0 = whole pool, 1 = serial); results are identical either way.
         std::size_t threads = 0;
         /// Thread pool override (nullptr = the process-global pool).
         util::ThreadPool* pool = nullptr;
+
+        // --- island-model search (src/search) --------------------------
+        /// Search islands per scenario.  1 reproduces the legacy serial
+        /// archive hill-climb bit-for-bit (with searchBatch = 1 and the
+        /// HillClimb strategy); N > 1 splits hillIterations across N
+        /// independently seeded islands that exchange migrants on a ring.
+        int islands = 1;
+        /// Speculative candidates drafted per island generation (one
+        /// estimator batch per generation).  1 = legacy move-by-move.
+        int searchBatch = 1;
+        /// Generations between ring migrations (0 = never migrate).
+        int migrationInterval = 16;
+        /// Archive entries offered per migration (0 = none).
+        int migrants = 4;
+        /// Island strategy; `islandStrategies` (cycled) overrides per
+        /// island, e.g. {HillClimb, Anneal, Genetic} for a mixed fleet.
+        search::Strategy strategy = search::Strategy::HillClimb;
+        std::vector<search::Strategy> islandStrategies;
+        /// Epsilon-dominance coarsening of the search archives (0 = the
+        /// exact legacy dominance).
+        double searchEpsilon = 0.0;
     };
 
     struct ScenarioResult {

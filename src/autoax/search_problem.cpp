@@ -1,0 +1,34 @@
+#include "src/autoax/search_problem.hpp"
+
+namespace axf::autoax {
+
+AcceleratorConfig AcceleratorSearchProblem::mutate(const AcceleratorConfig& config,
+                                                   util::Rng& rng) const {
+    const ConfigSpace& space = model_.configSpace();
+    AcceleratorConfig c = config;
+    const int moves = 1 + static_cast<int>(rng.index(2));
+    for (int i = 0; i < moves; ++i) {
+        const std::size_t slot = rng.index(c.choice.size());
+        c.choice[slot] =
+            static_cast<int>(rng.index(static_cast<std::size_t>(space.menuSizeOf(slot))));
+    }
+    return c;
+}
+
+AcceleratorConfig AcceleratorSearchProblem::crossover(const AcceleratorConfig& a,
+                                                      const AcceleratorConfig& b,
+                                                      util::Rng& rng) const {
+    AcceleratorConfig child = a;
+    for (std::size_t slot = 0; slot < child.choice.size(); ++slot)
+        if (rng.bernoulli(0.5)) child.choice[slot] = b.choice[slot];
+    return child;
+}
+
+void AcceleratorSearchProblem::evaluate(std::span<const AcceleratorConfig> batch,
+                                        std::span<search::Objectives> out) const {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        out[i] = objectivesOf(estimators_.estimateSsim(model_, batch[i]),
+                              estimators_.estimateCost(model_, batch[i], param_));
+}
+
+}  // namespace axf::autoax

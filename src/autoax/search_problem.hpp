@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+
+#include "src/autoax/dse.hpp"
+#include "src/autoax/model.hpp"
+#include "src/core/flow.hpp"
+#include "src/search/island_search.hpp"
+
+namespace axf::autoax {
+
+/// `search::Problem` adapter for one AutoAx scenario: genomes are
+/// `AcceleratorConfig`s, objectives are the trained estimators' view of
+/// the scenario — `{-estimated SSIM, estimated FPGA-parameter cost}`,
+/// both minimized (the SSIM negation is exact in IEEE doubles, so the
+/// generalized archive dominance is bit-equivalent to the legacy
+/// maximize-SSIM/minimize-cost one).  Estimator prediction is const,
+/// RNG-free and thread-safe, so islands may evaluate concurrently.
+class AcceleratorSearchProblem {
+public:
+    using Genome = AcceleratorConfig;
+
+    AcceleratorSearchProblem(const AcceleratorModel& model,
+                             const AcceleratorEstimators& estimators, core::FpgaParam param)
+        : model_(model), estimators_(estimators), param_(param) {}
+
+    std::size_t objectiveCount() const { return 2; }
+
+    AcceleratorConfig random(util::Rng& rng) const {
+        return model_.configSpace().randomConfig(rng);
+    }
+
+    /// 1-2 uniformly chosen slots reassigned to uniformly chosen menu
+    /// entries — the legacy DSE move, byte-for-byte.
+    AcceleratorConfig mutate(const AcceleratorConfig& config, util::Rng& rng) const;
+
+    /// Uniform slot-wise crossover (each slot drawn from either parent).
+    AcceleratorConfig crossover(const AcceleratorConfig& a, const AcceleratorConfig& b,
+                                util::Rng& rng) const;
+
+    void evaluate(std::span<const AcceleratorConfig> batch,
+                  std::span<search::Objectives> out) const;
+
+    /// Objective encoding shared with pre-evaluated seed entries (the
+    /// training sample enters the archives through this same mapping).
+    static search::Objectives objectivesOf(double ssim, double cost) {
+        return search::Objectives{-ssim, cost};
+    }
+
+private:
+    const AcceleratorModel& model_;
+    const AcceleratorEstimators& estimators_;
+    core::FpgaParam param_;
+};
+
+}  // namespace axf::autoax

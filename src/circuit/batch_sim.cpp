@@ -70,8 +70,9 @@ struct NodeOp {
 ///  - operand-side inversion: a single-use Not operand folds into the
 ///    consumer (And->AndNot, Nand->OrNot, both-inverted And->Nor, ...,
 ///    Mux data operands -> MuxNotA/MuxNotB);
-///  - full-adder sums: Xor(Xor(a, b), c) with a single-use inner Xor
-///    fuses to Xor3.
+///  - associative-tree widening: Xor/And/Or over a single-use same-kind
+///    producer fuses to Xor3/And3/Or3 (full-adder sums, AND trees and
+///    OR-compressor levels each cost one instruction per level pair).
 /// Every rewrite replaces operands by strictly-lower-level nodes, so the
 /// (level, opcode, id) emission order stays topologically valid.
 void fusePeephole(const Netlist& netlist, std::vector<NodeOp>& ops,
@@ -236,12 +237,18 @@ void fusePeephole(const Netlist& netlist, std::vector<NodeOp>& ops,
             }
         }
 
-        // Full-adder sum: Xor over a single-use Xor widens to Xor3.
-        if (g.op == OpCode::Xor) {
-            const auto tryXor3 = [&](NodeId t, NodeId other) {
-                if (!(ops[t].gate && ops[t].op == OpCode::Xor && !isOutput[t] && uses[t] == 1))
+        // Associative-tree widening: a 2-input gate over a single-use
+        // same-kind producer absorbs it into the 3-input fused form —
+        // full-adder sums (Xor -> Xor3), AND-tree levels (And -> And3)
+        // and OR-compressor levels (Or -> Or3).
+        if (g.op == OpCode::Xor || g.op == OpCode::And || g.op == OpCode::Or) {
+            const OpCode wide = g.op == OpCode::Xor   ? OpCode::Xor3
+                                : g.op == OpCode::And ? OpCode::And3
+                                                      : OpCode::Or3;
+            const auto tryWiden = [&](NodeId t, NodeId other) {
+                if (!(ops[t].gate && ops[t].op == g.op && !isOutput[t] && uses[t] == 1))
                     return false;
-                g.op = OpCode::Xor3;
+                g.op = wide;
                 g.a = ops[t].a;
                 g.b = ops[t].b;
                 g.c = other;
@@ -251,7 +258,7 @@ void fusePeephole(const Netlist& netlist, std::vector<NodeOp>& ops,
                 ++fusedOps;
                 return true;
             };
-            if (!tryXor3(g.a, g.b)) tryXor3(g.b, g.a);
+            if (!tryWiden(g.a, g.b)) tryWiden(g.b, g.a);
         }
     }
 }
@@ -510,6 +517,8 @@ CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options
             case OpCode::Xnor:
             case OpCode::Maj:
             case OpCode::Xor3:
+            case OpCode::And3:
+            case OpCode::Or3:
             case OpCode::HalfAdd: return true;
             default: return false;
         }
@@ -522,7 +531,9 @@ CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options
             if (ins.a == prev) continue;
             if (symmetricAB(run.op) && ins.b == prev) {
                 std::swap(ins.a, ins.b);
-            } else if ((run.op == OpCode::Maj || run.op == OpCode::Xor3) && ins.c == prev) {
+            } else if ((run.op == OpCode::Maj || run.op == OpCode::Xor3 ||
+                        run.op == OpCode::And3 || run.op == OpCode::Or3) &&
+                       ins.c == prev) {
                 std::swap(ins.a, ins.c);
             } else {
                 chained = false;

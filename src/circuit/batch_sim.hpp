@@ -17,8 +17,9 @@ namespace axf::circuit {
 /// compacted, constants hoisted out of the sweep entirely, and — in the
 /// pruned configuration — single-use 2-gate chains peephole-fused into the
 /// extended `kernels::OpCode` alphabet (Not absorption into And/Or/Xor/…,
-/// full-adder sums into `Xor3`, Xor+And carry pairs into dual-destination
-/// `HalfAdd`, Mux operand-inversion variants).  The compiled form is
+/// associative Xor/And/Or tree levels into `Xor3`/`And3`/`Or3`, Xor+And
+/// carry pairs into dual-destination `HalfAdd`, Mux operand-inversion
+/// variants).  The compiled form is
 /// immutable and sharable — one `CompiledNetlist` can back any number of
 /// `BatchSimulator` workspaces (e.g. one per worker thread).
 ///

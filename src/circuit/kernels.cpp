@@ -64,6 +64,8 @@ const char* opCodeName(OpCode op) {
         case OpCode::MuxNotA: return "MuxNotA";
         case OpCode::MuxNotB: return "MuxNotB";
         case OpCode::HalfAdd: return "HalfAdd";
+        case OpCode::And3: return "And3";
+        case OpCode::Or3: return "Or3";
     }
     return "?";
 }

@@ -38,8 +38,10 @@ enum class OpCode : std::uint8_t {
     MuxNotA,  ///< c ? b : ~a       (fused Not -> Mux data-low)
     MuxNotB,  ///< c ? ~b : a       (fused Not -> Mux data-high)
     HalfAdd,  ///< dst = a ^ b  AND  slot c = a & b  (dual-destination pair)
+    And3,     ///< a & b & c        (fused AND-tree level)
+    Or3,      ///< a | b | c        (fused OR-compressor level)
 };
-inline constexpr std::size_t kOpCount = 16;
+inline constexpr std::size_t kOpCount = 18;
 
 const char* opCodeName(OpCode op);
 
@@ -56,7 +58,9 @@ constexpr int opFanIn(OpCode op) {
         case OpCode::Maj:
         case OpCode::Xor3:
         case OpCode::MuxNotA:
-        case OpCode::MuxNotB: return 3;
+        case OpCode::MuxNotB:
+        case OpCode::And3:
+        case OpCode::Or3: return 3;
         default: return 2;
     }
 }

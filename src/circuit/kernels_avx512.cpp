@@ -41,6 +41,8 @@ constexpr bool evalOp(OpCode op, bool a, bool b, bool c) {
         case OpCode::MuxNotA: return c ? b : !a;
         case OpCode::MuxNotB: return c ? !b : a;
         case OpCode::HalfAdd: return a != b;
+        case OpCode::And3: return a && b && c;
+        case OpCode::Or3: return a || b || c;
     }
     return false;
 }
@@ -124,7 +126,8 @@ void chainWide(const Instr* instrs, std::uint32_t count, Word* ws) {
      &runWide<OpCode::Nor, N>,     &runWide<OpCode::Xnor, N>, &runWide<OpCode::AndNot, N>,  \
      &runWide<OpCode::OrNot, N>,   &runWide<OpCode::Mux, N>,  &runWide<OpCode::Maj, N>,     \
      &runWide<OpCode::Xor3, N>,    &runWide<OpCode::MuxNotA, N>,                            \
-     &runWide<OpCode::MuxNotB, N>, &runWide<OpCode::HalfAdd, N>}
+     &runWide<OpCode::MuxNotB, N>, &runWide<OpCode::HalfAdd, N>,                            \
+     &runWide<OpCode::And3, N>,    &runWide<OpCode::Or3, N>}
 
 constexpr std::array<KernelFn, kOpCount> kWideTable = AXF_KERNEL_ROW(-1);
 
@@ -134,7 +137,8 @@ constexpr std::array<KernelFn, kOpCount> kWideTable = AXF_KERNEL_ROW(-1);
      &chainWide<OpCode::Nor>,     &chainWide<OpCode::Xnor>, &chainWide<OpCode::AndNot>,    \
      &chainWide<OpCode::OrNot>,   &chainWide<OpCode::Mux>,  &chainWide<OpCode::Maj>,       \
      &chainWide<OpCode::Xor3>,    &chainWide<OpCode::MuxNotA>,                             \
-     &chainWide<OpCode::MuxNotB>, &chainWide<OpCode::HalfAdd>}
+     &chainWide<OpCode::MuxNotB>, &chainWide<OpCode::HalfAdd>,                             \
+     &chainWide<OpCode::And3>,    &chainWide<OpCode::Or3>}
 
 constexpr std::array<KernelFn, kOpCount> kWideChainTable = AXF_CHAIN_ROW_512;
 #undef AXF_CHAIN_ROW_512

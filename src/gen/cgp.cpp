@@ -103,6 +103,25 @@ CgpGenome CgpGenome::seedFromNetlist(const Netlist& netlist, int extraCells, uti
     return genome;
 }
 
+CgpGenome CgpGenome::crossover(const CgpGenome& a, const CgpGenome& b, util::Rng& rng) {
+    if (a.params_.inputs != b.params_.inputs || a.params_.outputs != b.params_.outputs ||
+        a.genes_.size() != b.genes_.size() || a.outputGenes_.size() != b.outputGenes_.size() ||
+        a.params_.functions != b.params_.functions)
+        throw std::invalid_argument("CgpGenome::crossover: geometry mismatch");
+    CgpGenome child = a;
+    // Cut position over the flattened chromosome (cut == 0 clones b,
+    // cut == chromosome length clones a).
+    const std::size_t chromosome = child.genes_.size() + child.outputGenes_.size();
+    const std::size_t cut = rng.index(chromosome + 1);
+    for (std::size_t i = cut; i < chromosome; ++i) {
+        if (i < child.genes_.size())
+            child.genes_[i] = b.genes_[i];
+        else
+            child.outputGenes_[i - child.genes_.size()] = b.outputGenes_[i - child.genes_.size()];
+    }
+    return child;
+}
+
 void CgpGenome::mutate(int count, util::Rng& rng) {
     // Gene space: per cell (function, a, b) plus the output genes.
     const std::size_t geneSpace = genes_.size() * 3 + outputGenes_.size();
@@ -161,6 +180,16 @@ Netlist CgpGenome::decode() const {
     }
     for (std::uint16_t out : outputGenes_) net.markOutput(map[out]);
     return net;
+}
+
+void CgpSearchProblem::evaluate(std::span<const CgpGenome> batch,
+                                std::span<search::Objectives> out) const {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const error::ErrorReport report =
+            error::analyzeError(batch[i].decode(), signature_, fitnessConfig_);
+        out[i] = search::Objectives{report.med,
+                                    static_cast<double>(batch[i].activeCells())};
+    }
 }
 
 CgpEvolver::CgpEvolver(circuit::ArithSignature signature, Options options)

@@ -1,0 +1,315 @@
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/search/pareto_archive.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace axf::search {
+
+/// The workload contract of the search engine.  A `Problem` owns the
+/// genome representation and everything domain-specific about it:
+///
+///  - `Genome` — copyable, equality-comparable (archive dedup);
+///  - `objectiveCount()` — k, all objectives MINIMIZED (adapters negate
+///    quality-like metrics);
+///  - `random(rng)` / `mutate(g, rng)` / `crossover(a, b, rng)` — the
+///    variation operators, drawing all randomness from the passed stream;
+///  - `evaluate(batch, out)` — estimates objectives for a whole
+///    speculative batch at once so per-call overhead (estimator setup,
+///    feature extraction) amortizes.  Must be const, RNG-free and
+///    thread-safe: islands call it concurrently.
+template <typename P>
+concept Problem =
+    std::copy_constructible<typename P::Genome> &&
+    std::equality_comparable<typename P::Genome> &&
+    requires(const P& p, const typename P::Genome& g, util::Rng& rng,
+             std::span<const typename P::Genome> batch, std::span<Objectives> out) {
+        { p.objectiveCount() } -> std::convertible_to<std::size_t>;
+        { p.random(rng) } -> std::same_as<typename P::Genome>;
+        { p.mutate(g, rng) } -> std::same_as<typename P::Genome>;
+        { p.crossover(g, g, rng) } -> std::same_as<typename P::Genome>;
+        { p.evaluate(batch, out) };
+    };
+
+/// Per-island local search policy.  All strategies share the archive and
+/// the variation operators; they differ in how parents are chosen and
+/// what steers the walk.
+enum class Strategy {
+    HillClimb,  ///< estimator-guided archive hill-climb (the AutoAx recipe)
+    Anneal,     ///< single-trajectory simulated annealing over the archive
+    Genetic,    ///< small GA: crossover of two archive parents + mutation
+};
+
+const char* strategyName(Strategy strategy);
+
+/// Deterministic island-model metaheuristic over any `Problem`.
+///
+/// N islands each own a `ParetoArchive` and a private RNG stream; the
+/// island seeds iterate splitmix64 from the base seed (island 0 KEEPS the
+/// base seed, which is what makes `islands = 1, strategy = HillClimb,
+/// batch = 1` reproduce the legacy single-archive serial search
+/// bit-for-bit).  Every generation an island drafts a speculative batch
+/// of candidates — all RNG draws happen up front against the
+/// pre-generation archive — then estimates the whole batch with ONE
+/// `Problem::evaluate` call and folds the results back in draft order.
+///
+/// Determinism contract: an island's trajectory is a pure function of its
+/// seed, its strategy and the migrants it receives.  Islands advance in
+/// lockstep epochs of `migrationInterval` generations (one fixed work
+/// item per island, fanned over the pool), migration runs serially in
+/// island order on pre-epoch snapshots (ring topology: island i receives
+/// from island i-1), and the final merge inserts island archives in
+/// island order — so the result is bit-identical for ANY thread count
+/// (including `threads = 1` and the `AXF_THREADS` pool sizing), though it
+/// legitimately changes with the island count or strategy mix.
+template <Problem P>
+class IslandSearch {
+public:
+    using Genome = typename P::Genome;
+    using Archive = ParetoArchive<Genome>;
+    using Entry = typename Archive::Entry;
+
+    struct Options {
+        int islands = 1;
+        int generations = 1000;     ///< per island
+        int batch = 1;              ///< speculative candidates per generation
+        int seedsPerIsland = 0;     ///< random genomes seeding each archive
+        int migrationInterval = 16; ///< generations between migrations (0 = never)
+        int migrants = 4;           ///< entries offered per migration (0 = none)
+        std::size_t archiveCap = 0; ///< per-island and merged cap (0 = unlimited)
+        double epsilon = 0.0;       ///< epsilon-dominance coarsening
+        std::uint64_t seed = 1;     ///< base of the splitmix64 island seed stream
+        Strategy strategy = Strategy::HillClimb;
+        /// Per-island strategy override, cycled (empty = `strategy`
+        /// everywhere).  Mixing strategies across islands diversifies the
+        /// search without giving up determinism.
+        std::vector<Strategy> islandStrategies;
+        double annealStartTemp = 0.25;  ///< relative-worsening scale at gen 0
+        double annealEndTemp = 1e-3;    ///< ... at the final generation
+        std::size_t threads = 0;        ///< worker cap (0 = whole pool, 1 = serial)
+        util::ThreadPool* pool = nullptr;  ///< nullptr = the process-global pool
+    };
+
+    struct Result {
+        Archive archive;  ///< block-ordered merge over island archives
+        std::size_t evaluations = 0;  ///< genomes sent through Problem::evaluate
+        std::vector<std::size_t> islandEvaluations;
+        /// Final per-island RNG streams, so a caller can continue drawing
+        /// deterministically where the search left off (the DSE random
+        /// baseline continues island 0's stream — with one island that is
+        /// exactly the legacy post-search state).
+        std::vector<util::Rng> islandRngs;
+    };
+
+    IslandSearch(const P& problem, Options options)
+        : problem_(problem), options_(std::move(options)) {
+        if (options_.islands < 1) throw std::invalid_argument("IslandSearch: islands < 1");
+        if (options_.batch < 1) throw std::invalid_argument("IslandSearch: batch < 1");
+        if (options_.generations < 0)
+            throw std::invalid_argument("IslandSearch: negative generations");
+    }
+
+    /// Runs the search.  `seeded` entries are pre-evaluated knowledge
+    /// (e.g. a DSE training sample) inserted into EVERY island archive
+    /// after its private random seeds.
+    Result run(std::span<const Entry> seeded = {}) const {
+        const std::size_t n = static_cast<std::size_t>(options_.islands);
+        std::vector<Island> islands;
+        islands.reserve(n);
+        std::uint64_t seedState = options_.seed;
+        for (std::size_t i = 0; i < n; ++i) {
+            Island island{Archive(options_.archiveCap, options_.epsilon),
+                          util::Rng(i == 0 ? options_.seed : util::splitmix64(seedState))};
+            island.strategy = options_.islandStrategies.empty()
+                                  ? options_.strategy
+                                  : options_.islandStrategies[i % options_.islandStrategies.size()];
+            islands.push_back(std::move(island));
+        }
+
+        util::ThreadPool& pool =
+            options_.pool != nullptr ? *options_.pool : util::ThreadPool::global();
+
+        // Seeding runs island-parallel too: each island only touches its
+        // own state, and its random draws come from its own stream.
+        pool.parallelFor(
+            n, [&](std::size_t i) { seedIsland(islands[i], seeded); }, options_.threads);
+
+        // Lockstep epochs with serial ring migration between them.
+        const int interval =
+            options_.migrationInterval > 0 ? options_.migrationInterval : options_.generations;
+        int done = 0;
+        while (done < options_.generations) {
+            const int step = std::min(interval, options_.generations - done);
+            pool.parallelFor(
+                n,
+                [&](std::size_t i) {
+                    for (int g = 0; g < step; ++g) generation(islands[i], done + g);
+                },
+                options_.threads);
+            done += step;
+            if (n > 1 && done < options_.generations) migrate(islands);
+        }
+
+        Result result;
+        result.archive = Archive(options_.archiveCap, options_.epsilon);
+        result.islandEvaluations.reserve(n);
+        result.islandRngs.reserve(n);
+        for (Island& island : islands) {
+            result.archive.merge(island.archive);
+            result.evaluations += island.evaluations;
+            result.islandEvaluations.push_back(island.evaluations);
+            result.islandRngs.push_back(std::move(island.rng));
+        }
+        return result;
+    }
+
+private:
+    struct Island {
+        Archive archive;
+        util::Rng rng;
+        Strategy strategy = Strategy::HillClimb;
+        std::size_t evaluations = 0;
+        // Annealing walk state (optional: genomes need not be
+        // default-constructible).
+        std::optional<Genome> current;
+        Objectives currentObjectives;
+        // Reused draft buffers (no per-generation allocation).
+        std::vector<Genome> draft;
+        std::vector<Objectives> estimates;
+    };
+
+    /// Drafted candidates -> one batched estimate -> ordered inserts.
+    void evaluateDraft(Island& island) const {
+        island.estimates.assign(island.draft.size(), Objectives{});
+        problem_.evaluate(std::span<const Genome>(island.draft),
+                          std::span<Objectives>(island.estimates));
+        island.evaluations += island.draft.size();
+    }
+
+    void seedIsland(Island& island, std::span<const Entry> seeded) const {
+        island.draft.clear();
+        for (int s = 0; s < options_.seedsPerIsland; ++s)
+            island.draft.push_back(problem_.random(island.rng));
+        // Every strategy needs a parent: an island left empty (no random
+        // seeds, no shared knowledge) still gets one random genome.
+        if (island.draft.empty() && seeded.empty())
+            island.draft.push_back(problem_.random(island.rng));
+        if (!island.draft.empty()) {
+            evaluateDraft(island);
+            for (std::size_t k = 0; k < island.draft.size(); ++k)
+                island.archive.insert(std::move(island.draft[k]), island.estimates[k]);
+        }
+        for (const Entry& e : seeded) island.archive.insert(e.genome, e.objectives);
+    }
+
+    void generation(Island& island, int gen) const {
+        island.draft.clear();
+        const auto& entries = island.archive.entries();
+        switch (island.strategy) {
+            case Strategy::HillClimb:
+                // batch == 1 is exactly the legacy serial pattern: one
+                // parent draw, one mutation, one insert per step.
+                for (int k = 0; k < options_.batch; ++k) {
+                    const Genome& parent = entries[island.rng.index(entries.size())].genome;
+                    island.draft.push_back(problem_.mutate(parent, island.rng));
+                }
+                break;
+            case Strategy::Anneal:
+                if (!island.current.has_value()) {
+                    const Entry& start = entries[island.rng.index(entries.size())];
+                    island.current = start.genome;
+                    island.currentObjectives = start.objectives;
+                }
+                for (int k = 0; k < options_.batch; ++k)
+                    island.draft.push_back(problem_.mutate(*island.current, island.rng));
+                break;
+            case Strategy::Genetic:
+                for (int k = 0; k < options_.batch; ++k) {
+                    const Genome& a = entries[island.rng.index(entries.size())].genome;
+                    const Genome& b = entries[island.rng.index(entries.size())].genome;
+                    island.draft.push_back(
+                        problem_.mutate(problem_.crossover(a, b, island.rng), island.rng));
+                }
+                break;
+        }
+        evaluateDraft(island);
+
+        if (island.strategy == Strategy::Anneal) {
+            const double t = temperature(gen);
+            for (std::size_t k = 0; k < island.draft.size(); ++k) {
+                // Scale-free acceptance: the worst relative worsening over
+                // the objectives is the "energy" delta.  d == 0 (nowhere
+                // worse) always moves; otherwise Metropolis at the epoch
+                // temperature.  The walk only steers exploration — every
+                // candidate still offers itself to the archive below.
+                double d = 0.0;
+                for (std::size_t o = 0; o < island.estimates[k].size(); ++o) {
+                    const double cur = island.currentObjectives[o];
+                    const double rel = (island.estimates[k][o] - cur) /
+                                       (std::abs(cur) + 1e-12);
+                    d = std::max(d, rel);
+                }
+                if (d <= 0.0 || island.rng.uniformReal(0.0, 1.0) < std::exp(-d / t)) {
+                    island.current = island.draft[k];
+                    island.currentObjectives = island.estimates[k];
+                }
+            }
+        }
+        for (std::size_t k = 0; k < island.draft.size(); ++k)
+            island.archive.insert(std::move(island.draft[k]), island.estimates[k]);
+    }
+
+    double temperature(int gen) const {
+        const double t0 = options_.annealStartTemp, t1 = options_.annealEndTemp;
+        if (options_.generations <= 1) return t1;
+        const double f = static_cast<double>(gen) / static_cast<double>(options_.generations - 1);
+        return t0 * std::pow(t1 / t0, f);
+    }
+
+    /// Ring migration on pre-epoch snapshots: island i receives up to
+    /// `migrants` entries from island i-1, spread along the archive's
+    /// cost-like axis (sort + endpoint-exact thinning, so the donor's
+    /// extremes always travel).  Runs serially in island order; inserts
+    /// consume no RNG, so migration never perturbs the island streams.
+    void migrate(std::vector<Island>& islands) const {
+        if (options_.migrants <= 0) return;  // migration disabled
+        const std::size_t n = islands.size();
+        // Select by index first — genomes can be heavy (CGP gene
+        // vectors), so only the <= `migrants` picked entries are copied,
+        // never a whole archive.  The (value, index) sort key makes tie
+        // order fully specified.
+        std::vector<std::vector<Entry>> outbound(n);
+        std::vector<std::pair<double, std::size_t>> order;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::vector<Entry>& entries = islands[i].archive.entries();
+            if (entries.empty()) continue;
+            const std::size_t axis = entries.front().objectives.size() - 1;
+            order.clear();
+            order.reserve(entries.size());
+            for (std::size_t k = 0; k < entries.size(); ++k)
+                order.emplace_back(entries[k].objectives[axis], k);
+            std::sort(order.begin(), order.end());
+            util::thinUniform(order, static_cast<std::size_t>(options_.migrants));
+            outbound[i].reserve(order.size());
+            for (const auto& [value, k] : order) outbound[i].push_back(entries[k]);
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            for (const Entry& e : outbound[(i + n - 1) % n])
+                islands[i].archive.insert(e.genome, e.objectives);
+    }
+
+    const P& problem_;
+    Options options_;
+};
+
+}  // namespace axf::search

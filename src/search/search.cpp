@@ -1,0 +1,14 @@
+#include "src/search/island_search.hpp"
+
+namespace axf::search {
+
+const char* strategyName(Strategy strategy) {
+    switch (strategy) {
+        case Strategy::HillClimb: return "hill-climb";
+        case Strategy::Anneal: return "anneal";
+        case Strategy::Genetic: return "genetic";
+    }
+    return "?";
+}
+
+}  // namespace axf::search

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/search/objectives.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::search {
+
+/// Minimal reference implementation of the `Problem` concept, shared by
+/// the unit tests and the `BM_IslandSearch` micro-benchmark (one copy, so
+/// concept changes propagate to both).  Genomes are int vectors over a
+/// `[0, Alphabet)` menu; objective 0 is the squared distance to the
+/// all-(Alphabet-1) target (quality), objective 1 is the element sum
+/// (cost) — the true front is the staircase between all-zeros and
+/// all-max.  Evaluation is near-free, which is exactly what a search
+/// *engine* fixture wants: it times drafts, dominance scans, thinning
+/// and migration rather than any estimator.
+template <std::size_t Len, int Alphabet>
+struct ToyProblem {
+    using Genome = std::vector<int>;
+    static constexpr std::size_t kLen = Len;
+
+    std::size_t objectiveCount() const { return 2; }
+
+    Genome random(util::Rng& rng) const {
+        Genome g(kLen);
+        for (int& v : g) v = static_cast<int>(rng.index(Alphabet));
+        return g;
+    }
+    Genome mutate(const Genome& g, util::Rng& rng) const {
+        Genome c = g;
+        c[rng.index(kLen)] = static_cast<int>(rng.index(Alphabet));
+        return c;
+    }
+    Genome crossover(const Genome& a, const Genome& b, util::Rng& rng) const {
+        Genome c = a;
+        for (std::size_t i = 0; i < kLen; ++i)
+            if (rng.bernoulli(0.5)) c[i] = b[i];
+        return c;
+    }
+    void evaluate(std::span<const Genome> batch, std::span<Objectives> out) const {
+        constexpr double target = Alphabet - 1;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            double dist = 0.0, sum = 0.0;
+            for (int v : batch[i]) {
+                dist += (target - v) * (target - v);
+                sum += v;
+            }
+            out[i] = Objectives{dist, sum};
+        }
+    }
+};
+
+}  // namespace axf::search

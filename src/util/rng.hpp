@@ -9,6 +9,21 @@
 
 namespace axf::util {
 
+/// One splitmix64 step: advances `state` and returns a well-mixed 64-bit
+/// value.  Iterating from a base seed yields a reproducible sequence of
+/// decorrelated seeds without constructing intermediate generators — the
+/// island search derives its per-island RNG streams this way.  (The
+/// activity-stimulus and digest paths in circuit/error/cache keep private
+/// copies of the same constants to stay header-dependency-free; keep the
+/// algorithms in sync.)
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 /// Deterministic pseudo-random number generator used by every stochastic
 /// component in the library (CGP mutation, data-set sampling, ML
 /// initialization, placement jitter).  All call-sites receive an explicit

@@ -186,6 +186,37 @@ TEST(KernelFusion, RewriteRulesPreserveSemantics) {
     }
 }
 
+TEST(KernelFusion, AndOrTreeWideningPreservesSemantics) {
+    using GK = GateKind;
+    // An OR-compressor level and an AND-tree level: the single-use inner
+    // gate of each pair must widen to one Or3 / And3 instruction.
+    Netlist net("compressor");
+    const NodeId a = net.addInput();
+    const NodeId b = net.addInput();
+    const NodeId c = net.addInput();
+    const NodeId d = net.addInput();
+    const NodeId orInner = net.addGate(GK::Or, a, b);
+    net.markOutput(net.addGate(GK::Or, orInner, c));   // -> Or3(a, b, c)
+    const NodeId andInner = net.addGate(GK::And, b, c);
+    net.markOutput(net.addGate(GK::And, d, andInner)); // -> And3 (inner on b side)
+    // A multi-use inner gate must NOT be absorbed: both consumers and the
+    // output read it.
+    const NodeId shared = net.addGate(GK::Or, c, d);
+    net.markOutput(net.addGate(GK::Or, shared, a));
+    net.markOutput(shared);
+    const CompiledNetlist compiled = CompiledNetlist::compile(net);
+    // or-pair -> Or3, and-pair -> And3, shared Or kept + its consumer.
+    EXPECT_EQ(compiled.instructionCount(), 4u);
+    EXPECT_GE(compiled.stats().fusedOps, 2u);
+    crossCheck(net, compiled);
+    // Bit-identical across every backend (the new kernel-table entries).
+    for (const kernels::Backend* backend : kernels::availableBackends()) {
+        CompiledNetlist::Options options;
+        options.backend = backend;
+        crossCheck(net, CompiledNetlist::compile(net, options));
+    }
+}
+
 TEST(KernelFusion, GeneratorCircuitsShrink) {
     const Netlist net = gen::wallaceMultiplier(6);  // 12-bit space: exhaustive check
     const CompiledNetlist fused = CompiledNetlist::compile(net);
