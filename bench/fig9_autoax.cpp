@@ -13,6 +13,8 @@
 #include "src/autoax/accelerator.hpp"
 #include "src/autoax/dse.hpp"
 #include "src/autoax/sobel.hpp"
+#include "src/cache/characterization_cache.hpp"
+#include "src/fault/fault.hpp"
 #include "src/core/flow.hpp"
 #include "src/util/table.hpp"
 #include "src/util/thread_pool.hpp"
@@ -198,6 +200,58 @@ int main() {
                            util::Table::num(cheapest, 2)});
     }
     sobelTable.print(std::cout);
+
+    // --- resilience-aware DSE: quality x cost x fault-MED fronts -----------
+    // The stuck-at campaign engine (src/fault) characterizes each menu
+    // component once (content-addressed in the shared cache), and the DSE
+    // carries mean error-under-fault as a third archive objective — the
+    // fronts below trade SSIM and hardware cost against resilience.
+    util::printBanner(std::cout, "resilience-aware DSE: SSIM x cost x fault-MED");
+    fault::CampaignConfig campaign;
+    campaign.analysis.sampleCount = scale == bench::Scale::Ci ? 1u << 10 : 1u << 12;
+
+    util::Table resTable({"adder", "MED", "fault sites", "coverage", "mean MED under fault"});
+    const std::vector<autoax::Component>& menu = sobel.adderMenu();
+    std::vector<double> componentFaultMed(menu.size(), 0.0);
+    for (std::size_t c = 0; c < menu.size(); ++c) {
+        const fault::ResilienceReport rr = cache::analyzeResilienceCached(
+            bench::sharedCache(), menu[c].netlist.structuralHash(), menu[c].netlist,
+            menu[c].signature, campaign);
+        componentFaultMed[c] = rr.meanMedUnderFault;
+        resTable.addRow({menu[c].name, util::Table::num(menu[c].error.med, 5),
+                         std::to_string(rr.totalSites), util::Table::num(rr.faultCoverage, 3),
+                         util::Table::num(rr.meanMedUnderFault, 5)});
+    }
+    std::cout << "per-component stuck-at campaigns (" << campaign.analysis.sampleCount
+              << " vectors/fault, cached):\n";
+    resTable.print(std::cout);
+
+    autoax::AutoAxFpgaFlow::Config resCfg = sobelCfg;
+    resCfg.resilienceObjective = true;
+    resCfg.faultCampaign = campaign;
+    resCfg.cache = bench::sharedCache();
+    util::Timer resTimer;
+    const autoax::AutoAxFpgaFlow::Result resResult = autoax::AutoAxFpgaFlow(resCfg).run(sobel);
+    std::cout << "\n3-objective DSE: " << util::Table::num(resTimer.seconds(), 2) << " s, "
+              << resResult.totalRealEvaluations << " fresh real evaluations\n";
+
+    const auto slotMeanFaultMed = [&](const autoax::AcceleratorConfig& config) {
+        double sum = 0.0;
+        for (int choice : config.choice) sum += componentFaultMed[static_cast<std::size_t>(choice)];
+        return sum / static_cast<double>(config.choice.size());
+    };
+    for (const autoax::AutoAxFpgaFlow::ScenarioResult& s : resResult.scenarios) {
+        util::Table front({"SSIM", core::fpgaParamName(s.param), "fault MED (slot mean)"});
+        for (std::size_t pos : autoax::qualityCostFront(s.autoax, s.param)) {
+            const autoax::EvaluatedConfig& p = s.autoax[pos];
+            front.addRow({util::Table::num(p.ssim, 4),
+                          util::Table::num(autoax::costParamOf(p.cost, s.param), 2),
+                          util::Table::num(slotMeanFaultMed(p.config), 5)});
+        }
+        std::cout << "\nSSIM-" << core::fpgaParamName(s.param)
+                  << "-resilience front (" << front.rowCount() << " designs):\n";
+        front.print(std::cout);
+    }
 
     bench::printCacheStats(std::cout);
     return 0;

@@ -23,6 +23,7 @@
 #include "src/circuit/batch_sim.hpp"
 #include "src/circuit/simulator.hpp"
 #include "src/error/error_metrics.hpp"
+#include "src/fault/fault.hpp"
 #include "src/gen/adders.hpp"
 #include "src/gen/multipliers.hpp"
 #include "src/img/ssim.hpp"
@@ -112,6 +113,61 @@ static void BM_SampledError16Bit(benchmark::State& state) {
                             static_cast<std::int64_t>(config.sampleCount));
 }
 BENCHMARK(BM_SampledError16Bit);
+
+/// Exhaustive stuck-at campaign over the complete fault list of an 8x8
+/// multiplier (Arg(0) = exact Wallace, Arg(t) = truncated-t): the batched
+/// engine retires many faults per 256-lane pass by replaying only each
+/// fault's downstream cone.  items_per_second = faults retired/sec.
+static void BM_FaultSweep(benchmark::State& state) {
+    const circuit::Netlist net = state.range(0) == 0
+                                     ? gen::wallaceMultiplier(8)
+                                     : gen::truncatedMultiplier(8, static_cast<int>(state.range(0)));
+    const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    fault::CampaignConfig config;
+    config.analysis.threads = 1;
+    const std::size_t faults =
+        fault::enumerateFaultSites(circuit::CompiledNetlist::compile(net),
+                                   config.includeInputFaults, config.collapseEquivalent)
+            .sites.size();
+    for (auto _ : state) {
+        const fault::ResilienceReport r = fault::analyzeResilience(net, sig, config);
+        benchmark::DoNotOptimize(r.meanMedUnderFault);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(faults));
+}
+BENCHMARK(BM_FaultSweep)->Arg(0)->Arg(4)->Arg(6);
+
+/// The naive campaign shape the batched sweep replaces: one fault per full
+/// sweep — mutate the netlist (stuck-at constant) and run one complete
+/// exhaustive analysis over the input space per fault, on the scalar
+/// reference analyzer (`analyzeErrorBaseline`, the obvious first
+/// formulation).  Same Arg convention as BM_FaultSweep so the two are
+/// circuit-matched; capped at 8 faults so the benchmark stays short.
+/// items_per_second = faults retired/sec, directly comparable to the
+/// same-Arg BM_FaultSweep row.
+static void BM_FaultSweepNaive(benchmark::State& state) {
+    const circuit::Netlist net = state.range(0) == 0
+                                     ? gen::wallaceMultiplier(8)
+                                     : gen::truncatedMultiplier(8, static_cast<int>(state.range(0)));
+    const circuit::ArithSignature sig = gen::multiplierSignature(8);
+    fault::CampaignConfig config;
+    const fault::SiteEnumeration sites = fault::enumerateFaultSites(
+        circuit::CompiledNetlist::compile(net), config.includeInputFaults,
+        config.collapseEquivalent);
+    const std::size_t cap = std::min<std::size_t>(sites.sites.size(), 8);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < cap; ++i) {
+            const fault::FaultSite& s = sites.sites[i];
+            benchmark::DoNotOptimize(
+                error::analyzeErrorBaseline(fault::stuckAtNetlist(net, s.node, s.stuckTo), sig)
+                    .med);
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(cap));
+}
+BENCHMARK(BM_FaultSweepNaive)->Arg(0)->Arg(4);
 
 static void BM_LutMapping(benchmark::State& state) {
     const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));
@@ -313,6 +369,56 @@ void printSpeedupSummary() {
         "(parallel %.3f ms, %.2fx)\n",
         tSeed * 1e3, 65536.0 / tSeed, tEngine * 1e3, 65536.0 / tEngine, tSeed / tEngine,
         tParallel * 1e3, tSeed / tParallel);
+
+    // Fault campaign: the batched sweep vs one-fault-per-full-sweep on the
+    // exact 8x8 Wallace multiplier, both normalized to microseconds per
+    // fault retired.  Two reference points: the naive scalar formulation
+    // (mutate + full analyzeErrorBaseline sweep, what BM_FaultSweepNaive
+    // measures) and the stronger per-fault re-analysis through the
+    // compiled engine.
+    const circuit::Netlist mul8 = gen::wallaceMultiplier(8);
+    fault::CampaignConfig campaign;
+    campaign.analysis.threads = 1;
+    const fault::SiteEnumeration sites = fault::enumerateFaultSites(
+        circuit::CompiledNetlist::compile(mul8), campaign.includeInputFaults,
+        campaign.collapseEquivalent);
+    const double tSweep = bestOf(
+        [&] {
+            benchmark::DoNotOptimize(
+                fault::analyzeResilience(mul8, sig, campaign).meanMedUnderFault);
+        },
+        3);
+    const std::size_t naiveCap = std::min<std::size_t>(sites.sites.size(), 8);
+    const double tNaive = bestOf(
+        [&] {
+            for (std::size_t i = 0; i < naiveCap; ++i)
+                benchmark::DoNotOptimize(
+                    error::analyzeErrorBaseline(
+                        fault::stuckAtNetlist(mul8, sites.sites[i].node, sites.sites[i].stuckTo),
+                        sig)
+                        .med);
+        },
+        3);
+    const std::size_t engineCap = std::min<std::size_t>(sites.sites.size(), 16);
+    const double tEngineNaive = bestOf(
+        [&] {
+            for (std::size_t i = 0; i < engineCap; ++i)
+                benchmark::DoNotOptimize(
+                    error::analyzeError(
+                        fault::stuckAtNetlist(mul8, sites.sites[i].node, sites.sites[i].stuckTo),
+                        sig, serial)
+                        .med);
+        },
+        3);
+    const double perFaultSweep = tSweep / static_cast<double>(sites.sites.size());
+    const double perFaultNaive = tNaive / static_cast<double>(naiveCap);
+    const double perFaultEngine = tEngineNaive / static_cast<double>(engineCap);
+    std::printf(
+        "exhaustive 8x8 stuck-at campaign: %zu faults in %.3f ms (%.2f us/fault); naive "
+        "one-fault-per-sweep %.2f us/fault (batched %.1fx), engine re-analysis %.2f us/fault "
+        "(batched %.1fx)\n",
+        sites.sites.size(), tSweep * 1e3, perFaultSweep * 1e6, perFaultNaive * 1e6,
+        perFaultNaive / perFaultSweep, perFaultEngine * 1e6, perFaultEngine / perFaultSweep);
 }
 
 }  // namespace

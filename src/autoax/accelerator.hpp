@@ -43,6 +43,9 @@ public:
     // --- AcceleratorModel --------------------------------------------------
     std::string name() const override { return "gaussian3x3"; }
     const ConfigSpace& configSpace() const override { return space_; }
+    const std::vector<Component>* componentMenu(std::size_t group) const override {
+        return group == 0 ? &multipliers_ : group == 1 ? &adders_ : nullptr;
+    }
     using AcceleratorModel::filter;  // the one-shot-scratch convenience
     img::Image filter(const img::Image& input, const AcceleratorConfig& config,
                       Workspace& workspace) const override;

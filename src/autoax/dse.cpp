@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/autoax/search_problem.hpp"
+#include "src/cache/characterization_cache.hpp"
 #include "src/core/pareto.hpp"
 #include "src/ml/models.hpp"
 #include "src/util/rng.hpp"
@@ -145,6 +146,27 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     const AcceleratorEstimators estimators =
         AcceleratorEstimators::train(model, result.trainingSet);
 
+    // --- per-component resilience characterization -------------------------
+    // Slot-major [slot][choice] table of mean error-under-fault: each menu
+    // entry is campaigned exactly once per group (content-addressed in the
+    // characterization cache when one is provided), then the group's MED
+    // column is shared by all of its slots.
+    std::vector<std::vector<double>> resilienceTable;
+    if (config_.resilienceObjective) {
+        for (std::size_t g = 0; g < space.groups.size(); ++g) {
+            std::vector<double> med(static_cast<std::size_t>(space.groups[g].menuSize), 0.0);
+            if (const std::vector<Component>* menu = model.componentMenu(g))
+                for (std::size_t c = 0; c < menu->size() && c < med.size(); ++c) {
+                    const Component& comp = (*menu)[c];
+                    med[c] = cache::analyzeResilienceCached(
+                                 config_.cache, comp.netlist.structuralHash(), comp.netlist,
+                                 comp.signature, config_.faultCampaign)
+                                 .meanMedUnderFault;
+                }
+            for (int s = 0; s < space.groups[g].slots; ++s) resilienceTable.push_back(med);
+        }
+    }
+
     // --- per-scenario estimator-guided island search -----------------------
     // The search itself runs on the `search::IslandSearch` engine: N
     // islands (1 = the legacy serial archive hill-climb, bit-for-bit)
@@ -159,7 +181,8 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
         // stream both match the pre-engine code exactly.
         const std::uint64_t searchSeed = rng.uniformInt(0, UINT64_MAX);
 
-        const AcceleratorSearchProblem problem(model, estimators, param);
+        AcceleratorSearchProblem problem(model, estimators, param);
+        if (config_.resilienceObjective) problem.setResilienceObjective(resilienceTable);
         Search::Options searchOptions;
         searchOptions.islands = config_.islands;
         searchOptions.batch = config_.searchBatch;
@@ -185,8 +208,8 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
         std::vector<Search::Entry> seeded;
         seeded.reserve(result.trainingSet.size());
         for (const EvaluatedConfig& t : result.trainingSet)
-            seeded.push_back({t.config, AcceleratorSearchProblem::objectivesOf(
-                                            t.ssim, costParamOf(t.cost, param))});
+            seeded.push_back({t.config, problem.objectives(
+                                            t.ssim, costParamOf(t.cost, param), t.config)});
         Search::Result searched = Search(problem, searchOptions).run(seeded);
         scenario.estimatorQueries = searched.evaluations;
 

@@ -4,11 +4,16 @@
 
 #include "src/autoax/eval_engine.hpp"
 #include "src/autoax/model.hpp"
+#include "src/fault/fault.hpp"
 #include "src/ml/regressor.hpp"
 #include "src/search/island_search.hpp"
 
 namespace axf::util {
 class ThreadPool;
+}
+
+namespace axf::cache {
+class CharacterizationCache;
 }
 
 namespace axf::autoax {
@@ -76,6 +81,16 @@ public:
         /// Epsilon-dominance coarsening of the search archives (0 = the
         /// exact legacy dominance).
         double searchEpsilon = 0.0;
+
+        // --- resilience objective (src/fault) --------------------------
+        /// Adds mean error-under-fault as a third archive objective
+        /// (quality x cost x resilience fronts).  Each menu component is
+        /// characterized once by a stuck-at campaign — cached when
+        /// `cache` is set — and a configuration scores the slot-mean of
+        /// its chosen components' fault MEDs.
+        bool resilienceObjective = false;
+        fault::CampaignConfig faultCampaign;
+        cache::CharacterizationCache* cache = nullptr;
     };
 
     struct ScenarioResult {

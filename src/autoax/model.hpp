@@ -105,6 +105,16 @@ public:
     virtual std::string name() const = 0;
     virtual const ConfigSpace& configSpace() const = 0;
 
+    /// Component menu the slots of ConfigSpace group `group` draw from, or
+    /// nullptr when the model has no per-group netlist menu.  Consumers
+    /// that characterize individual components (e.g. the resilience-aware
+    /// DSE running per-component stuck-at campaigns) need the underlying
+    /// netlists, not just menu sizes.
+    virtual const std::vector<Component>* componentMenu(std::size_t group) const {
+        (void)group;
+        return nullptr;
+    }
+
     /// Runs the behavioral model over an image using caller-owned scratch.
     virtual img::Image filter(const img::Image& input, const AcceleratorConfig& config,
                               Workspace& workspace) const = 0;

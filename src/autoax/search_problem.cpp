@@ -24,11 +24,19 @@ AcceleratorConfig AcceleratorSearchProblem::crossover(const AcceleratorConfig& a
     return child;
 }
 
+double AcceleratorSearchProblem::resilienceOf(const AcceleratorConfig& config) const {
+    if (resilience_.empty() || config.choice.empty()) return 0.0;
+    double sum = 0.0;
+    for (std::size_t slot = 0; slot < config.choice.size(); ++slot)
+        sum += resilience_[slot][static_cast<std::size_t>(config.choice[slot])];
+    return sum / static_cast<double>(config.choice.size());
+}
+
 void AcceleratorSearchProblem::evaluate(std::span<const AcceleratorConfig> batch,
                                         std::span<search::Objectives> out) const {
     for (std::size_t i = 0; i < batch.size(); ++i)
-        out[i] = objectivesOf(estimators_.estimateSsim(model_, batch[i]),
-                              estimators_.estimateCost(model_, batch[i], param_));
+        out[i] = objectives(estimators_.estimateSsim(model_, batch[i]),
+                            estimators_.estimateCost(model_, batch[i], param_), batch[i]);
 }
 
 }  // namespace axf::autoax

@@ -14,8 +14,10 @@ namespace axf::autoax {
 /// the scenario — `{-estimated SSIM, estimated FPGA-parameter cost}`,
 /// both minimized (the SSIM negation is exact in IEEE doubles, so the
 /// generalized archive dominance is bit-equivalent to the legacy
-/// maximize-SSIM/minimize-cost one).  Estimator prediction is const,
-/// RNG-free and thread-safe, so islands may evaluate concurrently.
+/// maximize-SSIM/minimize-cost one).  An optional third objective adds
+/// per-configuration fault resilience (`setResilienceObjective`).
+/// Estimator prediction is const, RNG-free and thread-safe, so islands
+/// may evaluate concurrently.
 class AcceleratorSearchProblem {
 public:
     using Genome = AcceleratorConfig;
@@ -24,7 +26,20 @@ public:
                              const AcceleratorEstimators& estimators, core::FpgaParam param)
         : model_(model), estimators_(estimators), param_(param) {}
 
-    std::size_t objectiveCount() const { return 2; }
+    std::size_t objectiveCount() const { return resilience_.empty() ? 2 : 3; }
+
+    /// Enables the resilience objective: `table[slot][choice]` is the mean
+    /// error-under-fault (MED) of that slot's menu entry, and a
+    /// configuration scores the mean over its slots (minimized).  The
+    /// additive composition mirrors the hardware cost model: component
+    /// campaigns are cheap and content-addressable where whole-accelerator
+    /// campaigns are neither.
+    void setResilienceObjective(std::vector<std::vector<double>> table) {
+        resilience_ = std::move(table);
+    }
+
+    /// Slot-mean fault MED of a configuration (0 when disabled).
+    double resilienceOf(const AcceleratorConfig& config) const;
 
     AcceleratorConfig random(util::Rng& rng) const {
         return model_.configSpace().randomConfig(rng);
@@ -47,10 +62,20 @@ public:
         return search::Objectives{-ssim, cost};
     }
 
+    /// Instance encoding: `objectivesOf` plus the resilience objective
+    /// when enabled.  Seed entries must use this overload so archive
+    /// entries all carry the same objective count.
+    search::Objectives objectives(double ssim, double cost,
+                                  const AcceleratorConfig& config) const {
+        if (resilience_.empty()) return objectivesOf(ssim, cost);
+        return search::Objectives{-ssim, cost, resilienceOf(config)};
+    }
+
 private:
     const AcceleratorModel& model_;
     const AcceleratorEstimators& estimators_;
     core::FpgaParam param_;
+    std::vector<std::vector<double>> resilience_;  ///< [slot][choice] fault MED
 };
 
 }  // namespace axf::autoax

@@ -34,6 +34,9 @@ public:
     // --- AcceleratorModel --------------------------------------------------
     std::string name() const override { return "sobel3x3"; }
     const ConfigSpace& configSpace() const override { return space_; }
+    const std::vector<Component>* componentMenu(std::size_t group) const override {
+        return group == 0 ? &adders_ : nullptr;
+    }
     using AcceleratorModel::filter;
     img::Image filter(const img::Image& input, const AcceleratorConfig& config,
                       Workspace& workspace) const override;

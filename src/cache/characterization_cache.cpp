@@ -293,6 +293,18 @@ void CharacterizationCache::putFpga(const CacheKey& key, const synth::FpgaReport
     putBytes(key, encodeReport(report));
 }
 
+std::optional<fault::ResilienceReport> CharacterizationCache::findResilience(
+    const CacheKey& key) {
+    checkKind(key, PayloadKind::Resilience);
+    return decodeReport<fault::ResilienceReport>(findBytes(key));
+}
+
+void CharacterizationCache::putResilience(const CacheKey& key,
+                                          const fault::ResilienceReport& report) {
+    checkKind(key, PayloadKind::Resilience);
+    putBytes(key, encodeReport(report));
+}
+
 CacheStats CharacterizationCache::stats() const {
     CacheStats s;
     s.hits = hits_.load(std::memory_order_relaxed);
@@ -373,6 +385,23 @@ std::uint64_t CharacterizationCache::digestOf(const synth::FpgaFlow::Options& op
         .value();
 }
 
+std::uint64_t CharacterizationCache::digestOf(const fault::CampaignConfig& config,
+                                              const circuit::ArithSignature& sig) {
+    const bool exhaustive = config.analysis.isExhaustiveFor(sig);
+    Digest d;
+    d.str("fault-campaign.v1");
+    d.u64(exhaustive ? 1 : 0);
+    if (!exhaustive) d.u64(config.analysis.sampleCount).u64(config.analysis.seed);
+    // `threads` deliberately excluded: the campaign's block-ordered merge
+    // keeps reports bit-identical at any thread count.
+    d.u64(config.includeInputFaults ? 1 : 0);
+    d.u64(config.collapseEquivalent ? 1 : 0);
+    d.f64(config.criticalFactor);
+    d.f64(config.criticalFloor);
+    d.u64(config.maxCritical);
+    return d.value();
+}
+
 CacheKey CharacterizationCache::errorKey(std::uint64_t structuralHash,
                                          const circuit::ArithSignature& sig,
                                          const error::ErrorAnalysisConfig& config) {
@@ -392,6 +421,13 @@ CacheKey CharacterizationCache::fpgaKey(std::uint64_t structuralHash,
                     static_cast<std::uint32_t>(PayloadKind::FpgaReport)};
 }
 
+CacheKey CharacterizationCache::resilienceKey(std::uint64_t structuralHash,
+                                              const circuit::ArithSignature& sig,
+                                              const fault::CampaignConfig& config) {
+    return CacheKey{structuralHash, digestOf(sig), digestOf(config, sig),
+                    static_cast<std::uint32_t>(PayloadKind::Resilience)};
+}
+
 CacheKey CharacterizationCache::blobKey(std::uint64_t structuralHash, std::string_view tag) {
     return CacheKey{structuralHash, 0, Digest().str(tag).value(),
                     static_cast<std::uint32_t>(PayloadKind::Blob)};
@@ -408,6 +444,19 @@ error::ErrorReport analyzeErrorCached(CharacterizationCache* cache, std::uint64_
     if (std::optional<error::ErrorReport> hit = cache->findError(key)) return *hit;
     const error::ErrorReport report = error::analyzeError(netlist, sig, config);
     cache->putError(key, report);
+    return report;
+}
+
+fault::ResilienceReport analyzeResilienceCached(CharacterizationCache* cache,
+                                                std::uint64_t structuralHash,
+                                                const circuit::Netlist& netlist,
+                                                const circuit::ArithSignature& sig,
+                                                const fault::CampaignConfig& config) {
+    if (cache == nullptr) return fault::analyzeResilience(netlist, sig, config);
+    const CacheKey key = CharacterizationCache::resilienceKey(structuralHash, sig, config);
+    if (std::optional<fault::ResilienceReport> hit = cache->findResilience(key)) return *hit;
+    const fault::ResilienceReport report = fault::analyzeResilience(netlist, sig, config);
+    cache->putResilience(key, report);
     return report;
 }
 

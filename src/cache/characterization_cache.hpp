@@ -14,6 +14,7 @@
 #include "src/circuit/arith.hpp"
 #include "src/circuit/netlist.hpp"
 #include "src/error/error_metrics.hpp"
+#include "src/fault/fault.hpp"
 #include "src/synth/asic.hpp"
 #include "src/synth/fpga.hpp"
 
@@ -27,6 +28,7 @@ enum class PayloadKind : std::uint32_t {
     AsicReport = 2,    ///< synth::AsicReport
     FpgaReport = 3,    ///< synth::FpgaReport
     Blob = 4,          ///< free-form bytes (simplified netlists, LUT tables)
+    Resilience = 5,    ///< fault::ResilienceReport
 };
 
 /// Content address of one characterization artifact.
@@ -108,6 +110,8 @@ public:
     void putAsic(const CacheKey& key, const synth::AsicReport& report);
     std::optional<synth::FpgaReport> findFpga(const CacheKey& key);
     void putFpga(const CacheKey& key, const synth::FpgaReport& report);
+    std::optional<fault::ResilienceReport> findResilience(const CacheKey& key);
+    void putResilience(const CacheKey& key, const fault::ResilienceReport& report);
 
     /// Writes every dirty shard to disk (no-op for in-memory caches).
     void flush();
@@ -131,6 +135,11 @@ public:
     /// change semantics, or persisted stores would serve stale reports.
     static std::uint64_t digestOf(const synth::AsicFlow::Options& options);
     static std::uint64_t digestOf(const synth::FpgaFlow::Options& options);
+    /// Digest of the result-affecting fault-campaign knobs; the embedded
+    /// analysis config is canonicalized the same way as the error digest
+    /// (threads excluded, sampling knobs dropped for exhaustive spaces).
+    static std::uint64_t digestOf(const fault::CampaignConfig& config,
+                                  const circuit::ArithSignature& sig);
 
     static CacheKey errorKey(std::uint64_t structuralHash, const circuit::ArithSignature& sig,
                              const error::ErrorAnalysisConfig& config);
@@ -138,6 +147,9 @@ public:
                             const synth::AsicFlow::Options& options);
     static CacheKey fpgaKey(std::uint64_t structuralHash,
                             const synth::FpgaFlow::Options& options);
+    static CacheKey resilienceKey(std::uint64_t structuralHash,
+                                  const circuit::ArithSignature& sig,
+                                  const fault::CampaignConfig& config);
     /// Free-form payloads; `tag` names the artifact family (and version).
     static CacheKey blobKey(std::uint64_t structuralHash, std::string_view tag);
 
@@ -182,6 +194,14 @@ error::ErrorReport analyzeErrorCached(CharacterizationCache* cache, std::uint64_
                                       const circuit::Netlist& netlist,
                                       const circuit::ArithSignature& sig,
                                       const error::ErrorAnalysisConfig& config);
+
+/// Cached `fault::analyzeResilience`; `structuralHash` must be the hash of
+/// `netlist` (passed in because callers usually already computed it).
+fault::ResilienceReport analyzeResilienceCached(CharacterizationCache* cache,
+                                                std::uint64_t structuralHash,
+                                                const circuit::Netlist& netlist,
+                                                const circuit::ArithSignature& sig,
+                                                const fault::CampaignConfig& config);
 
 /// Cached `synth::AsicFlow::synthesize`.
 synth::AsicReport synthesizeCached(CharacterizationCache* cache, const synth::AsicFlow& flow,

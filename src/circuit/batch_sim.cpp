@@ -374,7 +374,10 @@ CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options
     std::vector<std::uint32_t> slotOf(nodes.size(), 0);
     std::uint32_t nextSlot = 0;
     for (std::size_t i = 0; i < nodes.size(); ++i)
-        if (emit[i]) slotOf[i] = nextSlot++;
+        if (emit[i]) {
+            slotOf[i] = nextSlot++;
+            compiled.slotNode_.push_back(static_cast<NodeId>(i));
+        }
     compiled.slotCount_ = nextSlot;
 
     // Scheduling: one *item* per emitted instruction (a HalfAdd pair is a
@@ -634,6 +637,75 @@ void CompiledNetlist::run(const Word* inputs, Word* outputs, Word* ws) const {
 template void CompiledNetlist::run<1>(const Word*, Word*, Word*) const;
 template void CompiledNetlist::run<CompiledNetlist::kWordsPerBlock>(const Word*, Word*,
                                                                     Word*) const;
+
+namespace {
+
+template <std::size_t W>
+void applyFault(CompiledNetlist::Word* ws, const CompiledNetlist::InjectedFault& f) {
+    CompiledNetlist::Word* p = ws + static_cast<std::size_t>(f.slot) * W;
+    for (std::size_t w = 0; w < W; ++w) p[w] = f.stuckTo ? p[w] | f.mask[w] : p[w] & ~f.mask[w];
+}
+
+}  // namespace
+
+template <std::size_t W>
+void CompiledNetlist::runWithFaults(const Word* inputs, Word* outputs, Word* ws,
+                                    std::span<const InjectedFault> faults) const {
+    static_assert(W == 1 || W == kWordsPerBlock, "kernel tables exist for W = 1 and wide only");
+    const std::uint32_t* inSlots = inputSlots_.data();
+    for (std::size_t i = 0; i < inputSlots_.size(); ++i)
+        std::memcpy(ws + static_cast<std::size_t>(inSlots[i]) * W, inputs + i * W,
+                    W * sizeof(Word));
+    std::size_t fi = 0;
+    while (fi < faults.size() && faults[fi].afterInstr == kFaultAtInputs)
+        applyFault<W>(ws, faults[fi++]);
+
+    const kernels::Instr* instrs = instrs_.data();
+    const kernels::Backend& backend = *backend_;
+    const auto dispatch = [&](OpCode op, std::uint32_t begin, std::uint32_t count) {
+        if (count == 0) return;
+        const auto opIdx = static_cast<std::size_t>(op);
+        if constexpr (W == kWordsPerBlock)
+            backend.wide[opIdx](instrs + begin, count, ws);
+        else
+            backend.narrow[opIdx](instrs + begin, count, ws);
+    };
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+        const Run& run = runs_[r];
+        if (fi >= faults.size() || faults[fi].afterInstr >= run.end) {
+            // No fault boundary inside this run: pre-resolved plan kernel,
+            // exactly as run<W>.
+            const PlannedRun& p = plan_[r];
+            if constexpr (W == kWordsPerBlock)
+                p.wide(instrs + p.begin, p.count, ws);
+            else
+                p.narrow(instrs + p.begin, p.count, ws);
+            continue;
+        }
+        // Split the run at each faulted instruction; the generic kernels
+        // accept any contiguous sub-range and compute identical bits.
+        std::uint32_t pos = run.begin;
+        while (pos < run.end) {
+            const std::uint32_t stop =
+                (fi < faults.size() && faults[fi].afterInstr < run.end)
+                    ? faults[fi].afterInstr + 1
+                    : run.end;
+            dispatch(run.op, pos, stop - pos);
+            pos = stop;
+            while (fi < faults.size() && faults[fi].afterInstr == stop - 1)
+                applyFault<W>(ws, faults[fi++]);
+        }
+    }
+    const std::uint32_t* outSlots = outputSlots_.data();
+    for (std::size_t o = 0; o < outputSlots_.size(); ++o)
+        std::memcpy(outputs + o * W, ws + static_cast<std::size_t>(outSlots[o]) * W,
+                    W * sizeof(Word));
+}
+
+template void CompiledNetlist::runWithFaults<1>(const Word*, Word*, Word*,
+                                                std::span<const InjectedFault>) const;
+template void CompiledNetlist::runWithFaults<CompiledNetlist::kWordsPerBlock>(
+    const Word*, Word*, Word*, std::span<const InjectedFault>) const;
 
 void BatchSimulator::rebind(const CompiledNetlist& compiled) {
     if (compiled_ == &compiled) return;  // constants already in place

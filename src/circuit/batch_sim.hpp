@@ -91,6 +91,16 @@ public:
     /// True when compiled with pruneDead=false: slot i holds node i.
     bool preservesAllNodes() const { return allNodes_; }
 
+    /// Read-only views of the lowered program, used by the fault-injection
+    /// engine (src/fault) to enumerate fault sites and compute fan-out
+    /// cones over workspace slots.
+    std::span<const kernels::Instr> instructions() const { return instrs_; }
+    std::span<const std::uint32_t> inputSlots() const { return inputSlots_; }
+    std::span<const std::uint32_t> outputSlots() const { return outputSlots_; }
+    /// Source-netlist node held by each workspace slot (indexed by slot).
+    std::span<const NodeId> slotNodes() const { return slotNode_; }
+    const kernels::Backend& backend() const { return *backend_; }
+
     Stats stats() const;
 
     /// Rebuilds the kernel plan with the unrolled short-run ("superblock")
@@ -118,6 +128,32 @@ public:
     template <std::size_t W>
     void run(const Word* inputs, Word* outputs, Word* workspace) const;
 
+    /// A stuck-at override applied during `runWithFaults`: after the write
+    /// of instruction `afterInstr` (or after the input block copy when
+    /// `afterInstr == kFaultAtInputs`), slot `slot` is forced to the stuck
+    /// value on every lane selected by `mask` (only the first W words of
+    /// the mask are consulted for a width-W run).
+    struct InjectedFault {
+        std::uint32_t afterInstr = 0;
+        std::uint32_t slot = 0;
+        std::array<Word, kWordsPerBlock> mask{};
+        bool stuckTo = false;
+    };
+    /// `afterInstr` sentinel for faults on primary-input slots.
+    static constexpr std::uint32_t kFaultAtInputs = 0xFFFFFFFFu;
+
+    /// `run<W>` with stuck-at overrides.  `faults` must be ordered with
+    /// input-stage faults first, then ascending `afterInstr` (several
+    /// faults may share one instruction).  Fault-free runs dispatch through
+    /// the pre-resolved plan exactly like `run`; a run containing a fault
+    /// boundary is split into sub-ranges driven through the backend's
+    /// generic kernels, which compute bit-identical results on any
+    /// contiguous sub-range.  With an empty fault list this is exactly
+    /// `run<W>`.
+    template <std::size_t W>
+    void runWithFaults(const Word* inputs, Word* outputs, Word* workspace,
+                       std::span<const InjectedFault> faults) const;
+
 private:
     /// Maximal run of same-opcode instructions: the evaluator dispatches
     /// once per run, not once per gate.  Compile sorts gates of equal
@@ -143,6 +179,7 @@ private:
     std::vector<PlannedRun> plan_;
     std::vector<std::uint32_t> inputSlots_;
     std::vector<std::uint32_t> outputSlots_;
+    std::vector<NodeId> slotNode_;
     std::vector<std::pair<std::uint32_t, bool>> constants_;
     std::size_t slotCount_ = 0;
     std::size_t fusedOps_ = 0;

@@ -1,0 +1,603 @@
+#include "src/fault/fault.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/circuit/kernels.hpp"
+#include "src/error/accumulator.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace axf::fault {
+
+namespace {
+
+using circuit::CompiledNetlist;
+using circuit::GateKind;
+using circuit::Netlist;
+using circuit::NodeId;
+using circuit::kernels::OpCode;
+using circuit::kernels::opFanIn;
+using error::detail::Accumulator;
+using error::detail::Workspace;
+using error::detail::consumeBlock;
+using error::detail::fillExactExhaustive;
+using error::detail::mixSeed;
+using Word = CompiledNetlist::Word;
+
+constexpr std::size_t kWords = error::detail::kWords;
+constexpr std::size_t kLanes = error::detail::kLanes;
+
+/// Faults per exhaustive work task.  Fixed (never derived from the thread
+/// count), and each fault's block-ordered partials are independent of the
+/// partition anyway, which keeps every report bit-identical at any
+/// parallelism.  64 faults amortize one shared reference simulation per
+/// block to ~1.5% overhead per fault while still splitting the complete
+/// fault list of even small circuits across a few workers.
+constexpr std::size_t kFaultsPerTask = 64;
+
+/// Lanes per fault group in the sampled lane-group packing: one reference
+/// group plus three fault groups per 256-lane block.
+constexpr std::size_t kGroupLanes = 64;
+constexpr std::size_t kGroupsPerBlock = kWords - 1;
+
+/// Owning 64-byte-aligned workspace for direct CompiledNetlist::run calls
+/// (BatchSimulator does not expose its workspace pointer, and the fault
+/// replay needs raw slot-plane access).
+struct SimScratch {
+    explicit SimScratch(const CompiledNetlist& compiled)
+        : storage(compiled.workspaceWords(kWords) + kAlignWords, 0) {
+        const std::size_t misalign =
+            reinterpret_cast<std::uintptr_t>(storage.data()) % (kAlignWords * sizeof(Word));
+        ws = storage.data() + (misalign ? kAlignWords - misalign / sizeof(Word) : 0);
+        compiled.initWorkspace({ws, compiled.workspaceWords(kWords)}, kWords);
+    }
+    std::vector<Word> storage;
+    Word* ws = nullptr;
+
+private:
+    static constexpr std::size_t kAlignWords = 8;  // 64 bytes
+};
+
+/// Exhaustive-campaign replay plan for one fault site: the fan-out cone as
+/// a dense copy of the instructions to re-execute (grouped into same-op
+/// runs so replay dispatches one kernel call per run instead of one per
+/// instruction), the slots the replay overwrites, and the output planes
+/// the fault can reach.
+struct SitePlan {
+    std::vector<circuit::kernels::Instr> replay;  ///< cone, original order
+    struct Run {
+        OpCode op;
+        std::uint32_t begin;
+        std::uint32_t count;
+    };
+    std::vector<Run> runs;
+    std::vector<std::uint32_t> dirtySlots;  ///< fault slot first
+    std::vector<std::uint32_t> outPlanes;   ///< output indices, ascending
+};
+
+SitePlan buildCone(const CompiledNetlist& compiled, const FaultSite& site,
+                   std::vector<bool>& affected) {
+    SitePlan plan;
+    const std::span<const circuit::kernels::Instr> instrs = compiled.instructions();
+    std::fill(affected.begin(), affected.end(), false);
+    affected[site.slot] = true;
+    plan.dirtySlots.push_back(site.slot);
+    const std::uint32_t start = site.isInput ? 0 : site.afterInstr + 1;
+    for (std::uint32_t i = start; i < instrs.size(); ++i) {
+        const auto& ins = instrs[i];
+        const int fan = opFanIn(ins.op);
+        bool hit = affected[ins.a];
+        if (!hit && fan >= 2) hit = affected[ins.b];
+        if (!hit && fan >= 3) hit = affected[ins.c];
+        if (!hit) continue;
+        // The compiled stream is already grouped into same-opcode runs, so
+        // a cone's dense copy inherits long runs almost for free.
+        if (plan.runs.empty() || plan.runs.back().op != ins.op)
+            plan.runs.push_back({ins.op, static_cast<std::uint32_t>(plan.replay.size()), 0});
+        ++plan.runs.back().count;
+        plan.replay.push_back(ins);
+        if (!affected[ins.dst]) {
+            affected[ins.dst] = true;
+            plan.dirtySlots.push_back(ins.dst);
+        }
+        // HalfAdd writes its carry into the c field (second destination).
+        if (ins.op == OpCode::HalfAdd && !affected[ins.c]) {
+            affected[ins.c] = true;
+            plan.dirtySlots.push_back(ins.c);
+        }
+    }
+    const std::span<const std::uint32_t> outs = compiled.outputSlots();
+    for (std::uint32_t o = 0; o < outs.size(); ++o)
+        if (affected[outs[o]]) plan.outPlanes.push_back(o);
+    return plan;
+}
+
+/// Exhaustive campaign task: sweeps the whole input space once, simulating
+/// the fault-free circuit per block and replaying each fault's cone
+/// against it.  Blocks where a fault never reaches an output reuse the
+/// nominal partial accumulator outright (bit-identical: equal outputs
+/// decode to equal values, and the per-block-partial merge order is the
+/// canonical accumulation structure of the whole campaign).
+///
+/// Per-fault work is trimmed three ways, none of which changes a single
+/// result bit: the reference workspace is snapshotted once per block so
+/// each fault restores only the planes the previous fault dirtied (no
+/// save pass); a fault whose stuck value never differs from the node's
+/// reference plane in this block is skipped outright (it cannot deviate);
+/// and the cone replays through one kernel dispatch per same-opcode run
+/// instead of one per instruction.
+void runExhaustiveTask(const CompiledNetlist& compiled, const circuit::ArithSignature& sig,
+                       std::span<const FaultSite> sites, std::span<const SitePlan> plans,
+                       std::span<Accumulator> accs, std::span<std::uint64_t> deviated,
+                       Accumulator* nominalOut) {
+    SimScratch scratch(compiled);
+    Word* const ws = scratch.ws;
+    Workspace w;
+    const int totalBits = sig.inputWidth();
+    const std::size_t outputs = compiled.outputCount();
+    w.in.resize(static_cast<std::size_t>(totalBits) * kWords);
+    w.out.resize(outputs * kWords);
+    std::vector<Word> refOut(outputs * kWords);
+    std::vector<Word> refWs(compiled.workspaceWords(kWords));
+    const std::span<const std::uint32_t> outSlots = compiled.outputSlots();
+    const circuit::kernels::Backend& backend = compiled.backend();
+
+    const std::uint64_t space = std::uint64_t{1} << totalBits;
+    for (std::uint64_t base = 0; base < space; base += kLanes) {
+        const std::size_t lanes =
+            static_cast<std::size_t>(std::min<std::uint64_t>(kLanes, space - base));
+        circuit::fillExhaustiveBlock<kWords>(w.in, totalBits, base);
+        compiled.run<kWords>(w.in.data(), refOut.data(), ws);
+        std::memcpy(refWs.data(), ws, refWs.size() * sizeof(Word));
+        fillExactExhaustive(w, sig, base, lanes);
+        Accumulator nominalPartial;
+        consumeBlock(refOut, outputs, lanes, nominalPartial, w);
+        if (nominalOut != nullptr) nominalOut->merge(nominalPartial);
+
+        // Valid-lane mask for tail blocks (spaces below 256 vectors).
+        std::array<Word, kWords> valid{};
+        for (std::size_t wd = 0; wd < kWords; ++wd) {
+            const std::size_t lo = wd * 64;
+            valid[wd] = lanes >= lo + 64 ? ~Word{0}
+                        : lanes > lo     ? (Word{1} << (lanes - lo)) - 1
+                                         : 0;
+        }
+
+        const SitePlan* prev = nullptr;  // last plan that dirtied ws
+        for (std::size_t f = 0; f < sites.size(); ++f) {
+            const SitePlan& plan = plans[f];
+            // Trigger pre-check against the clean snapshot: a stuck-at
+            // that matches the node's value on every valid lane is a
+            // no-op in this block.
+            const Word* np = refWs.data() + static_cast<std::size_t>(sites[f].slot) * kWords;
+            Word trigger = 0;
+            for (std::size_t wd = 0; wd < kWords; ++wd)
+                trigger |= (sites[f].stuckTo ? ~np[wd] : np[wd]) & valid[wd];
+            if (trigger == 0) {
+                accs[f].merge(nominalPartial);
+                continue;
+            }
+
+            if (prev != nullptr)
+                for (const std::uint32_t s : prev->dirtySlots)
+                    std::memcpy(ws + static_cast<std::size_t>(s) * kWords,
+                                refWs.data() + static_cast<std::size_t>(s) * kWords,
+                                kWords * sizeof(Word));
+            prev = &plan;
+            Word* fp = ws + static_cast<std::size_t>(sites[f].slot) * kWords;
+            for (std::size_t wd = 0; wd < kWords; ++wd)
+                fp[wd] = sites[f].stuckTo ? ~Word{0} : Word{0};
+            for (const SitePlan::Run& run : plan.runs)
+                backend.wide[static_cast<std::size_t>(run.op)](plan.replay.data() + run.begin,
+                                                               run.count, ws);
+
+            std::uint64_t devCount = 0;
+            {
+                std::array<Word, kWords> dev{};
+                for (const std::uint32_t o : plan.outPlanes) {
+                    const Word* a = ws + static_cast<std::size_t>(outSlots[o]) * kWords;
+                    const Word* b = refOut.data() + static_cast<std::size_t>(o) * kWords;
+                    for (std::size_t wd = 0; wd < kWords; ++wd) dev[wd] |= a[wd] ^ b[wd];
+                }
+                for (std::size_t wd = 0; wd < kWords; ++wd)
+                    devCount += static_cast<std::uint64_t>(
+                        __builtin_popcountll(dev[wd] & valid[wd]));
+            }
+            if (devCount == 0) {
+                accs[f].merge(nominalPartial);
+            } else {
+                std::memcpy(w.out.data(), refOut.data(), refOut.size() * sizeof(Word));
+                for (const std::uint32_t o : plan.outPlanes)
+                    std::memcpy(w.out.data() + static_cast<std::size_t>(o) * kWords,
+                                ws + static_cast<std::size_t>(outSlots[o]) * kWords,
+                                kWords * sizeof(Word));
+                Accumulator partial;
+                consumeBlock(w.out, outputs, lanes, partial, w);
+                accs[f].merge(partial);
+                deviated[f] += devCount;
+            }
+        }
+    }
+}
+
+/// Decodes a full output block and hands the typed lane array to `fn`.
+template <typename Fn>
+void withDecoded(const std::vector<Word>& out, std::size_t outputs, Workspace& w, Fn&& fn) {
+    if (outputs <= 16) {
+        error::detail::decodeOutputsU16(out.data(), outputs, w.approx16.data());
+        fn(w.approx16.data());
+    } else if (outputs <= 32) {
+        error::detail::decodeOutputsU32(out.data(), outputs, w.approx32.data());
+        fn(w.approx32.data());
+    } else {
+        error::detail::decodeOutputsU64(out.data(), outputs, w.approx64.data());
+        fn(w.approx64.data());
+    }
+}
+
+/// Sampled campaign task: one fault group (up to three faults) riding lane
+/// groups 1..3 of every block while lane group 0 carries the fault-free
+/// reference on the same replicated inputs, so per-fault deviation falls
+/// out of an in-register lane compare.  The per-batch sample stream is a
+/// pure function of (seed, batch index): independent of the grouping and
+/// of the thread count.
+void runSampledTask(const CompiledNetlist& compiled, const circuit::ArithSignature& sig,
+                    std::span<const FaultSite> sites, const error::ErrorAnalysisConfig& cfg,
+                    std::span<Accumulator> accs, std::span<std::uint64_t> deviated,
+                    Accumulator* nominalOut) {
+    SimScratch scratch(compiled);
+    Workspace w;
+    const int totalBits = sig.inputWidth();
+    const std::size_t outputs = compiled.outputCount();
+    w.in.resize(static_cast<std::size_t>(totalBits) * kWords);
+    w.out.resize(outputs * kWords);
+
+    // Enumeration order is input sites first, then ascending instruction
+    // index — exactly the order runWithFaults requires.
+    std::vector<CompiledNetlist::InjectedFault> faults(sites.size());
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+        faults[j].afterInstr = sites[j].afterInstr;
+        faults[j].slot = sites[j].slot;
+        faults[j].stuckTo = sites[j].stuckTo;
+        faults[j].mask = {};
+        faults[j].mask[j + 1] = ~Word{0};  // group 0 is the reference
+    }
+
+    std::uint64_t remaining = cfg.sampleCount;
+    for (std::uint64_t batch = 0; remaining > 0; ++batch) {
+        const std::size_t lanes =
+            static_cast<std::size_t>(std::min<std::uint64_t>(kGroupLanes, remaining));
+        util::Rng rng(mixSeed(cfg.seed + batch));
+        for (int bit = 0; bit < totalBits; ++bit) {
+            const Word r = rng.uniformInt(0, ~std::uint64_t{0});
+            Word* words = w.in.data() + static_cast<std::size_t>(bit) * kWords;
+            for (std::size_t wd = 0; wd < kWords; ++wd) words[wd] = r;  // replicate per group
+        }
+        compiled.runWithFaults<kWords>(w.in.data(), w.out.data(), scratch.ws, faults);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+            std::uint64_t a = 0, b = 0;
+            for (int bit = 0; bit < sig.widthA; ++bit)
+                a |= ((w.in[static_cast<std::size_t>(bit) * kWords] >> lane) & 1u) << bit;
+            for (int bit = 0; bit < sig.widthB; ++bit)
+                b |= ((w.in[static_cast<std::size_t>(sig.widthA + bit) * kWords] >> lane) & 1u)
+                     << bit;
+            w.exact[lane] = sig.exact(a, b);
+        }
+        withDecoded(w.out, outputs, w, [&](const auto* approx) {
+            if (nominalOut != nullptr) {
+                Accumulator partial;
+                partial.addBlock(approx, w.exact.data(), lanes);
+                nominalOut->merge(partial);
+            }
+            for (std::size_t j = 0; j < sites.size(); ++j) {
+                const auto* group = approx + (j + 1) * kGroupLanes;
+                Accumulator partial;
+                partial.addBlock(group, w.exact.data(), lanes);
+                accs[j].merge(partial);
+                std::uint64_t dev = 0;
+                for (std::size_t lane = 0; lane < lanes; ++lane)
+                    dev += group[lane] != approx[lane];
+                deviated[j] += dev;
+            }
+        });
+        remaining -= lanes;
+    }
+}
+
+void checkInterface(const Netlist& netlist, const circuit::ArithSignature& sig) {
+    if (static_cast<int>(netlist.inputCount()) != sig.inputWidth())
+        throw std::invalid_argument("analyzeResilience: netlist input width != signature");
+    if (static_cast<int>(netlist.outputCount()) != sig.outputWidth())
+        throw std::invalid_argument("analyzeResilience: netlist output width != signature");
+}
+
+}  // namespace
+
+SiteEnumeration enumerateFaultSites(const CompiledNetlist& compiled, bool includeInputFaults,
+                                    bool collapseEquivalent) {
+    const std::span<const circuit::kernels::Instr> instrs = compiled.instructions();
+    const std::span<const NodeId> slotNodes = compiled.slotNodes();
+    const std::size_t slots = compiled.slotCount();
+
+    // Instruction-produced planes; input and output roles.
+    std::vector<bool> hasProducer(slots, false);
+    for (const auto& ins : instrs) {
+        hasProducer[ins.dst] = true;
+        if (ins.op == OpCode::HalfAdd) hasProducer[ins.c] = true;
+    }
+    std::vector<bool> isInput(slots, false);
+    for (const std::uint32_t s : compiled.inputSlots()) isInput[s] = true;
+    std::vector<bool> isOutput(slots, false);
+    for (const std::uint32_t s : compiled.outputSlots()) isOutput[s] = true;
+
+    // Equivalence collapsing: a stuck-at on a gate-produced value whose
+    // only consumer is a Buf copy is indistinguishable from the same
+    // stuck-at on the copy — fold the source onto the copy's plane.
+    std::vector<std::uint32_t> foldInto(slots);
+    for (std::uint32_t s = 0; s < slots; ++s) foldInto[s] = s;
+    if (collapseEquivalent) {
+        std::vector<std::uint32_t> consumers(slots, 0);
+        for (const auto& ins : instrs) {
+            const int fan = opFanIn(ins.op);
+            ++consumers[ins.a];
+            if (fan >= 2) ++consumers[ins.b];
+            if (fan >= 3) ++consumers[ins.c];
+        }
+        for (const auto& ins : instrs) {
+            if (ins.op != OpCode::Buf) continue;
+            const std::uint32_t src = ins.a;
+            if (hasProducer[src] && !isOutput[src] && consumers[src] == 1)
+                foldInto[src] = ins.dst;
+        }
+    }
+    const auto repOf = [&](std::uint32_t s) {
+        while (foldInto[s] != s) s = foldInto[s];
+        return s;
+    };
+    std::vector<std::uint32_t> collapsedCount(slots, 1);
+    for (std::uint32_t s = 0; s < slots; ++s)
+        if (foldInto[s] != s) ++collapsedCount[repOf(s)];
+
+    SiteEnumeration en;
+    const auto push = [&](std::uint32_t slot, std::uint32_t afterInstr, bool input) {
+        for (const bool v : {false, true}) {
+            FaultSite site;
+            site.node = slotNodes[slot];
+            site.slot = slot;
+            site.afterInstr = afterInstr;
+            site.stuckTo = v;
+            site.isInput = input;
+            site.collapsed = collapsedCount[slot];
+            en.sites.push_back(site);
+            en.totalSites += site.collapsed;
+        }
+    };
+    if (includeInputFaults)
+        for (const std::uint32_t s : compiled.inputSlots())
+            push(s, CompiledNetlist::kFaultAtInputs, true);
+    for (std::uint32_t i = 0; i < instrs.size(); ++i) {
+        const auto& ins = instrs[i];
+        if (foldInto[ins.dst] == ins.dst) push(ins.dst, i, false);
+        if (ins.op == OpCode::HalfAdd && foldInto[ins.c] == ins.c) push(ins.c, i, false);
+    }
+    return en;
+}
+
+Netlist stuckAtNetlist(const Netlist& netlist, NodeId target, bool value) {
+    if (target >= netlist.nodeCount())
+        throw std::invalid_argument("stuckAtNetlist: node id out of range");
+    Netlist out(netlist.name());
+    const std::span<const circuit::Node> nodes = netlist.nodes();
+    std::vector<NodeId> map(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const circuit::Node& n = nodes[i];
+        if (i == target && n.kind != GateKind::Input) {
+            map[i] = out.addConst(value);
+            continue;
+        }
+        NodeId id;
+        switch (n.kind) {
+            case GateKind::Input: id = out.addInput(); break;
+            case GateKind::Const0: id = out.addConst(false); break;
+            case GateKind::Const1: id = out.addConst(true); break;
+            default: {
+                const int fan = fanInCount(n.kind);
+                id = out.addGate(n.kind, map[n.a], fan >= 2 ? map[n.b] : circuit::kInvalidNode,
+                                 fan >= 3 ? map[n.c] : circuit::kInvalidNode);
+                break;
+            }
+        }
+        // A stuck Input keeps its interface position but every consumer
+        // (and any output tap) reads the inserted constant instead.
+        map[i] = i == target ? out.addConst(value) : id;
+    }
+    for (const NodeId o : netlist.outputs()) out.markOutput(map[o]);
+    return out;
+}
+
+ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithSignature& sig,
+                                   const CampaignConfig& config) {
+    checkInterface(netlist, sig);
+    const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
+    const SiteEnumeration en =
+        enumerateFaultSites(compiled, config.includeInputFaults, config.collapseEquivalent);
+    const bool exhaustive = config.analysis.isExhaustiveFor(sig);
+    const std::size_t faultCount = en.sites.size();
+
+    std::vector<Accumulator> accs(faultCount);
+    std::vector<std::uint64_t> deviated(faultCount, 0);
+    Accumulator nominalAcc;
+
+    std::vector<SitePlan> plans;
+    if (exhaustive) {
+        plans.reserve(faultCount);
+        std::vector<bool> affectedScratch(compiled.slotCount());
+        for (const FaultSite& site : en.sites)
+            plans.push_back(buildCone(compiled, site, affectedScratch));
+    }
+
+    const std::size_t perTask = exhaustive ? kFaultsPerTask : kGroupsPerBlock;
+    const std::size_t taskCount = (faultCount + perTask - 1) / perTask;
+    const auto runTask = [&](std::size_t t) {
+        const std::size_t begin = t * perTask;
+        const std::size_t end = std::min(faultCount, begin + perTask);
+        const std::size_t n = end - begin;
+        Accumulator* nominal = t == 0 ? &nominalAcc : nullptr;
+        if (exhaustive)
+            runExhaustiveTask(compiled, sig, {en.sites.data() + begin, n},
+                              {plans.data() + begin, n}, {accs.data() + begin, n},
+                              {deviated.data() + begin, n}, nominal);
+        else
+            runSampledTask(compiled, sig, {en.sites.data() + begin, n}, config.analysis,
+                           {accs.data() + begin, n}, {deviated.data() + begin, n}, nominal);
+    };
+    if (config.analysis.threads == 1 || taskCount <= 1) {
+        for (std::size_t t = 0; t < taskCount; ++t) runTask(t);
+    } else {
+        util::ThreadPool::global().parallelFor(
+            taskCount, runTask,
+            config.analysis.threads > 0 ? static_cast<std::size_t>(config.analysis.threads) : 0);
+    }
+    if (taskCount == 0) {
+        // No fault sites: still produce the nominal reference profile.
+        if (exhaustive)
+            runExhaustiveTask(compiled, sig, {}, {}, {}, {}, &nominalAcc);
+        else
+            runSampledTask(compiled, sig, {}, config.analysis, {}, {}, &nominalAcc);
+    }
+
+    ResilienceReport report;
+    report.nominal = nominalAcc.report(sig.maxOutput(), exhaustive);
+    report.totalSites = en.totalSites;
+    report.exhaustive = exhaustive;
+    report.vectorsPerFault = exhaustive ? std::uint64_t{1} << sig.inputWidth()
+                                        : config.analysis.sampleCount;
+    report.faults.reserve(faultCount);
+    double weightSum = 0.0, medSum = 0.0, detectedWeight = 0.0;
+    for (std::size_t f = 0; f < faultCount; ++f) {
+        FaultImpact impact;
+        impact.site = en.sites[f];
+        impact.error = accs[f].report(sig.maxOutput(), exhaustive);
+        impact.deviatedVectors = deviated[f];
+        impact.deviationProbability =
+            impact.error.vectorsEvaluated == 0
+                ? 0.0
+                : static_cast<double>(deviated[f]) /
+                      static_cast<double>(impact.error.vectorsEvaluated);
+        const double weight = static_cast<double>(impact.site.collapsed);
+        weightSum += weight;
+        medSum += weight * impact.error.med;
+        if (impact.detected()) detectedWeight += weight;
+        if (impact.error.med > report.worstMedUnderFault) {
+            report.worstMedUnderFault = impact.error.med;
+            report.worstFault = static_cast<std::uint32_t>(f);
+        }
+        report.faults.push_back(std::move(impact));
+    }
+    report.meanMedUnderFault = weightSum > 0.0 ? medSum / weightSum : 0.0;
+    report.faultCoverage = weightSum > 0.0 ? detectedWeight / weightSum : 0.0;
+
+    const double threshold =
+        config.criticalFactor * std::max(report.nominal.med, config.criticalFloor);
+    std::vector<std::uint32_t> critical;
+    for (std::uint32_t f = 0; f < report.faults.size(); ++f)
+        if (report.faults[f].error.med >= threshold) critical.push_back(f);
+    std::sort(critical.begin(), critical.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const double ma = report.faults[a].error.med, mb = report.faults[b].error.med;
+        return ma != mb ? ma > mb : a < b;
+    });
+    if (critical.size() > config.maxCritical) critical.resize(config.maxCritical);
+    report.criticalFaults = std::move(critical);
+    return report;
+}
+
+void FaultSite::serialize(util::ByteWriter& out) const {
+    out.u32(node);
+    out.u32(slot);
+    out.u32(afterInstr);
+    out.boolean(stuckTo);
+    out.boolean(isInput);
+    out.u32(collapsed);
+}
+
+bool FaultSite::deserialize(util::ByteReader& in, FaultSite& out) {
+    in.u32(out.node);
+    in.u32(out.slot);
+    in.u32(out.afterInstr);
+    in.boolean(out.stuckTo);
+    in.boolean(out.isInput);
+    in.u32(out.collapsed);
+    return in.ok();
+}
+
+void FaultImpact::serialize(util::ByteWriter& out) const {
+    site.serialize(out);
+    error.serialize(out);
+    out.u64(deviatedVectors);
+    out.f64(deviationProbability);
+}
+
+bool FaultImpact::deserialize(util::ByteReader& in, FaultImpact& out) {
+    FaultSite::deserialize(in, out.site);
+    error::ErrorReport::deserialize(in, out.error);
+    in.u64(out.deviatedVectors);
+    in.f64(out.deviationProbability);
+    return in.ok();
+}
+
+void ResilienceReport::serialize(util::ByteWriter& out) const {
+    nominal.serialize(out);
+    out.u32(static_cast<std::uint32_t>(faults.size()));
+    for (const FaultImpact& f : faults) f.serialize(out);
+    out.u32(totalSites);
+    out.u64(vectorsPerFault);
+    out.boolean(exhaustive);
+    out.f64(meanMedUnderFault);
+    out.f64(worstMedUnderFault);
+    out.u32(worstFault);
+    out.f64(faultCoverage);
+    out.u32(static_cast<std::uint32_t>(criticalFaults.size()));
+    for (const std::uint32_t f : criticalFaults) out.u32(f);
+}
+
+bool ResilienceReport::deserialize(util::ByteReader& in, ResilienceReport& out) {
+    if (!error::ErrorReport::deserialize(in, out.nominal)) return false;
+    std::uint32_t count = 0;
+    if (!in.u32(count) || count > in.remaining()) return false;  // >= 1 byte per impact
+    out.faults.clear();
+    out.faults.reserve(count);
+    for (std::uint32_t f = 0; f < count; ++f) {
+        FaultImpact impact;
+        if (!FaultImpact::deserialize(in, impact)) return false;
+        out.faults.push_back(std::move(impact));
+    }
+    in.u32(out.totalSites);
+    in.u64(out.vectorsPerFault);
+    in.boolean(out.exhaustive);
+    in.f64(out.meanMedUnderFault);
+    in.f64(out.worstMedUnderFault);
+    in.u32(out.worstFault);
+    in.f64(out.faultCoverage);
+    std::uint32_t criticalCount = 0;
+    if (!in.u32(criticalCount) || criticalCount > in.remaining() / 4) return false;
+    out.criticalFaults.assign(criticalCount, 0);
+    for (std::uint32_t f = 0; f < criticalCount; ++f) in.u32(out.criticalFaults[f]);
+    return in.ok();
+}
+
+std::string ResilienceReport::summary() const {
+    std::ostringstream os;
+    os << "faults=" << faults.size() << "/" << totalSites
+       << " coverage=" << faultCoverage * 100.0 << "%"
+       << " meanMED=" << meanMedUnderFault * 100.0 << "%"
+       << " worstMED=" << worstMedUnderFault * 100.0 << "%"
+       << " critical=" << criticalFaults.size()
+       << (exhaustive ? " (exhaustive)" : " (sampled)");
+    return os.str();
+}
+
+}  // namespace axf::fault

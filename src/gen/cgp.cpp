@@ -185,10 +185,19 @@ Netlist CgpGenome::decode() const {
 void CgpSearchProblem::evaluate(std::span<const CgpGenome> batch,
                                 std::span<search::Objectives> out) const {
     for (std::size_t i = 0; i < batch.size(); ++i) {
+        const circuit::Netlist netlist = batch[i].decode();
         const error::ErrorReport report =
-            error::analyzeError(batch[i].decode(), signature_, fitnessConfig_);
-        out[i] = search::Objectives{report.med,
-                                    static_cast<double>(batch[i].activeCells())};
+            error::analyzeError(netlist, signature_, fitnessConfig_);
+        if (resilience_) {
+            const fault::ResilienceReport rr =
+                fault::analyzeResilience(netlist, signature_, *resilience_);
+            out[i] = search::Objectives{report.med,
+                                        static_cast<double>(batch[i].activeCells()),
+                                        rr.meanMedUnderFault};
+        } else {
+            out[i] = search::Objectives{report.med,
+                                        static_cast<double>(batch[i].activeCells())};
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include <span>
@@ -9,6 +10,7 @@
 #include "src/circuit/arith.hpp"
 #include "src/circuit/netlist.hpp"
 #include "src/error/error_metrics.hpp"
+#include "src/fault/fault.hpp"
 #include "src/search/objectives.hpp"
 #include "src/util/rng.hpp"
 
@@ -131,10 +133,13 @@ private:
 /// `search::IslandSearch` that drives the accelerator DSE explores the
 /// (MED, active-cell) trade-off of approximate circuits.  Objectives are
 /// `{med, activeCells}` (both minimized), so the archive IS the
-/// error/size Pareto family a library build harvests.  All genomes share
-/// this problem's geometry (`params`); fitness evaluation uses the
-/// sampled, cheap error-analysis profile exactly like `CgpEvolver` and is
-/// const, RNG-free and thread-safe.
+/// error/size Pareto family a library build harvests.  An optional
+/// stuck-at campaign (`setResilienceObjective`) appends mean
+/// error-under-fault as a third objective, turning the archive into a
+/// quality x size x resilience front.  All genomes share this problem's
+/// geometry (`params`); fitness evaluation uses the sampled, cheap
+/// error-analysis profile exactly like `CgpEvolver` and is const,
+/// RNG-free and thread-safe.
 class CgpSearchProblem {
 public:
     using Genome = CgpGenome;
@@ -147,7 +152,15 @@ public:
         : signature_(signature), params_(std::move(params)),
           fitnessConfig_(fitnessConfig), mutatedGenes_(mutatedGenes) {}
 
-    std::size_t objectiveCount() const { return 2; }
+    std::size_t objectiveCount() const { return resilience_ ? 3 : 2; }
+
+    /// Enables the resilience objective: every evaluation additionally
+    /// runs a stuck-at campaign with this configuration and appends the
+    /// circuit's `meanMedUnderFault`.  Keep the embedded analysis budget
+    /// modest (campaign cost scales with fault-site count).
+    void setResilienceObjective(fault::CampaignConfig campaign) {
+        resilience_ = std::move(campaign);
+    }
 
     CgpGenome random(util::Rng& rng) const { return CgpGenome(params_, rng); }
 
@@ -170,6 +183,7 @@ private:
     CgpParams params_;
     error::ErrorAnalysisConfig fitnessConfig_;
     int mutatedGenes_;
+    std::optional<fault::CampaignConfig> resilience_;
 };
 
 }  // namespace axf::gen

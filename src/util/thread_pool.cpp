@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <utility>
 
 namespace axf::util {
 
@@ -57,8 +58,23 @@ void ThreadPool::workerLoop() {
             if (queue_.empty()) return;  // stopping and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            ++activeTasks_;
         }
-        task();
+        // A task that throws must not unwind the worker thread (that would
+        // std::terminate the process): capture the first escape for the
+        // next wait() to rethrow.
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !pendingError_) pendingError_ = std::move(error);
+            --activeTasks_;
+            if (queue_.empty() && activeTasks_ == 0) idle_.notify_all();
+        }
     }
 }
 
@@ -72,6 +88,16 @@ void ThreadPool::submit(std::function<void()> task) {
         queue_.push_back(std::move(task));
     }
     wake_.notify_one();
+}
+
+void ThreadPool::wait() {
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return queue_.empty() && activeTasks_ == 0; });
+        error = std::exchange(pendingError_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,

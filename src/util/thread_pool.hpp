@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -37,8 +38,17 @@ public:
 
     std::size_t threadCount() const { return workers_.size(); }
 
-    /// Enqueues a task for asynchronous execution.
+    /// Enqueues a task for asynchronous execution.  On a worker-less pool
+    /// the task runs inline, so its exceptions propagate to the caller
+    /// synchronously.  An exception escaping a queued task does not kill
+    /// the worker (or the process): the first one is captured and rethrown
+    /// by the next `wait()`.
     void submit(std::function<void()> task);
+
+    /// Blocks until every submitted task has finished (queue drained, no
+    /// task running), then rethrows the first exception captured from a
+    /// queued task since the last `wait()`, if any.
+    void wait();
 
     /// Runs `body(i)` for every i in [0, n), distributing iterations over
     /// the workers plus the calling thread; returns when all are done.
@@ -63,6 +73,9 @@ private:
     std::deque<std::function<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable wake_;
+    std::condition_variable idle_;          ///< signalled when the pool drains
+    std::size_t activeTasks_ = 0;           ///< queued tasks currently running
+    std::exception_ptr pendingError_;       ///< first escape from a queued task
     bool stopping_ = false;
 };
 

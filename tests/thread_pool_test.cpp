@@ -142,6 +142,59 @@ TEST(ThreadPool, AutoSizedPoolRunsEverything) {
     EXPECT_EQ(total.load(), 11);
 }
 
+TEST(ThreadPool, SubmittedTaskExceptionRethrownAtWait) {
+    // A throw escaping a queued task must not unwind the worker thread
+    // (that would std::terminate the process); the first exception is
+    // captured and rethrown by the next wait().
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] {
+        ran.fetch_add(1);
+        throw std::runtime_error("first");
+    });
+    pool.submit([&] { ran.fetch_add(1); });  // pool must keep working
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 2);
+    // The error is consumed: a subsequent wait() is clean, and the pool is
+    // still fully functional.
+    pool.wait();
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WaitKeepsFirstExceptionOnly) {
+    ThreadPool pool(1);  // serialize the queue so "first" is well-defined
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::logic_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ThreadPool, WorkerlessPoolSubmitThrowsSynchronously) {
+    // With no workers submit runs inline, so the exception reaches the
+    // caller directly and wait() has nothing to report.
+    ThreadPool pool(0);
+    if (pool.threadCount() == 0) {
+        EXPECT_THROW(pool.submit([] { throw std::runtime_error("inline"); }),
+                     std::runtime_error);
+        pool.wait();  // clean: nothing was captured
+    }
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately) {
+    ThreadPool pool(2);
+    pool.wait();  // no tasks ever submitted
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 16);  // wait() observed the full drain
+}
+
 TEST(ThreadPool, MainThreadIsNotWorker) { EXPECT_FALSE(ThreadPool::inWorkerThread()); }
 
 TEST(ThreadPool, AxfThreadsEnvPinsDefaultSizing) {
