@@ -32,6 +32,7 @@
 #include "src/synth/asic.hpp"
 #include "src/synth/fpga.hpp"
 #include "src/util/rng.hpp"
+#include "src/verify/verify.hpp"
 
 using namespace axf;
 
@@ -168,6 +169,24 @@ static void BM_FaultSweepNaive(benchmark::State& state) {
                             static_cast<std::int64_t>(cap));
 }
 BENCHMARK(BM_FaultSweepNaive)->Arg(0)->Arg(4);
+
+/// Static program verification (src/verify): full dataflow/schedule checks
+/// plus the fusion-semantics truth-table re-derivation against the source
+/// netlist.  Arg(8) = 8x8 Wallace, Arg(16) = 16x16 Wallace (the largest
+/// library-shaped program); this is the AXF_VERIFY=1 per-compile overhead
+/// and the axf-lint inner loop.  items_per_second = instructions
+/// verified/sec.
+static void BM_VerifyProgram(benchmark::State& state) {
+    const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));
+    const circuit::CompiledNetlist compiled = circuit::CompiledNetlist::compile(net);
+    for (auto _ : state) {
+        const verify::Diagnostics d = verify::verifyProgram(compiled, &net);
+        benchmark::DoNotOptimize(d.errorCount());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(compiled.instructionCount()));
+}
+BENCHMARK(BM_VerifyProgram)->Arg(8)->Arg(16);
 
 static void BM_LutMapping(benchmark::State& state) {
     const circuit::Netlist net = gen::wallaceMultiplier(static_cast<int>(state.range(0)));

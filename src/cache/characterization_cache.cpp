@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/verify/verify.hpp"
+
 namespace axf::cache {
 
 namespace {
@@ -235,6 +237,45 @@ void CharacterizationCache::putBytes(const CacheKey& key, std::vector<std::uint8
             s.order.pop_front();
             evictions_.fetch_add(1, std::memory_order_relaxed);
         }
+    }
+}
+
+std::optional<circuit::Netlist> CharacterizationCache::findNetlist(const CacheKey& key,
+                                                                  std::uint64_t* hashOut) {
+    const std::optional<std::vector<std::uint8_t>> bytes = findBytes(key);
+    if (!bytes) return std::nullopt;
+    util::ByteReader reader(*bytes);
+    std::uint64_t storedHash = 0;
+    std::optional<circuit::Netlist> net;
+    if (reader.u64(storedHash)) net = circuit::Netlist::deserialize(reader);
+    if (net && net->structuralHash() != storedHash) net.reset();
+    if (net && options_.verifyNetlists && verify::lintNetlist(*net).hasErrors()) net.reset();
+    if (!net) {
+        // Decoded-but-illegal payloads are corrupt entries in every way
+        // that matters: count them and report a miss (the caller
+        // recomputes; its putNetlist self-heals the entry).
+        corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        hits_.fetch_sub(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    if (hashOut != nullptr) *hashOut = storedHash;
+    return net;
+}
+
+void CharacterizationCache::putNetlist(const CacheKey& key, const circuit::Netlist& netlist,
+                                       std::uint64_t hash) {
+    util::ByteWriter out;
+    out.u64(hash);
+    netlist.serialize(out);
+    putBytes(key, out.take());
+}
+
+void CharacterizationCache::forEachEntry(
+    const std::function<void(const CacheKey&, const std::vector<std::uint8_t>&)>& fn) {
+    for (Stripe& s : stripes_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        for (const auto& [key, payload] : s.entries) fn(key, payload);
     }
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -90,6 +91,13 @@ public:
         /// stripe in insertion order (FIFO), trading exactness for lock
         /// locality.
         std::size_t maxEntries = 0;
+        /// Statically lint every netlist payload served by `findNetlist`
+        /// (src/verify).  Cache directories are shared, externally
+        /// writable state; a blob that deserializes but breaks a
+        /// structural invariant is treated exactly like a corrupt entry —
+        /// a miss, counted in `corruptEntriesDropped` — so downstream
+        /// consumers never evaluate it.
+        bool verifyNetlists = false;
     };
 
     CharacterizationCache() = default;  ///< in-memory only
@@ -112,6 +120,24 @@ public:
     void putFpga(const CacheKey& key, const synth::FpgaReport& report);
     std::optional<fault::ResilienceReport> findResilience(const CacheKey& key);
     void putResilience(const CacheKey& key, const fault::ResilienceReport& report);
+
+    // --- netlist payloads (Blob kind, hash-prefixed) ------------------------
+    /// Finds a netlist stored by `putNetlist`: the payload's embedded
+    /// structural hash must match the rebuilt netlist (tamper check), and
+    /// with `Options::verifyNetlists` the netlist must also pass the
+    /// src/verify linter.  Either failure counts as a corrupt miss.
+    /// `hashOut` (optional) receives the embedded hash.
+    std::optional<circuit::Netlist> findNetlist(const CacheKey& key,
+                                                std::uint64_t* hashOut = nullptr);
+    /// Stores `netlist` under `key` with its structural hash `hash`
+    /// prefixed (callers usually already computed it).
+    void putNetlist(const CacheKey& key, const circuit::Netlist& netlist, std::uint64_t hash);
+
+    /// Visits every resident entry (key + payload bytes) under the stripe
+    /// locks; `fn` must not reenter the cache.  This is the enumeration
+    /// hook for offline auditing (axf-lint --cache).
+    void forEachEntry(const std::function<void(const CacheKey&,
+                                               const std::vector<std::uint8_t>&)>& fn);
 
     /// Writes every dirty shard to disk (no-op for in-memory caches).
     void flush();

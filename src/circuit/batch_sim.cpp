@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/verify/verify.hpp"
+
 namespace axf::circuit {
 
 namespace {
@@ -11,7 +13,7 @@ namespace {
 using kernels::Instr;
 using kernels::OpCode;
 
-OpCode toOpCode(GateKind kind) {
+constexpr OpCode toOpCode(GateKind kind) {
     switch (kind) {
         case GateKind::Buf: return OpCode::Buf;
         case GateKind::Not: return OpCode::Not;
@@ -28,6 +30,24 @@ OpCode toOpCode(GateKind kind) {
         default: throw std::logic_error("toOpCode: not a logic gate");
     }
 }
+
+/// The lowering above is only correct if every logic GateKind and the
+/// OpCode it maps to agree on all 8 operand combinations of the shared
+/// reference semantics.  Evaluated at compile time so a drift between
+/// `gateEval` and `kernels::opEval` is a build error.
+constexpr bool gateSemanticsMatchOpcodes() {
+    for (int g = static_cast<int>(GateKind::Buf); g <= static_cast<int>(GateKind::Maj); ++g) {
+        const GateKind kind = static_cast<GateKind>(g);
+        const OpCode op = toOpCode(kind);
+        for (int k = 0; k < 8; ++k)
+            if (gateEval(kind, (k & 4) != 0, (k & 2) != 0, (k & 1) != 0) !=
+                kernels::opEval(op, (k & 4) != 0, (k & 2) != 0, (k & 1) != 0))
+                return false;
+    }
+    return true;
+}
+static_assert(gateSemanticsMatchOpcodes(),
+              "GateKind lowering drifted from the shared opcode semantics");
 
 // Operand counts come from the shared kernels::opFanIn (HalfAdd never
 // appears in the pre-emission node table: it is introduced at emission).
@@ -552,6 +572,13 @@ CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options
 
     compiled.buildPlan();
     if (compiled.instrs_.size() <= kAutoSpecializeInstructions) compiled.specialize();
+
+    // AXF_VERIFY debug gate: self-verify every compiled program against
+    // the source netlist (dataflow discipline, schedule claims, fusion
+    // semantics) before handing it out.
+    if (verify::verifyEnabled())
+        verify::throwIfErrors(verify::verifyProgram(compiled, &netlist),
+                              "CompiledNetlist::compile self-verification");
     return compiled;
 }
 

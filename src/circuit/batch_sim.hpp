@@ -77,6 +77,18 @@ public:
         bool specialized = false;      ///< unrolled straight-line plan active
     };
 
+    /// Maximal run of same-opcode instructions: the evaluator dispatches
+    /// once per run, not once per gate.  Compile sorts gates of equal
+    /// logic level by opcode (legal: every fan-in lives in a lower level)
+    /// so structured circuits collapse into a handful of long runs.
+    struct Run {
+        kernels::OpCode op;
+        std::uint32_t begin, end;  ///< [begin, end) into instructions()
+        /// Every instruction after the first reads its predecessor's
+        /// destination as operand a: dispatches to the chained kernels.
+        bool chained = false;
+    };
+
     CompiledNetlist() = default;
 
     static CompiledNetlist compile(const Netlist& netlist, Options options);
@@ -99,6 +111,14 @@ public:
     std::span<const std::uint32_t> outputSlots() const { return outputSlots_; }
     /// Source-netlist node held by each workspace slot (indexed by slot).
     std::span<const NodeId> slotNodes() const { return slotNode_; }
+    /// The schedule: maximal same-opcode runs partitioning instructions(),
+    /// with the chain claims the plan's kernel selection relies on.  The
+    /// static verifier (src/verify) re-checks every claim against the
+    /// instruction stream.
+    std::span<const Run> runs() const { return runs_; }
+    /// Hoisted constant slots and their values (written once by
+    /// initWorkspace, never touched by run()).
+    std::span<const std::pair<std::uint32_t, bool>> constantSlots() const { return constants_; }
     const kernels::Backend& backend() const { return *backend_; }
 
     Stats stats() const;
@@ -155,17 +175,6 @@ public:
                        std::span<const InjectedFault> faults) const;
 
 private:
-    /// Maximal run of same-opcode instructions: the evaluator dispatches
-    /// once per run, not once per gate.  Compile sorts gates of equal
-    /// logic level by opcode (legal: every fan-in lives in a lower level)
-    /// so structured circuits collapse into a handful of long runs.
-    struct Run {
-        kernels::OpCode op;
-        std::uint32_t begin, end;  ///< [begin, end) into instrs_
-        /// Every instruction after the first reads its predecessor's
-        /// destination as operand a: dispatches to the chained kernels.
-        bool chained = false;
-    };
     /// One plan entry per run: kernels pre-resolved against `backend_`.
     struct PlannedRun {
         kernels::KernelFn wide, narrow;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace axf::circuit::kernels {
@@ -65,6 +66,52 @@ constexpr int opFanIn(OpCode op) {
     }
 }
 
+/// Reference boolean semantics of an opcode's primary result (for HalfAdd
+/// that is the *sum*; the carry written to slot `c` is `opCarryEval`).
+/// THE single source of truth every executable form must derive from or be
+/// checked against: the generic kernel bodies (static_asserted in
+/// kernels_generic.inc), the AVX-512 ternlog immediates (computed from
+/// `opTruthTable` directly), the `GateKind` lowering (static_asserted in
+/// batch_sim.cpp) and the static verifier's fusion-legality check
+/// (src/verify re-derives every fused instruction's function from it).
+constexpr bool opEval(OpCode op, bool a, bool b, bool c) {
+    switch (op) {
+        case OpCode::Buf: return a;
+        case OpCode::Not: return !a;
+        case OpCode::And: return a && b;
+        case OpCode::Or: return a || b;
+        case OpCode::Xor: return a != b;
+        case OpCode::Nand: return !(a && b);
+        case OpCode::Nor: return !(a || b);
+        case OpCode::Xnor: return a == b;
+        case OpCode::AndNot: return a && !b;
+        case OpCode::OrNot: return a || !b;
+        case OpCode::Mux: return c ? b : a;
+        case OpCode::Maj: return (a && b) || (a && c) || (b && c);
+        case OpCode::Xor3: return (a != b) != c;
+        case OpCode::MuxNotA: return c ? b : !a;
+        case OpCode::MuxNotB: return c ? !b : a;
+        case OpCode::HalfAdd: return a != b;
+        case OpCode::And3: return a && b && c;
+        case OpCode::Or3: return a || b || c;
+    }
+    return false;
+}
+
+/// HalfAdd's secondary result, written to the `c` slot.
+constexpr bool opCarryEval(bool a, bool b) { return a && b; }
+
+/// 8-entry truth table of the primary result, bit index (a << 2) | (b <<
+/// 1) | c — exactly the vpternlogq immediate layout, so the AVX-512
+/// backend uses this value as its immediate with no hand-written copy.
+constexpr std::uint8_t opTruthTable(OpCode op) {
+    std::uint8_t table = 0;
+    for (int k = 0; k < 8; ++k)
+        if (opEval(op, (k & 4) != 0, (k & 2) != 0, (k & 1) != 0))
+            table |= static_cast<std::uint8_t>(1u << k);
+    return table;
+}
+
 /// One compiled instruction.  Operands are workspace slot indices; for
 /// `HalfAdd` the `c` field is the *second destination* (the carry slot),
 /// not an operand.
@@ -93,6 +140,24 @@ using Decode32Fn = void (*)(const Word* planes, std::size_t bits, std::uint32_t*
 /// `n <= kMaxUnroll` instructions dispatch to a fully unrolled template
 /// instantiation when the compiled netlist is specialized.
 inline constexpr std::uint32_t kMaxUnroll = 4;
+
+/// True when every row of a kernel table is populated.  A brace-init list
+/// shorter than `kOpCount` compiles fine (the tail value-initializes to
+/// nullptr), so each backend TU static_asserts this over its tables —
+/// adding an opcode without extending every row is a build error, not a
+/// null-call crash at dispatch time.
+constexpr bool tableComplete(const std::array<KernelFn, kOpCount>& table) {
+    for (const KernelFn fn : table)
+        if (fn == nullptr) return false;
+    return true;
+}
+constexpr bool tableComplete(
+    const std::array<std::array<KernelFn, kMaxUnroll>, kOpCount>& table) {
+    for (const auto& row : table)
+        for (const KernelFn fn : row)
+            if (fn == nullptr) return false;
+    return true;
+}
 
 /// One ISA backend: a complete kernel table selected once per process (or
 /// forced per compile).  All backends compute bit-identical results — the

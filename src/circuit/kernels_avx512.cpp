@@ -21,40 +21,13 @@ namespace avx512_impl {
 
 #include "src/circuit/kernels_generic.inc"
 
-/// Reference boolean semantics of every opcode (HalfAdd's primary result
-/// is the sum); the single source the ternlog immediates derive from.
-constexpr bool evalOp(OpCode op, bool a, bool b, bool c) {
-    switch (op) {
-        case OpCode::Buf: return a;
-        case OpCode::Not: return !a;
-        case OpCode::And: return a && b;
-        case OpCode::Or: return a || b;
-        case OpCode::Xor: return a != b;
-        case OpCode::Nand: return !(a && b);
-        case OpCode::Nor: return !(a || b);
-        case OpCode::Xnor: return a == b;
-        case OpCode::AndNot: return a && !b;
-        case OpCode::OrNot: return a || !b;
-        case OpCode::Mux: return c ? b : a;
-        case OpCode::Maj: return (a && b) || (a && c) || (b && c);
-        case OpCode::Xor3: return (a != b) != c;
-        case OpCode::MuxNotA: return c ? b : !a;
-        case OpCode::MuxNotB: return c ? !b : a;
-        case OpCode::HalfAdd: return a != b;
-        case OpCode::And3: return a && b && c;
-        case OpCode::Or3: return a || b || c;
-    }
-    return false;
-}
-
 /// vpternlogq immediate: result bit = imm[(A << 2) | (B << 1) | C] for
-/// operand order ternarylogic(a, b, c, imm).
+/// operand order ternarylogic(a, b, c, imm) — exactly the layout of the
+/// shared `opTruthTable`, so the immediate IS the truth table.  No
+/// hand-written immediates exist to drift from the opcode semantics.
 template <OpCode Op>
 constexpr int ternImm() {
-    int imm = 0;
-    for (int k = 0; k < 8; ++k)
-        if (evalOp(Op, (k & 4) != 0, (k & 2) != 0, (k & 1) != 0)) imm |= 1 << k;
-    return imm;
+    return opTruthTable(Op);
 }
 
 /// Single-result opcode on 256-bit lanes: plain ops where one instruction
@@ -154,6 +127,10 @@ constexpr std::array<std::array<KernelFn, kMaxUnroll>, kOpCount> makeUnrolled() 
 }
 
 #undef AXF_KERNEL_ROW
+
+static_assert(tableComplete(kWideTable) && tableComplete(kWideChainTable) &&
+                  tableComplete(makeUnrolled()),
+              "avx512 kernel table rows do not cover every opcode");
 
 /// One masked broadcast-add per (bit, 32-lane group): twice the lanes per
 /// add of the 32-bit decode, valid for bits <= 16.

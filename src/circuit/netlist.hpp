@@ -49,6 +49,33 @@ constexpr int fanInCount(GateKind kind) {
 
 const char* gateKindName(GateKind kind);
 
+/// Reference boolean semantics of a gate.  Input has no defined function
+/// (returns `a` by convention so callers can substitute the bound value);
+/// constants ignore all operands.  The compiled engine's opcode semantics
+/// (`kernels::opEval`) are static_asserted against this in batch_sim.cpp,
+/// and the static verifier (src/verify) evaluates gate cones with it when
+/// proving fused instructions legal.
+constexpr bool gateEval(GateKind kind, bool a, bool b, bool c) {
+    switch (kind) {
+        case GateKind::Input: return a;
+        case GateKind::Const0: return false;
+        case GateKind::Const1: return true;
+        case GateKind::Buf: return a;
+        case GateKind::Not: return !a;
+        case GateKind::And: return a && b;
+        case GateKind::Or: return a || b;
+        case GateKind::Xor: return a != b;
+        case GateKind::Nand: return !(a && b);
+        case GateKind::Nor: return !(a || b);
+        case GateKind::Xnor: return a == b;
+        case GateKind::AndNot: return a && !b;
+        case GateKind::OrNot: return a || !b;
+        case GateKind::Mux: return c ? b : a;
+        case GateKind::Maj: return (a && b) || (a && c) || (b && c);
+    }
+    return false;
+}
+
 /// Index of a node inside its owning Netlist.
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();

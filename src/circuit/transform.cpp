@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+
+#include "src/verify/verify.hpp"
 
 namespace axf::circuit {
 
@@ -176,7 +179,21 @@ private:
 
 }  // namespace
 
-Netlist simplify(const Netlist& netlist) { return Simplifier(netlist).run(); }
+namespace {
+
+/// AXF_VERIFY debug gate: transforms self-lint their result (structural
+/// errors only; warnings like const-foldable gates are expected mid-flow).
+Netlist lintChecked(Netlist netlist, const char* what) {
+    if (verify::verifyEnabled())
+        verify::throwIfErrors(verify::lintNetlist(netlist), what);
+    return netlist;
+}
+
+}  // namespace
+
+Netlist simplify(const Netlist& netlist) {
+    return lintChecked(Simplifier(netlist).run(), "simplify self-lint");
+}
 
 Netlist lowerToTwoInput(const Netlist& netlist) {
     Netlist dst(netlist.name());
@@ -209,7 +226,7 @@ Netlist lowerToTwoInput(const Netlist& netlist) {
         }
     }
     for (NodeId out : netlist.outputs()) dst.markOutput(map[out]);
-    return dst;
+    return lintChecked(std::move(dst), "lowerToTwoInput self-lint");
 }
 
 }  // namespace axf::circuit

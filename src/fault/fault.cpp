@@ -10,6 +10,7 @@
 #include "src/error/accumulator.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
+#include "src/verify/absint.hpp"
 
 namespace axf::fault {
 
@@ -428,31 +429,54 @@ ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithS
     const bool exhaustive = config.analysis.isExhaustiveFor(sig);
     const std::size_t faultCount = en.sites.size();
 
-    std::vector<Accumulator> accs(faultCount);
-    std::vector<std::uint64_t> deviated(faultCount, 0);
+    // Statically proven cannot-deviate sites (ternary abstract
+    // interpretation, src/verify) never enter the campaign: their error
+    // profile IS the nominal profile.  The per-fault accumulators of the
+    // remaining sites are independent of the task partition, so compacting
+    // the active list keeps every report bit-identical.
+    std::vector<std::uint8_t> skip(faultCount, 0);
+    if (config.staticSkip && faultCount != 0) {
+        std::vector<verify::StuckSite> stuck(faultCount);
+        for (std::size_t f = 0; f < faultCount; ++f)
+            stuck[f] = {en.sites[f].slot, en.sites[f].afterInstr, en.sites[f].stuckTo};
+        const std::vector<bool> proven = verify::cannotDeviate(compiled, stuck);
+        for (std::size_t f = 0; f < faultCount; ++f) skip[f] = proven[f] ? 1 : 0;
+    }
+    std::vector<FaultSite> activeSites;
+    std::vector<std::size_t> activeOf(faultCount, 0);
+    activeSites.reserve(faultCount);
+    for (std::size_t f = 0; f < faultCount; ++f) {
+        if (skip[f] != 0) continue;
+        activeOf[f] = activeSites.size();
+        activeSites.push_back(en.sites[f]);
+    }
+    const std::size_t activeCount = activeSites.size();
+
+    std::vector<Accumulator> accs(activeCount);
+    std::vector<std::uint64_t> deviated(activeCount, 0);
     Accumulator nominalAcc;
 
     std::vector<SitePlan> plans;
     if (exhaustive) {
-        plans.reserve(faultCount);
+        plans.reserve(activeCount);
         std::vector<bool> affectedScratch(compiled.slotCount());
-        for (const FaultSite& site : en.sites)
+        for (const FaultSite& site : activeSites)
             plans.push_back(buildCone(compiled, site, affectedScratch));
     }
 
     const std::size_t perTask = exhaustive ? kFaultsPerTask : kGroupsPerBlock;
-    const std::size_t taskCount = (faultCount + perTask - 1) / perTask;
+    const std::size_t taskCount = (activeCount + perTask - 1) / perTask;
     const auto runTask = [&](std::size_t t) {
         const std::size_t begin = t * perTask;
-        const std::size_t end = std::min(faultCount, begin + perTask);
+        const std::size_t end = std::min(activeCount, begin + perTask);
         const std::size_t n = end - begin;
         Accumulator* nominal = t == 0 ? &nominalAcc : nullptr;
         if (exhaustive)
-            runExhaustiveTask(compiled, sig, {en.sites.data() + begin, n},
+            runExhaustiveTask(compiled, sig, {activeSites.data() + begin, n},
                               {plans.data() + begin, n}, {accs.data() + begin, n},
                               {deviated.data() + begin, n}, nominal);
         else
-            runSampledTask(compiled, sig, {en.sites.data() + begin, n}, config.analysis,
+            runSampledTask(compiled, sig, {activeSites.data() + begin, n}, config.analysis,
                            {accs.data() + begin, n}, {deviated.data() + begin, n}, nominal);
     };
     if (config.analysis.threads == 1 || taskCount <= 1) {
@@ -463,7 +487,7 @@ ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithS
             config.analysis.threads > 0 ? static_cast<std::size_t>(config.analysis.threads) : 0);
     }
     if (taskCount == 0) {
-        // No fault sites: still produce the nominal reference profile.
+        // No active fault sites: still produce the nominal reference profile.
         if (exhaustive)
             runExhaustiveTask(compiled, sig, {}, {}, {}, {}, &nominalAcc);
         else
@@ -481,13 +505,22 @@ ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithS
     for (std::size_t f = 0; f < faultCount; ++f) {
         FaultImpact impact;
         impact.site = en.sites[f];
-        impact.error = accs[f].report(sig.maxOutput(), exhaustive);
-        impact.deviatedVectors = deviated[f];
-        impact.deviationProbability =
-            impact.error.vectorsEvaluated == 0
-                ? 0.0
-                : static_cast<double>(deviated[f]) /
-                      static_cast<double>(impact.error.vectorsEvaluated);
+        if (skip[f] != 0) {
+            // Proven cannot-deviate: the faulted circuit IS the nominal
+            // circuit on every vector.
+            impact.error = report.nominal;
+            impact.deviatedVectors = 0;
+            impact.deviationProbability = 0.0;
+        } else {
+            const std::size_t a = activeOf[f];
+            impact.error = accs[a].report(sig.maxOutput(), exhaustive);
+            impact.deviatedVectors = deviated[a];
+            impact.deviationProbability =
+                impact.error.vectorsEvaluated == 0
+                    ? 0.0
+                    : static_cast<double>(deviated[a]) /
+                          static_cast<double>(impact.error.vectorsEvaluated);
+        }
         const double weight = static_cast<double>(impact.site.collapsed);
         weightSum += weight;
         medSum += weight * impact.error.med;

@@ -60,6 +60,13 @@ struct CampaignConfig {
     error::ErrorAnalysisConfig analysis;
     bool includeInputFaults = true;
     bool collapseEquivalent = true;
+    /// Statically prove cannot-deviate sites before evaluating anything
+    /// (ternary abstract interpretation over the compiled program, see
+    /// src/verify/absint.hpp) and skip them outright: a proven site gets
+    /// the nominal error report and zero deviation without simulating a
+    /// single vector.  Sound, so results are bit-identical either way —
+    /// this only changes what work is spent discovering them.
+    bool staticSkip = true;
     /// A fault is *critical* when its error-under-fault MED reaches
     /// `criticalFactor * max(nominal MED, criticalFloor)`.
     double criticalFactor = 4.0;

@@ -94,36 +94,28 @@ private:
         std::string origin;
     };
 
-    /// Cached-simplification payload: simplified-structural-hash prefix +
-    /// serialized simplified netlist, keyed by the raw netlist's hash.
+    /// Cached simplification via the cache's netlist interface (hash
+    /// tamper check and, when the cache enables it, a static lint on
+    /// load), keyed by the raw netlist's hash.
     static bool loadSimplified(cache::CharacterizationCache& cache, const Netlist& raw,
                                Netlist& simplified, std::uint64_t& hash) {
         const cache::CacheKey key =
             cache::CharacterizationCache::blobKey(raw.structuralHash(), kSimplifyTag);
-        const std::optional<std::vector<std::uint8_t>> bytes = cache.findBytes(key);
-        if (!bytes) return false;
-        util::ByteReader reader(*bytes);
-        std::uint64_t storedHash = 0;
-        if (!reader.u64(storedHash)) return false;
-        std::optional<Netlist> net = Netlist::deserialize(reader);
-        if (!net || net->structuralHash() != storedHash) return false;
+        std::optional<Netlist> net = cache.findNetlist(key, &hash);
+        if (!net) return false;
         simplified = std::move(*net);
         // The key hashes structure only, so same-structure candidates with
         // different names share this entry; `simplify` preserves its input
         // name, so restoring the caller's keeps warm == cold per candidate.
         simplified.setName(raw.name());
-        hash = storedHash;
         return true;
     }
 
     static void storeSimplified(cache::CharacterizationCache& cache, const Netlist& raw,
                                 const Netlist& simplified, std::uint64_t hash) {
-        const cache::CacheKey key =
-            cache::CharacterizationCache::blobKey(raw.structuralHash(), kSimplifyTag);
-        util::ByteWriter out;
-        out.u64(hash);
-        simplified.serialize(out);
-        cache.putBytes(key, out.take());
+        cache.putNetlist(
+            cache::CharacterizationCache::blobKey(raw.structuralHash(), kSimplifyTag),
+            simplified, hash);
     }
 
     std::vector<Candidate> candidates_;

@@ -1,0 +1,228 @@
+// axf-lint — static verification front door for the approximate-circuit
+// stack.  Lints gate-level netlists (structural invariants, unreachable
+// logic, duplicate cones, provably constant gates) and statically
+// verifies their compiled programs (dataflow discipline, schedule claims,
+// fusion semantics) without evaluating a single vector.
+//
+// Modes (combinable):
+//   axf-lint --library adder|multiplier --width N [--full]
+//       Lint + compile-verify every netlist of the generated structural
+//       families (--full adds the CGP-evolved designs).
+//   axf-lint --cache DIR
+//       Audit a characterization-cache directory: every netlist payload
+//       must decode and pass the linter.
+//   axf-lint FILE...
+//       Lint serialized netlist files (the Netlist::serialize format).
+//
+// Flags: --werror (warnings fail), --quiet (findings only), --no-verify
+// (skip program verification), --max-diag N.
+//
+// Exit status: 0 clean, 1 error-severity findings (or warnings under
+// --werror), 2 usage/io failure.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "src/cache/characterization_cache.hpp"
+#include "src/circuit/batch_sim.hpp"
+#include "src/circuit/netlist.hpp"
+#include "src/gen/library.hpp"
+#include "src/util/bytes.hpp"
+#include "src/verify/verify.hpp"
+
+namespace {
+
+using axf::circuit::CompiledNetlist;
+using axf::circuit::Netlist;
+using axf::verify::Diagnostics;
+
+struct CliOptions {
+    std::string library;        // "adder" | "multiplier" | ""
+    int width = 8;
+    bool full = false;          // include CGP designs, not just structural families
+    std::string cacheDirectory;
+    std::vector<std::string> files;
+    bool werror = false;
+    bool quiet = false;
+    bool verifyPrograms = true;
+    std::size_t maxDiagnostics = 64;
+};
+
+struct Tally {
+    std::size_t netlists = 0;
+    std::size_t programs = 0;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+};
+
+void printDiagnostics(const std::string& subject, const Diagnostics& diags,
+                      const CliOptions& cli) {
+    for (const auto& d : diags.all()) {
+        if (cli.quiet && d.severity == axf::verify::Severity::Info) continue;
+        std::fprintf(stderr, "%s: %s [%s %s]", subject.c_str(), d.message.c_str(),
+                     axf::verify::ruleId(d.rule), axf::verify::severityName(d.severity));
+        if (d.where != axf::verify::kNoLocation) std::fprintf(stderr, " @%u", d.where);
+        std::fprintf(stderr, "\n");
+    }
+    if (diags.truncated())
+        std::fprintf(stderr, "%s: ... further findings suppressed\n", subject.c_str());
+}
+
+void checkNetlist(const std::string& subject, const Netlist& netlist, const CliOptions& cli,
+                  Tally& tally) {
+    axf::verify::LintOptions lintOptions;
+    lintOptions.maxDiagnostics = cli.maxDiagnostics;
+    const Diagnostics lint = axf::verify::lintNetlist(netlist, lintOptions);
+    ++tally.netlists;
+    tally.errors += lint.errorCount();
+    tally.warnings += lint.warningCount();
+    printDiagnostics(subject, lint, cli);
+
+    if (!cli.verifyPrograms || lint.hasErrors()) return;
+    axf::verify::VerifyOptions verifyOptions;
+    verifyOptions.maxDiagnostics = cli.maxDiagnostics;
+    const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
+    const Diagnostics prog = axf::verify::verifyProgram(compiled, &netlist, verifyOptions);
+    ++tally.programs;
+    tally.errors += prog.errorCount();
+    tally.warnings += prog.warningCount();
+    printDiagnostics(subject + " [compiled]", prog, cli);
+}
+
+int lintLibrary(const CliOptions& cli, Tally& tally) {
+    axf::gen::LibraryConfig config;
+    config.op = cli.library == "adder" ? axf::circuit::ArithOp::Adder
+                                       : axf::circuit::ArithOp::Multiplier;
+    config.width = cli.width;
+    config.structuralOnly = !cli.full;
+    const axf::gen::AcLibrary library = cli.full ? axf::gen::buildLibrary(config)
+                                                 : axf::gen::buildStructuralFamilies(config);
+    for (const auto& entry : library)
+        checkNetlist(entry.name.empty() ? entry.origin : entry.name, entry.netlist, cli, tally);
+    if (!cli.quiet)
+        std::fprintf(stderr, "axf-lint: %zu %s-library netlists checked\n", library.size(),
+                     cli.library.c_str());
+    return 0;
+}
+
+int lintCacheDirectory(const CliOptions& cli, Tally& tally) {
+    axf::cache::CharacterizationCache::Options options;
+    options.directory = cli.cacheDirectory;
+    axf::cache::CharacterizationCache cache(options);
+    std::size_t blobs = 0;
+    cache.forEachEntry([&](const axf::cache::CacheKey& key,
+                           const std::vector<std::uint8_t>& payload) {
+        if (key.kind != static_cast<std::uint32_t>(axf::cache::PayloadKind::Blob)) return;
+        // Netlist blobs are hash-prefixed (see putNetlist); anything that
+        // does not decode as one is some other blob family — not ours to
+        // judge.
+        axf::util::ByteReader reader(payload);
+        std::uint64_t storedHash = 0;
+        if (!reader.u64(storedHash)) return;
+        std::optional<Netlist> net = Netlist::deserialize(reader);
+        if (!net) return;
+        ++blobs;
+        char subject[64];
+        std::snprintf(subject, sizeof subject, "cache blob %016llx",
+                      static_cast<unsigned long long>(key.structuralHash));
+        if (net->structuralHash() != storedHash) {
+            std::fprintf(stderr, "%s: embedded hash disagrees with the payload\n", subject);
+            ++tally.errors;
+        }
+        checkNetlist(subject, *net, cli, tally);
+    });
+    if (!cli.quiet)
+        std::fprintf(stderr, "axf-lint: %zu cached netlist blob(s) checked in %s\n", blobs,
+                     cli.cacheDirectory.c_str());
+    return 0;
+}
+
+int lintFile(const std::string& path, const CliOptions& cli, Tally& tally) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "axf-lint: cannot open %s\n", path.c_str());
+        return 2;
+    }
+    const std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                          std::istreambuf_iterator<char>());
+    axf::util::ByteReader reader(bytes);
+    std::optional<Netlist> net = Netlist::deserialize(reader);
+    if (!net) {
+        std::fprintf(stderr, "%s: not a serialized netlist (or invariant-breaking)\n",
+                     path.c_str());
+        ++tally.errors;
+        return 0;
+    }
+    checkNetlist(path, *net, cli, tally);
+    return 0;
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: axf-lint [--library adder|multiplier] [--width N] [--full]\n"
+                 "                [--cache DIR] [--werror] [--quiet] [--no-verify]\n"
+                 "                [--max-diag N] [FILE...]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        if (arg == "--library") {
+            const char* v = next();
+            if (v == nullptr || (std::strcmp(v, "adder") != 0 && std::strcmp(v, "multiplier") != 0))
+                return usage();
+            cli.library = v;
+        } else if (arg == "--width") {
+            const char* v = next();
+            if (v == nullptr || std::atoi(v) <= 0) return usage();
+            cli.width = std::atoi(v);
+        } else if (arg == "--full") {
+            cli.full = true;
+        } else if (arg == "--cache") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            cli.cacheDirectory = v;
+        } else if (arg == "--werror") {
+            cli.werror = true;
+        } else if (arg == "--quiet") {
+            cli.quiet = true;
+        } else if (arg == "--no-verify") {
+            cli.verifyPrograms = false;
+        } else if (arg == "--max-diag") {
+            const char* v = next();
+            if (v == nullptr || std::atoi(v) <= 0) return usage();
+            cli.maxDiagnostics = static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            cli.files.push_back(arg);
+        }
+    }
+    if (cli.library.empty() && cli.cacheDirectory.empty() && cli.files.empty()) return usage();
+
+    Tally tally;
+    if (!cli.library.empty()) lintLibrary(cli, tally);
+    if (!cli.cacheDirectory.empty()) lintCacheDirectory(cli, tally);
+    for (const std::string& file : cli.files) {
+        const int rc = lintFile(file, cli, tally);
+        if (rc != 0) return rc;
+    }
+
+    if (!cli.quiet)
+        std::fprintf(stderr, "axf-lint: %zu netlist(s), %zu program(s): %zu error(s), %zu warning(s)\n",
+                     tally.netlists, tally.programs, tally.errors, tally.warnings);
+    if (tally.errors != 0) return 1;
+    if (cli.werror && tally.warnings != 0) return 1;
+    return 0;
+}
