@@ -17,8 +17,11 @@ using Word = CompiledNetlist::Word;
 
 namespace {
 
-constexpr std::size_t kWords = BatchSimulator::kWordsPerBlock;
-constexpr std::size_t kLanes = BatchSimulator::kLanesPerBlock;
+/// Pixel-loop tile and buffer sizing: the widest block any bound program
+/// can choose.  `batchAdd16Wide` re-tiles internally to each simulator's
+/// own width, so the lane arrays stay width-agnostic.
+constexpr std::size_t kMaxWords = BatchSimulator::kMaxWordsPerBlock;
+constexpr std::size_t kMaxLanes = BatchSimulator::kMaxLanesPerBlock;
 
 }  // namespace
 
@@ -58,9 +61,10 @@ GaussianAccelerator::GaussianAccelerator(std::vector<Component> multiplierMenu,
 
 std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& component,
                                                            cache::CharacterizationCache* cache) {
-    // Exhaustive 8x8 behavioural table via 256-lane sweeps; the result is
-    // a pure function of the netlist, so it is content-addressed in the
-    // characterization cache (little-endian u16 blob, 128 KiB).
+    // Exhaustive 8x8 behavioural table swept at the compiled program's
+    // chosen block width; the result is a pure function of the netlist, so
+    // it is content-addressed in the characterization cache (little-endian
+    // u16 blob, 128 KiB).
     constexpr std::string_view kTableTag = "multtable16.v1";
     const cache::CacheKey key = cache != nullptr
                                     ? cache::CharacterizationCache::blobKey(
@@ -78,14 +82,16 @@ std::vector<std::uint16_t> GaussianAccelerator::buildTable(const Component& comp
     std::vector<std::uint16_t> table(1u << 16);
     const CompiledNetlist compiled = CompiledNetlist::compile(component.netlist);
     BatchSimulator sim(compiled);
-    std::vector<Word> in(16 * kWords), out(compiled.outputCount() * kWords);
-    for (std::uint64_t base = 0; base < (1u << 16); base += kLanes) {
-        circuit::fillExhaustiveBlock<kWords>(in, 16, base);
+    const std::size_t words = sim.blockWords();
+    const std::size_t blockLanes = sim.blockLanes();
+    std::vector<Word> in(16 * words), out(compiled.outputCount() * words);
+    for (std::uint64_t base = 0; base < (1u << 16); base += blockLanes) {
+        circuit::fillExhaustiveBlock(in, 16, base, words);
         sim.evaluate(in, out);
-        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        for (std::size_t lane = 0; lane < blockLanes; ++lane) {
             std::uint32_t value = 0;
-            for (std::size_t bit = 0; bit < out.size() / kWords && bit < 16; ++bit)
-                value |= static_cast<std::uint32_t>((out[bit * kWords + lane / 64] >>
+            for (std::size_t bit = 0; bit < out.size() / words && bit < 16; ++bit)
+                value |= static_cast<std::uint32_t>((out[bit * words + lane / 64] >>
                                                      (lane % 64)) &
                                                     1u)
                          << bit;
@@ -115,7 +121,7 @@ struct GaussianAccelerator::WorkspaceImpl : AcceleratorModel::Workspace {
 
 std::unique_ptr<AcceleratorModel::Workspace> GaussianAccelerator::makeWorkspace() const {
     auto ws = std::make_unique<WorkspaceImpl>();
-    ws->inWords.resize(32 * kWords);
+    ws->inWords.resize(32 * kMaxWords);
     return ws;
 }
 
@@ -137,17 +143,17 @@ img::Image GaussianAccelerator::filter(const img::Image& input, const Accelerato
         else
             ws.sims[static_cast<std::size_t>(node)].rebind(compiled);
     }
-    if (ws.outWords.size() < maxOutputs * kWords) ws.outWords.resize(maxOutputs * kWords);
+    if (ws.outWords.size() < maxOutputs * kMaxWords) ws.outWords.resize(maxOutputs * kMaxWords);
 
     const std::array<int, 9>& weights = kernelWeights();
     img::Image output(input.width(), input.height());
     const std::size_t total = input.pixelCount();
 
-    std::array<std::array<std::uint32_t, kLanes>, 9> products{};
-    std::array<std::uint32_t, kLanes> l1a{}, l1b{}, l1c{}, l1d{}, l2a{}, l2b{}, l3{}, sum{};
+    std::array<std::array<std::uint32_t, kMaxLanes>, 9> products{};
+    std::array<std::uint32_t, kMaxLanes> l1a{}, l1b{}, l1c{}, l1d{}, l2a{}, l2b{}, l3{}, sum{};
 
-    for (std::size_t base = 0; base < total; base += kLanes) {
-        const std::size_t lanes = std::min<std::size_t>(kLanes, total - base);
+    for (std::size_t base = 0; base < total; base += kMaxLanes) {
+        const std::size_t lanes = std::min<std::size_t>(kMaxLanes, total - base);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             const std::size_t pixel = base + lane;
             const int x = static_cast<int>(pixel % static_cast<std::size_t>(input.width()));
@@ -165,12 +171,12 @@ img::Image GaussianAccelerator::filter(const img::Image& input, const Accelerato
                 }
             }
         }
-        const auto add = [&](int node, const std::array<std::uint32_t, kLanes>& a,
-                             const std::array<std::uint32_t, kLanes>& b,
-                             std::array<std::uint32_t, kLanes>& out) {
+        const auto add = [&](int node, const std::array<std::uint32_t, kMaxLanes>& a,
+                             const std::array<std::uint32_t, kMaxLanes>& b,
+                             std::array<std::uint32_t, kMaxLanes>& out) {
             BatchSimulator& sim = ws.sims[static_cast<std::size_t>(node)];
             batchAdd16Wide(sim, a.data(), b.data(), out.data(), lanes, ws.inWords,
-                           {ws.outWords.data(), sim.compiled().outputCount() * kWords});
+                           ws.outWords);
         };
         add(0, products[0], products[1], l1a);
         add(1, products[2], products[3], l1b);

@@ -15,9 +15,6 @@ using circuit::CompiledNetlist;
 using circuit::Simulator;
 using Word = CompiledNetlist::Word;
 
-namespace {
-constexpr std::size_t kWords = BatchSimulator::kWordsPerBlock;
-}  // namespace
 
 std::vector<Component> componentsFromFlow(const core::FlowResult& result,
                                           core::FpgaParam param, std::size_t maxComponents) {
@@ -160,40 +157,50 @@ void batchAdd16(Simulator& sim, std::span<const std::uint32_t> a,
 void batchAdd16Wide(BatchSimulator& sim, const std::uint32_t* a, const std::uint32_t* b,
                     std::uint32_t* out, std::size_t lanes, std::span<Word> inWords,
                     std::span<Word> outWords) {
-    std::memset(inWords.data(), 0, inWords.size() * sizeof(Word));
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-        const Word laneBit = Word{1} << (lane % 64);
-        const std::size_t w = lane / 64;
-        // Operands truncate to the adder's 16-bit interface.  Inputs can
-        // carry 17-bit values (a previous level's carry-out); without the
-        // mask, bit 16 of `a` would alias operand B's LSB and bit 16 of
-        // `b` would index past the input block.
-        std::uint32_t va = a[lane] & 0xFFFFu;
-        while (va != 0) {
-            const int bit = __builtin_ctz(va);
-            inWords[static_cast<std::size_t>(bit) * kWords + w] |= laneBit;
-            va &= va - 1;
-        }
-        std::uint32_t vb = b[lane] & 0xFFFFu;
-        while (vb != 0) {
-            const int bit = __builtin_ctz(vb);
-            inWords[static_cast<std::size_t>(16 + bit) * kWords + w] |= laneBit;
-            vb &= vb - 1;
-        }
-    }
-    sim.evaluate(inWords, outWords);
+    // Loop over the simulator's own block width: callers may tile their
+    // lane arrays at any granularity (typically kMaxLanesPerBlock), and
+    // each bound program carries its own chosen width.  Pure integer
+    // bit-sliced evaluation — results are independent of the tiling.
+    const std::size_t words = sim.blockWords();
+    const std::size_t blockLanes = sim.blockLanes();
     const std::size_t outputs = sim.compiled().outputCount();
-    std::memset(out, 0, lanes * sizeof(std::uint32_t));
-    for (std::size_t bit = 0; bit < outputs; ++bit) {
-        const std::uint32_t weight = std::uint32_t{1} << bit;
-        for (std::size_t w = 0; w * 64 < lanes; ++w) {
-            Word word = outWords[bit * kWords + w];
-            const std::size_t laneBase = w * 64;
-            while (word != 0) {
-                const int lane = __builtin_ctzll(word);
-                const std::size_t idx = laneBase + static_cast<std::size_t>(lane);
-                if (idx < lanes) out[idx] |= weight;
-                word &= word - 1;
+    for (std::size_t blockBase = 0; blockBase < lanes; blockBase += blockLanes) {
+        const std::size_t blockCount = std::min(blockLanes, lanes - blockBase);
+        std::memset(inWords.data(), 0, 32 * words * sizeof(Word));
+        for (std::size_t lane = 0; lane < blockCount; ++lane) {
+            const Word laneBit = Word{1} << (lane % 64);
+            const std::size_t w = lane / 64;
+            // Operands truncate to the adder's 16-bit interface.  Inputs can
+            // carry 17-bit values (a previous level's carry-out); without the
+            // mask, bit 16 of `a` would alias operand B's LSB and bit 16 of
+            // `b` would index past the input block.
+            std::uint32_t va = a[blockBase + lane] & 0xFFFFu;
+            while (va != 0) {
+                const int bit = __builtin_ctz(va);
+                inWords[static_cast<std::size_t>(bit) * words + w] |= laneBit;
+                va &= va - 1;
+            }
+            std::uint32_t vb = b[blockBase + lane] & 0xFFFFu;
+            while (vb != 0) {
+                const int bit = __builtin_ctz(vb);
+                inWords[static_cast<std::size_t>(16 + bit) * words + w] |= laneBit;
+                vb &= vb - 1;
+            }
+        }
+        sim.evaluate(inWords.subspan(0, 32 * words), outWords.subspan(0, outputs * words));
+        std::uint32_t* const outBlock = out + blockBase;
+        std::memset(outBlock, 0, blockCount * sizeof(std::uint32_t));
+        for (std::size_t bit = 0; bit < outputs; ++bit) {
+            const std::uint32_t weight = std::uint32_t{1} << bit;
+            for (std::size_t w = 0; w * 64 < blockCount; ++w) {
+                Word word = outWords[bit * words + w];
+                const std::size_t laneBase = w * 64;
+                while (word != 0) {
+                    const int lane = __builtin_ctzll(word);
+                    const std::size_t idx = laneBase + static_cast<std::size_t>(lane);
+                    if (idx < blockCount) outBlock[idx] |= weight;
+                    word &= word - 1;
+                }
             }
         }
     }

@@ -161,12 +161,15 @@ void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
 void batchAdd16(circuit::Simulator& sim, std::span<const std::uint32_t> a,
                 std::span<const std::uint32_t> b, std::span<std::uint32_t> out);
 
-/// Wide batchAdd16: up to `BatchSimulator::kLanesPerBlock` operand pairs
-/// per sweep on the compiled engine.  `inWords` / `outWords` are
-/// caller-owned blocks (32 * kWordsPerBlock and outputCount *
-/// kWordsPerBlock words); nothing allocates.  Operands truncate to the
-/// adder's 16-bit interface (inputs may carry a previous level's
-/// carry-out in bit 16).
+/// Wide batchAdd16: any number of operand pairs on the compiled engine,
+/// swept internally in blocks of the simulator's own `blockLanes()` (256 /
+/// 512 / 1024 following the bound program's chosen width).  `inWords` /
+/// `outWords` are caller-owned blocks of at least 32 * blockWords() and
+/// outputCount * blockWords() words — size them with
+/// `BatchSimulator::kMaxWordsPerBlock` so rebinding to a wider program
+/// stays in bounds; nothing allocates.  Operands truncate to the adder's
+/// 16-bit interface (inputs may carry a previous level's carry-out in
+/// bit 16).
 void batchAdd16Wide(circuit::BatchSimulator& sim, const std::uint32_t* a,
                     const std::uint32_t* b, std::uint32_t* out, std::size_t lanes,
                     std::span<circuit::CompiledNetlist::Word> inWords,

@@ -283,6 +283,36 @@ void fusePeephole(const Netlist& netlist, std::vector<NodeOp>& ops,
     }
 }
 
+/// Picks the block width for a freshly compiled program.  Priority:
+/// explicit `Options::blockWords`, `kernels::ScopedWidthOverride`,
+/// `AXF_FORCE_WIDTH`, then a workspace-footprint heuristic: take the
+/// widest width whose workspace still fits the fast cache levels.  Wider
+/// blocks amortize per-run dispatch (fn-pointer calls, plan walking,
+/// decode/accumulate boundaries) over 2-4x the lanes but multiply the
+/// working set by the same factor — so a program whose W = 16 workspace
+/// fits comfortably in L1 takes 1024 lanes per sweep, a mid-size one
+/// settles for 512 while the W = 8 workspace still fits the L2 slice, and
+/// a large one stays at the 256-lane baseline.  The choice never affects
+/// results (bit-identical across the width set), only execution shape.
+std::size_t chooseBlockWords(std::size_t requested, std::size_t slots) {
+    if (requested != 0) {
+        if (!kernels::isWideWidth(requested))
+            throw std::invalid_argument(
+                "CompiledNetlist: Options::blockWords must be 0, 4, 8 or 16");
+        return requested;
+    }
+    if (const std::size_t words = kernels::widthOverride(); words != 0) return words;
+    if (const std::size_t words = kernels::forcedWidth(); words != 0) return words;
+    constexpr std::size_t kL1Budget = 32u << 10;
+    constexpr std::size_t kL2Budget = 768u << 10;
+    const auto bytesAt = [slots](std::size_t words) {
+        return slots * words * sizeof(CompiledNetlist::Word);
+    };
+    if (bytesAt(16) <= kL1Budget) return 16;
+    if (bytesAt(8) <= kL2Budget) return 8;
+    return kernels::kBaseWideWords;
+}
+
 }  // namespace
 
 CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options) {
@@ -570,6 +600,7 @@ CompiledNetlist CompiledNetlist::compile(const Netlist& netlist, Options options
     compiled.outputSlots_.reserve(netlist.outputCount());
     for (NodeId out : netlist.outputs()) compiled.outputSlots_.push_back(slotOf[out]);
 
+    compiled.blockWords_ = chooseBlockWords(options.blockWords, compiled.slotCount_);
     compiled.buildPlan();
     if (compiled.instrs_.size() <= kAutoSpecializeInstructions) compiled.specialize();
 
@@ -589,17 +620,24 @@ void CompiledNetlist::buildPlan() {
     for (const Run& run : runs_) {
         const auto op = static_cast<std::size_t>(run.op);
         const std::uint32_t count = run.end - run.begin;
-        kernels::KernelFn wide = backend.wide[op];
-        kernels::KernelFn narrow = backend.narrow[op];
-        if (run.chained && backend.wideChained[op] != nullptr) {
-            wide = backend.wideChained[op];
-        } else if (specialized_ && count <= kernels::kMaxUnroll &&
-                   backend.wideUnrolled[op][count - 1] != nullptr) {
-            wide = backend.wideUnrolled[op][count - 1];
+        PlannedRun planned{};
+        for (std::size_t wi = 0; wi < kernels::kWidthCount; ++wi) {
+            const kernels::WidthTables& tables = backend.wide[wi];
+            kernels::KernelFn fn = tables.run[op];
+            if (run.chained && tables.chained[op] != nullptr) {
+                fn = tables.chained[op];
+            } else if (specialized_ && count <= kernels::kMaxUnroll &&
+                       tables.unrolled[op][count - 1] != nullptr) {
+                fn = tables.unrolled[op][count - 1];
+            }
+            planned.wide[wi] = fn;
         }
-        if (run.chained && backend.narrowChained[op] != nullptr)
-            narrow = backend.narrowChained[op];
-        plan_.push_back({wide, narrow, run.begin, count});
+        planned.narrow = (run.chained && backend.narrowChained[op] != nullptr)
+                             ? backend.narrowChained[op]
+                             : backend.narrow[op];
+        planned.begin = run.begin;
+        planned.count = count;
+        plan_.push_back(planned);
     }
 }
 
@@ -620,6 +658,7 @@ CompiledNetlist::Stats CompiledNetlist::stats() const {
     s.fusedOps = fusedOps_;
     s.gatesFused = gatesFused_;
     s.backend = backend_ != nullptr ? backend_->name : "";
+    s.blockWords = blockWords_;
     s.specialized = specialized_;
     return s;
 }
@@ -635,12 +674,13 @@ void CompiledNetlist::initWorkspace(std::span<Word> workspace, std::size_t words
 
 template <std::size_t W>
 void CompiledNetlist::run(const Word* inputs, Word* outputs, Word* ws) const {
-    static_assert(W == 1 || W == kWordsPerBlock, "kernel tables exist for W = 1 and wide only");
+    static_assert(W == 1 || kernels::isWideWidth(W),
+                  "kernel tables exist for W = 1 and the wide width set only");
     // The input/output block copies go through memcpy: caller buffers are
     // plain vectors with no alignment contract, and the compiler inlines
     // these to unaligned vector moves anyway.  The workspace itself must
-    // satisfy the slot alignment (W * 8 bytes for the wide configuration;
-    // BatchSimulator 64-byte-aligns it) because the kernels use whole-slot
+    // satisfy the slot alignment (W * 8 bytes for the wide configurations;
+    // BatchSimulator 128-byte-aligns it) because the kernels use whole-slot
     // vector accesses.
     const std::uint32_t* inSlots = inputSlots_.data();
     for (std::size_t i = 0; i < inputSlots_.size(); ++i)
@@ -650,10 +690,10 @@ void CompiledNetlist::run(const Word* inputs, Word* outputs, Word* ws) const {
     // chosen at compile() time, so there is no dispatch left here.
     const kernels::Instr* instrs = instrs_.data();
     for (const PlannedRun& r : plan_) {
-        if constexpr (W == kWordsPerBlock)
-            r.wide(instrs + r.begin, r.count, ws);
-        else
+        if constexpr (W == 1)
             r.narrow(instrs + r.begin, r.count, ws);
+        else
+            r.wide[kernels::widthIndex(W)](instrs + r.begin, r.count, ws);
     }
     const std::uint32_t* outSlots = outputSlots_.data();
     for (std::size_t o = 0; o < outputSlots_.size(); ++o)
@@ -662,8 +702,9 @@ void CompiledNetlist::run(const Word* inputs, Word* outputs, Word* ws) const {
 }
 
 template void CompiledNetlist::run<1>(const Word*, Word*, Word*) const;
-template void CompiledNetlist::run<CompiledNetlist::kWordsPerBlock>(const Word*, Word*,
-                                                                    Word*) const;
+template void CompiledNetlist::run<4>(const Word*, Word*, Word*) const;
+template void CompiledNetlist::run<8>(const Word*, Word*, Word*) const;
+template void CompiledNetlist::run<16>(const Word*, Word*, Word*) const;
 
 namespace {
 
@@ -678,7 +719,8 @@ void applyFault(CompiledNetlist::Word* ws, const CompiledNetlist::InjectedFault&
 template <std::size_t W>
 void CompiledNetlist::runWithFaults(const Word* inputs, Word* outputs, Word* ws,
                                     std::span<const InjectedFault> faults) const {
-    static_assert(W == 1 || W == kWordsPerBlock, "kernel tables exist for W = 1 and wide only");
+    static_assert(W == 1 || kernels::isWideWidth(W),
+                  "kernel tables exist for W = 1 and the wide width set only");
     const std::uint32_t* inSlots = inputSlots_.data();
     for (std::size_t i = 0; i < inputSlots_.size(); ++i)
         std::memcpy(ws + static_cast<std::size_t>(inSlots[i]) * W, inputs + i * W,
@@ -692,10 +734,10 @@ void CompiledNetlist::runWithFaults(const Word* inputs, Word* outputs, Word* ws,
     const auto dispatch = [&](OpCode op, std::uint32_t begin, std::uint32_t count) {
         if (count == 0) return;
         const auto opIdx = static_cast<std::size_t>(op);
-        if constexpr (W == kWordsPerBlock)
-            backend.wide[opIdx](instrs + begin, count, ws);
-        else
+        if constexpr (W == 1)
             backend.narrow[opIdx](instrs + begin, count, ws);
+        else
+            backend.wide[kernels::widthIndex(W)].run[opIdx](instrs + begin, count, ws);
     };
     for (std::size_t r = 0; r < runs_.size(); ++r) {
         const Run& run = runs_[r];
@@ -703,10 +745,10 @@ void CompiledNetlist::runWithFaults(const Word* inputs, Word* outputs, Word* ws,
             // No fault boundary inside this run: pre-resolved plan kernel,
             // exactly as run<W>.
             const PlannedRun& p = plan_[r];
-            if constexpr (W == kWordsPerBlock)
-                p.wide(instrs + p.begin, p.count, ws);
-            else
+            if constexpr (W == 1)
                 p.narrow(instrs + p.begin, p.count, ws);
+            else
+                p.wide[kernels::widthIndex(W)](instrs + p.begin, p.count, ws);
             continue;
         }
         // Split the run at each faulted instruction; the generic kernels
@@ -731,27 +773,36 @@ void CompiledNetlist::runWithFaults(const Word* inputs, Word* outputs, Word* ws,
 
 template void CompiledNetlist::runWithFaults<1>(const Word*, Word*, Word*,
                                                 std::span<const InjectedFault>) const;
-template void CompiledNetlist::runWithFaults<CompiledNetlist::kWordsPerBlock>(
-    const Word*, Word*, Word*, std::span<const InjectedFault>) const;
+template void CompiledNetlist::runWithFaults<4>(const Word*, Word*, Word*,
+                                                std::span<const InjectedFault>) const;
+template void CompiledNetlist::runWithFaults<8>(const Word*, Word*, Word*,
+                                                std::span<const InjectedFault>) const;
+template void CompiledNetlist::runWithFaults<16>(const Word*, Word*, Word*,
+                                                 std::span<const InjectedFault>) const;
 
 void BatchSimulator::rebind(const CompiledNetlist& compiled) {
     if (compiled_ == &compiled) return;  // constants already in place
     compiled_ = &compiled;
-    const std::size_t needed = compiled.workspaceWords(kWordsPerBlock) + kAlignWords;
+    const std::size_t words = compiled.blockWords();
+    const std::size_t needed = compiled.workspaceWords(words) + kAlignWords;
     if (storage_.size() < needed) storage_.assign(needed, 0);
     const std::size_t misalign =
         reinterpret_cast<std::uintptr_t>(storage_.data()) % (kAlignWords * sizeof(Word));
     workspace_ = storage_.data() + (misalign ? kAlignWords - misalign / sizeof(Word) : 0);
-    compiled.initWorkspace({workspace_, compiled.workspaceWords(kWordsPerBlock)},
-                           kWordsPerBlock);
+    compiled.initWorkspace({workspace_, compiled.workspaceWords(words)}, words);
 }
 
 void BatchSimulator::evaluate(std::span<const Word> inputWords, std::span<Word> outputWords) {
-    if (inputWords.size() != compiled_->inputCount() * kWordsPerBlock)
+    const std::size_t words = compiled_->blockWords();
+    if (inputWords.size() != compiled_->inputCount() * words)
         throw std::invalid_argument("BatchSimulator: input word count mismatch");
-    if (outputWords.size() != compiled_->outputCount() * kWordsPerBlock)
+    if (outputWords.size() != compiled_->outputCount() * words)
         throw std::invalid_argument("BatchSimulator: output word count mismatch");
-    compiled_->run<kWordsPerBlock>(inputWords.data(), outputWords.data(), workspace_);
+    switch (words) {
+        case 4: compiled_->run<4>(inputWords.data(), outputWords.data(), workspace_); break;
+        case 8: compiled_->run<8>(inputWords.data(), outputWords.data(), workspace_); break;
+        default: compiled_->run<16>(inputWords.data(), outputWords.data(), workspace_); break;
+    }
 }
 
 }  // namespace axf::circuit

@@ -38,14 +38,18 @@ class CompiledNetlist {
 public:
     using Word = std::uint64_t;
 
-    /// Words per slot of the wide (`BatchSimulator`) configuration.  4
-    /// words = 256 lanes per sweep; one 256-bit op per gate per block.
-    /// (8 words measured slightly slower: the larger workspace starts
-    /// spilling out of L1 without amortizing any more dispatch.)
-    static constexpr std::size_t kWordsPerBlock = 4;
-    static constexpr std::size_t kLanesPerBlock = kWordsPerBlock * 64;
-    static_assert(kWordsPerBlock == kernels::kWideWords,
-                  "kernel tables are instantiated for this width");
+    /// Upper bound of the wide width set (see `kernels::kWideWidths`): the
+    /// sizing constant for width-agnostic buffers.  Each compiled program
+    /// additionally carries a *chosen* block width (`blockWords()`, 4 / 8 /
+    /// 16 words = 256 / 512 / 1024 lanes per sweep) picked at compile()
+    /// time — from `Options::blockWords`, `kernels::ScopedWidthOverride`,
+    /// `AXF_FORCE_WIDTH`, or a workspace-footprint heuristic, in that
+    /// priority order — which sizes its `BatchSimulator` workspaces.  The
+    /// program remains runnable at every width in the set, and results are
+    /// bit-identical across all of them: width is an execution-shape knob,
+    /// never a semantic one.
+    static constexpr std::size_t kMaxWordsPerBlock = kernels::kMaxWideWords;
+    static constexpr std::size_t kMaxLanesPerBlock = kernels::kMaxWideLanes;
 
     /// Programs at or below this instruction count are specialized
     /// automatically: short runs dispatch to fully unrolled straight-line
@@ -62,6 +66,10 @@ public:
         /// Kernel backend to resolve the plan against; nullptr selects the
         /// process-wide `kernels::selectedBackend()`.
         const kernels::Backend* backend = nullptr;
+        /// Block width in words (4 / 8 / 16) for this program's
+        /// `BatchSimulator` workspaces; 0 picks automatically (override
+        /// hooks, then the footprint heuristic).
+        std::size_t blockWords = 0;
     };
 
     /// Compile-time shape of the program, for observability (printed by
@@ -74,6 +82,7 @@ public:
         std::size_t fusedOps = 0;      ///< peephole rewrites applied
         std::size_t gatesFused = 0;    ///< live gates folded away by fusion
         const char* backend = "";      ///< kernel backend the plan resolves to
+        std::size_t blockWords = 0;    ///< chosen block width (words per slot)
         bool specialized = false;      ///< unrolled straight-line plan active
     };
 
@@ -121,6 +130,12 @@ public:
     std::span<const std::pair<std::uint32_t, bool>> constantSlots() const { return constants_; }
     const kernels::Backend& backend() const { return *backend_; }
 
+    /// Block width chosen for this program (words per slot: 4, 8 or 16)
+    /// and its lane count per sweep.  Purely an execution-shape choice:
+    /// `run<W>` stays valid — and bit-identical — at every width.
+    std::size_t blockWords() const { return blockWords_; }
+    std::size_t blockLanes() const { return blockWords_ * 64; }
+
     Stats stats() const;
 
     /// Rebuilds the kernel plan with the unrolled short-run ("superblock")
@@ -138,13 +153,14 @@ public:
     /// are never re-evaluated inside `run`).
     void initWorkspace(std::span<Word> workspace, std::size_t wordsPerSlot) const;
 
-    /// Evaluates one block of W*64 lanes.  `inputs` is input-major
-    /// (`inputCount() * W` words: input i occupies [i*W, i*W+W)), `outputs`
-    /// likewise.  `workspace` must hold `workspaceWords(W)` words, be
-    /// aligned to `W * sizeof(Word)` bytes (the kernels use whole-slot
-    /// vector accesses; `BatchSimulator` 64-byte-aligns its workspace) and
-    /// have been initialized with `initWorkspace` once.  The input/output
-    /// buffers carry no alignment requirement.
+    /// Evaluates one block of W*64 lanes, W in {1, 4, 8, 16}.  `inputs` is
+    /// input-major (`inputCount() * W` words: input i occupies [i*W,
+    /// i*W+W)), `outputs` likewise.  `workspace` must hold
+    /// `workspaceWords(W)` words, be aligned to `W * sizeof(Word)` bytes
+    /// (the kernels use whole-slot vector accesses; `BatchSimulator`
+    /// 128-byte-aligns its workspace so every width's slots stay
+    /// cache-line-clean) and have been initialized with `initWorkspace`
+    /// once.  The input/output buffers carry no alignment requirement.
     template <std::size_t W>
     void run(const Word* inputs, Word* outputs, Word* workspace) const;
 
@@ -156,7 +172,7 @@ public:
     struct InjectedFault {
         std::uint32_t afterInstr = 0;
         std::uint32_t slot = 0;
-        std::array<Word, kWordsPerBlock> mask{};
+        std::array<Word, kMaxWordsPerBlock> mask{};
         bool stuckTo = false;
     };
     /// `afterInstr` sentinel for faults on primary-input slots.
@@ -175,9 +191,13 @@ public:
                        std::span<const InjectedFault> faults) const;
 
 private:
-    /// One plan entry per run: kernels pre-resolved against `backend_`.
+    /// One plan entry per run: kernels pre-resolved against `backend_`,
+    /// one per wide width (indexed by `kernels::widthIndex`) plus the
+    /// narrow W = 1 variant — so a single compiled program dispatches at
+    /// any width without re-planning.
     struct PlannedRun {
-        kernels::KernelFn wide, narrow;
+        std::array<kernels::KernelFn, kernels::kWidthCount> wide;
+        kernels::KernelFn narrow;
         std::uint32_t begin, count;
     };
 
@@ -191,6 +211,7 @@ private:
     std::vector<NodeId> slotNode_;
     std::vector<std::pair<std::uint32_t, bool>> constants_;
     std::size_t slotCount_ = 0;
+    std::size_t blockWords_ = kernels::kBaseWideWords;
     std::size_t fusedOps_ = 0;
     std::size_t gatesFused_ = 0;
     const kernels::Backend* backend_ = nullptr;
@@ -198,27 +219,28 @@ private:
     bool specialized_ = false;
 };
 
-/// Multi-word evaluator: carries `kLanesPerBlock` (256) independent test
-/// vectors per sweep over a shared `CompiledNetlist`.  Owns the workspace,
-/// so a single instance is not thread-safe; create one per thread (the
-/// compiled netlist itself is immutable and freely shared).
+/// Multi-word evaluator: carries `blockLanes()` (256 / 512 / 1024,
+/// following the compiled program's chosen width) independent test vectors
+/// per sweep over a shared `CompiledNetlist`.  Owns the workspace, so a
+/// single instance is not thread-safe; create one per thread (the compiled
+/// netlist itself is immutable and freely shared).
 class BatchSimulator {
 public:
     using Word = CompiledNetlist::Word;
-    static constexpr std::size_t kWordsPerBlock = CompiledNetlist::kWordsPerBlock;
-    static constexpr std::size_t kLanesPerBlock = CompiledNetlist::kLanesPerBlock;
+    static constexpr std::size_t kMaxWordsPerBlock = CompiledNetlist::kMaxWordsPerBlock;
+    static constexpr std::size_t kMaxLanesPerBlock = CompiledNetlist::kMaxLanesPerBlock;
 
     explicit BatchSimulator(const CompiledNetlist& compiled)
         : compiled_(&compiled),
-          storage_(compiled.workspaceWords(kWordsPerBlock) + kAlignWords, 0) {
-        // 64-byte-align the workspace: every slot is a 32-byte region, and
-        // a 16-byte-aligned base would make half of them straddle cache
-        // lines (split vector loads/stores on every other gate).
+          storage_(compiled.workspaceWords(compiled.blockWords()) + kAlignWords, 0) {
+        // 128-byte-align the workspace: slots are up to 128-byte regions
+        // (W = 16), and a lesser-aligned base would make wide slots
+        // straddle cache lines (split vector loads/stores on every gate).
         std::size_t misalign =
             reinterpret_cast<std::uintptr_t>(storage_.data()) % (kAlignWords * sizeof(Word));
         workspace_ = storage_.data() + (misalign ? kAlignWords - misalign / sizeof(Word) : 0);
-        compiled.initWorkspace({workspace_, compiled.workspaceWords(kWordsPerBlock)},
-                               kWordsPerBlock);
+        compiled.initWorkspace({workspace_, compiled.workspaceWords(compiled.blockWords())},
+                               compiled.blockWords());
     }
 
     // The aligned view points into storage_: moves keep it valid (the heap
@@ -228,9 +250,14 @@ public:
     BatchSimulator(BatchSimulator&&) = default;
     BatchSimulator& operator=(BatchSimulator&&) = default;
 
-    /// Evaluates one 256-lane block.  `inputWords` holds
-    /// `inputCount() * kWordsPerBlock` words input-major; `outputWords`
-    /// receives `outputCount() * kWordsPerBlock` words output-major.
+    /// Block shape this workspace is sized for (the compiled program's
+    /// chosen width).
+    std::size_t blockWords() const { return compiled_->blockWords(); }
+    std::size_t blockLanes() const { return compiled_->blockLanes(); }
+
+    /// Evaluates one `blockLanes()`-lane block.  `inputWords` holds
+    /// `inputCount() * blockWords()` words input-major; `outputWords`
+    /// receives `outputCount() * blockWords()` words output-major.
     void evaluate(std::span<const Word> inputWords, std::span<Word> outputWords);
 
     /// Rebinds this workspace to a different compiled program, reusing the
@@ -243,11 +270,11 @@ public:
     const CompiledNetlist& compiled() const { return *compiled_; }
 
 private:
-    static constexpr std::size_t kAlignWords = 8;  ///< 64 bytes
+    static constexpr std::size_t kAlignWords = 16;  ///< 128 bytes
 
     const CompiledNetlist* compiled_;
     std::vector<Word> storage_;
-    Word* workspace_ = nullptr;  ///< 64-byte-aligned view into storage_
+    Word* workspace_ = nullptr;  ///< 128-byte-aligned view into storage_
 };
 
 /// Lane patterns of the low six bits of an exhaustively enumerated input
@@ -274,6 +301,26 @@ inline void fillExhaustiveBlock(std::span<CompiledNetlist::Word> inputWords, int
         } else {
             const Word v = (base >> bit) & 1u ? ~Word{0} : Word{0};
             for (std::size_t w = 0; w < W; ++w) words[w] = v;
+        }
+    }
+}
+
+/// Runtime-width overload for call sites driven by a compiled program's
+/// `blockWords()`.  Bit-identical to the template at every width.
+inline void fillExhaustiveBlock(std::span<CompiledNetlist::Word> inputWords, int totalBits,
+                                std::uint64_t base, std::size_t blockWords) {
+    using Word = CompiledNetlist::Word;
+    for (int bit = 0; bit < totalBits; ++bit) {
+        Word* words = inputWords.data() + static_cast<std::size_t>(bit) * blockWords;
+        if (bit < 6) {
+            for (std::size_t w = 0; w < blockWords; ++w)
+                words[w] = kExhaustiveLanePattern[static_cast<std::size_t>(bit)];
+        } else if (static_cast<std::uint64_t>(1) << (bit - 6) < blockWords) {
+            for (std::size_t w = 0; w < blockWords; ++w)
+                words[w] = (w >> (bit - 6)) & 1u ? ~Word{0} : Word{0};
+        } else {
+            const Word v = (base >> bit) & 1u ? ~Word{0} : Word{0};
+            for (std::size_t w = 0; w < blockWords; ++w) words[w] = v;
         }
     }
 }

@@ -11,11 +11,33 @@ namespace axf::circuit::kernels {
 
 using Word = std::uint64_t;
 
-/// Words per slot of the wide (256-lane) configuration.  Mirrored by
-/// `CompiledNetlist::kWordsPerBlock` (static_asserted there): the kernel
-/// tables are instantiated for exactly this width plus W=1.
-inline constexpr std::size_t kWideWords = 4;
-inline constexpr std::size_t kWideLanes = kWideWords * 64;
+/// The compile-time width set: words per slot of the wide configurations.
+/// Every backend instantiates its full kernel family (generic, unrolled,
+/// chained, decoders) once per width; `CompiledNetlist` picks one width per
+/// netlist at compile time (footprint heuristic / AXF_FORCE_WIDTH /
+/// ScopedWidthOverride) and can still be run at any of them.  Width is
+/// purely an execution-shape knob: results are bit-identical across the
+/// whole set, pinned by differential tests against the W = 4 oracle.
+inline constexpr std::size_t kWidthCount = 3;
+inline constexpr std::array<std::size_t, kWidthCount> kWideWidths = {4, 8, 16};
+
+/// W = 4 (256 lanes): the differential-oracle width and the accumulation
+/// granularity wider widths must reproduce (see error::Accumulator users).
+inline constexpr std::size_t kBaseWideWords = 4;
+inline constexpr std::size_t kBaseWideLanes = kBaseWideWords * 64;
+
+/// W = 16 (1024 lanes): sizing bound for width-agnostic buffers.
+inline constexpr std::size_t kMaxWideWords = 16;
+inline constexpr std::size_t kMaxWideLanes = kMaxWideWords * 64;
+
+constexpr bool isWideWidth(std::size_t words) {
+    return words == 4 || words == 8 || words == 16;
+}
+
+/// Index of a width in `kWideWidths` (and in `Backend::wide`).
+constexpr std::size_t widthIndex(std::size_t words) {
+    return words == 4 ? 0 : words == 8 ? 1 : 2;
+}
 
 /// Instruction alphabet of the compiled engine: every logic `GateKind`
 /// plus the fused instructions produced by the peephole pass in
@@ -131,8 +153,9 @@ struct Instr {
 /// (the latency killer of ripple-carry-style serial chains).
 using KernelFn = void (*)(const Instr* instrs, std::uint32_t count, Word* ws);
 
-/// Decodes `bits` output bit-planes of a wide block (kWideWords words per
-/// plane, plane-major) into one integer per lane (kWideLanes lanes).
+/// Decodes `bits` output bit-planes of a wide block (W words per plane,
+/// plane-major, where W is the width of the `WidthTables` the function
+/// lives in) into one integer per lane (W * 64 lanes).
 using Decode16Fn = void (*)(const Word* planes, std::size_t bits, std::uint16_t* out);
 using Decode32Fn = void (*)(const Word* planes, std::size_t bits, std::uint32_t* out);
 
@@ -159,31 +182,51 @@ constexpr bool tableComplete(
     return true;
 }
 
-/// One ISA backend: a complete kernel table selected once per process (or
-/// forced per compile).  All backends compute bit-identical results — the
-/// tables differ only in instruction selection.
-struct Backend {
-    const char* name;
-    /// Generic per-run kernels, W = kWideWords (256 lanes).
-    std::array<KernelFn, kOpCount> wide;
-    /// Generic per-run kernels, W = 1 (64 lanes; `Simulator`, activity).
-    std::array<KernelFn, kOpCount> narrow;
-    /// Fully unrolled straight-line variants for runs of 1..kMaxUnroll
-    /// instructions, indexed [op][count - 1]; nullptr falls back to `wide`.
-    std::array<std::array<KernelFn, kMaxUnroll>, kOpCount> wideUnrolled;
-    /// Register-chained variants (see KernelFn) for runs where each
-    /// instruction consumes its predecessor's destination.
-    std::array<KernelFn, kOpCount> wideChained;
-    std::array<KernelFn, kOpCount> narrowChained;
+/// Complete kernel family of one backend at one block width W: the generic
+/// per-run kernels, the fully unrolled straight-line variants for runs of
+/// 1..kMaxUnroll instructions (indexed [op][count - 1]; nullptr falls back
+/// to `run`), the register-chained variants, and the bit-plane decoders.
+struct WidthTables {
+    std::array<KernelFn, kOpCount> run;
+    std::array<std::array<KernelFn, kMaxUnroll>, kOpCount> unrolled;
+    std::array<KernelFn, kOpCount> chained;
     Decode16Fn decode16;
     Decode32Fn decode32;
 };
 
+/// One ISA backend: a complete kernel table per block width, selected once
+/// per process (or forced per compile).  All backends compute bit-identical
+/// results at every width — the tables differ only in instruction
+/// selection and register shape.
+struct Backend {
+    const char* name;
+    /// Wide kernel families, indexed by `widthIndex(W)` for W in
+    /// kWideWidths (4 -> 256, 8 -> 512, 16 -> 1024 lanes per dispatch).
+    std::array<WidthTables, kWidthCount> wide;
+    /// Generic per-run kernels, W = 1 (64 lanes; `Simulator`, activity).
+    std::array<KernelFn, kOpCount> narrow;
+    /// Register-chained W = 1 variants.
+    std::array<KernelFn, kOpCount> narrowChained;
+
+    const WidthTables& at(std::size_t words) const { return wide[widthIndex(words)]; }
+};
+
+/// True when every table of every width row is fully populated.
+constexpr bool tablesComplete(const std::array<WidthTables, kWidthCount>& wide) {
+    for (const WidthTables& t : wide)
+        if (!tableComplete(t.run) || !tableComplete(t.unrolled) || !tableComplete(t.chained) ||
+            t.decode16 == nullptr || t.decode32 == nullptr)
+            return false;
+    return true;
+}
+
 /// Backend chosen for this process: the widest ISA the CPU supports
 /// (avx512 > avx2 > neon > portable), overridable with AXF_FORCE_BACKEND
-/// (values: portable, avx2, avx512, neon).  Forcing a backend the CPU
-/// cannot execute throws std::runtime_error at first use.  Detection runs
-/// once; the reference stays valid for the process lifetime.
+/// (values: portable, avx2, avx512, neon).  An unknown value, or one the
+/// CPU cannot execute, warns once on stderr and falls back to
+/// auto-detection — it never silently picks a default name-match and never
+/// aborts the process.  Detection runs once; the reference stays valid for
+/// the process lifetime.
 const Backend& selectedBackend();
 
 /// Backend by name, or nullptr when unknown or unsupported on this CPU.
@@ -205,6 +248,40 @@ public:
 
 private:
     const Backend* previous_;
+};
+
+/// Resolves an AXF_FORCE_BACKEND value: the named backend, or nullptr
+/// after a stderr warning when the name is unknown or the CPU cannot
+/// execute it (selection then falls back to auto-detection).  Exposed so
+/// the warning path is testable without mutating the process environment.
+const Backend* resolveForcedBackend(std::string_view value);
+
+/// Resolves an AXF_FORCE_WIDTH value ("4" / "8" / "16"): the block width
+/// in words, or 0 after a stderr warning when the value is not a member of
+/// the width set (the chooser then falls back to the footprint heuristic).
+std::size_t resolveForcedWidth(std::string_view value);
+
+/// Block width forced via AXF_FORCE_WIDTH, or 0 when unset or invalid.
+/// Parsed once per process.
+std::size_t forcedWidth();
+
+/// Width override currently installed by ScopedWidthOverride (0 = none).
+std::size_t widthOverride();
+
+/// RAII test hook: pins the block width every subsequent
+/// `CompiledNetlist::compile` chooses, overriding both the footprint
+/// heuristic and AXF_FORCE_WIDTH (an explicit `Options::blockWords` still
+/// wins).  Pass 0 to restore automatic choice.  Not for concurrent use
+/// with compilation on other threads.
+class ScopedWidthOverride {
+public:
+    explicit ScopedWidthOverride(std::size_t words);
+    ~ScopedWidthOverride();
+    ScopedWidthOverride(const ScopedWidthOverride&) = delete;
+    ScopedWidthOverride& operator=(const ScopedWidthOverride&) = delete;
+
+private:
+    std::size_t previous_;
 };
 
 /// Per-TU backend accessors; nullptr when the ISA is not compiled in.

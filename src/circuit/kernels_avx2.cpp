@@ -15,10 +15,7 @@ namespace avx2_impl {
 
 #include "src/circuit/kernels_generic.inc"
 
-constexpr Backend kBackend = {
-    "avx2",               kGenericWide,          kGenericNarrow,   kGenericUnrolled,
-    kGenericWideChained,  kGenericNarrowChained, &decode16Generic, &decode32Generic,
-};
+constexpr Backend kBackend = {"avx2", kGenericWideTables, kGenericNarrow, kGenericNarrowChained};
 
 }  // namespace avx2_impl
 

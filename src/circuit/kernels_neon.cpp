@@ -14,10 +14,7 @@ namespace neon_impl {
 
 #include "src/circuit/kernels_generic.inc"
 
-constexpr Backend kBackend = {
-    "neon",               kGenericWide,          kGenericNarrow,   kGenericUnrolled,
-    kGenericWideChained,  kGenericNarrowChained, &decode16Generic, &decode32Generic,
-};
+constexpr Backend kBackend = {"neon", kGenericWideTables, kGenericNarrow, kGenericNarrowChained};
 
 }  // namespace neon_impl
 

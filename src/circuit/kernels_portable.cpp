@@ -11,10 +11,8 @@ namespace portable_impl {
 
 #include "src/circuit/kernels_generic.inc"
 
-constexpr Backend kBackend = {
-    "portable",           kGenericWide,          kGenericNarrow,   kGenericUnrolled,
-    kGenericWideChained,  kGenericNarrowChained, &decode16Generic, &decode32Generic,
-};
+constexpr Backend kBackend = {"portable", kGenericWideTables, kGenericNarrow,
+                              kGenericNarrowChained};
 
 }  // namespace portable_impl
 

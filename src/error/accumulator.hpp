@@ -21,8 +21,18 @@ namespace axf::error::detail {
 
 using Word = circuit::CompiledNetlist::Word;
 
-inline constexpr std::size_t kWords = circuit::BatchSimulator::kWordsPerBlock;
-inline constexpr std::size_t kLanes = circuit::BatchSimulator::kLanesPerBlock;
+/// Sizing bound for width-agnostic lane buffers.  The evaluation loops
+/// follow each compiled program's *chosen* block width
+/// (`CompiledNetlist::blockWords()`, 4 / 8 / 16 words = 256 / 512 / 1024
+/// lanes) at runtime; only buffer capacities use the maximum.
+inline constexpr std::size_t kMaxWords = circuit::BatchSimulator::kMaxWordsPerBlock;
+inline constexpr std::size_t kMaxLanes = circuit::BatchSimulator::kMaxLanesPerBlock;
+
+/// Accumulation granularity every block width must reproduce: wider blocks
+/// feed the accumulator in 256-lane sub-blocks (ascending), so the chunk
+/// merge sequence — and therefore every IEEE rounding step — is identical
+/// to the W = 4 oracle.
+inline constexpr std::size_t kBaseLanes = circuit::kernels::kBaseWideLanes;
 
 /// Number of independent accumulation slots; lane i feeds slot i % 8.
 /// Eight parallel chains instead of one serial FP dependency lets the
@@ -131,28 +141,32 @@ struct Accumulator {
     }
 };
 
-/// Decodes output bit-planes into one 16-bit value per lane (outputs <=
-/// 16, the 8x8-multiplier case) through the runtime-dispatched kernel
-/// backend: AVX-512BW masked broadcast-adds when the CPU has them, the
-/// portable sweep otherwise.  Every backend decodes to identical bits.
-inline void decodeOutputsU16(const Word* out, std::size_t outputs, std::uint16_t* approx) {
-    circuit::kernels::selectedBackend().decode16(out, outputs, approx);
+/// Decodes output bit-planes of a `blockWords`-wide block into one 16-bit
+/// value per lane (outputs <= 16, the 8x8-multiplier case) through the
+/// runtime-dispatched kernel backend: AVX-512BW masked broadcast-adds when
+/// the CPU has them, the portable sweep otherwise.  Every backend — and
+/// every width — decodes to identical bits.
+inline void decodeOutputsU16(const Word* out, std::size_t outputs, std::uint16_t* approx,
+                             std::size_t blockWords) {
+    circuit::kernels::selectedBackend().at(blockWords).decode16(out, outputs, approx);
 }
 
-/// Decodes output bit-planes (`outputs` planes of kWords words) into one
-/// 32-bit value per lane (outputs <= 32); runtime-dispatched like the
+/// Decodes output bit-planes (`outputs` planes of `blockWords` words) into
+/// one 32-bit value per lane (outputs <= 32); runtime-dispatched like the
 /// 16-bit variant.
-inline void decodeOutputsU32(const Word* out, std::size_t outputs, std::uint32_t* approx) {
-    circuit::kernels::selectedBackend().decode32(out, outputs, approx);
+inline void decodeOutputsU32(const Word* out, std::size_t outputs, std::uint32_t* approx,
+                             std::size_t blockWords) {
+    circuit::kernels::selectedBackend().at(blockWords).decode32(out, outputs, approx);
 }
 
 /// 64-bit decode for wide interfaces (33..64 outputs); branchless so the
 /// compiler can vectorize with variable shifts.
-inline void decodeOutputsU64(const Word* out, std::size_t outputs, std::uint64_t* approx) {
-    std::memset(approx, 0, kLanes * sizeof(std::uint64_t));
+inline void decodeOutputsU64(const Word* out, std::size_t outputs, std::uint64_t* approx,
+                             std::size_t blockWords) {
+    std::memset(approx, 0, blockWords * 64 * sizeof(std::uint64_t));
     for (std::size_t bit = 0; bit < outputs; ++bit) {
-        for (std::size_t w = 0; w < kWords; ++w) {
-            const Word word = out[bit * kWords + w];
+        for (std::size_t w = 0; w < blockWords; ++w) {
+            const Word word = out[bit * blockWords + w];
             std::uint64_t* a = approx + w * 64;
             for (std::size_t l = 0; l < 64; ++l)
                 a[l] += ((word >> l) & 1u) << bit;
@@ -160,29 +174,38 @@ inline void decodeOutputsU64(const Word* out, std::size_t outputs, std::uint64_t
     }
 }
 
-/// Per-chunk workspace: input/output blocks plus decoded lane values.
+/// Per-chunk workspace: input/output blocks plus decoded lane values,
+/// sized for the widest block.
 struct Workspace {
     std::vector<Word> in;
     std::vector<Word> out;
-    alignas(64) std::array<std::uint16_t, kLanes> approx16{};
-    alignas(64) std::array<std::uint32_t, kLanes> approx32{};
-    alignas(64) std::array<std::uint64_t, kLanes> approx64{};
-    alignas(64) std::array<std::uint64_t, kLanes> exact{};
+    alignas(64) std::array<std::uint16_t, kMaxLanes> approx16{};
+    alignas(64) std::array<std::uint32_t, kMaxLanes> approx32{};
+    alignas(64) std::array<std::uint64_t, kMaxLanes> approx64{};
+    alignas(64) std::array<std::uint64_t, kMaxLanes> exact{};
 };
 
-/// Decodes an output block and accumulates error against the exact values
-/// already filled into `ws.exact`.
+/// Decodes a `blockWords`-wide output block and accumulates error against
+/// the exact values already filled into `ws.exact`.  Accumulation is
+/// pinned at the 256-lane granularity regardless of block width: each
+/// kBaseLanes sub-block feeds `addBlock` separately in ascending order, so
+/// the slot-chain rounding sequence matches the W = 4 oracle exactly.
 inline void consumeBlock(const std::vector<Word>& out, std::size_t outputs, std::size_t lanes,
-                         Accumulator& acc, Workspace& ws) {
+                         Accumulator& acc, Workspace& ws, std::size_t blockWords) {
+    const auto addSubBlocks = [&](const auto* approx) {
+        for (std::size_t off = 0; off < lanes; off += kBaseLanes)
+            acc.addBlock(approx + off, ws.exact.data() + off,
+                         std::min(kBaseLanes, lanes - off));
+    };
     if (outputs <= 16) {
-        decodeOutputsU16(out.data(), outputs, ws.approx16.data());
-        acc.addBlock(ws.approx16.data(), ws.exact.data(), lanes);
+        decodeOutputsU16(out.data(), outputs, ws.approx16.data(), blockWords);
+        addSubBlocks(ws.approx16.data());
     } else if (outputs <= 32) {
-        decodeOutputsU32(out.data(), outputs, ws.approx32.data());
-        acc.addBlock(ws.approx32.data(), ws.exact.data(), lanes);
+        decodeOutputsU32(out.data(), outputs, ws.approx32.data(), blockWords);
+        addSubBlocks(ws.approx32.data());
     } else {
-        decodeOutputsU64(out.data(), outputs, ws.approx64.data());
-        acc.addBlock(ws.approx64.data(), ws.exact.data(), lanes);
+        decodeOutputsU64(out.data(), outputs, ws.approx64.data(), blockWords);
+        addSubBlocks(ws.approx64.data());
     }
 }
 

@@ -28,29 +28,38 @@ using namespace error::detail;
 
 /// Vectors per work chunk.  Fixed (never derived from the thread count) so
 /// the chunk decomposition — and therefore every floating-point merge
-/// order — is identical no matter how many workers execute it.  32 blocks
-/// of 256 lanes: coarse enough to amortize scheduling, fine enough that an
-/// exhaustive 8x8 analysis (65,536 vectors) still splits into 8 chunks.
+/// order — is identical no matter how many workers execute it.  8192
+/// vectors (32 blocks at the 256-lane baseline, a multiple of every block
+/// size in the width set): coarse enough to amortize scheduling, fine
+/// enough that an exhaustive 8x8 analysis (65,536 vectors) still splits
+/// into 8 chunks.
 constexpr std::uint64_t kChunkVectors = 1ull << 13;
+static_assert(kChunkVectors % circuit::CompiledNetlist::kMaxLanesPerBlock == 0,
+              "chunks must decompose into whole blocks at every width");
 
 /// Evaluates exhaustive vectors [begin, end); `begin` is block-aligned by
-/// construction (chunk size is a multiple of the block size).
+/// construction (chunk size is a multiple of every block size in the width
+/// set).  The sweep follows the compiled program's chosen block width;
+/// accumulation stays pinned at 256-lane sub-blocks inside consumeBlock,
+/// so results are bit-identical at every width.
 Accumulator exhaustiveChunk(const CompiledNetlist& compiled, const circuit::ArithSignature& sig,
                             std::uint64_t begin, std::uint64_t end) {
     BatchSimulator sim(compiled);
     Workspace ws;
     const int totalBits = sig.inputWidth();
-    ws.in.resize(static_cast<std::size_t>(totalBits) * kWords);
-    ws.out.resize(compiled.outputCount() * kWords);
+    const std::size_t words = compiled.blockWords();
+    const std::size_t blockLanes = compiled.blockLanes();
+    ws.in.resize(static_cast<std::size_t>(totalBits) * words);
+    ws.out.resize(compiled.outputCount() * words);
 
     Accumulator acc;
-    for (std::uint64_t base = begin; base < end; base += kLanes) {
+    for (std::uint64_t base = begin; base < end; base += blockLanes) {
         const std::size_t lanes =
-            static_cast<std::size_t>(std::min<std::uint64_t>(kLanes, end - base));
-        circuit::fillExhaustiveBlock<kWords>(ws.in, totalBits, base);
+            static_cast<std::size_t>(std::min<std::uint64_t>(blockLanes, end - base));
+        circuit::fillExhaustiveBlock(ws.in, totalBits, base, words);
         sim.evaluate(ws.in, ws.out);
         fillExactExhaustive(ws, sig, base, lanes);
-        consumeBlock(ws.out, compiled.outputCount(), lanes, acc, ws);
+        consumeBlock(ws.out, compiled.outputCount(), lanes, acc, ws, words);
     }
     return acc;
 }
@@ -63,27 +72,37 @@ Accumulator sampledChunk(const CompiledNetlist& compiled, const circuit::ArithSi
     BatchSimulator sim(compiled);
     Workspace ws;
     const int totalBits = sig.inputWidth();
-    ws.in.resize(static_cast<std::size_t>(totalBits) * kWords);
-    ws.out.resize(compiled.outputCount() * kWords);
+    const std::size_t words = compiled.blockWords();
+    const std::size_t blockLanes = compiled.blockLanes();
+    ws.in.resize(static_cast<std::size_t>(totalBits) * words);
+    ws.out.resize(compiled.outputCount() * words);
 
     util::Rng rng(chunkSeed);
-    std::array<std::uint64_t, kLanes> as{}, bs{};
+    std::array<std::uint64_t, kMaxLanes> as{}, bs{};
     Accumulator acc;
     std::uint64_t remaining = count;
     while (remaining > 0) {
         const std::size_t lanes =
-            static_cast<std::size_t>(std::min<std::uint64_t>(kLanes, remaining));
-        for (std::size_t w = 0; w < static_cast<std::size_t>(totalBits) * kWords; ++w)
-            ws.in[w] = rng.uniformInt(0, ~std::uint64_t{0});
+            static_cast<std::size_t>(std::min<std::uint64_t>(blockLanes, remaining));
+        // The draw stream is pinned to the W = 4 oracle: draws happen in
+        // 4-word (256-lane) sub-blocks, bit-major within each, so lane L
+        // sees the exact word the oracle's block L/256 would have drawn.
+        // (A final partial block may draw surplus words; it is always the
+        // chunk's last block, so nothing else consumes the stream.)
+        constexpr std::size_t kSubWords = circuit::kernels::kBaseWideWords;
+        for (std::size_t sub = 0; sub < words; sub += kSubWords)
+            for (std::size_t bit = 0; bit < static_cast<std::size_t>(totalBits); ++bit)
+                for (std::size_t w = 0; w < kSubWords; ++w)
+                    ws.in[bit * words + sub + w] = rng.uniformInt(0, ~std::uint64_t{0});
         sim.evaluate(ws.in, ws.out);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             std::uint64_t a = 0, b = 0;
             for (int bit = 0; bit < sig.widthA; ++bit)
-                a |= ((ws.in[static_cast<std::size_t>(bit) * kWords + lane / 64] >> (lane % 64)) &
+                a |= ((ws.in[static_cast<std::size_t>(bit) * words + lane / 64] >> (lane % 64)) &
                       1u)
                      << bit;
             for (int bit = 0; bit < sig.widthB; ++bit)
-                b |= ((ws.in[static_cast<std::size_t>(sig.widthA + bit) * kWords + lane / 64] >>
+                b |= ((ws.in[static_cast<std::size_t>(sig.widthA + bit) * words + lane / 64] >>
                        (lane % 64)) &
                       1u)
                      << bit;
@@ -97,7 +116,7 @@ Accumulator sampledChunk(const CompiledNetlist& compiled, const circuit::ArithSi
             for (std::size_t lane = 0; lane < lanes; ++lane)
                 ws.exact[lane] = as[lane] * bs[lane];
         }
-        consumeBlock(ws.out, compiled.outputCount(), lanes, acc, ws);
+        consumeBlock(ws.out, compiled.outputCount(), lanes, acc, ws, words);
         remaining -= lanes;
     }
     return acc;

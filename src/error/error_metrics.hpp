@@ -75,8 +75,11 @@ struct ErrorAnalysisConfig {
 /// The netlist interface must be LSB-first operand A bits, then operand B
 /// bits; outputs LSB-first.  Throws std::invalid_argument on arity mismatch.
 ///
-/// Runs on the compiled multi-word engine (`BatchSimulator`, 256 lanes per
-/// sweep), thread-parallel over input-space chunks per `config.threads`.
+/// Runs on the compiled multi-word engine (`BatchSimulator`, 256/512/1024
+/// lanes per sweep following the program's chosen block width),
+/// thread-parallel over input-space chunks per `config.threads`.  Reports
+/// are bit-identical across block widths, kernel backends and thread
+/// counts.
 ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSignature& sig,
                          const ErrorAnalysisConfig& config = {});
 

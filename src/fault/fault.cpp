@@ -24,13 +24,22 @@ using circuit::kernels::OpCode;
 using circuit::kernels::opFanIn;
 using error::detail::Accumulator;
 using error::detail::Workspace;
-using error::detail::consumeBlock;
 using error::detail::fillExactExhaustive;
 using error::detail::mixSeed;
 using Word = CompiledNetlist::Word;
 
-constexpr std::size_t kWords = error::detail::kWords;
-constexpr std::size_t kLanes = error::detail::kLanes;
+/// Sizing bound for width-agnostic buffers; every task follows the
+/// compiled program's *chosen* width (`blockWords()`: 4 / 8 / 16 words =
+/// 256 / 512 / 1024 lanes per sweep) at runtime.
+constexpr std::size_t kMaxWords = error::detail::kMaxWords;
+
+/// Accumulation granularity (256 lanes) every block width reproduces: the
+/// exhaustive campaign merges one *fresh* partial accumulator per
+/// kBaseLanes sub-block in ascending order — the canonical accumulation
+/// structure the 4-word oracle defines — so reports stay bit-identical
+/// across block widths.
+constexpr std::size_t kBaseLanes = error::detail::kBaseLanes;
+constexpr std::size_t kMaxSubBlocks = kMaxWords * 64 / kBaseLanes;
 
 /// Faults per exhaustive work task.  Fixed (never derived from the thread
 /// count), and each fault's block-ordered partials are independent of the
@@ -41,27 +50,69 @@ constexpr std::size_t kLanes = error::detail::kLanes;
 constexpr std::size_t kFaultsPerTask = 64;
 
 /// Lanes per fault group in the sampled lane-group packing: one reference
-/// group plus three fault groups per 256-lane block.
+/// group plus `blockWords() - 1` fault groups per block — three faults
+/// ride each simulation at the 4-word width, seven at 8, fifteen at 16.
 constexpr std::size_t kGroupLanes = 64;
-constexpr std::size_t kGroupsPerBlock = kWords - 1;
 
-/// Owning 64-byte-aligned workspace for direct CompiledNetlist::run calls
+/// Runtime-width dispatch into the compiled program's templated entry
+/// points.  The width is an execution-shape choice only: every branch
+/// computes bit-identical results.
+void runBlock(const CompiledNetlist& compiled, std::size_t words, const Word* in, Word* out,
+              Word* ws) {
+    switch (words) {
+        case 4: compiled.run<4>(in, out, ws); break;
+        case 8: compiled.run<8>(in, out, ws); break;
+        default: compiled.run<16>(in, out, ws); break;
+    }
+}
+
+void runBlockWithFaults(const CompiledNetlist& compiled, std::size_t words, const Word* in,
+                        Word* out, Word* ws,
+                        std::span<const CompiledNetlist::InjectedFault> faults) {
+    switch (words) {
+        case 4: compiled.runWithFaults<4>(in, out, ws, faults); break;
+        case 8: compiled.runWithFaults<8>(in, out, ws, faults); break;
+        default: compiled.runWithFaults<16>(in, out, ws, faults); break;
+    }
+}
+
+/// Owning 128-byte-aligned workspace for direct CompiledNetlist::run calls
 /// (BatchSimulator does not expose its workspace pointer, and the fault
-/// replay needs raw slot-plane access).
+/// replay needs raw slot-plane access).  Sized and aligned for the
+/// program's chosen block width (128 bytes covers the widest, W = 16,
+/// whole-slot vector accesses).
 struct SimScratch {
     explicit SimScratch(const CompiledNetlist& compiled)
-        : storage(compiled.workspaceWords(kWords) + kAlignWords, 0) {
+        : storage(compiled.workspaceWords(compiled.blockWords()) + kAlignWords, 0) {
         const std::size_t misalign =
             reinterpret_cast<std::uintptr_t>(storage.data()) % (kAlignWords * sizeof(Word));
         ws = storage.data() + (misalign ? kAlignWords - misalign / sizeof(Word) : 0);
-        compiled.initWorkspace({ws, compiled.workspaceWords(kWords)}, kWords);
+        compiled.initWorkspace({ws, compiled.workspaceWords(compiled.blockWords())},
+                               compiled.blockWords());
     }
     std::vector<Word> storage;
     Word* ws = nullptr;
 
 private:
-    static constexpr std::size_t kAlignWords = 8;  // 64 bytes
+    static constexpr std::size_t kAlignWords = 16;  // 128 bytes
 };
+
+/// Decodes a full `blockWords`-wide output block and hands the typed lane
+/// array to `fn`.
+template <typename Fn>
+void withDecoded(const std::vector<Word>& out, std::size_t outputs, Workspace& w,
+                 std::size_t blockWords, Fn&& fn) {
+    if (outputs <= 16) {
+        error::detail::decodeOutputsU16(out.data(), outputs, w.approx16.data(), blockWords);
+        fn(w.approx16.data());
+    } else if (outputs <= 32) {
+        error::detail::decodeOutputsU32(out.data(), outputs, w.approx32.data(), blockWords);
+        fn(w.approx32.data());
+    } else {
+        error::detail::decodeOutputsU64(out.data(), outputs, w.approx64.data(), blockWords);
+        fn(w.approx64.data());
+    }
+}
 
 /// Exhaustive-campaign replay plan for one fault site: the fan-out cone as
 /// a dense copy of the instructions to re-execute (grouped into same-op
@@ -119,10 +170,13 @@ SitePlan buildCone(const CompiledNetlist& compiled, const FaultSite& site,
 
 /// Exhaustive campaign task: sweeps the whole input space once, simulating
 /// the fault-free circuit per block and replaying each fault's cone
-/// against it.  Blocks where a fault never reaches an output reuse the
-/// nominal partial accumulator outright (bit-identical: equal outputs
-/// decode to equal values, and the per-block-partial merge order is the
-/// canonical accumulation structure of the whole campaign).
+/// against it.  Every block's results feed the accumulators as fresh
+/// 256-lane sub-partials merged in ascending order — the canonical
+/// accumulation structure of the whole campaign, independent of the block
+/// width.  Blocks where a fault never reaches an output reuse the nominal
+/// sub-partials outright (bit-identical: equal outputs decode to equal
+/// values); the same argument makes fresh faulted sub-partials safe for
+/// sub-ranges the fault did not deviate in.
 ///
 /// Per-fault work is trimmed three ways, none of which changes a single
 /// result bit: the reference workspace is snapshotted once per block so
@@ -140,28 +194,40 @@ void runExhaustiveTask(const CompiledNetlist& compiled, const circuit::ArithSign
     Workspace w;
     const int totalBits = sig.inputWidth();
     const std::size_t outputs = compiled.outputCount();
-    w.in.resize(static_cast<std::size_t>(totalBits) * kWords);
-    w.out.resize(outputs * kWords);
-    std::vector<Word> refOut(outputs * kWords);
-    std::vector<Word> refWs(compiled.workspaceWords(kWords));
+    const std::size_t words = compiled.blockWords();
+    const std::size_t blockLanes = words * 64;
+    w.in.resize(static_cast<std::size_t>(totalBits) * words);
+    w.out.resize(outputs * words);
+    std::vector<Word> refOut(outputs * words);
+    std::vector<Word> refWs(compiled.workspaceWords(words));
     const std::span<const std::uint32_t> outSlots = compiled.outputSlots();
-    const circuit::kernels::Backend& backend = compiled.backend();
+    const circuit::kernels::WidthTables& tables = compiled.backend().at(words);
+
+    const auto subLanes = [&](std::size_t lanes, std::size_t sb) {
+        return std::min(kBaseLanes, lanes - sb * kBaseLanes);
+    };
 
     const std::uint64_t space = std::uint64_t{1} << totalBits;
-    for (std::uint64_t base = 0; base < space; base += kLanes) {
+    for (std::uint64_t base = 0; base < space; base += blockLanes) {
         const std::size_t lanes =
-            static_cast<std::size_t>(std::min<std::uint64_t>(kLanes, space - base));
-        circuit::fillExhaustiveBlock<kWords>(w.in, totalBits, base);
-        compiled.run<kWords>(w.in.data(), refOut.data(), ws);
+            static_cast<std::size_t>(std::min<std::uint64_t>(blockLanes, space - base));
+        const std::size_t subBlocks = (lanes + kBaseLanes - 1) / kBaseLanes;
+        circuit::fillExhaustiveBlock(w.in, totalBits, base, words);
+        runBlock(compiled, words, w.in.data(), refOut.data(), ws);
         std::memcpy(refWs.data(), ws, refWs.size() * sizeof(Word));
         fillExactExhaustive(w, sig, base, lanes);
-        Accumulator nominalPartial;
-        consumeBlock(refOut, outputs, lanes, nominalPartial, w);
-        if (nominalOut != nullptr) nominalOut->merge(nominalPartial);
+        std::array<Accumulator, kMaxSubBlocks> nominalSub;
+        withDecoded(refOut, outputs, w, words, [&](const auto* approx) {
+            for (std::size_t sb = 0; sb < subBlocks; ++sb)
+                nominalSub[sb].addBlock(approx + sb * kBaseLanes,
+                                        w.exact.data() + sb * kBaseLanes, subLanes(lanes, sb));
+        });
+        if (nominalOut != nullptr)
+            for (std::size_t sb = 0; sb < subBlocks; ++sb) nominalOut->merge(nominalSub[sb]);
 
-        // Valid-lane mask for tail blocks (spaces below 256 vectors).
-        std::array<Word, kWords> valid{};
-        for (std::size_t wd = 0; wd < kWords; ++wd) {
+        // Valid-lane mask for tail blocks (spaces below a full block).
+        std::array<Word, kMaxWords> valid{};
+        for (std::size_t wd = 0; wd < words; ++wd) {
             const std::size_t lo = wd * 64;
             valid[wd] = lanes >= lo + 64 ? ~Word{0}
                         : lanes > lo     ? (Word{1} << (lanes - lo)) - 1
@@ -174,78 +240,68 @@ void runExhaustiveTask(const CompiledNetlist& compiled, const circuit::ArithSign
             // Trigger pre-check against the clean snapshot: a stuck-at
             // that matches the node's value on every valid lane is a
             // no-op in this block.
-            const Word* np = refWs.data() + static_cast<std::size_t>(sites[f].slot) * kWords;
+            const Word* np = refWs.data() + static_cast<std::size_t>(sites[f].slot) * words;
             Word trigger = 0;
-            for (std::size_t wd = 0; wd < kWords; ++wd)
+            for (std::size_t wd = 0; wd < words; ++wd)
                 trigger |= (sites[f].stuckTo ? ~np[wd] : np[wd]) & valid[wd];
             if (trigger == 0) {
-                accs[f].merge(nominalPartial);
+                for (std::size_t sb = 0; sb < subBlocks; ++sb) accs[f].merge(nominalSub[sb]);
                 continue;
             }
 
             if (prev != nullptr)
                 for (const std::uint32_t s : prev->dirtySlots)
-                    std::memcpy(ws + static_cast<std::size_t>(s) * kWords,
-                                refWs.data() + static_cast<std::size_t>(s) * kWords,
-                                kWords * sizeof(Word));
+                    std::memcpy(ws + static_cast<std::size_t>(s) * words,
+                                refWs.data() + static_cast<std::size_t>(s) * words,
+                                words * sizeof(Word));
             prev = &plan;
-            Word* fp = ws + static_cast<std::size_t>(sites[f].slot) * kWords;
-            for (std::size_t wd = 0; wd < kWords; ++wd)
+            Word* fp = ws + static_cast<std::size_t>(sites[f].slot) * words;
+            for (std::size_t wd = 0; wd < words; ++wd)
                 fp[wd] = sites[f].stuckTo ? ~Word{0} : Word{0};
             for (const SitePlan::Run& run : plan.runs)
-                backend.wide[static_cast<std::size_t>(run.op)](plan.replay.data() + run.begin,
-                                                               run.count, ws);
+                tables.run[static_cast<std::size_t>(run.op)](plan.replay.data() + run.begin,
+                                                             run.count, ws);
 
             std::uint64_t devCount = 0;
             {
-                std::array<Word, kWords> dev{};
+                std::array<Word, kMaxWords> dev{};
                 for (const std::uint32_t o : plan.outPlanes) {
-                    const Word* a = ws + static_cast<std::size_t>(outSlots[o]) * kWords;
-                    const Word* b = refOut.data() + static_cast<std::size_t>(o) * kWords;
-                    for (std::size_t wd = 0; wd < kWords; ++wd) dev[wd] |= a[wd] ^ b[wd];
+                    const Word* a = ws + static_cast<std::size_t>(outSlots[o]) * words;
+                    const Word* b = refOut.data() + static_cast<std::size_t>(o) * words;
+                    for (std::size_t wd = 0; wd < words; ++wd) dev[wd] |= a[wd] ^ b[wd];
                 }
-                for (std::size_t wd = 0; wd < kWords; ++wd)
+                for (std::size_t wd = 0; wd < words; ++wd)
                     devCount += static_cast<std::uint64_t>(
                         __builtin_popcountll(dev[wd] & valid[wd]));
             }
             if (devCount == 0) {
-                accs[f].merge(nominalPartial);
+                for (std::size_t sb = 0; sb < subBlocks; ++sb) accs[f].merge(nominalSub[sb]);
             } else {
                 std::memcpy(w.out.data(), refOut.data(), refOut.size() * sizeof(Word));
                 for (const std::uint32_t o : plan.outPlanes)
-                    std::memcpy(w.out.data() + static_cast<std::size_t>(o) * kWords,
-                                ws + static_cast<std::size_t>(outSlots[o]) * kWords,
-                                kWords * sizeof(Word));
-                Accumulator partial;
-                consumeBlock(w.out, outputs, lanes, partial, w);
-                accs[f].merge(partial);
+                    std::memcpy(w.out.data() + static_cast<std::size_t>(o) * words,
+                                ws + static_cast<std::size_t>(outSlots[o]) * words,
+                                words * sizeof(Word));
+                withDecoded(w.out, outputs, w, words, [&](const auto* approx) {
+                    for (std::size_t sb = 0; sb < subBlocks; ++sb) {
+                        Accumulator partial;
+                        partial.addBlock(approx + sb * kBaseLanes,
+                                         w.exact.data() + sb * kBaseLanes, subLanes(lanes, sb));
+                        accs[f].merge(partial);
+                    }
+                });
                 deviated[f] += devCount;
             }
         }
     }
 }
 
-/// Decodes a full output block and hands the typed lane array to `fn`.
-template <typename Fn>
-void withDecoded(const std::vector<Word>& out, std::size_t outputs, Workspace& w, Fn&& fn) {
-    if (outputs <= 16) {
-        error::detail::decodeOutputsU16(out.data(), outputs, w.approx16.data());
-        fn(w.approx16.data());
-    } else if (outputs <= 32) {
-        error::detail::decodeOutputsU32(out.data(), outputs, w.approx32.data());
-        fn(w.approx32.data());
-    } else {
-        error::detail::decodeOutputsU64(out.data(), outputs, w.approx64.data());
-        fn(w.approx64.data());
-    }
-}
-
-/// Sampled campaign task: one fault group (up to three faults) riding lane
-/// groups 1..3 of every block while lane group 0 carries the fault-free
-/// reference on the same replicated inputs, so per-fault deviation falls
-/// out of an in-register lane compare.  The per-batch sample stream is a
-/// pure function of (seed, batch index): independent of the grouping and
-/// of the thread count.
+/// Sampled campaign task: one fault group (up to `blockWords() - 1`
+/// faults) riding lane groups 1.. of every block while lane group 0
+/// carries the fault-free reference on the same replicated inputs, so
+/// per-fault deviation falls out of an in-register lane compare.  The
+/// per-batch sample stream is a pure function of (seed, batch index):
+/// independent of the grouping, the block width and the thread count.
 void runSampledTask(const CompiledNetlist& compiled, const circuit::ArithSignature& sig,
                     std::span<const FaultSite> sites, const error::ErrorAnalysisConfig& cfg,
                     std::span<Accumulator> accs, std::span<std::uint64_t> deviated,
@@ -254,8 +310,9 @@ void runSampledTask(const CompiledNetlist& compiled, const circuit::ArithSignatu
     Workspace w;
     const int totalBits = sig.inputWidth();
     const std::size_t outputs = compiled.outputCount();
-    w.in.resize(static_cast<std::size_t>(totalBits) * kWords);
-    w.out.resize(outputs * kWords);
+    const std::size_t words = compiled.blockWords();
+    w.in.resize(static_cast<std::size_t>(totalBits) * words);
+    w.out.resize(outputs * words);
 
     // Enumeration order is input sites first, then ascending instruction
     // index — exactly the order runWithFaults requires.
@@ -275,20 +332,20 @@ void runSampledTask(const CompiledNetlist& compiled, const circuit::ArithSignatu
         util::Rng rng(mixSeed(cfg.seed + batch));
         for (int bit = 0; bit < totalBits; ++bit) {
             const Word r = rng.uniformInt(0, ~std::uint64_t{0});
-            Word* words = w.in.data() + static_cast<std::size_t>(bit) * kWords;
-            for (std::size_t wd = 0; wd < kWords; ++wd) words[wd] = r;  // replicate per group
+            Word* bitWords = w.in.data() + static_cast<std::size_t>(bit) * words;
+            for (std::size_t wd = 0; wd < words; ++wd) bitWords[wd] = r;  // replicate per group
         }
-        compiled.runWithFaults<kWords>(w.in.data(), w.out.data(), scratch.ws, faults);
+        runBlockWithFaults(compiled, words, w.in.data(), w.out.data(), scratch.ws, faults);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             std::uint64_t a = 0, b = 0;
             for (int bit = 0; bit < sig.widthA; ++bit)
-                a |= ((w.in[static_cast<std::size_t>(bit) * kWords] >> lane) & 1u) << bit;
+                a |= ((w.in[static_cast<std::size_t>(bit) * words] >> lane) & 1u) << bit;
             for (int bit = 0; bit < sig.widthB; ++bit)
-                b |= ((w.in[static_cast<std::size_t>(sig.widthA + bit) * kWords] >> lane) & 1u)
+                b |= ((w.in[static_cast<std::size_t>(sig.widthA + bit) * words] >> lane) & 1u)
                      << bit;
             w.exact[lane] = sig.exact(a, b);
         }
-        withDecoded(w.out, outputs, w, [&](const auto* approx) {
+        withDecoded(w.out, outputs, w, words, [&](const auto* approx) {
             if (nominalOut != nullptr) {
                 Accumulator partial;
                 partial.addBlock(approx, w.exact.data(), lanes);
@@ -464,7 +521,9 @@ ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithS
             plans.push_back(buildCone(compiled, site, affectedScratch));
     }
 
-    const std::size_t perTask = exhaustive ? kFaultsPerTask : kGroupsPerBlock;
+    // Sampled tasks pack one fault per lane group: a wider block carries
+    // more faults through each simulation pass.
+    const std::size_t perTask = exhaustive ? kFaultsPerTask : compiled.blockWords() - 1;
     const std::size_t taskCount = (activeCount + perTask - 1) / perTask;
     const auto runTask = [&](std::size_t t) {
         const std::size_t begin = t * perTask;

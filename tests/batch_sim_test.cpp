@@ -35,9 +35,10 @@ Netlist randomNetlist(int inputs, int gates, int outputs, util::Rng& rng) {
     return net;
 }
 
-/// Exhaustively cross-checks BatchSimulator (256-lane blocks, pruned
-/// compile) against Simulator::evaluateScalar (all-nodes compile) over the
-/// full input space of the netlist.
+/// Exhaustively cross-checks BatchSimulator (blockLanes()-lane blocks at
+/// the program's chosen width, pruned compile) against
+/// Simulator::evaluateScalar (all-nodes compile) over the full input space
+/// of the netlist.
 void crossCheckExhaustive(const Netlist& net) {
     const int totalBits = static_cast<int>(net.inputCount());
     ASSERT_LE(totalBits, 12);
@@ -48,14 +49,14 @@ void crossCheckExhaustive(const Netlist& net) {
     BatchSimulator batch(compiled);
     EXPECT_LE(compiled.slotCount(), net.nodeCount());
 
-    constexpr std::size_t W = BatchSimulator::kWordsPerBlock;
+    const std::size_t W = batch.blockWords();
     std::vector<CompiledNetlist::Word> in(net.inputCount() * W);
     std::vector<CompiledNetlist::Word> out(net.outputCount() * W);
-    for (std::uint64_t base = 0; base < space; base += BatchSimulator::kLanesPerBlock) {
-        fillExhaustiveBlock<W>(in, totalBits, base);
+    for (std::uint64_t base = 0; base < space; base += batch.blockLanes()) {
+        fillExhaustiveBlock(in, totalBits, base, W);
         batch.evaluate(in, out);
         const std::uint64_t lanes =
-            std::min<std::uint64_t>(BatchSimulator::kLanesPerBlock, space - base);
+            std::min<std::uint64_t>(batch.blockLanes(), space - base);
         for (std::uint64_t lane = 0; lane < lanes; ++lane) {
             std::uint64_t batchResult = 0;
             for (std::size_t o = 0; o < net.outputCount(); ++o)
@@ -129,11 +130,11 @@ TEST(BatchSimulator, ShapeChecks) {
     net.markOutput(0);
     const CompiledNetlist compiled = CompiledNetlist::compile(net);
     BatchSimulator sim(compiled);
-    std::vector<CompiledNetlist::Word> bad(BatchSimulator::kWordsPerBlock * 2);
-    std::vector<CompiledNetlist::Word> out(BatchSimulator::kWordsPerBlock);
+    std::vector<CompiledNetlist::Word> bad(sim.blockWords() * 2);
+    std::vector<CompiledNetlist::Word> out(sim.blockWords());
     EXPECT_THROW(sim.evaluate(bad, out), std::invalid_argument);
-    std::vector<CompiledNetlist::Word> in(BatchSimulator::kWordsPerBlock);
-    std::vector<CompiledNetlist::Word> badOut(BatchSimulator::kWordsPerBlock * 3);
+    std::vector<CompiledNetlist::Word> in(sim.blockWords());
+    std::vector<CompiledNetlist::Word> badOut(sim.blockWords() * 3);
     EXPECT_THROW(sim.evaluate(in, badOut), std::invalid_argument);
 }
 
@@ -166,17 +167,17 @@ TEST(FillExhaustiveBlock, W1AndW4AgainstScalarBitReference) {
     }
 }
 
-TEST(CompiledNetlist, RunW1MatchesRunW4OnRandomNetlists) {
-    // Four 64-lane run<1> sweeps must reproduce one 256-lane run<4> sweep
+TEST(CompiledNetlist, RunW1MatchesWideRunOnRandomNetlists) {
+    // W single-word run<1> sweeps must reproduce one W-word wide sweep
     // bitwise, on netlists covering every GateKind (and therefore, after
     // fusion, every kernel opcode).
     util::Rng rng(0x1441);
-    constexpr std::size_t W = CompiledNetlist::kWordsPerBlock;
     for (int trial = 0; trial < 10; ++trial) {
         const Netlist net = randomNetlist(4 + static_cast<int>(rng.index(7)),
                                           20 + static_cast<int>(rng.index(60)),
                                           1 + static_cast<int>(rng.index(8)), rng);
         const CompiledNetlist compiled = CompiledNetlist::compile(net);
+        const std::size_t W = compiled.blockWords();
         std::vector<CompiledNetlist::Word> wideIn(net.inputCount() * W);
         for (auto& w : wideIn) w = rng.uniformInt(0, ~std::uint64_t{0});
         std::vector<CompiledNetlist::Word> wideOut(net.outputCount() * W);
@@ -196,12 +197,12 @@ TEST(CompiledNetlist, RunW1MatchesRunW4OnRandomNetlists) {
 }
 
 TEST(FillExhaustiveBlock, LaneCarriesItsIndex) {
-    constexpr std::size_t W = CompiledNetlist::kWordsPerBlock;
+    constexpr std::size_t W = kernels::kBaseWideWords;
     const int totalBits = 10;
     std::vector<CompiledNetlist::Word> in(static_cast<std::size_t>(totalBits) * W);
     const std::uint64_t base = 512;  // multiple of 256
     fillExhaustiveBlock<W>(in, totalBits, base);
-    for (std::uint64_t lane = 0; lane < CompiledNetlist::kLanesPerBlock; ++lane) {
+    for (std::uint64_t lane = 0; lane < W * 64; ++lane) {
         std::uint64_t value = 0;
         for (int bit = 0; bit < totalBits; ++bit)
             if ((in[static_cast<std::size_t>(bit) * W + lane / 64] >> (lane % 64)) & 1u)

@@ -33,7 +33,10 @@ using circuit::CompiledNetlist;
 using circuit::GateKind;
 using circuit::Netlist;
 using Word = CompiledNetlist::Word;
-constexpr std::size_t kW = circuit::BatchSimulator::kWordsPerBlock;
+// Direct run/runWithFaults calls here use the 4-word base width
+// explicitly: run<W> is valid at any width in the set regardless of the
+// program's chosen blockWords().  Wider widths are covered by width_test.
+constexpr std::size_t kW = circuit::kernels::kBaseWideWords;
 
 /// Aligned caller-owned workspace for direct CompiledNetlist::run /
 /// runWithFaults calls (mirrors what BatchSimulator does internally).
@@ -259,8 +262,10 @@ TEST(FaultCampaign, ExhaustiveMatchesScalarSimulatorOracle) {
 
     circuit::Simulator cleanSim(net);
     for (const FaultImpact& impact : report.faults) {
-        circuit::Simulator faultySim(
-            stuckAtNetlist(net, impact.site.node, impact.site.stuckTo));
+        // Simulator keeps a reference to its netlist: the mutated copy must
+        // outlive it (a temporary here is a use-after-scope).
+        const Netlist faultyNet = stuckAtNetlist(net, impact.site.node, impact.site.stuckTo);
+        circuit::Simulator faultySim(faultyNet);
         std::uint64_t deviated = 0, errs = 0, worst = 0;
         double absSum = 0.0;
         for (std::uint64_t x = 0; x < 256; ++x) {

@@ -52,14 +52,14 @@ void crossCheck(const Netlist& net, const CompiledNetlist& compiled) {
     const std::uint64_t space = std::uint64_t{1} << totalBits;
     Simulator scalar(net);
     BatchSimulator batch(compiled);
-    constexpr std::size_t W = BatchSimulator::kWordsPerBlock;
+    const std::size_t W = batch.blockWords();
     std::vector<CompiledNetlist::Word> in(net.inputCount() * W);
     std::vector<CompiledNetlist::Word> out(net.outputCount() * W);
-    for (std::uint64_t base = 0; base < space; base += BatchSimulator::kLanesPerBlock) {
-        fillExhaustiveBlock<W>(in, totalBits, base);
+    for (std::uint64_t base = 0; base < space; base += batch.blockLanes()) {
+        fillExhaustiveBlock(in, totalBits, base, W);
         batch.evaluate(in, out);
         const std::uint64_t lanes =
-            std::min<std::uint64_t>(BatchSimulator::kLanesPerBlock, space - base);
+            std::min<std::uint64_t>(batch.blockLanes(), space - base);
         for (std::uint64_t lane = 0; lane < lanes; ++lane) {
             std::uint64_t result = 0;
             for (std::size_t o = 0; o < net.outputCount(); ++o)
@@ -238,7 +238,8 @@ TEST(KernelFusion, SpecializedPlanBitIdentical) {
     forced.specialize();
     ASSERT_TRUE(forced.specialized());
     BatchSimulator a(generic), b(forced);
-    constexpr std::size_t W = BatchSimulator::kWordsPerBlock;
+    ASSERT_EQ(generic.blockWords(), forced.blockWords());
+    const std::size_t W = generic.blockWords();
     std::vector<CompiledNetlist::Word> in(net.inputCount() * W);
     util::Rng rng(0x77);
     for (auto& w : in) w = rng.uniformInt(0, ~std::uint64_t{0});

@@ -1,0 +1,293 @@
+// Width-set invariance tests: the block width W in {4, 8, 16} is purely an
+// execution-shape knob — raw wide runs, exhaustive block enumeration, whole
+// ErrorReports, ResilienceReports and a complete AutoAxFpgaFlow::Result
+// must be bit-identical at every width, on every backend the CPU can
+// execute, at any thread count.  Also covers the forced-width /
+// forced-backend escape hatches (unknown values warn and fall back, they
+// never abort) and the Stats surface of the chosen width.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/autoax/dse.hpp"
+#include "src/autoax/sobel.hpp"
+#include "src/circuit/batch_sim.hpp"
+#include "src/circuit/kernels.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/fault/fault.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+
+namespace axf::circuit {
+namespace {
+
+using Word = CompiledNetlist::Word;
+
+/// Random DAG over the full gate alphabet (mirrors batch_sim_test), so
+/// after fusion every kernel opcode is exercised at every width.
+Netlist randomNetlist(int inputs, int gates, int outputs, util::Rng& rng) {
+    static constexpr GateKind kAllKinds[] = {
+        GateKind::Const0, GateKind::Const1, GateKind::Buf,    GateKind::Not,
+        GateKind::And,    GateKind::Or,     GateKind::Xor,    GateKind::Nand,
+        GateKind::Nor,    GateKind::Xnor,   GateKind::AndNot, GateKind::OrNot,
+        GateKind::Mux,    GateKind::Maj};
+    Netlist net("random");
+    for (int i = 0; i < inputs; ++i) net.addInput();
+    for (int g = 0; g < gates; ++g) {
+        const GateKind kind = kAllKinds[rng.index(std::size(kAllKinds))];
+        const auto pick = [&] { return static_cast<NodeId>(rng.index(net.nodeCount())); };
+        if (kind == GateKind::Const0 || kind == GateKind::Const1)
+            net.addConst(kind == GateKind::Const1);
+        else
+            net.addGate(kind, pick(), pick(), pick());
+    }
+    for (int o = 0; o < outputs; ++o)
+        net.markOutput(static_cast<NodeId>(rng.index(net.nodeCount())));
+    return net;
+}
+
+/// Evaluates kMaxWideWords words of lane data per input through a program
+/// compiled at width W (kMaxWideWords / W dispatches) and returns the
+/// reassembled word-major output planes — the same lanes in the same word
+/// positions regardless of W, so results compare bitwise across widths.
+std::vector<Word> sweepAtWidth(const Netlist& net, const CompiledNetlist& compiled,
+                               const std::vector<Word>& laneData) {
+    constexpr std::size_t kTotal = kernels::kMaxWideWords;
+    const std::size_t W = compiled.blockWords();
+    BatchSimulator sim(compiled);
+    std::vector<Word> in(net.inputCount() * W);
+    std::vector<Word> out(net.outputCount() * W);
+    std::vector<Word> planes(net.outputCount() * kTotal);
+    for (std::size_t base = 0; base < kTotal; base += W) {
+        for (std::size_t i = 0; i < net.inputCount(); ++i)
+            for (std::size_t w = 0; w < W; ++w) in[i * W + w] = laneData[i * kTotal + base + w];
+        sim.evaluate(in, out);
+        for (std::size_t o = 0; o < net.outputCount(); ++o)
+            for (std::size_t w = 0; w < W; ++w) planes[o * kTotal + base + w] = out[o * W + w];
+    }
+    return planes;
+}
+
+TEST(WidthSet, RunsBitIdenticalAcrossWidthsAndBackends) {
+    util::Rng rng(0x51DE);
+    for (int trial = 0; trial < 6; ++trial) {
+        const Netlist net = randomNetlist(4 + static_cast<int>(rng.index(7)),
+                                          30 + static_cast<int>(rng.index(80)),
+                                          1 + static_cast<int>(rng.index(8)), rng);
+        std::vector<Word> laneData(net.inputCount() * kernels::kMaxWideWords);
+        for (Word& w : laneData) w = rng.uniformInt(0, ~std::uint64_t{0});
+        for (const kernels::Backend* backend : kernels::availableBackends()) {
+            CompiledNetlist::Options options;
+            options.backend = backend;
+            options.blockWords = kernels::kBaseWideWords;
+            const std::vector<Word> reference =
+                sweepAtWidth(net, CompiledNetlist::compile(net, options), laneData);
+            for (const std::size_t words : kernels::kWideWidths) {
+                options.blockWords = words;
+                const CompiledNetlist compiled = CompiledNetlist::compile(net, options);
+                EXPECT_EQ(compiled.blockWords(), words);
+                EXPECT_EQ(sweepAtWidth(net, compiled, laneData), reference)
+                    << backend->name << " W=" << words;
+            }
+        }
+    }
+}
+
+TEST(WidthSet, FillExhaustiveBlockWideAgainstScalarBitReference) {
+    // Scalar reference: bit `bit` of lane L equals bit `bit` of the
+    // enumerated index (base + L), at W = 8 and W = 16 (the W <= 4 shapes
+    // are pinned in batch_sim_test).
+    for (const std::size_t W : {std::size_t{8}, std::size_t{16}}) {
+        for (const std::uint64_t base : {0ull, 1024ull, 64512ull}) {
+            for (const int totalBits : {16, 11}) {
+                std::vector<Word> in(static_cast<std::size_t>(totalBits) * W);
+                fillExhaustiveBlock(in, totalBits, base, W);
+                for (std::uint64_t lane = 0; lane < W * 64; ++lane) {
+                    const std::uint64_t index = base + lane;
+                    for (int bit = 0; bit < totalBits; ++bit) {
+                        const std::uint64_t got =
+                            (in[static_cast<std::size_t>(bit) * W + lane / 64] >> (lane % 64)) &
+                            1u;
+                        ASSERT_EQ(got, (index >> bit) & 1u)
+                            << "W=" << W << " base=" << base << " lane=" << lane
+                            << " bit=" << bit;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(WidthSet, ErrorReportsBitIdenticalAcrossWidths) {
+    const Netlist mul = gen::truncatedMultiplier(8, 4);
+    const auto mulSig = gen::multiplierSignature(8);
+    const Netlist add = gen::loaAdder(16, 6);
+    const auto addSig = gen::adderSignature(16);
+    error::ErrorAnalysisConfig sampled;
+    sampled.exhaustiveLimit = 1;  // force the sampled path
+    sampled.sampleCount = 1u << 12;
+
+    const error::ErrorReport refMul = error::analyzeError(mul, mulSig);
+    const error::ErrorReport refAdd = error::analyzeError(add, addSig, sampled);
+    for (const std::size_t words : kernels::kWideWidths) {
+        kernels::ScopedWidthOverride override(words);
+        const error::ErrorReport m = error::analyzeError(mul, mulSig);
+        const error::ErrorReport s = error::analyzeError(add, addSig, sampled);
+        EXPECT_EQ(m.med, refMul.med) << words;
+        EXPECT_EQ(m.meanAbsoluteError, refMul.meanAbsoluteError) << words;
+        EXPECT_EQ(m.worstCaseError, refMul.worstCaseError) << words;
+        EXPECT_EQ(m.meanRelativeError, refMul.meanRelativeError) << words;
+        EXPECT_EQ(m.errorProbability, refMul.errorProbability) << words;
+        EXPECT_EQ(m.meanSquaredError, refMul.meanSquaredError) << words;
+        EXPECT_EQ(m.vectorsEvaluated, refMul.vectorsEvaluated) << words;
+        EXPECT_EQ(s.med, refAdd.med) << words;
+        EXPECT_EQ(s.meanSquaredError, refAdd.meanSquaredError) << words;
+        EXPECT_EQ(s.errorProbability, refAdd.errorProbability) << words;
+    }
+}
+
+std::vector<std::uint8_t> serialized(const fault::ResilienceReport& report) {
+    util::ByteWriter out;
+    report.serialize(out);
+    return out.take();
+}
+
+TEST(WidthSet, ResilienceReportBitIdenticalAcrossWidthsAndThreads) {
+    // The fault campaign accumulates per-256-lane sub-partials precisely so
+    // wider blocks reproduce the W = 4 report bit-for-bit — including the
+    // sampled path, where a wider block retires blockWords-1 faults per
+    // pass instead of 3.  Serialized-report equality pins every byte, and
+    // the thread axis pins the width x scheduling interaction.
+    const Netlist net = gen::truncatedMultiplier(6, 2);
+    const auto sig = gen::multiplierSignature(6);
+    for (const bool exhaustive : {true, false}) {
+        fault::CampaignConfig config;
+        if (!exhaustive) {
+            config.analysis.exhaustiveLimit = 1;
+            config.analysis.sampleCount = 1u << 9;
+        }
+        config.analysis.threads = 1;
+        const std::vector<std::uint8_t> reference =
+            serialized(fault::analyzeResilience(net, sig, config));
+        for (const std::size_t words : kernels::kWideWidths) {
+            kernels::ScopedWidthOverride override(words);
+            for (const int threads : {1, 0, 4}) {
+                config.analysis.threads = threads;
+                EXPECT_EQ(serialized(fault::analyzeResilience(net, sig, config)), reference)
+                    << "W=" << words << " threads=" << threads
+                    << " exhaustive=" << exhaustive;
+            }
+        }
+    }
+}
+
+TEST(WidthSet, FlowResultBitIdenticalAcrossWidths) {
+    // A whole AutoAxFpgaFlow::Result (Sobel workload: adder menu only, the
+    // cheapest full pipeline), re-run per width from component
+    // characterization up — every quality figure must be the same bits.
+    const auto runFlow = [] {
+        std::vector<autoax::Component> adders;
+        for (auto net : {gen::rippleCarryAdder(16), gen::loaAdder(16, 8)}) {
+            autoax::Component c;
+            c.name = net.name();
+            c.signature = gen::adderSignature(16);
+            c.error = error::analyzeError(net, c.signature);
+            c.fpga = synth::FpgaFlow().implement(net);
+            c.netlist = std::move(net);
+            adders.push_back(std::move(c));
+        }
+        autoax::SobelAccelerator model(std::move(adders));
+        autoax::AutoAxFpgaFlow::Config cfg;
+        cfg.trainConfigs = 6;
+        cfg.hillIterations = 20;
+        cfg.archiveSeed = 4;
+        cfg.archiveCap = 12;
+        cfg.imageSize = 32;
+        cfg.sceneCount = 1;
+        cfg.threads = 1;
+        return autoax::AutoAxFpgaFlow(cfg).run(model);
+    };
+    const autoax::AutoAxFpgaFlow::Result ref = runFlow();
+    for (const std::size_t words : kernels::kWideWidths) {
+        kernels::ScopedWidthOverride override(words);
+        const autoax::AutoAxFpgaFlow::Result r = runFlow();
+        EXPECT_EQ(r.totalRealEvaluations, ref.totalRealEvaluations) << words;
+        ASSERT_EQ(r.trainingSet.size(), ref.trainingSet.size()) << words;
+        for (std::size_t i = 0; i < ref.trainingSet.size(); ++i) {
+            EXPECT_EQ(r.trainingSet[i].config, ref.trainingSet[i].config) << words;
+            EXPECT_EQ(r.trainingSet[i].ssim, ref.trainingSet[i].ssim) << words;
+        }
+        ASSERT_EQ(r.scenarios.size(), ref.scenarios.size()) << words;
+        for (std::size_t s = 0; s < ref.scenarios.size(); ++s) {
+            EXPECT_EQ(r.scenarios[s].realEvaluations, ref.scenarios[s].realEvaluations) << words;
+            ASSERT_EQ(r.scenarios[s].autoax.size(), ref.scenarios[s].autoax.size()) << words;
+            for (std::size_t p = 0; p < ref.scenarios[s].autoax.size(); ++p) {
+                EXPECT_EQ(r.scenarios[s].autoax[p].ssim, ref.scenarios[s].autoax[p].ssim)
+                    << words;
+                EXPECT_EQ(r.scenarios[s].autoax[p].config, ref.scenarios[s].autoax[p].config)
+                    << words;
+            }
+        }
+    }
+}
+
+TEST(WidthSet, StatsSurfaceChosenWidth) {
+    const Netlist net = gen::wallaceMultiplier(8);
+    for (const std::size_t words : kernels::kWideWidths) {
+        CompiledNetlist::Options options;
+        options.blockWords = words;
+        const CompiledNetlist compiled = CompiledNetlist::compile(net, options);
+        EXPECT_EQ(compiled.stats().blockWords, words);
+        EXPECT_EQ(compiled.blockWords(), words);
+    }
+    // ScopedWidthOverride steers the automatic choice; an explicit
+    // Options::blockWords still wins over it.
+    kernels::ScopedWidthOverride override(8);
+    EXPECT_EQ(CompiledNetlist::compile(net).stats().blockWords, 8u);
+    CompiledNetlist::Options explicitWords;
+    explicitWords.blockWords = 4;
+    EXPECT_EQ(CompiledNetlist::compile(net, explicitWords).stats().blockWords, 4u);
+}
+
+TEST(WidthSet, ScopedOverrideRejectsForeignWidths) {
+    EXPECT_THROW(kernels::ScopedWidthOverride bad(7), std::invalid_argument);
+    EXPECT_THROW(kernels::ScopedWidthOverride bad(2), std::invalid_argument);
+    kernels::ScopedWidthOverride ok(0);  // 0 = restore automatic choice
+    EXPECT_EQ(kernels::widthOverride(), 0u);
+}
+
+TEST(ForcedSelection, UnknownBackendWarnsAndFallsBack) {
+    testing::internal::CaptureStderr();
+    const kernels::Backend* backend = kernels::resolveForcedBackend("bogus");
+    const std::string warning = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(backend, nullptr);
+    EXPECT_NE(warning.find("AXF_FORCE_BACKEND=bogus"), std::string::npos) << warning;
+    EXPECT_NE(warning.find("falling back"), std::string::npos) << warning;
+
+    // A known name resolves silently.
+    testing::internal::CaptureStderr();
+    EXPECT_NE(kernels::resolveForcedBackend("portable"), nullptr);
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(ForcedSelection, UnknownWidthWarnsAndFallsBack) {
+    testing::internal::CaptureStderr();
+    const std::size_t width = kernels::resolveForcedWidth("7");
+    const std::string warning = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(width, 0u);
+    EXPECT_NE(warning.find("AXF_FORCE_WIDTH=7"), std::string::npos) << warning;
+    EXPECT_NE(warning.find("falling back"), std::string::npos) << warning;
+
+    testing::internal::CaptureStderr();
+    for (const std::size_t words : kernels::kWideWidths)
+        EXPECT_EQ(kernels::resolveForcedWidth(std::to_string(words)), words);
+    EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace axf::circuit

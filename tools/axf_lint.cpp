@@ -15,7 +15,8 @@
 //       Lint serialized netlist files (the Netlist::serialize format).
 //
 // Flags: --werror (warnings fail), --quiet (findings only), --no-verify
-// (skip program verification), --max-diag N.
+// (skip program verification), --stats (print per-netlist compiled-plan
+// statistics: backend, block width, instructions, runs, fusion), --max-diag N.
 //
 // Exit status: 0 clean, 1 error-severity findings (or warnings under
 // --werror), 2 usage/io failure.
@@ -49,6 +50,7 @@ struct CliOptions {
     bool werror = false;
     bool quiet = false;
     bool verifyPrograms = true;
+    bool showStats = false;
     std::size_t maxDiagnostics = 64;
 };
 
@@ -82,10 +84,19 @@ void checkNetlist(const std::string& subject, const Netlist& netlist, const CliO
     tally.warnings += lint.warningCount();
     printDiagnostics(subject, lint, cli);
 
-    if (!cli.verifyPrograms || lint.hasErrors()) return;
+    if ((!cli.verifyPrograms && !cli.showStats) || lint.hasErrors()) return;
+    const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
+    if (cli.showStats) {
+        const CompiledNetlist::Stats s = compiled.stats();
+        std::printf(
+            "%s: backend=%s W=%zu instrs=%zu runs=%zu longest=%zu chained=%zu fused=%zu "
+            "gates-folded=%zu%s\n",
+            subject.c_str(), s.backend, s.blockWords, s.instructions, s.runs, s.longestRun,
+            s.chainedRuns, s.fusedOps, s.gatesFused, s.specialized ? " specialized" : "");
+    }
+    if (!cli.verifyPrograms) return;
     axf::verify::VerifyOptions verifyOptions;
     verifyOptions.maxDiagnostics = cli.maxDiagnostics;
-    const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
     const Diagnostics prog = axf::verify::verifyProgram(compiled, &netlist, verifyOptions);
     ++tally.programs;
     tally.errors += prog.errorCount();
@@ -165,7 +176,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: axf-lint [--library adder|multiplier] [--width N] [--full]\n"
                  "                [--cache DIR] [--werror] [--quiet] [--no-verify]\n"
-                 "                [--max-diag N] [FILE...]\n");
+                 "                [--stats] [--max-diag N] [FILE...]\n");
     return 2;
 }
 
@@ -197,6 +208,8 @@ int main(int argc, char** argv) {
             cli.quiet = true;
         } else if (arg == "--no-verify") {
             cli.verifyPrograms = false;
+        } else if (arg == "--stats") {
+            cli.showStats = true;
         } else if (arg == "--max-diag") {
             const char* v = next();
             if (v == nullptr || std::atoi(v) <= 0) return usage();
