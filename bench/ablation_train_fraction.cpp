@@ -11,7 +11,7 @@
 
 using namespace axf;
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout,
                       "Ablation | training-subset fraction vs speedup & Pareto coverage");
@@ -35,3 +35,5 @@ int main() {
                  " speed, larger ones synthesize more than the pseudo-Pareto step saves)\n";
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

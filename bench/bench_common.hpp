@@ -8,6 +8,7 @@
 // to grow the libraries toward paper scale (slower), or AXF_SCALE=ci for
 // the smallest smoke configuration.
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -15,8 +16,29 @@
 
 #include "src/cache/characterization_cache.hpp"
 #include "src/gen/library.hpp"
+#include "src/util/cancellation.hpp"
 
 namespace axf::bench {
+
+/// The process-wide SIGINT/SIGTERM cancellation token (installs the
+/// handlers on first use).  Library builds configured via `libraryConfig`
+/// check it, so ^C on a bench stops at the next characterization batch
+/// instead of being killed mid-write.
+inline const util::CancellationToken* signalCancel() { return &util::signalToken(); }
+
+/// Bench main wrapper: installs the signal token up front and converts a
+/// cooperative cancellation into the distinct exit status 75
+/// (`util::kCancelledExitCode`), so harnesses can tell "interrupted" from
+/// "crashed".  Usage: `int main() { return bench::guardedMain(benchMain); }`.
+inline int guardedMain(int (*body)()) {
+    signalCancel();
+    try {
+        return body();
+    } catch (const util::OperationCancelled& cancelled) {
+        std::fprintf(stderr, "bench interrupted: %s\n", cancelled.what());
+        return util::kCancelledExitCode;
+    }
+}
 
 enum class Scale { Ci, Default, Paper };
 
@@ -96,6 +118,7 @@ inline gen::LibraryConfig libraryConfig(circuit::ArithOp op, int width, Scale sc
         cfg.errorConfig.sampleCount = 1u << 15;
     }
     cfg.cache = sharedCache();
+    cfg.cancel = signalCancel();
     return cfg;
 }
 

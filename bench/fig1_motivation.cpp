@@ -18,7 +18,7 @@
 
 using namespace axf;
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Fig. 1 | ASIC-ACs vs FPGA-ACs: 8x8 approximate multipliers");
 
@@ -113,3 +113,5 @@ int main() {
               << " hand-crafted FPGA-oriented designs are dominated by the evolutionary library\n";
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

@@ -42,7 +42,7 @@ std::vector<std::size_t> measuredIndices(const core::CircuitDataset& ds) {
 
 }  // namespace
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Table I | The 18 statistical/ML models");
     const std::vector<ml::ModelSpec> specs =
@@ -112,3 +112,5 @@ int main() {
     bench::printCacheStats(std::cout);
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

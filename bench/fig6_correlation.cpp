@@ -13,7 +13,7 @@
 
 using namespace axf;
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Fig. 6 | Estimated-vs-measured correlation, 16x16 multipliers");
 
@@ -72,3 +72,5 @@ int main() {
     bench::printCacheStats(std::cout);
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

@@ -14,7 +14,7 @@
 
 using namespace axf;
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout,
                       "Fig. 7 | Multiple pseudo-Pareto fronts, 8x8 multipliers, FPGA latency");
@@ -105,3 +105,5 @@ int main() {
               << "x fewer than exhaustive; paper: ~9.9x on 4,494 circuits)\n";
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

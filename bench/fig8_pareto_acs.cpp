@@ -13,7 +13,7 @@
 
 using namespace axf;
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Fig. 8 | Pareto-optimal FPGA-ACs via ApproxFPGAs");
 
@@ -60,3 +60,5 @@ int main() {
               << "x (paper: ~10x; grows with library size)\n";
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

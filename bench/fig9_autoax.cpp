@@ -69,7 +69,7 @@ bool sameResult(const autoax::AutoAxFpgaFlow::Result& a,
 
 }  // namespace
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Fig. 9 | AutoAx-FPGA: Gaussian filter vs random search");
 
@@ -256,3 +256,5 @@ int main() {
     bench::printCacheStats(std::cout);
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

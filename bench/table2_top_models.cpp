@@ -12,7 +12,7 @@
 
 using namespace axf;
 
-int main() {
+static int benchMain() {
     const bench::Scale scale = bench::scaleFromEnv();
     util::printBanner(std::cout, "Table II | Top-3 models per FPGA parameter (8x8 multipliers)");
 
@@ -53,3 +53,5 @@ int main() {
                  " ML4/ML13/ML11 ~86-89% area; ASIC-regression rows 84-90%)\n";
     return 0;
 }
+
+int main() { return axf::bench::guardedMain(benchMain); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <unordered_set>
 
 #include "src/autoax/search_problem.hpp"
@@ -103,6 +104,16 @@ std::vector<AcceleratorConfig> drawEqualBudgetBaseline(const ConfigSpace& space,
     return configs;
 }
 
+/// File-name slug of a scenario's checkpoint inside `checkpointDirectory`.
+const char* paramSlug(core::FpgaParam param) {
+    switch (param) {
+        case core::FpgaParam::Latency: return "latency";
+        case core::FpgaParam::Power: return "power";
+        case core::FpgaParam::Area: return "area";
+    }
+    return "param";
+}
+
 }  // namespace
 
 AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const {
@@ -118,7 +129,10 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
         scenes.push_back(img::syntheticScene(config_.imageSize, config_.imageSize,
                                              config_.seed + static_cast<std::uint64_t>(s)));
     EvalEngine engine(model, std::move(scenes),
-                      {.threads = config_.threads, .pool = config_.pool});
+                      {.threads = config_.threads, .pool = config_.pool,
+                       .cancel = config_.cancel});
+    if (!config_.checkpointDirectory.empty())
+        std::filesystem::create_directories(config_.checkpointDirectory);
 
     // --- training sample (random approximation assignments) ---------------
     // The distinct-sample target is capped at the design-space size (a
@@ -153,6 +167,9 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     // column is shared by all of its slots.
     std::vector<std::vector<double>> resilienceTable;
     if (config_.resilienceObjective) {
+        fault::CampaignConfig faultCampaign = config_.faultCampaign;
+        if (faultCampaign.analysis.cancel == nullptr)
+            faultCampaign.analysis.cancel = config_.cancel;
         for (std::size_t g = 0; g < space.groups.size(); ++g) {
             std::vector<double> med(static_cast<std::size_t>(space.groups[g].menuSize), 0.0);
             if (const std::vector<Component>* menu = model.componentMenu(g))
@@ -160,7 +177,7 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
                     const Component& comp = (*menu)[c];
                     med[c] = cache::analyzeResilienceCached(
                                  config_.cache, comp.netlist.structuralHash(), comp.netlist,
-                                 comp.signature, config_.faultCampaign)
+                                 comp.signature, faultCampaign)
                                  .meanMedUnderFault;
                 }
             for (int s = 0; s < space.groups[g].slots; ++s) resilienceTable.push_back(med);
@@ -202,6 +219,23 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
         searchOptions.threads = config_.threads;
         searchOptions.pool = config_.pool;
 
+        // Durability: each scenario snapshots to its own file, identified
+        // by a digest folding the search options (incl. the per-scenario
+        // seed) with the scenario parameter, so resuming a latency
+        // checkpoint into a power scenario is rejected loudly.
+        if (!config_.checkpointDirectory.empty())
+            searchOptions.checkpointPath = config_.checkpointDirectory + "/scenario_" +
+                                           paramSlug(param) + ".axfk";
+        searchOptions.checkpointInterval = config_.checkpointInterval;
+        searchOptions.problemDigest =
+            0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(param) + 1) +
+            (config_.resilienceObjective ? 0xF00Dull : 0);
+        searchOptions.cancel = config_.cancel;
+        if (config_.onSearchEpoch)
+            searchOptions.onEpoch = [hook = config_.onSearchEpoch, param](int done) {
+                hook(param, done);
+            };
+
         // The training sample is free knowledge: every island archive is
         // seeded with it (after its private random seeds), real SSIM and
         // cost standing in for estimates exactly as before.
@@ -210,7 +244,13 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
         for (const EvaluatedConfig& t : result.trainingSet)
             seeded.push_back({t.config, problem.objectives(
                                             t.ssim, costParamOf(t.cost, param), t.config)});
-        Search::Result searched = Search(problem, searchOptions).run(seeded);
+        const Search search(problem, searchOptions);
+        // With checkpointing on, resume whatever the last run left behind
+        // (a completed scenario fast-forwards off its final snapshot);
+        // fresh runs and checkpoint-less runs are the plain path.
+        Search::Result searched = searchOptions.checkpointPath.empty()
+                                      ? search.run(seeded)
+                                      : search.runOrResume(seeded);
         scenario.estimatorQueries = searched.evaluations;
 
         // Re-evaluate the discovered pseudo-Pareto configurations for real

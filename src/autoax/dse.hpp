@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "src/autoax/eval_engine.hpp"
@@ -91,6 +93,27 @@ public:
         bool resilienceObjective = false;
         fault::CampaignConfig faultCampaign;
         cache::CharacterizationCache* cache = nullptr;
+
+        // --- durability & cancellation (src/durable) -------------------
+        /// Directory for scenario search checkpoints (empty = none).
+        /// Each scenario search snapshots to `scenario_<param>.axfk` at
+        /// epoch boundaries; a rerun of the flow resumes whatever is on
+        /// disk (fast-forwarding completed scenarios — their final
+        /// snapshot is always written) and produces a Result bit-identical
+        /// to an uninterrupted run.  The deterministic phases (training,
+        /// estimators, resilience table) re-run and land in the same
+        /// state; with a warm `cache` they are cheap.
+        std::string checkpointDirectory;
+        int checkpointInterval = 1;  ///< epochs between scenario snapshots
+        /// Cooperative cancellation: checked at search epoch boundaries
+        /// (final checkpoint flushed first) and inside the evaluation /
+        /// characterization fan-outs.  A cancelled run throws
+        /// util::OperationCancelled.
+        const util::CancellationToken* cancel = nullptr;
+        /// Observability hook: (scenario param, generations done) after
+        /// every search epoch boundary.  Tests throw from here to
+        /// simulate a kill; tools pulse watchdogs / throttle epochs.
+        std::function<void(core::FpgaParam, int)> onSearchEpoch;
     };
 
     struct ScenarioResult {

@@ -96,7 +96,7 @@ std::vector<EvaluatedConfig> EvalEngine::evaluateBatch(
             grid[item] = ssimRefs_[si].compare(out);
             workspaces_->release(std::move(ws));
         },
-        options_.threads);
+        options_.threads, options_.cancel);
 
     // Serial, ordered merge: mean over scenes in scene order per config,
     // memo insert in batch order.

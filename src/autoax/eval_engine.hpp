@@ -13,6 +13,7 @@
 
 namespace axf::util {
 class ThreadPool;
+class CancellationToken;
 }
 
 namespace axf::autoax {
@@ -50,6 +51,10 @@ public:
         std::size_t threads = 0;        ///< cap on workers (0 = whole pool, 1 = serial)
         util::ThreadPool* pool = nullptr;  ///< nullptr = the process-global pool
         bool memoize = true;            ///< disable for throughput benchmarking
+        /// Checked at (config x scene) work-item boundaries; a cancelled
+        /// batch throws util::OperationCancelled and produces no results
+        /// (the memo keeps completed configs for the retry).
+        const util::CancellationToken* cancel = nullptr;
     };
 
     EvalEngine(const AcceleratorModel& model, std::vector<img::Image> scenes,

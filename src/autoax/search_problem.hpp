@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <span>
 
 #include "src/autoax/dse.hpp"
 #include "src/autoax/model.hpp"
 #include "src/core/flow.hpp"
 #include "src/search/island_search.hpp"
+#include "src/util/bytes.hpp"
 
 namespace axf::autoax {
 
@@ -56,6 +59,26 @@ public:
     void evaluate(std::span<const AcceleratorConfig> batch,
                   std::span<search::Objectives> out) const;
 
+    /// Checkpoint hooks (`search::CheckpointableProblem`): a configuration
+    /// is exactly its per-slot choice vector.
+    void serializeGenome(const AcceleratorConfig& config, util::ByteWriter& out) const {
+        out.u32(static_cast<std::uint32_t>(config.choice.size()));
+        for (int c : config.choice) out.u32(static_cast<std::uint32_t>(c));
+    }
+
+    std::optional<AcceleratorConfig> deserializeGenome(util::ByteReader& in) const {
+        std::uint32_t slots = 0;
+        if (!in.u32(slots) || slots > kMaxCheckpointSlots) return std::nullopt;
+        AcceleratorConfig config;
+        config.choice.reserve(slots);
+        for (std::uint32_t s = 0; s < slots; ++s) {
+            std::uint32_t choice = 0;
+            if (!in.u32(choice)) return std::nullopt;
+            config.choice.push_back(static_cast<int>(choice));
+        }
+        return config;
+    }
+
     /// Objective encoding shared with pre-evaluated seed entries (the
     /// training sample enters the archives through this same mapping).
     static search::Objectives objectivesOf(double ssim, double cost) {
@@ -72,6 +95,10 @@ public:
     }
 
 private:
+    /// Slot-count sanity bound for checkpoint decoding — far above any
+    /// real accelerator, small enough to reject corrupt length fields.
+    static constexpr std::uint32_t kMaxCheckpointSlots = 1u << 20;
+
     const AcceleratorModel& model_;
     const AcceleratorEstimators& estimators_;
     core::FpgaParam param_;

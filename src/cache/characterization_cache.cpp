@@ -1,6 +1,5 @@
 #include "src/cache/characterization_cache.hpp"
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -9,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/crc32.hpp"
+#include "src/util/io.hpp"
 #include "src/verify/verify.hpp"
 
 namespace axf::cache {
@@ -25,6 +26,21 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
         h *= 1099511628211ull;
     }
     return h;
+}
+
+/// CRC-32 over one shard entry: the key fields (in their on-disk order)
+/// chained into the payload bytes, so a flipped bit anywhere in the entry
+/// — key or payload — fails verification, not just payload rot.
+std::uint32_t entryCrc(const CacheKey& key, const std::uint8_t* payload, std::size_t n) {
+    // Key fields in their on-disk (little-endian) byte order, independent
+    // of host endianness, so the checksum matches the file on any host.
+    std::uint8_t keyBytes[28];
+    std::uint8_t* p = keyBytes;
+    for (std::uint64_t v : {key.structuralHash, key.signatureDigest, key.configDigest})
+        for (int i = 0; i < 8; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
+    for (int i = 0; i < 4; ++i) *p++ = static_cast<std::uint8_t>(key.kind >> (8 * i));
+    const std::uint32_t seed = util::crc32(keyBytes, sizeof keyBytes);
+    return util::crc32(payload, n, seed);
 }
 
 /// splitmix64 — cheap avalanche for digest accumulation.
@@ -80,6 +96,9 @@ std::string CacheStats::summary() const {
     os << ", " << stores << " stores, " << evictions << " evictions, " << diskEntriesLoaded
        << " loaded from disk, " << corruptEntriesDropped << " corrupt dropped, "
        << entriesFlushed << " flushed";
+    if (shardWriteRetries > 0 || shardWriteFailures > 0)
+        os << ", " << shardWriteRetries << " write retries, " << shardWriteFailures
+           << " write failures";
     return os.str();
 }
 
@@ -126,12 +145,12 @@ void CharacterizationCache::loadShard(std::size_t stripe) {
     for (std::uint64_t e = 0; e < count; ++e) {
         CacheKey key;
         std::uint32_t payloadSize = 0;
-        std::uint64_t checksum = 0;
+        std::uint32_t checksum = 0;
         reader.u64(key.structuralHash);
         reader.u64(key.signatureDigest);
         reader.u64(key.configDigest);
         reader.u32(key.kind);
-        if (!reader.u32(payloadSize) || !reader.u64(checksum) ||
+        if (!reader.u32(payloadSize) || !reader.u32(checksum) ||
             reader.remaining() < payloadSize) {
             // Truncated entry: nothing after it can be framed reliably.
             corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
@@ -139,7 +158,7 @@ void CharacterizationCache::loadShard(std::size_t stripe) {
         }
         std::vector<std::uint8_t> payload(payloadSize);
         reader.raw(payload.data(), payloadSize);
-        if (fnv1a(payload.data(), payload.size()) != checksum || stripeOf(key) != stripe) {
+        if (entryCrc(key, payload.data(), payload.size()) != checksum || stripeOf(key) != stripe) {
             // Bit rot (or an entry filed under the wrong prefix): skip this
             // entry but keep scanning — the framing is still intact.
             corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
@@ -168,30 +187,20 @@ void CharacterizationCache::writeShard(std::size_t stripe, Stripe& s) {
         out.u64(key.configDigest);
         out.u32(key.kind);
         out.u32(static_cast<std::uint32_t>(payload.size()));
-        out.u64(fnv1a(payload.data(), payload.size()));
+        out.u32(entryCrc(key, payload.data(), payload.size()));
         out.raw(payload.data(), payload.size());
     }
 
-    const std::string path = shardPath(stripe);
-    const std::string tmp =
-        path + ".tmp" +
-        std::to_string(std::chrono::steady_clock::now().time_since_epoch().count());
-    {
-        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-        if (!file) return;
-        file.write(reinterpret_cast<const char*>(out.bytes().data()),
-                   static_cast<std::streamsize>(out.bytes().size()));
-        if (!file) {
-            file.close();
-            std::error_code ec;
-            std::filesystem::remove(tmp, ec);
-            return;
-        }
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);  // atomic replace on POSIX
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
+    // Durable replace: write-to-temporary + fsync + rename (+ directory
+    // fsync), retrying transient failures with backoff.  A failed write is
+    // logged in the stats but must not kill the process — the cache is a
+    // pure accelerator and the stripe stays dirty for the next flush.
+    const util::AtomicWriteResult written =
+        util::atomicWriteFile(shardPath(stripe), out.bytes());
+    if (written.attempts > 1)
+        shardWriteRetries_.fetch_add(written.attempts - 1, std::memory_order_relaxed);
+    if (!written) {
+        shardWriteFailures_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     entriesFlushed_.fetch_add(s.entries.size(), std::memory_order_relaxed);
@@ -355,6 +364,8 @@ CacheStats CharacterizationCache::stats() const {
     s.diskEntriesLoaded = diskEntriesLoaded_.load(std::memory_order_relaxed);
     s.corruptEntriesDropped = corruptEntriesDropped_.load(std::memory_order_relaxed);
     s.entriesFlushed = entriesFlushed_.load(std::memory_order_relaxed);
+    s.shardWriteRetries = shardWriteRetries_.load(std::memory_order_relaxed);
+    s.shardWriteFailures = shardWriteFailures_.load(std::memory_order_relaxed);
     return s;
 }
 

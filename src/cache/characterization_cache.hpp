@@ -55,6 +55,8 @@ struct CacheStats {
     std::uint64_t diskEntriesLoaded = 0;    ///< entries adopted from shard files
     std::uint64_t corruptEntriesDropped = 0;  ///< bad checksum / truncated / stale schema
     std::uint64_t entriesFlushed = 0;
+    std::uint64_t shardWriteRetries = 0;   ///< transient write failures retried by flush
+    std::uint64_t shardWriteFailures = 0;  ///< shard writes abandoned after all retries
 
     std::string summary() const;
 };
@@ -72,18 +74,24 @@ struct CacheStats {
 /// Persistence (optional): each stripe maps to one binary shard file named
 /// by its hash prefix inside the cache directory.  Shard files are loaded
 /// on construction and rewritten by `flush()` via write-to-temporary +
-/// atomic rename, so concurrent readers/writers of the same directory
-/// never observe a half-written shard.  Corrupt entries, truncated shards
-/// and schema-version mismatches are dropped silently — the consumer just
+/// fsync + atomic rename (`util::atomicWriteFile`, with bounded
+/// retry-with-backoff on transient failures), so concurrent
+/// readers/writers of the same directory never observe a half-written
+/// shard and a crash right after flush cannot leave an empty or torn
+/// file behind the rename.  Every entry carries a CRC-32 over its key
+/// and payload bytes; corrupt entries, truncated shards and
+/// schema-version mismatches are dropped silently — the consumer just
 /// recomputes and the next flush repairs the file.
 class CharacterizationCache {
 public:
     /// Bump whenever any serialized payload layout changes — or when a
     /// producer's numeric output may shift (v2: the error-metric
     /// accumulator moved to explicit vector arithmetic, which can contract
-    /// differently at the last ulp than the old scalar codegen); shard
-    /// files written under another version are ignored wholesale.
-    static constexpr std::uint32_t kSchemaVersion = 2;
+    /// differently at the last ulp than the old scalar codegen; v3: the
+    /// per-entry checksum became a u32 CRC-32 over key + payload, so a
+    /// bit flip anywhere in an entry — not just its payload — is caught);
+    /// shard files written under another version are ignored wholesale.
+    static constexpr std::uint32_t kSchemaVersion = 3;
 
     struct Options {
         std::string directory;  ///< empty = in-memory only (no persistence)
@@ -207,6 +215,8 @@ private:
     std::atomic<std::uint64_t> diskEntriesLoaded_{0};
     std::atomic<std::uint64_t> corruptEntriesDropped_{0};
     std::atomic<std::uint64_t> entriesFlushed_{0};
+    std::atomic<std::uint64_t> shardWriteRetries_{0};
+    std::atomic<std::uint64_t> shardWriteFailures_{0};
 };
 
 // --- null-tolerant convenience wrappers ------------------------------------

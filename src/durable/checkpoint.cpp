@@ -1,0 +1,105 @@
+#include "src/durable/checkpoint.hpp"
+
+#include <span>
+
+#include "src/util/bytes.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/io.hpp"
+
+namespace axf::durable {
+
+namespace {
+
+/// Bytes before the payload: magic, version, crc, digest, payloadSize.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
+/// Offset of the first CRC-covered byte (everything after the crc field).
+constexpr std::size_t kCrcStart = 4 + 4 + 4;
+
+/// Parse + validate container framing; shared by load and audit.
+CheckpointAudit inspect(const std::vector<unsigned char>& bytes) {
+    CheckpointAudit audit;
+    if (bytes.size() < kHeaderBytes) {
+        audit.message = "truncated header (" + std::to_string(bytes.size()) + " bytes)";
+        return audit;
+    }
+    util::ByteReader reader(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+    std::uint32_t magic = 0, crc = 0;
+    std::uint64_t payloadSize = 0;
+    reader.u32(magic);
+    reader.u32(audit.version);
+    reader.u32(crc);
+    reader.u64(audit.digest);
+    reader.u64(payloadSize);
+    if (magic != kCheckpointMagic) {
+        audit.message = "bad magic (not an AXFK checkpoint)";
+        return audit;
+    }
+    if (audit.version != kCheckpointVersion) {
+        audit.message = "unsupported version " + std::to_string(audit.version) + " (expected " +
+                        std::to_string(kCheckpointVersion) + ")";
+        return audit;
+    }
+    if (bytes.size() - kHeaderBytes != payloadSize) {
+        audit.message = "payload size mismatch (header says " + std::to_string(payloadSize) +
+                        ", file has " + std::to_string(bytes.size() - kHeaderBytes) + ")";
+        return audit;
+    }
+    audit.payloadBytes = payloadSize;
+    const std::uint32_t actual = util::crc32(bytes.data() + kCrcStart, bytes.size() - kCrcStart);
+    if (actual != crc) {
+        audit.message = "checksum mismatch (stored " + std::to_string(crc) + ", computed " +
+                        std::to_string(actual) + ")";
+        return audit;
+    }
+    audit.ok = true;
+    audit.message = "ok";
+    return audit;
+}
+
+}  // namespace
+
+bool writeCheckpoint(const std::string& path, std::uint64_t digest,
+                     const std::vector<std::uint8_t>& payload) {
+    util::ByteWriter out;
+    out.u32(kCheckpointMagic);
+    out.u32(kCheckpointVersion);
+    out.u32(0);  // crc placeholder, patched below
+    out.u64(digest);
+    out.u64(payload.size());
+    out.raw(payload.data(), payload.size());
+    std::vector<std::uint8_t> bytes = out.take();
+    const std::uint32_t crc = util::crc32(bytes.data() + kCrcStart, bytes.size() - kCrcStart);
+    for (int i = 0; i < 4; ++i) bytes[8 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    return static_cast<bool>(util::atomicWriteFile(path, bytes));
+}
+
+std::optional<LoadedCheckpoint> loadCheckpoint(const std::string& path) {
+    const auto bytes = util::readFileBytes(path);
+    if (!bytes) return std::nullopt;
+    const CheckpointAudit audit = inspect(*bytes);
+    if (!audit.ok) throw CheckpointError(path + ": " + audit.message);
+    LoadedCheckpoint loaded;
+    loaded.digest = audit.digest;
+    loaded.payload.assign(bytes->begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+                          bytes->end());
+    return loaded;
+}
+
+CheckpointAudit auditCheckpoint(const std::string& path,
+                                std::optional<std::uint64_t> expectedDigest) {
+    const auto bytes = util::readFileBytes(path);
+    if (!bytes) {
+        CheckpointAudit audit;
+        audit.message = "unreadable or missing file";
+        return audit;
+    }
+    CheckpointAudit audit = inspect(*bytes);
+    if (audit.ok && expectedDigest && audit.digest != *expectedDigest) {
+        audit.ok = false;
+        audit.message = "problem digest mismatch (checkpoint was produced by a different "
+                        "search configuration)";
+    }
+    return audit;
+}
+
+}  // namespace axf::durable

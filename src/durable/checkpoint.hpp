@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace axf::durable {
+
+/// On-disk container for campaign snapshots ("AXFK" files).
+///
+/// Layout (little-endian):
+///   u32 magic     "AXFK"
+///   u32 version   container version (payload layout is versioned here too:
+///                 a payload change bumps this, there is no second number)
+///   u32 crc       CRC-32 (IEEE) over every byte after this field
+///   u64 digest    problem/options identity of the producer — resume
+///                 refuses a checkpoint whose digest does not match the
+///                 reconstructed search configuration
+///   u64 payloadSize
+///   payload       ByteWriter-encoded search state (see IslandSearch)
+///
+/// Files are written temp-then-atomic-rename with fsync on both the file
+/// and its directory (util::atomicWriteFile), so a reader sees either the
+/// previous complete snapshot or the new one — never a torn mix.  The
+/// same framing is intended as the wire format for future archive deltas
+/// (DSE-as-a-service): a delta is just a payload with its own digest.
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B465841u;  // "AXFK"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// A checkpoint that exists but cannot be trusted: bad magic/version,
+/// checksum mismatch, truncation, or a digest that contradicts the
+/// resuming configuration.  Deliberately not silently ignored — a corrupt
+/// checkpoint next to hours of campaign state is worth a loud stop.
+class CheckpointError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct LoadedCheckpoint {
+    std::uint64_t digest = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/// Durably write `payload` under `digest` to `path`.  Returns false when
+/// the write failed even after retries (callers log and carry on — a
+/// failed snapshot must never kill the campaign it protects).
+bool writeCheckpoint(const std::string& path, std::uint64_t digest,
+                     const std::vector<std::uint8_t>& payload);
+
+/// Load and validate a checkpoint.  Missing file -> nullopt (caller starts
+/// fresh); present-but-invalid -> CheckpointError.
+std::optional<LoadedCheckpoint> loadCheckpoint(const std::string& path);
+
+/// Validation verdict without the payload — what `axf-lint
+/// --audit-checkpoint` prints.  `ok` covers magic, version, size framing
+/// and CRC; digest equality is additionally checked when `expectedDigest`
+/// is provided.
+struct CheckpointAudit {
+    bool ok = false;
+    std::uint32_t version = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t payloadBytes = 0;
+    std::string message;  ///< human-readable verdict
+};
+
+CheckpointAudit auditCheckpoint(const std::string& path,
+                                std::optional<std::uint64_t> expectedDigest = std::nullopt);
+
+}  // namespace axf::durable

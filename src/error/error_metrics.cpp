@@ -180,12 +180,18 @@ ErrorReport analyzeError(const circuit::Netlist& netlist, const circuit::ArithSi
         }
     };
     if (config.threads == 1 || taskCount <= 1) {
-        for (std::size_t t = 0; t < taskCount; ++t) runTask(t);
+        for (std::size_t t = 0; t < taskCount; ++t) {
+            if (config.cancel != nullptr && config.cancel->stopRequested())
+                throw util::OperationCancelled("analyzeError cancelled");
+            runTask(t);
+        }
     } else {
-        // threads > 1 caps the fan-out; 0 uses the whole pool.
+        // threads > 1 caps the fan-out; 0 uses the whole pool.  The token
+        // abandons unclaimed tasks (a partial sweep is useless — no report
+        // is produced) and surfaces as OperationCancelled.
         util::ThreadPool::global().parallelFor(
             taskCount, runTask,
-            config.threads > 0 ? static_cast<std::size_t>(config.threads) : 0);
+            config.threads > 0 ? static_cast<std::size_t>(config.threads) : 0, config.cancel);
     }
 
     Accumulator acc;

@@ -6,6 +6,7 @@
 #include "src/circuit/arith.hpp"
 #include "src/circuit/netlist.hpp"
 #include "src/util/bytes.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/rng.hpp"
 
 namespace axf::error {
@@ -59,6 +60,13 @@ struct ErrorAnalysisConfig {
     /// partitioned into fixed-size chunks whose partial results merge in
     /// chunk order, so the report is bit-identical for every thread count.
     int threads = 0;
+
+    /// Cooperative cancellation checked at chunk boundaries (nullptr =
+    /// never cancelled).  Not part of the cache key or the report — it
+    /// only decides whether the sweep finishes.  NOTE: config literals
+    /// initialize this struct positionally in several call sites; new
+    /// fields go at the end.
+    const util::CancellationToken* cancel = nullptr;
 
     /// True when `sig`'s input space is swept exhaustively under this
     /// config.  The single source of truth for the analyzer's path choice

@@ -539,11 +539,16 @@ ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithS
                            {accs.data() + begin, n}, {deviated.data() + begin, n}, nominal);
     };
     if (config.analysis.threads == 1 || taskCount <= 1) {
-        for (std::size_t t = 0; t < taskCount; ++t) runTask(t);
+        for (std::size_t t = 0; t < taskCount; ++t) {
+            if (config.analysis.cancel != nullptr && config.analysis.cancel->stopRequested())
+                throw util::OperationCancelled("analyzeResilience cancelled");
+            runTask(t);
+        }
     } else {
         util::ThreadPool::global().parallelFor(
             taskCount, runTask,
-            config.analysis.threads > 0 ? static_cast<std::size_t>(config.analysis.threads) : 0);
+            config.analysis.threads > 0 ? static_cast<std::size_t>(config.analysis.threads) : 0,
+            config.analysis.cancel);
     }
     if (taskCount == 0) {
         // No active fault sites: still produce the nominal reference profile.

@@ -122,6 +122,43 @@ CgpGenome CgpGenome::crossover(const CgpGenome& a, const CgpGenome& b, util::Rng
     return child;
 }
 
+void CgpGenome::serialize(util::ByteWriter& out) const {
+    out.u32(static_cast<std::uint32_t>(genes_.size()));
+    for (const Gene& g : genes_) {
+        out.u8(g.function);
+        out.u16(g.a);
+        out.u16(g.b);
+    }
+    out.u32(static_cast<std::uint32_t>(outputGenes_.size()));
+    for (std::uint16_t o : outputGenes_) out.u16(o);
+}
+
+std::optional<CgpGenome> CgpGenome::deserialize(util::ByteReader& in, const CgpParams& params) {
+    std::uint32_t cellCount = 0;
+    if (!in.u32(cellCount) || cellCount != static_cast<std::uint32_t>(params.cells))
+        return std::nullopt;
+    std::vector<Gene> genes(cellCount);
+    for (std::uint32_t i = 0; i < cellCount; ++i) {
+        Gene& g = genes[i];
+        if (!in.u8(g.function) || !in.u16(g.a) || !in.u16(g.b)) return std::nullopt;
+        // Enforce the representation invariants the operators rely on:
+        // function inside the alphabet, operands respecting levels-back
+        // order (cell i sees inputs and cells < i).  A checkpoint that
+        // violates them is corrupt, not merely stale.
+        if (g.function >= params.functions.size()) return std::nullopt;
+        const std::uint32_t operandSpace = static_cast<std::uint32_t>(params.inputs) + i;
+        if (g.a >= operandSpace || g.b >= operandSpace) return std::nullopt;
+    }
+    std::uint32_t outputCount = 0;
+    if (!in.u32(outputCount) || outputCount != static_cast<std::uint32_t>(params.outputs))
+        return std::nullopt;
+    std::vector<std::uint16_t> outputs(outputCount);
+    const std::uint32_t nodeSpace = static_cast<std::uint32_t>(params.inputs + params.cells);
+    for (std::uint32_t o = 0; o < outputCount; ++o)
+        if (!in.u16(outputs[o]) || outputs[o] >= nodeSpace) return std::nullopt;
+    return CgpGenome(params, std::move(genes), std::move(outputs));
+}
+
 void CgpGenome::mutate(int count, util::Rng& rng) {
     // Gene space: per cell (function, a, b) plus the output genes.
     const std::size_t geneSpace = genes_.size() * 3 + outputGenes_.size();

@@ -12,6 +12,7 @@
 #include "src/error/error_metrics.hpp"
 #include "src/fault/fault.hpp"
 #include "src/search/objectives.hpp"
+#include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
 
 namespace axf::gen {
@@ -71,6 +72,17 @@ public:
                a.params_.functions == b.params_.functions;
     }
 
+    /// Checkpoint encoding of the chromosome alone — geometry and function
+    /// alphabet come from the owning problem's `CgpParams`, not the file
+    /// (every genome of one search shares them).
+    void serialize(util::ByteWriter& out) const;
+
+    /// Decodes a chromosome written by `serialize` for the given geometry;
+    /// nullopt on truncation or any constraint violation (function index
+    /// outside the alphabet, operand breaking the levels-back order,
+    /// output gene outside the node space).
+    static std::optional<CgpGenome> deserialize(util::ByteReader& in, const CgpParams& params);
+
     /// Decodes the active cone into a netlist (inactive cells skipped).
     circuit::Netlist decode() const;
 
@@ -80,6 +92,11 @@ public:
     const CgpParams& params() const { return params_; }
 
 private:
+    /// Checkpoint-restore path: adopts a validated chromosome verbatim.
+    CgpGenome(CgpParams params, std::vector<Gene> genes, std::vector<std::uint16_t> outputGenes)
+        : params_(std::move(params)), genes_(std::move(genes)),
+          outputGenes_(std::move(outputGenes)) {}
+
     CgpParams params_;
     std::vector<Gene> genes_;
     std::vector<std::uint16_t> outputGenes_;
@@ -175,6 +192,16 @@ public:
     }
 
     void evaluate(std::span<const CgpGenome> batch, std::span<search::Objectives> out) const;
+
+    /// Checkpoint hooks (`search::CheckpointableProblem`): the problem owns
+    /// the shared geometry, so only the chromosome travels per genome.
+    void serializeGenome(const CgpGenome& genome, util::ByteWriter& out) const {
+        genome.serialize(out);
+    }
+
+    std::optional<CgpGenome> deserializeGenome(util::ByteReader& in) const {
+        return CgpGenome::deserialize(in, params_);
+    }
 
     const CgpParams& params() const { return params_; }
 

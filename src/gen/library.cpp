@@ -47,22 +47,26 @@ public:
 
     void characterizeInto(AcLibrary& library, std::unordered_set<std::uint64_t>& seen,
                           ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig,
-                          cache::CharacterizationCache* cache) {
+                          cache::CharacterizationCache* cache,
+                          const util::CancellationToken* cancel = nullptr) {
         struct Prepared {
             Netlist simplified;
             std::uint64_t hash = 0;
         };
         std::vector<Prepared> prepared(candidates_.size());
-        util::ThreadPool::global().parallelFor(candidates_.size(), [&](std::size_t i) {
-            if (cache != nullptr && loadSimplified(*cache, candidates_[i].netlist,
-                                                  prepared[i].simplified, prepared[i].hash))
-                return;
-            prepared[i].simplified = circuit::simplify(candidates_[i].netlist);
-            prepared[i].hash = prepared[i].simplified.structuralHash();
-            if (cache != nullptr)
-                storeSimplified(*cache, candidates_[i].netlist, prepared[i].simplified,
-                                prepared[i].hash);
-        });
+        util::ThreadPool::global().parallelFor(
+            candidates_.size(),
+            [&](std::size_t i) {
+                if (cache != nullptr && loadSimplified(*cache, candidates_[i].netlist,
+                                                       prepared[i].simplified, prepared[i].hash))
+                    return;
+                prepared[i].simplified = circuit::simplify(candidates_[i].netlist);
+                prepared[i].hash = prepared[i].simplified.structuralHash();
+                if (cache != nullptr)
+                    storeSimplified(*cache, candidates_[i].netlist, prepared[i].simplified,
+                                    prepared[i].hash);
+            },
+            0, cancel);
 
         std::vector<std::size_t> unique;
         unique.reserve(prepared.size());
@@ -70,10 +74,14 @@ public:
             if (seen.insert(prepared[i].hash).second) unique.push_back(i);
 
         std::vector<error::ErrorReport> reports(unique.size());
-        util::ThreadPool::global().parallelFor(unique.size(), [&](std::size_t u) {
-            const Prepared& p = prepared[unique[u]];
-            reports[u] = cache::analyzeErrorCached(cache, p.hash, p.simplified, sig, errorConfig);
-        });
+        util::ThreadPool::global().parallelFor(
+            unique.size(),
+            [&](std::size_t u) {
+                const Prepared& p = prepared[unique[u]];
+                reports[u] =
+                    cache::analyzeErrorCached(cache, p.hash, p.simplified, sig, errorConfig);
+            },
+            0, cancel);
 
         for (std::size_t u = 0; u < unique.size(); ++u) {
             const std::size_t i = unique[u];
@@ -174,8 +182,10 @@ AcLibrary buildStructuralFamilies(const LibraryConfig& config) {
     std::unordered_set<std::uint64_t> seen;
     CandidateSet candidates;
     addStructural(candidates, config);
-    candidates.characterizeInto(library, seen, librarySignature(config), config.errorConfig,
-                                config.cache);
+    error::ErrorAnalysisConfig errorConfig = config.errorConfig;
+    if (errorConfig.cancel == nullptr) errorConfig.cancel = config.cancel;
+    candidates.characterizeInto(library, seen, librarySignature(config), errorConfig,
+                                config.cache, config.cancel);
     return library;
 }
 
@@ -184,9 +194,15 @@ AcLibrary buildLibrary(const LibraryConfig& config) {
     AcLibrary library;
     std::unordered_set<std::uint64_t> seen;
 
+    // The build-level token also rides inside every per-netlist analysis,
+    // so a stop request lands within a chunk's worth of work even when a
+    // single exhaustive sweep dominates the wall clock.
+    error::ErrorAnalysisConfig errorConfig = config.errorConfig;
+    if (errorConfig.cancel == nullptr) errorConfig.cancel = config.cancel;
+
     CandidateSet candidates;
     addStructural(candidates, config);
-    candidates.characterizeInto(library, seen, sig, config.errorConfig, config.cache);
+    candidates.characterizeInto(library, seen, sig, errorConfig, config.cache, config.cancel);
 
     if (!config.structuralOnly) {
         // Every (MED budget, seed architecture) pair is an independent
@@ -205,16 +221,20 @@ AcLibrary buildLibrary(const LibraryConfig& config) {
                 runs.push_back({budgetIdx, seedArch, runSeed++});
 
         std::vector<std::vector<CgpHarvest>> harvests(runs.size());
-        util::ThreadPool::global().parallelFor(runs.size(), [&](std::size_t r) {
-            CgpEvolver::Options options;
-            options.medBudget = config.medBudgets[runs[r].budgetIdx];
-            options.lambda = config.cgpLambda;
-            options.generations = config.cgpGenerations;
-            options.seed = runs[r].seed;
-            options.reportConfig = config.errorConfig;
-            CgpEvolver evolver(sig, options);
-            harvests[r] = evolver.run(cgpSeed(config, runs[r].seedArch));
-        });
+        util::ThreadPool::global().parallelFor(
+            runs.size(),
+            [&](std::size_t r) {
+                CgpEvolver::Options options;
+                options.medBudget = config.medBudgets[runs[r].budgetIdx];
+                options.lambda = config.cgpLambda;
+                options.generations = config.cgpGenerations;
+                options.seed = runs[r].seed;
+                options.reportConfig = errorConfig;
+                options.fitnessConfig.cancel = config.cancel;
+                CgpEvolver evolver(sig, options);
+                harvests[r] = evolver.run(cgpSeed(config, runs[r].seedArch));
+            },
+            0, config.cancel);
 
         for (std::size_t r = 0; r < runs.size(); ++r) {
             int idx = 0;

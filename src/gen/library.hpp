@@ -52,6 +52,12 @@ struct LibraryConfig {
     /// store); null keeps the fully-recomputing behavior.  Warm builds are
     /// bit-identical to cold builds at any thread count.
     cache::CharacterizationCache* cache = nullptr;
+
+    /// Cooperative cancellation for the whole build, checked at candidate
+    /// and CGP-run boundaries and threaded into the characterization
+    /// fan-outs.  A cancelled build throws util::OperationCancelled; work
+    /// already characterized stays warm in `cache` for the retry.
+    const util::CancellationToken* cancel = nullptr;
 };
 
 /// Generates the full library for the configuration: structural families

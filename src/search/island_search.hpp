@@ -1,16 +1,23 @@
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/durable/checkpoint.hpp"
 #include "src/search/pareto_archive.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -39,6 +46,21 @@ concept Problem =
         { p.mutate(g, rng) } -> std::same_as<typename P::Genome>;
         { p.crossover(g, g, rng) } -> std::same_as<typename P::Genome>;
         { p.evaluate(batch, out) };
+    };
+
+/// A `Problem` whose genomes can travel through a checkpoint file.  The
+/// problem owns the genome encoding (the search engine treats genomes as
+/// opaque), so it also owns their byte layout: `serializeGenome` appends a
+/// self-delimiting encoding, `deserializeGenome` reads exactly what was
+/// written and returns nullopt on malformed input (the reader's sticky
+/// failure makes "read all fields, check once" safe).  Only problems
+/// satisfying this concept can use the checkpoint/resume API below.
+template <typename P>
+concept CheckpointableProblem =
+    Problem<P> && requires(const P& p, const typename P::Genome& g, util::ByteWriter& out,
+                           util::ByteReader& in) {
+        { p.serializeGenome(g, out) };
+        { p.deserializeGenome(in) } -> std::same_as<std::optional<typename P::Genome>>;
     };
 
 /// Per-island local search policy.  All strategies share the archive and
@@ -98,6 +120,28 @@ public:
         double annealEndTemp = 1e-3;    ///< ... at the final generation
         std::size_t threads = 0;        ///< worker cap (0 = whole pool, 1 = serial)
         util::ThreadPool* pool = nullptr;  ///< nullptr = the process-global pool
+
+        // --- Durability (requires a CheckpointableProblem) ---------------
+        /// Snapshot file updated at epoch boundaries (empty = no
+        /// checkpointing).  Snapshots are taken only at states an
+        /// uninterrupted run also passes through, which is what makes
+        /// resume bit-identity possible at all.
+        std::string checkpointPath;
+        int checkpointInterval = 1;  ///< epochs between snapshots (final one always written)
+        /// Caller-supplied identity of the problem (estimator digests,
+        /// netlist hashes, ...), folded with the result-affecting options
+        /// into the checkpoint header digest.  Threads/pool are excluded:
+        /// resuming on a different thread count is explicitly supported.
+        std::uint64_t problemDigest = 0;
+        /// Checked ONLY at epoch boundaries — an epoch is the atom of
+        /// search work, so cancellation never leaves a half-stepped island.
+        /// On trip: final checkpoint is flushed, then OperationCancelled.
+        const util::CancellationToken* cancel = nullptr;
+        /// Observability hook invoked after each epoch boundary (post
+        /// checkpoint write) with the generations completed so far.  Tests
+        /// throw from here to simulate a kill with the snapshot on disk;
+        /// tools pulse watchdogs and throttle from here.
+        std::function<void(int)> onEpoch;
     };
 
     struct Result {
@@ -117,6 +161,14 @@ public:
         if (options_.batch < 1) throw std::invalid_argument("IslandSearch: batch < 1");
         if (options_.generations < 0)
             throw std::invalid_argument("IslandSearch: negative generations");
+        if (options_.checkpointInterval < 1)
+            throw std::invalid_argument("IslandSearch: checkpointInterval < 1");
+        if constexpr (!CheckpointableProblem<P>) {
+            if (!options_.checkpointPath.empty())
+                throw std::invalid_argument(
+                    "IslandSearch: checkpointPath set but the problem has no genome "
+                    "serialization hooks");
+        }
     }
 
     /// Runs the search.  `seeded` entries are pre-evaluated knowledge
@@ -144,33 +196,71 @@ public:
         pool.parallelFor(
             n, [&](std::size_t i) { seedIsland(islands[i], seeded); }, options_.threads);
 
-        // Lockstep epochs with serial ring migration between them.
-        const int interval =
-            options_.migrationInterval > 0 ? options_.migrationInterval : options_.generations;
-        int done = 0;
-        while (done < options_.generations) {
-            const int step = std::min(interval, options_.generations - done);
-            pool.parallelFor(
-                n,
-                [&](std::size_t i) {
-                    for (int g = 0; g < step; ++g) generation(islands[i], done + g);
-                },
-                options_.threads);
-            done += step;
-            if (n > 1 && done < options_.generations) migrate(islands);
-        }
+        return runEpochs(islands, 0);
+    }
 
-        Result result;
-        result.archive = Archive(options_.archiveCap, options_.epsilon);
-        result.islandEvaluations.reserve(n);
-        result.islandRngs.reserve(n);
-        for (Island& island : islands) {
-            result.archive.merge(island.archive);
-            result.evaluations += island.evaluations;
-            result.islandEvaluations.push_back(island.evaluations);
-            result.islandRngs.push_back(std::move(island.rng));
-        }
-        return result;
+    /// Continues a search from a checkpoint written by a previous run with
+    /// the SAME result-affecting options (thread count may differ).  The
+    /// returned Result is bit-identical to what the uninterrupted run
+    /// would have produced — a checkpoint captures every bit of search
+    /// state (archives in entry order, RNG streams, counters, anneal
+    /// walks) at an epoch boundary the uninterrupted run also crossed.
+    /// Throws durable::CheckpointError when the file is missing, corrupt,
+    /// or was produced by a different configuration.
+    Result resume(const std::string& path) const
+        requires CheckpointableProblem<P>
+    {
+        auto loaded = durable::loadCheckpoint(path);
+        if (!loaded) throw durable::CheckpointError(path + ": missing checkpoint");
+        return resumeLoaded(path, *loaded);
+    }
+
+    /// Resume from `Options::checkpointPath` when a checkpoint is there,
+    /// start fresh otherwise — the idiom for restartable campaigns.  A
+    /// present-but-invalid checkpoint still throws: silently discarding
+    /// possibly-hours of state is worse than a loud stop.
+    Result runOrResume(std::span<const Entry> seeded = {}) const
+        requires CheckpointableProblem<P>
+    {
+        if (!options_.checkpointPath.empty())
+            if (auto loaded = durable::loadCheckpoint(options_.checkpointPath))
+                return resumeLoaded(options_.checkpointPath, *loaded);
+        return run(seeded);
+    }
+
+    /// The digest stamped into (and demanded of) this search's checkpoint
+    /// headers: every result-affecting option folded with the caller's
+    /// problemDigest.  Exposed so tools can audit a checkpoint against a
+    /// known configuration without constructing the problem.
+    std::uint64_t checkpointDigest() const {
+        std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+        const auto mix = [&h](std::uint64_t v) {
+            for (int i = 0; i < 8; ++i) {
+                h ^= (v >> (8 * i)) & 0xFF;
+                h *= 0x100000001B3ull;
+            }
+        };
+        const auto mixDouble = [&](double v) {
+            std::uint64_t bits;
+            std::memcpy(&bits, &v, sizeof bits);
+            mix(bits);
+        };
+        mix(static_cast<std::uint64_t>(options_.islands));
+        mix(static_cast<std::uint64_t>(options_.generations));
+        mix(static_cast<std::uint64_t>(options_.batch));
+        mix(static_cast<std::uint64_t>(options_.seedsPerIsland));
+        mix(static_cast<std::uint64_t>(options_.migrationInterval));
+        mix(static_cast<std::uint64_t>(options_.migrants));
+        mix(options_.archiveCap);
+        mixDouble(options_.epsilon);
+        mix(options_.seed);
+        mix(static_cast<std::uint64_t>(options_.strategy));
+        mix(options_.islandStrategies.size());
+        for (Strategy s : options_.islandStrategies) mix(static_cast<std::uint64_t>(s));
+        mixDouble(options_.annealStartTemp);
+        mixDouble(options_.annealEndTemp);
+        mix(options_.problemDigest);
+        return h;
     }
 
 private:
@@ -187,6 +277,181 @@ private:
         std::vector<Genome> draft;
         std::vector<Objectives> estimates;
     };
+
+    /// Lockstep epochs with serial ring migration between them, starting
+    /// from `done` generations already completed (0 for a fresh run, the
+    /// snapshot's counter for a resume — resume re-enters this loop with
+    /// islands restored to exactly the state a fresh run had here).
+    Result runEpochs(std::vector<Island>& islands, int done) const {
+        const std::size_t n = islands.size();
+        util::ThreadPool& pool =
+            options_.pool != nullptr ? *options_.pool : util::ThreadPool::global();
+        const int interval =
+            options_.migrationInterval > 0 ? options_.migrationInterval : options_.generations;
+        int epoch = interval > 0 ? done / interval : 0;
+        // A token already tripped before the first epoch: snapshot the
+        // boundary state and stop before burning an epoch of work.
+        checkCancelled(islands, done);
+        while (done < options_.generations) {
+            const int step = std::min(interval, options_.generations - done);
+            // The epoch parallelFor deliberately takes NO token: an epoch
+            // is the cancellation atom, so a snapshot always captures a
+            // state the uninterrupted run also passes through.
+            pool.parallelFor(
+                n,
+                [&](std::size_t i) {
+                    for (int g = 0; g < step; ++g) generation(islands[i], done + g);
+                },
+                options_.threads);
+            done += step;
+            if (n > 1 && done < options_.generations) migrate(islands);
+            ++epoch;
+            // Post-migration IS the boundary state: what gets snapshotted
+            // is what the next epoch starts from.  The final (complete)
+            // snapshot is always written so runOrResume can fast-forward.
+            if (epoch % options_.checkpointInterval == 0 || done >= options_.generations)
+                writeSnapshot(islands, done);
+            if (options_.onEpoch) options_.onEpoch(done);
+            checkCancelled(islands, done);
+        }
+
+        Result result;
+        result.archive = Archive(options_.archiveCap, options_.epsilon);
+        result.islandEvaluations.reserve(n);
+        result.islandRngs.reserve(n);
+        for (Island& island : islands) {
+            result.archive.merge(island.archive);
+            result.evaluations += island.evaluations;
+            result.islandEvaluations.push_back(island.evaluations);
+            result.islandRngs.push_back(std::move(island.rng));
+        }
+        return result;
+    }
+
+    /// Epoch-boundary cancellation: flush a final snapshot (even off the
+    /// checkpointInterval cadence — the whole point is not losing work),
+    /// then report via the distinct exception type.
+    void checkCancelled(std::vector<Island>& islands, int done) const {
+        if (options_.cancel == nullptr || !options_.cancel->stopRequested()) return;
+        writeSnapshot(islands, done);
+        throw util::OperationCancelled("IslandSearch cancelled at generation " +
+                                       std::to_string(done));
+    }
+
+    void writeSnapshot(const std::vector<Island>& islands, int done) const {
+        if constexpr (CheckpointableProblem<P>) {
+            if (options_.checkpointPath.empty()) return;
+            durable::writeCheckpoint(options_.checkpointPath, checkpointDigest(),
+                                     serializeState(islands, done));
+        }
+    }
+
+    static void writeObjectives(util::ByteWriter& out, const Objectives& objectives) {
+        out.u8(static_cast<std::uint8_t>(objectives.size()));
+        for (std::size_t o = 0; o < objectives.size(); ++o) out.f64(objectives[o]);
+    }
+
+    static bool readObjectives(util::ByteReader& in, Objectives& objectives) {
+        std::uint8_t size = 0;
+        if (!in.u8(size) || size > Objectives::kMaxObjectives) return false;
+        std::array<double, Objectives::kMaxObjectives> values{};
+        for (std::uint8_t o = 0; o < size; ++o)
+            if (!in.f64(values[o])) return false;
+        objectives = Objectives(std::span<const double>(values.data(), size));
+        return true;
+    }
+
+    /// Payload layout (container framing, versioning and checksumming live
+    /// in durable::): generation counter, then per island its strategy
+    /// tag, evaluation counter, RNG stream, anneal walk state, and the
+    /// archive entries in residence order.  The draft/estimate buffers are
+    /// transient (cleared at each generation start) and excluded.
+    std::vector<std::uint8_t> serializeState(const std::vector<Island>& islands, int done) const
+        requires CheckpointableProblem<P>
+    {
+        util::ByteWriter out;
+        out.u32(static_cast<std::uint32_t>(done));
+        out.u32(static_cast<std::uint32_t>(islands.size()));
+        for (const Island& island : islands) {
+            out.u8(static_cast<std::uint8_t>(island.strategy));
+            out.u64(island.evaluations);
+            island.rng.serialize(out);
+            out.boolean(island.current.has_value());
+            if (island.current.has_value()) {
+                problem_.serializeGenome(*island.current, out);
+                writeObjectives(out, island.currentObjectives);
+            }
+            const auto& entries = island.archive.entries();
+            out.u32(static_cast<std::uint32_t>(entries.size()));
+            for (const Entry& e : entries) {
+                problem_.serializeGenome(e.genome, out);
+                writeObjectives(out, e.objectives);
+            }
+        }
+        return out.take();
+    }
+
+    struct RestoredState {
+        std::vector<Island> islands;
+        int done = 0;
+    };
+
+    std::optional<RestoredState> deserializeState(std::span<const std::uint8_t> payload) const
+        requires CheckpointableProblem<P>
+    {
+        util::ByteReader in(payload);
+        std::uint32_t done = 0, islandCount = 0;
+        if (!in.u32(done) || !in.u32(islandCount)) return std::nullopt;
+        if (islandCount != static_cast<std::uint32_t>(options_.islands)) return std::nullopt;
+        if (done > static_cast<std::uint32_t>(options_.generations)) return std::nullopt;
+        RestoredState state;
+        state.done = static_cast<int>(done);
+        state.islands.reserve(islandCount);
+        for (std::uint32_t i = 0; i < islandCount; ++i) {
+            Island island{Archive(options_.archiveCap, options_.epsilon), util::Rng(0)};
+            std::uint8_t strategy = 0;
+            bool hasCurrent = false;
+            if (!in.u8(strategy) || strategy > static_cast<std::uint8_t>(Strategy::Genetic))
+                return std::nullopt;
+            island.strategy = static_cast<Strategy>(strategy);
+            if (!in.u64(island.evaluations)) return std::nullopt;
+            if (!util::Rng::deserialize(in, island.rng)) return std::nullopt;
+            if (!in.boolean(hasCurrent)) return std::nullopt;
+            if (hasCurrent) {
+                auto genome = problem_.deserializeGenome(in);
+                if (!genome.has_value()) return std::nullopt;
+                island.current = std::move(*genome);
+                if (!readObjectives(in, island.currentObjectives)) return std::nullopt;
+            }
+            std::uint32_t entryCount = 0;
+            if (!in.u32(entryCount)) return std::nullopt;
+            std::vector<Entry> entries;
+            entries.reserve(entryCount);
+            for (std::uint32_t k = 0; k < entryCount; ++k) {
+                auto genome = problem_.deserializeGenome(in);
+                Objectives objectives;
+                if (!genome.has_value() || !readObjectives(in, objectives)) return std::nullopt;
+                entries.push_back(Entry{std::move(*genome), objectives});
+            }
+            island.archive.restoreEntries(std::move(entries));
+            state.islands.push_back(std::move(island));
+        }
+        if (!in.ok() || in.remaining() != 0) return std::nullopt;
+        return state;
+    }
+
+    Result resumeLoaded(const std::string& path, const durable::LoadedCheckpoint& loaded) const
+        requires CheckpointableProblem<P>
+    {
+        if (loaded.digest != checkpointDigest())
+            throw durable::CheckpointError(
+                path + ": problem digest mismatch (checkpoint belongs to a different "
+                       "search configuration)");
+        auto state = deserializeState(std::span<const std::uint8_t>(loaded.payload));
+        if (!state.has_value())
+            throw durable::CheckpointError(path + ": malformed checkpoint payload");
+        return runEpochs(state->islands, state->done);
+    }
 
     /// Drafted candidates -> one batched estimate -> ordered inserts.
     void evaluateDraft(Island& island) const {

@@ -70,6 +70,14 @@ public:
         for (const Entry& e : other.entries_) insert(e.genome, e.objectives);
     }
 
+    /// Adopt `entries` verbatim as the archive contents — the checkpoint
+    /// restore path.  Deliberately bypasses insert(): a snapshot is by
+    /// construction mutually non-dominated under this archive's epsilon,
+    /// and replaying it through the epsilon-coarsened insert could reject
+    /// entries that were legitimately resident, breaking resume bit-
+    /// identity.  Entry order is preserved (it is part of search state).
+    void restoreEntries(std::vector<Entry> entries) { entries_ = std::move(entries); }
+
 private:
     void thin() {
         const std::size_t axis = entries_.front().objectives.size() - 1;

@@ -1,10 +1,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "src/search/objectives.hpp"
+#include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
 
 namespace axf::search {
@@ -41,6 +44,21 @@ struct ToyProblem {
             if (rng.bernoulli(0.5)) c[i] = b[i];
         return c;
     }
+    /// Checkpoint hooks (`CheckpointableProblem`), so the engine-level
+    /// resume-determinism tests run on this fixture too.
+    void serializeGenome(const Genome& g, util::ByteWriter& out) const {
+        for (int v : g) out.u8(static_cast<std::uint8_t>(v));
+    }
+    std::optional<Genome> deserializeGenome(util::ByteReader& in) const {
+        Genome g(kLen);
+        for (std::size_t i = 0; i < kLen; ++i) {
+            std::uint8_t v = 0;
+            if (!in.u8(v) || v >= Alphabet) return std::nullopt;
+            g[i] = v;
+        }
+        return g;
+    }
+
     void evaluate(std::span<const Genome> batch, std::span<Objectives> out) const {
         constexpr double target = Alphabet - 1;
         for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -14,6 +14,10 @@ class ByteWriter {
 public:
     void u8(std::uint8_t v) { buf_.push_back(v); }
 
+    void u16(std::uint16_t v) {
+        for (int i = 0; i < 2; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
     void u32(std::uint32_t v) {
         for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
@@ -55,6 +59,12 @@ public:
     bool u8(std::uint8_t& v) {
         if (!take(1)) return false;
         v = p_[-1];
+        return true;
+    }
+
+    bool u16(std::uint16_t& v) {
+        if (!take(2)) return false;
+        v = static_cast<std::uint16_t>(p_[-2] | (p_[-1] << 8));
         return true;
     }
 

@@ -1,0 +1,35 @@
+#include "src/util/cancellation.hpp"
+
+#include <csignal>
+
+namespace axf::util {
+
+namespace {
+
+CancellationToken g_signalToken;
+
+#if !defined(_WIN32)
+void onSignal(int) {
+    // Async-signal-safe: one lock-free atomic store.  Restore the default
+    // disposition so a second signal kills a shutdown that got stuck.
+    g_signalToken.requestStop();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+}
+#else
+void onSignal(int) { g_signalToken.requestStop(); }
+#endif
+
+}  // namespace
+
+CancellationToken& signalToken() {
+    static const bool installed = [] {
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        return true;
+    }();
+    (void)installed;
+    return g_signalToken;
+}
+
+}  // namespace axf::util

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace axf::util {
+
+/// Thrown by a cooperatively-cancelled computation once it has reached a
+/// safe abandonment point (long-running engines flush a checkpoint first —
+/// see src/durable).  A distinct type so callers can tell "the user asked
+/// us to stop" from a real failure: benches and tools catch it at
+/// top-level and exit with `kCancelledExitCode`.
+class OperationCancelled : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+    OperationCancelled() : std::runtime_error("operation cancelled") {}
+};
+
+/// Process exit status of a run that stopped on request (SIGINT/SIGTERM)
+/// after flushing its durable state — deliberately distinct from 0
+/// (success), 1 (findings/failure) and 2 (usage), so supervisors and the
+/// CI interrupt job can assert the clean-cancellation path was taken.
+inline constexpr int kCancelledExitCode = 75;
+
+/// Cooperative cancellation flag shared between a requester (signal
+/// handler, supervisor thread, test) and any number of workers.  Workers
+/// poll `stopRequested()` at their natural abandonment points — epoch
+/// boundaries, chunk claims, batch edges — finish or abandon the unit in
+/// flight, persist what the contract requires, and throw
+/// `OperationCancelled`.
+///
+/// The flag is a single lock-free atomic: `requestStop` is async-signal-
+/// safe (the SIGINT/SIGTERM handlers call it directly) and polling it on
+/// a hot path costs one relaxed-ish load.  Cancellation is one-way — a
+/// token never resets; run-scoped state wants a fresh token per run.
+class CancellationToken {
+public:
+    CancellationToken() = default;
+    CancellationToken(const CancellationToken&) = delete;
+    CancellationToken& operator=(const CancellationToken&) = delete;
+
+    void requestStop() noexcept { stop_.store(true, std::memory_order_release); }
+    bool stopRequested() const noexcept { return stop_.load(std::memory_order_acquire); }
+
+    /// Poll-and-throw convenience for code with nothing to flush.
+    void throwIfStopRequested() const {
+        if (stopRequested()) throw OperationCancelled();
+    }
+
+private:
+    std::atomic<bool> stop_{false};
+    static_assert(std::atomic<bool>::is_always_lock_free,
+                  "signal handlers require a lock-free stop flag");
+};
+
+/// Process-global token tripped by SIGINT/SIGTERM.  The first call
+/// installs the handlers (idempotent, not thread-safe against concurrent
+/// first calls — wire it up from main before spawning work); subsequent
+/// calls return the same token.  The handler only sets the flag: the
+/// process exits through the normal unwind path (checkpoint flush, cache
+/// flush, destructors), not from inside the handler.  A second signal
+/// while stopping falls through to the default disposition, so a stuck
+/// shutdown can still be killed interactively.
+CancellationToken& signalToken();
+
+}  // namespace axf::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace axf::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the durability
+/// checksum of on-disk artifacts (cache shard entries, search checkpoints).
+/// Chosen over the in-memory FNV digests because single-bit and short-burst
+/// errors — the realistic storage corruption classes — are guaranteed
+/// detected, and because the value is stable, documented and reproducible
+/// by any external tool auditing the files.
+namespace detail {
+constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+}  // namespace detail
+
+/// One-shot CRC-32 of a byte range.  For incremental use, pass the previous
+/// return value as `seed` (the pre/post conditioning composes correctly).
+constexpr std::uint32_t crc32(const unsigned char* p, std::size_t n, std::uint32_t seed = 0) {
+    std::uint32_t c = ~seed;
+    for (std::size_t i = 0; i < n; ++i)
+        c = detail::kCrc32Table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return ~c;
+}
+
+/// void* convenience (runtime only: void* casts are not constexpr-legal).
+inline std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0) {
+    return crc32(static_cast<const unsigned char*>(data), n, seed);
+}
+
+namespace detail {
+constexpr std::uint32_t crc32Check() {
+    constexpr char digits[] = "123456789";
+    unsigned char bytes[9] = {};
+    for (int i = 0; i < 9; ++i) bytes[i] = static_cast<unsigned char>(digits[i]);
+    return crc32(bytes, 9);
+}
+static_assert(crc32Check() == 0xCBF43926u, "CRC-32 check value (IEEE)");
+}  // namespace detail
+
+}  // namespace axf::util

@@ -1,0 +1,144 @@
+#include "src/util/io.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace axf::util {
+
+namespace {
+
+/// Same-directory temp name, unique per process and per call so concurrent
+/// writers (shard flushes from different threads/processes) never collide.
+std::string tempPathFor(const std::string& path) {
+    static std::atomic<unsigned> counter{0};
+#if defined(_WIN32)
+    const unsigned long pid = 0;
+#else
+    const unsigned long pid = static_cast<unsigned long>(::getpid());
+#endif
+    return path + ".tmp." + std::to_string(pid) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+#if !defined(_WIN32)
+bool writeAllFd(int fd, const unsigned char* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool syncPath(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+#endif
+
+/// One write attempt: temp file -> (fsync) -> rename -> (dir fsync).
+bool tryWriteOnce(const std::string& path, const void* data, std::size_t size,
+                  const AtomicWriteOptions& options) {
+    const std::string tmp = tempPathFor(path);
+#if defined(_WIN32)
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+#else
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    if (!writeAllFd(fd, static_cast<const unsigned char*>(data), size) ||
+        (options.syncFile && ::fsync(fd) != 0)) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (options.syncDirectory) {
+        const std::string dir = std::filesystem::path(path).parent_path().string();
+        syncPath(dir.empty() ? "." : dir);  // best-effort: data already renamed in
+    }
+    return true;
+#endif
+}
+
+}  // namespace
+
+AtomicWriteResult atomicWriteFile(const std::string& path, const void* data, std::size_t size,
+                                  const AtomicWriteOptions& options) {
+    AtomicWriteResult result;
+    int backoff = options.backoffMs;
+    const int attempts = 1 + (options.retries > 0 ? options.retries : 0);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        ++result.attempts;
+        if (tryWriteOnce(path, data, size, options)) {
+            result.ok = true;
+            return result;
+        }
+        if (attempt + 1 < attempts && backoff > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+            backoff *= 2;
+        }
+    }
+    return result;
+}
+
+AtomicWriteResult atomicWriteFile(const std::string& path, const std::vector<unsigned char>& bytes,
+                                  const AtomicWriteOptions& options) {
+    return atomicWriteFile(path, bytes.data(), bytes.size(), options);
+}
+
+std::optional<std::vector<unsigned char>> readFileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return std::nullopt;
+    const std::streamsize size = in.tellg();
+    if (size < 0) return std::nullopt;
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    in.seekg(0);
+    if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) return std::nullopt;
+    return bytes;
+}
+
+}  // namespace axf::util

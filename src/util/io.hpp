@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace axf::util {
+
+struct AtomicWriteOptions {
+    int retries = 3;          ///< attempts beyond the first on transient failure
+    int backoffMs = 10;       ///< initial backoff; doubles per retry
+    bool syncFile = true;     ///< fsync the temp file before rename
+    bool syncDirectory = true;///< fsync the parent directory after rename
+};
+
+struct AtomicWriteResult {
+    bool ok = false;
+    int attempts = 0;         ///< total attempts made (>= 1 when any I/O was tried)
+
+    explicit operator bool() const { return ok; }
+};
+
+/// Durably replace `path` with `bytes`: write to a same-directory temp file,
+/// fsync it, atomically rename over the destination, then fsync the parent
+/// directory so the rename itself survives a crash.  Readers therefore see
+/// either the complete old file or the complete new file, never a torn mix —
+/// the invariant the cache shards and search checkpoints are built on.
+///
+/// Transient failures (ENOSPC clearing, NFS hiccups, AV interference) are
+/// retried with exponential backoff up to `options.retries` extra attempts;
+/// the temp file is always unlinked on failure.
+AtomicWriteResult atomicWriteFile(const std::string& path, const void* data, std::size_t size,
+                                  const AtomicWriteOptions& options = {});
+
+AtomicWriteResult atomicWriteFile(const std::string& path, const std::vector<unsigned char>& bytes,
+                                  const AtomicWriteOptions& options = {});
+
+/// Whole-file read; nullopt when the file is missing or unreadable.
+std::optional<std::vector<unsigned char>> readFileBytes(const std::string& path);
+
+}  // namespace axf::util

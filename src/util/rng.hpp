@@ -4,8 +4,12 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "src/util/bytes.hpp"
 
 namespace axf::util {
 
@@ -83,9 +87,40 @@ public:
     /// Derive an independent child generator (e.g. per-worker streams).
     Rng fork() { return Rng(uniformInt(0, UINT64_MAX)); }
 
+    /// Snapshot the full generator state (search checkpoints).  All
+    /// distributions above are constructed per call, so the engine state is
+    /// the complete state: a deserialized Rng continues the exact sequence.
+    /// Encoded as the engine's standard text form, length-prefixed — the
+    /// representation the C++ standard guarantees round-trips.
+    void serialize(ByteWriter& out) const {
+        std::ostringstream text;
+        text << engine_;
+        const std::string state = text.str();
+        out.u32(static_cast<std::uint32_t>(state.size()));
+        out.raw(state.data(), state.size());
+    }
+
+    /// Restore a generator serialized above; false (reader failed or state
+    /// malformed) leaves `rng` unspecified.
+    static bool deserialize(ByteReader& in, Rng& rng) {
+        std::uint32_t size = 0;
+        if (!in.u32(size) || size == 0 || size > kMaxSerializedState) return false;
+        std::string state(size, '\0');
+        if (!in.raw(state.data(), state.size())) return false;
+        std::istringstream text(state);
+        text >> rng.engine_;
+        return !text.fail();
+    }
+
+    friend bool operator==(const Rng& a, const Rng& b) { return a.engine_ == b.engine_; }
+
     std::mt19937_64& engine() { return engine_; }
 
 private:
+    /// mt19937_64 text state is 312 19-to-20-digit words plus a position —
+    /// ~7 KB; anything past 64 KB is a corrupt length field, not a state.
+    static constexpr std::uint32_t kMaxSerializedState = 1u << 16;
+
     std::mt19937_64 engine_;
 };
 

@@ -51,7 +51,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::workerLoop() {
     tlsInWorker = true;
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -65,7 +65,9 @@ void ThreadPool::workerLoop() {
         // next wait() to rethrow.
         std::exception_ptr error;
         try {
-            task();
+            // A cancelled task still queued is dropped here unrun — this is
+            // what lets wait() drain promptly when a token trips mid-batch.
+            if (!(task.cancel && task.cancel->stopRequested())) task.fn();
         } catch (...) {
             error = std::current_exception();
         }
@@ -78,14 +80,14 @@ void ThreadPool::workerLoop() {
     }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, const CancellationToken* cancel) {
     if (workers_.empty()) {  // worker-less pool: run synchronously
-        task();
+        if (!(cancel && cancel->stopRequested())) task();
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(QueuedTask{std::move(task), cancel});
     }
     wake_.notify_one();
 }
@@ -101,14 +103,17 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
-                             std::size_t maxThreads) {
+                             std::size_t maxThreads, const CancellationToken* cancel) {
     if (n == 0) return;
     // Inline when small, when the pool has no extra workers, when capped
     // to one thread, or when already running on a worker (nested call):
     // the outer level owns the parallelism and recursion into the queue
     // could deadlock.
     if (n == 1 || workers_.empty() || maxThreads == 1 || inWorkerThread()) {
-        for (std::size_t i = 0; i < n; ++i) body(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cancel && cancel->stopRequested()) throw OperationCancelled();
+            body(i);
+        }
         return;
     }
 
@@ -129,15 +134,18 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
     // pool work, and a nested parallelFor must not stall on it.  A helper
     // that starts late claims no index and touches nothing but `shared`
     // (kept alive by its closure), so returning early is safe.
-    const auto drain = [shared, &body, n] {
+    const auto drain = [shared, &body, n, cancel] {
         for (;;) {
             // inflight brackets the claim itself so the caller can never
             // observe "all indices claimed" while a body is still running.
             shared->inflight.fetch_add(1, std::memory_order_acq_rel);
             std::size_t i = n;
-            // Abandon not-yet-claimed iterations once any body threw; a
-            // long loop should not grind on for minutes before reporting.
-            if (!shared->failed.load(std::memory_order_acquire))
+            // Abandon not-yet-claimed iterations once any body threw (a
+            // long loop should not grind on for minutes before reporting)
+            // or once cancellation was requested — same mechanism, distinct
+            // report below.
+            if (!shared->failed.load(std::memory_order_acquire) &&
+                !(cancel && cancel->stopRequested()))
                 i = shared->next.fetch_add(1, std::memory_order_relaxed);
             const bool run = i < n;
             if (run) {
@@ -159,7 +167,9 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
 
     std::size_t helpers = std::min(workers_.size(), n - 1);
     if (maxThreads != 0) helpers = std::min(helpers, maxThreads - 1);
-    for (std::size_t h = 0; h < helpers; ++h) submit(drain);
+    // Helpers carry the token so ones still queued when it trips are
+    // dropped at pop time instead of waking up just to claim nothing.
+    for (std::size_t h = 0; h < helpers; ++h) submit(drain, cancel);
     drain();  // the calling thread works too; exits only once next >= n or failed
     {
         std::unique_lock<std::mutex> lock(shared->doneMutex);
@@ -168,6 +178,11 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
         });
     }
     if (shared->error) std::rethrow_exception(shared->error);
+    // Report cancellation only when it actually cost us iterations: a token
+    // that trips after the last claim changes nothing, and callers want
+    // "completed normally" in that case.
+    if (cancel && cancel->stopRequested() && shared->next.load(std::memory_order_acquire) < n)
+        throw OperationCancelled();
 }
 
 ThreadPool& ThreadPool::global() {

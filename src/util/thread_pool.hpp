@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/cancellation.hpp"
+
 namespace axf::util {
 
 /// Reusable worker-thread pool shared by the characterization pipeline
@@ -43,7 +45,13 @@ public:
     /// synchronously.  An exception escaping a queued task does not kill
     /// the worker (or the process): the first one is captured and rethrown
     /// by the next `wait()`.
-    void submit(std::function<void()> task);
+    ///
+    /// With a `cancel` token, a task still queued when the token trips is
+    /// skipped at pop time (never run), so `wait()` drains promptly after
+    /// a mid-batch cancellation instead of grinding through the backlog.
+    /// Tasks already running always finish; exceptions captured before the
+    /// trip are still rethrown by `wait()`.
+    void submit(std::function<void()> task, const CancellationToken* cancel = nullptr);
 
     /// Blocks until every submitted task has finished (queue drained, no
     /// task running), then rethrows the first exception captured from a
@@ -57,8 +65,14 @@ public:
     /// throws, not-yet-started iterations are abandoned.
     /// `maxThreads` caps the number of threads working on this loop
     /// (0 = no cap beyond the pool size).
+    ///
+    /// With a `cancel` token, not-yet-claimed iterations are abandoned once
+    /// the token trips (claimed ones always run to completion — callers
+    /// rely on never observing a half-executed iteration).  If any
+    /// iteration was skipped this throws OperationCancelled; a body
+    /// exception takes precedence over the cancellation report.
     void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
-                     std::size_t maxThreads = 0);
+                     std::size_t maxThreads = 0, const CancellationToken* cancel = nullptr);
 
     /// Process-wide pool, lazily constructed at hardware concurrency.
     static ThreadPool& global();
@@ -67,10 +81,15 @@ public:
     static bool inWorkerThread();
 
 private:
+    struct QueuedTask {
+        std::function<void()> fn;
+        const CancellationToken* cancel = nullptr;  ///< skip at pop when tripped
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable idle_;          ///< signalled when the pool drains

@@ -1,0 +1,66 @@
+#include "src/util/watchdog.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace axf::util {
+
+Watchdog::Watchdog(Options options) : options_(std::move(options)) {
+    lastPulse_.store(Clock::now().time_since_epoch().count(), std::memory_order_relaxed);
+    if (options_.deadlineSeconds > 0)
+        monitor_ = std::thread([this, d = options_.deadlineSeconds] { monitorLoop(d); });
+}
+
+Watchdog::~Watchdog() {
+    if (!monitor_.joinable()) return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+}
+
+void Watchdog::pulse() noexcept {
+    lastPulse_.store(Clock::now().time_since_epoch().count(), std::memory_order_relaxed);
+}
+
+void Watchdog::monitorLoop(double deadlineSeconds) {
+    const auto deadline = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(deadlineSeconds));
+    // Poll at a fraction of the deadline so a stall is reported within
+    // ~1.25× the configured time without burning cycles on tight loops.
+    const auto interval = deadline / 4 + std::chrono::milliseconds(1);
+    bool stalled = false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        cv_.wait_for(lock, interval, [this] { return stopping_; });
+        if (stopping_) break;
+        const auto last = Clock::duration(lastPulse_.load(std::memory_order_relaxed));
+        const auto silent = Clock::now().time_since_epoch() - last;
+        if (silent >= deadline) {
+            if (!stalled) {
+                const double secs = std::chrono::duration<double>(silent).count();
+                std::fprintf(stderr, "[axf watchdog] %s: no progress for %.1fs (deadline %.1fs)\n",
+                             options_.label.c_str(), secs, deadlineSeconds);
+                std::fflush(stderr);
+                stalls_.fetch_add(1, std::memory_order_relaxed);
+                stalled = true;  // report once per stall, re-arm on next pulse
+            }
+        } else {
+            stalled = false;
+        }
+    }
+}
+
+double watchdogDeadlineFromEnv() {
+    const char* raw = std::getenv("AXF_WATCHDOG_SECONDS");
+    if (!raw || !*raw) return 0;
+    char* end = nullptr;
+    const double value = std::strtod(raw, &end);
+    if (end == raw || value <= 0) return 0;
+    return value;
+}
+
+}  // namespace axf::util

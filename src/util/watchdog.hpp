@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace axf::util {
+
+/// Stall detector for long-running campaigns.  Workers call `pulse()` at
+/// their progress points (epoch boundaries, chunk completions); a monitor
+/// thread logs to stderr when no pulse arrives within the deadline, then
+/// again at each further deadline multiple.  Purely observational — it
+/// never kills anything; pair it with a CancellationToken when a stalled
+/// run should also be stopped.
+///
+/// A deadline of 0 disables the watchdog entirely (no monitor thread), so
+/// call sites can construct one unconditionally from the env knob.
+class Watchdog {
+public:
+    struct Options {
+        double deadlineSeconds = 0;  ///< 0 → disabled
+        std::string label = "campaign";
+    };
+
+    explicit Watchdog(Options options);
+    ~Watchdog();
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /// Record liveness.  Cheap and thread-safe: any worker may pulse.
+    void pulse() noexcept;
+
+    bool enabled() const noexcept { return monitor_.joinable(); }
+
+    /// Number of stall reports logged so far (tests observe this).
+    int stallsLogged() const noexcept { return stalls_.load(std::memory_order_relaxed); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    void monitorLoop(double deadlineSeconds);
+
+    Options options_;
+    std::atomic<Clock::duration::rep> lastPulse_{0};
+    std::atomic<int> stalls_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread monitor_;
+};
+
+/// Deadline from `AXF_WATCHDOG_SECONDS` (unset, empty, or unparsable → 0,
+/// i.e. disabled) — the knob the fig benches and axf-campaign arm with.
+double watchdogDeadlineFromEnv();
+
+}  // namespace axf::util

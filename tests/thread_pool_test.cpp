@@ -5,7 +5,9 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/util/thread_pool.hpp"
@@ -234,6 +236,106 @@ TEST(ThreadPool, AxfThreadsEnvPinsDefaultSizing) {
         pool.parallelFor(4, [&](std::size_t) { total.fetch_add(1); });
         EXPECT_EQ(total.load(), 4);
     });
+}
+
+TEST(ThreadPoolCancel, ParallelForThrowsWhenTokenTripsMidRun) {
+    ThreadPool pool(3);
+    CancellationToken cancel;
+    std::atomic<int> ran{0};
+    bool threw = false;
+    try {
+        pool.parallelFor(
+            10'000,
+            [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i == 5) cancel.requestStop();
+            },
+            0, &cancel);
+    } catch (const OperationCancelled&) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+    // The point of cancellation: a large tail of iterations was skipped.
+    EXPECT_LT(ran.load(), 10'000);
+}
+
+TEST(ThreadPoolCancel, ParallelForCompletesWhenTokenNeverTrips) {
+    ThreadPool pool(3);
+    CancellationToken cancel;
+    std::atomic<int> ran{0};
+    pool.parallelFor(200, [&](std::size_t) { ran.fetch_add(1); }, 0, &cancel);
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolCancel, TokenTrippedAfterLastClaimDoesNotThrow) {
+    // All iterations are claimed and run; tripping the token afterwards
+    // must not turn a completed loop into a spurious cancellation.
+    ThreadPool pool(2);
+    CancellationToken cancel;
+    std::atomic<int> ran{0};
+    pool.parallelFor(
+        50,
+        [&](std::size_t) {
+            if (ran.fetch_add(1) + 1 == 50) cancel.requestStop();
+        },
+        0, &cancel);
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolCancel, BodyExceptionTakesPrecedenceOverCancellation) {
+    ThreadPool pool(3);
+    CancellationToken cancel;
+    bool sawBodyError = false;
+    try {
+        pool.parallelFor(
+            1'000,
+            [&](std::size_t i) {
+                if (i == 3) {
+                    cancel.requestStop();
+                    throw std::runtime_error("body failure");
+                }
+            },
+            0, &cancel);
+    } catch (const OperationCancelled&) {
+        // Losing the body's error behind a generic "cancelled" would hide
+        // real bugs from callers that also wire a signal token.
+        FAIL() << "cancellation masked the body exception";
+    } catch (const std::runtime_error& e) {
+        sawBodyError = std::string(e.what()) == "body failure";
+    }
+    EXPECT_TRUE(sawBodyError);
+}
+
+TEST(ThreadPoolCancel, QueuedTasksAreSkippedAtPopAndWaitDrainsPromptly) {
+    ThreadPool pool(1);  // single worker serializes the queue
+    CancellationToken cancel;
+    std::atomic<int> ran{0};
+    // First task trips the token while a long backlog sits queued behind
+    // it; the backlog must be skipped at pop, not executed.
+    pool.submit(
+        [&] {
+            ran.fetch_add(1);
+            cancel.requestStop();
+        },
+        &cancel);
+    for (int i = 0; i < 500; ++i)
+        pool.submit(
+            [&] {
+                ran.fetch_add(1);
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            },
+            &cancel);
+    const auto start = std::chrono::steady_clock::now();
+    pool.wait();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_EQ(ran.load(), 1);
+    // 500 skipped tasks at 5 ms each would be 2.5 s; the drain must be
+    // near-instant.  Generous bound for loaded CI machines.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1000);
+    // The pool stays usable for the next (uncancelled) batch.
+    std::atomic<int> after{0};
+    pool.parallelFor(20, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 20);
 }
 
 }  // namespace

@@ -1,12 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "src/util/bytes.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/io.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
+#include "src/util/watchdog.hpp"
 
 namespace axf::util {
 namespace {
@@ -166,6 +174,117 @@ TEST(Timer, MeasuresElapsed) {
     for (int i = 0; i < 100000; ++i) sink = sink + i;
     EXPECT_GE(t.seconds(), 0.0);
     EXPECT_GE(t.milliseconds(), t.seconds());
+}
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+    // CRC-32/ISO-HDLC check value: crc32("123456789") == 0xCBF43926.
+    const char* digits = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const unsigned char*>(digits), 9), 0xCBF43926u);
+    EXPECT_EQ(crc32(reinterpret_cast<const unsigned char*>(digits), 0), 0u);
+}
+
+TEST(Crc32, SeedChainingComposes) {
+    // crc32(a ++ b) == crc32(b, seed = crc32(a)) — the property the cache
+    // uses to chain key bytes into the payload checksum.
+    const unsigned char data[] = {0x10, 0x32, 0x54, 0x76, 0x98, 0xBA, 0xDC, 0xFE, 0x01};
+    const std::uint32_t whole = crc32(data, sizeof data);
+    for (std::size_t split = 0; split <= sizeof data; ++split) {
+        const std::uint32_t head = crc32(data, split);
+        EXPECT_EQ(crc32(data + split, sizeof data - split, head), whole) << split;
+    }
+}
+
+TEST(Rng, SerializeRoundTripContinuesTheExactSequence) {
+    Rng rng(0xFEEDFACE);
+    for (int i = 0; i < 37; ++i) rng.uniformInt(0, 1u << 30);  // advance off the seed state
+
+    ByteWriter out;
+    rng.serialize(out);
+    ByteReader in(out.bytes());
+    Rng restored(0);  // wrong seed on purpose; deserialize must overwrite
+    ASSERT_TRUE(Rng::deserialize(in, restored));
+    EXPECT_TRUE(rng == restored);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniformInt(0, 1u << 30), restored.uniformInt(0, 1u << 30));
+    EXPECT_TRUE(rng == restored);
+}
+
+TEST(Rng, DeserializeRejectsTruncatedState) {
+    Rng rng(0x123);
+    ByteWriter out;
+    rng.serialize(out);
+    std::vector<std::uint8_t> bytes = out.bytes();
+    bytes.resize(bytes.size() / 2);
+    ByteReader in(bytes);
+    Rng restored(0);
+    EXPECT_FALSE(Rng::deserialize(in, restored));
+}
+
+class AtomicIoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = (std::filesystem::temp_directory_path() / "axf_util_io_test").string();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::string dir_;
+};
+
+TEST_F(AtomicIoTest, WriteThenReadBack) {
+    const std::vector<unsigned char> data = {1, 2, 3, 0, 255};
+    const std::string path = dir_ + "/a.bin";
+    const AtomicWriteResult r = atomicWriteFile(path, data);
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.attempts, 1);
+    const auto back = readFileBytes(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);
+    // No stray temp files left behind.
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST_F(AtomicIoTest, ReplaceIsAllOrNothing) {
+    const std::string path = dir_ + "/a.bin";
+    ASSERT_TRUE(atomicWriteFile(path, std::vector<unsigned char>(100, 0xAA)));
+    ASSERT_TRUE(atomicWriteFile(path, std::vector<unsigned char>(3, 0xBB)));
+    const auto back = readFileBytes(path);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, std::vector<unsigned char>(3, 0xBB));
+}
+
+TEST_F(AtomicIoTest, MissingDirectoryFailsAfterBoundedRetries) {
+    AtomicWriteOptions options;
+    options.retries = 2;
+    options.backoffMs = 1;
+    const std::vector<unsigned char> data = {1};
+    const AtomicWriteResult r =
+        atomicWriteFile(dir_ + "/no/such/dir/a.bin", data.data(), data.size(), options);
+    EXPECT_FALSE(static_cast<bool>(r));
+    EXPECT_FALSE(readFileBytes(dir_ + "/no/such/dir/a.bin").has_value());
+}
+
+TEST(WatchdogTest, DisabledByDefaultAndQuietWhenPulsed) {
+    Watchdog idle({});  // deadline 0: disabled
+    EXPECT_FALSE(idle.enabled());
+    idle.pulse();
+    EXPECT_EQ(idle.stallsLogged(), 0);
+}
+
+TEST(WatchdogTest, LogsStallsPastTheDeadline) {
+    Watchdog::Options options;
+    options.deadlineSeconds = 0.05;
+    options.label = "util-test";
+    Watchdog dog(options);
+    EXPECT_TRUE(dog.enabled());
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (dog.stallsLogged() == 0 && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_GE(dog.stallsLogged(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+// axf-campaign — durable DSE campaign driver.
+//
+// Runs the AutoAx-FPGA exploration of the Sobel accelerator (a cheap,
+// self-contained menu: exact ripple + LOA/ETA 16-bit adders, no library
+// build required) with the full durability substrate wired up:
+//
+//   - scenario search checkpoints in --out DIR (epoch-boundary snapshots,
+//     resumed automatically on rerun, bit-identical at any thread count);
+//   - SIGINT/SIGTERM request a cooperative stop: the running epoch
+//     finishes, a final checkpoint is flushed, and the process exits with
+//     the distinct status 75 (util::kCancelledExitCode);
+//   - a watchdog (AXF_WATCHDOG_SECONDS) that logs workers stalled past the
+//     deadline;
+//   - --digest-file writes a hex digest of the final Result so an
+//     interrupted-then-resumed campaign can be diffed against an
+//     uninterrupted reference run without storing full archives.
+//
+// Usage:
+//   axf-campaign [--out DIR] [--digest-file PATH] [--iterations N]
+//                [--train N] [--islands N] [--threads N] [--seed HEX]
+//                [--epoch-ms N] [--checkpoint-interval N] [--quiet]
+//
+// --epoch-ms throttles every search epoch (sleep), giving CI a generous
+// window to deliver a mid-flight signal deterministically.
+//
+// Exit status: 0 campaign complete, 2 usage/setup failure, 75 interrupted
+// (checkpoints valid and resumable).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/autoax/dse.hpp"
+#include "src/autoax/sobel.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/util/cancellation.hpp"
+#include "src/util/io.hpp"
+#include "src/util/watchdog.hpp"
+
+using namespace axf;
+
+namespace {
+
+struct CliOptions {
+    std::string outDirectory = ".axf_campaign";
+    std::string digestFile;
+    int iterations = 600;
+    int trainConfigs = 60;
+    int islands = 3;
+    std::size_t threads = 0;
+    std::uint64_t seed = 0x40A7;
+    int epochMs = 0;
+    int checkpointInterval = 1;
+    bool quiet = false;
+};
+
+autoax::Component makeComponent(const char* label, circuit::Netlist netlist) {
+    autoax::Component c;
+    c.name = std::string(label) + " (" + netlist.name() + ")";
+    c.signature = gen::adderSignature(16);
+    c.error = error::analyzeError(netlist, c.signature);
+    c.fpga = synth::FpgaFlow().implement(netlist);
+    c.netlist = std::move(netlist);
+    return c;
+}
+
+/// FNV-1a over every result-defining field of the flow Result — the
+/// fingerprint CI diffs between an interrupted+resumed campaign and an
+/// uninterrupted reference.
+std::uint64_t resultDigest(const autoax::AutoAxFpgaFlow::Result& result) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    };
+    const auto mixDouble = [&mix](double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        mix(bits);
+    };
+    const auto mixConfig = [&](const autoax::EvaluatedConfig& e) {
+        for (int c : e.config.choice) mix(static_cast<std::uint64_t>(c));
+        mixDouble(e.ssim);
+        mixDouble(e.cost.lutCount);
+        mixDouble(e.cost.powerMw);
+        mixDouble(e.cost.latencyNs);
+    };
+    mix(result.trainingSet.size());
+    for (const autoax::EvaluatedConfig& e : result.trainingSet) mixConfig(e);
+    for (const autoax::AutoAxFpgaFlow::ScenarioResult& s : result.scenarios) {
+        mix(static_cast<std::uint64_t>(s.param));
+        mix(s.estimatorQueries);
+        mix(s.autoax.size());
+        for (const autoax::EvaluatedConfig& e : s.autoax) mixConfig(e);
+        mix(s.random.size());
+        for (const autoax::EvaluatedConfig& e : s.random) mixConfig(e);
+    }
+    mix(result.totalRealEvaluations);
+    return h;
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: axf-campaign [--out DIR] [--digest-file PATH] [--iterations N]\n"
+                 "                    [--train N] [--islands N] [--threads N] [--seed HEX]\n"
+                 "                    [--epoch-ms N] [--checkpoint-interval N] [--quiet]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        const auto nextInt = [&](int& out, int minimum) {
+            const char* v = next();
+            if (v == nullptr || std::atoi(v) < minimum) return false;
+            out = std::atoi(v);
+            return true;
+        };
+        if (arg == "--out") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            cli.outDirectory = v;
+        } else if (arg == "--digest-file") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            cli.digestFile = v;
+        } else if (arg == "--iterations") {
+            if (!nextInt(cli.iterations, 1)) return usage();
+        } else if (arg == "--train") {
+            if (!nextInt(cli.trainConfigs, 1)) return usage();
+        } else if (arg == "--islands") {
+            if (!nextInt(cli.islands, 1)) return usage();
+        } else if (arg == "--threads") {
+            int threads = 0;
+            if (!nextInt(threads, 0)) return usage();
+            cli.threads = static_cast<std::size_t>(threads);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            char* end = nullptr;
+            cli.seed = std::strtoull(v, &end, 16);
+            if (end == v || *end != '\0') return usage();
+        } else if (arg == "--epoch-ms") {
+            if (!nextInt(cli.epochMs, 0)) return usage();
+        } else if (arg == "--checkpoint-interval") {
+            if (!nextInt(cli.checkpointInterval, 1)) return usage();
+        } else if (arg == "--quiet") {
+            cli.quiet = true;
+        } else {
+            return usage();
+        }
+    }
+
+    // Install the signal handlers before any long-running work so an early
+    // SIGTERM still cancels cooperatively instead of killing mid-write.
+    const util::CancellationToken& stop = util::signalToken();
+
+    util::Watchdog::Options watchdogOptions;
+    watchdogOptions.deadlineSeconds = util::watchdogDeadlineFromEnv();
+    watchdogOptions.label = "axf-campaign";
+    util::Watchdog watchdog(watchdogOptions);
+
+    if (!cli.quiet)
+        std::printf("axf-campaign: building the Sobel adder menu (exact + LOA/ETA)...\n");
+    std::vector<autoax::Component> menu;
+    menu.push_back(makeComponent("exact ripple", gen::rippleCarryAdder(16)));
+    for (int k : {4, 6, 8, 10}) menu.push_back(makeComponent("LOA", gen::loaAdder(16, k)));
+    for (int k : {6, 8}) menu.push_back(makeComponent("ETA", gen::etaAdder(16, k)));
+    const autoax::SobelAccelerator sobel(std::move(menu));
+    watchdog.pulse();
+
+    autoax::AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = cli.trainConfigs;
+    cfg.hillIterations = cli.iterations;
+    cfg.imageSize = 64;
+    cfg.sceneCount = 1;
+    cfg.seed = cli.seed;
+    cfg.threads = cli.threads;
+    cfg.islands = cli.islands;
+    cfg.searchBatch = 4;
+    cfg.migrationInterval = 8;
+    cfg.islandStrategies = {search::Strategy::HillClimb, search::Strategy::Anneal,
+                            search::Strategy::Genetic};
+    cfg.checkpointDirectory = cli.outDirectory;
+    cfg.checkpointInterval = cli.checkpointInterval;
+    cfg.cancel = &stop;
+    cfg.onSearchEpoch = [&](core::FpgaParam param, int done) {
+        watchdog.pulse();
+        if (!cli.quiet)
+            std::printf("axf-campaign: scenario %s at generation %d\n",
+                        core::fpgaParamName(param), done);
+        if (cli.epochMs > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(cli.epochMs));
+    };
+
+    if (!cli.quiet)
+        std::printf("axf-campaign: exploring %d iterations over %d islands "
+                    "(checkpoints in %s)\n",
+                    cli.iterations, cli.islands, cli.outDirectory.c_str());
+    try {
+        const autoax::AutoAxFpgaFlow::Result result = autoax::AutoAxFpgaFlow(cfg).run(sobel);
+        const std::uint64_t digest = resultDigest(result);
+        char digestHex[32];
+        std::snprintf(digestHex, sizeof digestHex, "%016llx",
+                      static_cast<unsigned long long>(digest));
+        if (!cli.quiet)
+            for (const autoax::AutoAxFpgaFlow::ScenarioResult& s : result.scenarios)
+                std::printf("axf-campaign: scenario %s: %zu archive designs, "
+                            "%zu real evaluations\n",
+                            core::fpgaParamName(s.param), s.autoax.size(), s.realEvaluations);
+        std::printf("axf-campaign: complete, %zu real evaluations, result digest %s\n",
+                    result.totalRealEvaluations, digestHex);
+        if (!cli.digestFile.empty()) {
+            const std::string line = std::string(digestHex) + "\n";
+            if (!util::atomicWriteFile(cli.digestFile, line.data(), line.size())) {
+                std::fprintf(stderr, "axf-campaign: cannot write %s\n", cli.digestFile.c_str());
+                return 2;
+            }
+        }
+    } catch (const util::OperationCancelled& cancelled) {
+        // The search flushed a final epoch-boundary checkpoint before
+        // throwing; rerunning the same command resumes from it.
+        std::fprintf(stderr,
+                     "axf-campaign: interrupted (%s); checkpoints in %s are valid — "
+                     "rerun to resume\n",
+                     cancelled.what(), cli.outDirectory.c_str());
+        return util::kCancelledExitCode;
+    }
+    return 0;
+}

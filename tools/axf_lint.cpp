@@ -11,6 +11,10 @@
 //   axf-lint --cache DIR
 //       Audit a characterization-cache directory: every netlist payload
 //       must decode and pass the linter.
+//   axf-lint --audit-checkpoint FILE [--expect-digest HEX]
+//       Validate a campaign checkpoint ("AXFK"): magic, container version,
+//       CRC-32, size framing — and digest equality when --expect-digest is
+//       given.  Nonzero exit on any mismatch.
 //   axf-lint FILE...
 //       Lint serialized netlist files (the Netlist::serialize format).
 //
@@ -19,20 +23,25 @@
 // statistics: backend, block width, instructions, runs, fusion), --max-diag N.
 //
 // Exit status: 0 clean, 1 error-severity findings (or warnings under
-// --werror), 2 usage/io failure.
+// --werror) or a failed checkpoint audit, 2 usage/io failure, 75 when
+// interrupted (SIGINT/SIGTERM cancels the library build cooperatively).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/cache/characterization_cache.hpp"
 #include "src/circuit/batch_sim.hpp"
 #include "src/circuit/netlist.hpp"
+#include "src/durable/checkpoint.hpp"
 #include "src/gen/library.hpp"
 #include "src/util/bytes.hpp"
+#include "src/util/cancellation.hpp"
 #include "src/verify/verify.hpp"
 
 namespace {
@@ -46,6 +55,8 @@ struct CliOptions {
     int width = 8;
     bool full = false;          // include CGP designs, not just structural families
     std::string cacheDirectory;
+    std::vector<std::string> auditCheckpoints;
+    std::optional<std::uint64_t> expectDigest;
     std::vector<std::string> files;
     bool werror = false;
     bool quiet = false;
@@ -104,12 +115,29 @@ void checkNetlist(const std::string& subject, const Netlist& netlist, const CliO
     printDiagnostics(subject + " [compiled]", prog, cli);
 }
 
+int auditCheckpointFile(const std::string& path, const CliOptions& cli, Tally& tally) {
+    const axf::durable::CheckpointAudit audit =
+        axf::durable::auditCheckpoint(path, cli.expectDigest);
+    if (audit.ok) {
+        if (!cli.quiet)
+            std::printf("%s: ok (version %u, digest %016llx, %llu payload bytes)\n",
+                        path.c_str(), audit.version,
+                        static_cast<unsigned long long>(audit.digest),
+                        static_cast<unsigned long long>(audit.payloadBytes));
+    } else {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), audit.message.c_str());
+        ++tally.errors;
+    }
+    return 0;
+}
+
 int lintLibrary(const CliOptions& cli, Tally& tally) {
     axf::gen::LibraryConfig config;
     config.op = cli.library == "adder" ? axf::circuit::ArithOp::Adder
                                        : axf::circuit::ArithOp::Multiplier;
     config.width = cli.width;
     config.structuralOnly = !cli.full;
+    config.cancel = &axf::util::signalToken();
     const axf::gen::AcLibrary library = cli.full ? axf::gen::buildLibrary(config)
                                                  : axf::gen::buildStructuralFamilies(config);
     for (const auto& entry : library)
@@ -175,8 +203,9 @@ int lintFile(const std::string& path, const CliOptions& cli, Tally& tally) {
 int usage() {
     std::fprintf(stderr,
                  "usage: axf-lint [--library adder|multiplier] [--width N] [--full]\n"
-                 "                [--cache DIR] [--werror] [--quiet] [--no-verify]\n"
-                 "                [--stats] [--max-diag N] [FILE...]\n");
+                 "                [--cache DIR] [--audit-checkpoint FILE]\n"
+                 "                [--expect-digest HEX] [--werror] [--quiet]\n"
+                 "                [--no-verify] [--stats] [--max-diag N] [FILE...]\n");
     return 2;
 }
 
@@ -202,6 +231,17 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             cli.cacheDirectory = v;
+        } else if (arg == "--audit-checkpoint") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            cli.auditCheckpoints.push_back(v);
+        } else if (arg == "--expect-digest") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            char* end = nullptr;
+            const unsigned long long digest = std::strtoull(v, &end, 16);
+            if (end == v || *end != '\0') return usage();
+            cli.expectDigest = static_cast<std::uint64_t>(digest);
         } else if (arg == "--werror") {
             cli.werror = true;
         } else if (arg == "--quiet") {
@@ -222,14 +262,23 @@ int main(int argc, char** argv) {
             cli.files.push_back(arg);
         }
     }
-    if (cli.library.empty() && cli.cacheDirectory.empty() && cli.files.empty()) return usage();
+    if (cli.library.empty() && cli.cacheDirectory.empty() && cli.auditCheckpoints.empty() &&
+        cli.files.empty())
+        return usage();
 
     Tally tally;
-    if (!cli.library.empty()) lintLibrary(cli, tally);
-    if (!cli.cacheDirectory.empty()) lintCacheDirectory(cli, tally);
-    for (const std::string& file : cli.files) {
-        const int rc = lintFile(file, cli, tally);
-        if (rc != 0) return rc;
+    try {
+        if (!cli.library.empty()) lintLibrary(cli, tally);
+        if (!cli.cacheDirectory.empty()) lintCacheDirectory(cli, tally);
+        for (const std::string& file : cli.auditCheckpoints)
+            auditCheckpointFile(file, cli, tally);
+        for (const std::string& file : cli.files) {
+            const int rc = lintFile(file, cli, tally);
+            if (rc != 0) return rc;
+        }
+    } catch (const axf::util::OperationCancelled&) {
+        std::fprintf(stderr, "axf-lint: interrupted\n");
+        return axf::util::kCancelledExitCode;
     }
 
     if (!cli.quiet)
