@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <optional>
 #include <unordered_set>
 
 #include "src/autoax/search_problem.hpp"
 #include "src/cache/characterization_cache.hpp"
 #include "src/core/pareto.hpp"
 #include "src/ml/models.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/rng.hpp"
 
 namespace axf::autoax {
@@ -117,6 +119,7 @@ const char* paramSlug(core::FpgaParam param) {
 }  // namespace
 
 AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const {
+    obs::Span flowSpan("dse_flow");
     util::Rng rng(config_.seed);
     const ConfigSpace& space = model.configSpace();
     Result result;
@@ -139,6 +142,8 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     // small workload — e.g. a Sobel accelerator over a short menu — holds
     // fewer distinct configs than the default trainConfigs), and rejection
     // sampling is attempt-bounded so near-exhausted spaces terminate too.
+    std::optional<obs::Span> phaseSpan;
+    phaseSpan.emplace("train_estimators");
     std::size_t trainTarget = static_cast<std::size_t>(config_.trainConfigs);
     if (space.designSpaceSize() < static_cast<double>(trainTarget))
         trainTarget = static_cast<std::size_t>(space.designSpaceSize());
@@ -159,6 +164,7 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     result.trainingSet = engine.evaluateBatch(trainConfigs);
     const AcceleratorEstimators estimators =
         AcceleratorEstimators::train(model, result.trainingSet);
+    phaseSpan.reset();
 
     // --- per-component resilience characterization -------------------------
     // Slot-major [slot][choice] table of mean error-under-fault: each menu
@@ -167,6 +173,7 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     // column is shared by all of its slots.
     std::vector<std::vector<double>> resilienceTable;
     if (config_.resilienceObjective) {
+        obs::Span resilienceSpan("resilience_table");
         fault::CampaignConfig faultCampaign = config_.faultCampaign;
         if (faultCampaign.analysis.cancel == nullptr)
             faultCampaign.analysis.cancel = config_.cancel;
@@ -191,6 +198,7 @@ AutoAxFpgaFlow::Result AutoAxFpgaFlow::run(const AcceleratorModel& model) const 
     // block-ordered merge — deterministic at any thread count.
     using Search = search::IslandSearch<AcceleratorSearchProblem>;
     for (core::FpgaParam param : core::kAllFpgaParams) {
+        obs::Span scenarioSpan("scenario_search");
         ScenarioResult scenario;
         scenario.param = param;
         // One draw per scenario (the legacy `rng.fork()`): island 0 keeps

@@ -3,9 +3,30 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace axf::autoax {
+
+namespace {
+
+// Resolved once; recording afterwards is striped relaxed adds (or one
+// branch with metrics disabled), so the hot evaluation path stays clean.
+struct EvalMetrics {
+    obs::Counter& requested = obs::Registry::global().counter("eval.configs_requested");
+    obs::Counter& evaluated = obs::Registry::global().counter("eval.configs_evaluated");
+    obs::Counter& memoHits = obs::Registry::global().counter("eval.memo_hits");
+    obs::Histogram& batchSeconds = obs::Registry::global().histogram("eval.batch_seconds");
+    obs::Histogram& sceneSeconds = obs::Registry::global().histogram("eval.scene_seconds");
+};
+
+EvalMetrics& evalMetrics() {
+    static EvalMetrics* m = new EvalMetrics();
+    return *m;
+}
+
+}  // namespace
 
 /// Mutex-guarded free list of model workspaces.  Workers check one out per
 /// work item; the list grows to the high-water concurrency and the scratch
@@ -62,6 +83,9 @@ EvalEngine::EvalEngine(const AcceleratorModel& model, std::vector<img::Image> sc
 
 std::vector<EvaluatedConfig> EvalEngine::evaluateBatch(
     std::span<const AcceleratorConfig> configs) {
+    obs::Span span("eval_batch");
+    obs::ScopedTimer batchTimer(evalMetrics().batchSeconds);
+    evalMetrics().requested.add(configs.size());
     // Collect the configs that still need simulation, in first-appearance
     // order (in-batch duplicates and memo hits are served from the memo).
     std::vector<const AcceleratorConfig*> fresh;
@@ -78,6 +102,11 @@ std::vector<EvaluatedConfig> EvalEngine::evaluateBatch(
         }
     }
 
+    // Served from the memo (or an in-batch duplicate): everything we were
+    // asked for but do not have to simulate.
+    evalMetrics().memoHits.add(configs.size() - fresh.size());
+    evalMetrics().evaluated.add(fresh.size());
+
     // Fan the (config x scene) grid out over the pool.  One work item per
     // pair, indexed so item -> (config, scene) is a fixed function of the
     // batch alone; every result lands in its own slot, so no write order
@@ -91,6 +120,7 @@ std::vector<EvaluatedConfig> EvalEngine::evaluateBatch(
         [&](std::size_t item) {
             const std::size_t ci = item / sceneCount;
             const std::size_t si = item % sceneCount;
+            obs::ScopedTimer sceneTimer(evalMetrics().sceneSeconds);
             std::unique_ptr<AcceleratorModel::Workspace> ws = workspaces_->acquire();
             const img::Image out = model_.filter(scenes_[si], *fresh[ci], *ws);
             grid[item] = ssimRefs_[si].compare(out);

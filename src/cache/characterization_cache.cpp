@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
 #include "src/util/crc32.hpp"
 #include "src/util/io.hpp"
 #include "src/verify/verify.hpp"
@@ -102,8 +103,26 @@ std::string CacheStats::summary() const {
     return os.str();
 }
 
-CharacterizationCache::CharacterizationCache(Options options) : options_(std::move(options)) {
+CharacterizationCache::CharacterizationCache() {
+    // Contribute this instance's counters as process-wide `cache.*`
+    // metrics; the snapshot merge sums them across live instances.
+    collectorId_ = obs::Registry::global().addCollector([this](obs::MetricsSnapshot& snap) {
+        snap.addCounter("cache.hits", hits_.value());
+        snap.addCounter("cache.misses", misses_.value());
+        snap.addCounter("cache.stores", stores_.value());
+        snap.addCounter("cache.evictions", evictions_.value());
+        snap.addCounter("cache.disk_entries_loaded", diskEntriesLoaded_.value());
+        snap.addCounter("cache.corrupt_entries_dropped", corruptEntriesDropped_.value());
+        snap.addCounter("cache.entries_flushed", entriesFlushed_.value());
+        snap.addCounter("cache.shard_write_retries", shardWriteRetries_.value());
+        snap.addCounter("cache.shard_write_failures", shardWriteFailures_.value());
+    });
+}
+
+CharacterizationCache::CharacterizationCache(Options options) : CharacterizationCache() {
+    options_ = std::move(options);
     if (options_.directory.empty()) return;
+    obs::Span span("cache_load", options_.directory);
     std::error_code ec;
     std::filesystem::create_directories(options_.directory, ec);  // best effort
     for (std::size_t i = 0; i < kStripes; ++i) loadShard(i);
@@ -116,6 +135,7 @@ CharacterizationCache::~CharacterizationCache() {
         // Best effort: a full disk at shutdown must not terminate the
         // process; the cache is a pure accelerator.
     }
+    obs::Registry::global().removeCollector(collectorId_);
 }
 
 std::string CharacterizationCache::shardPath(std::size_t stripe) const {
@@ -136,7 +156,7 @@ void CharacterizationCache::loadShard(std::size_t stripe) {
     if (!reader.u32(magic) || !reader.u32(version) || !reader.u64(count) ||
         magic != kShardMagic || version != kSchemaVersion) {
         // Foreign or stale-schema file: ignore wholesale, entries recompute.
-        corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+        corruptEntriesDropped_.addAlways();
         return;
     }
 
@@ -153,7 +173,7 @@ void CharacterizationCache::loadShard(std::size_t stripe) {
         if (!reader.u32(payloadSize) || !reader.u32(checksum) ||
             reader.remaining() < payloadSize) {
             // Truncated entry: nothing after it can be framed reliably.
-            corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+            corruptEntriesDropped_.addAlways();
             break;
         }
         std::vector<std::uint8_t> payload(payloadSize);
@@ -161,17 +181,18 @@ void CharacterizationCache::loadShard(std::size_t stripe) {
         if (entryCrc(key, payload.data(), payload.size()) != checksum || stripeOf(key) != stripe) {
             // Bit rot (or an entry filed under the wrong prefix): skip this
             // entry but keep scanning — the framing is still intact.
-            corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
+            corruptEntriesDropped_.addAlways();
             continue;
         }
         if (s.entries.emplace(key, std::move(payload)).second) {
             s.order.push_back(key);
-            diskEntriesLoaded_.fetch_add(1, std::memory_order_relaxed);
+            diskEntriesLoaded_.addAlways();
         }
     }
 }
 
 void CharacterizationCache::writeShard(std::size_t stripe, Stripe& s) {
+    obs::Span span("cache_shard_write");
     util::ByteWriter out;
     out.u32(kShardMagic);
     out.u32(kSchemaVersion);
@@ -198,17 +219,18 @@ void CharacterizationCache::writeShard(std::size_t stripe, Stripe& s) {
     const util::AtomicWriteResult written =
         util::atomicWriteFile(shardPath(stripe), out.bytes());
     if (written.attempts > 1)
-        shardWriteRetries_.fetch_add(written.attempts - 1, std::memory_order_relaxed);
+        shardWriteRetries_.addAlways(written.attempts - 1);
     if (!written) {
-        shardWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+        shardWriteFailures_.addAlways();
         return;
     }
-    entriesFlushed_.fetch_add(s.entries.size(), std::memory_order_relaxed);
+    entriesFlushed_.addAlways(s.entries.size());
     s.dirty = false;
 }
 
 void CharacterizationCache::flush() {
     if (options_.directory.empty()) return;
+    obs::Span span("cache_flush", options_.directory);
     for (std::size_t i = 0; i < kStripes; ++i) {
         Stripe& s = stripes_[i];
         std::lock_guard<std::mutex> lock(s.mutex);
@@ -221,10 +243,10 @@ std::optional<std::vector<std::uint8_t>> CharacterizationCache::findBytes(const 
     std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.entries.find(key);
     if (it == s.entries.end()) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_.addAlways();
         return std::nullopt;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.addAlways();
     return it->second;
 }
 
@@ -238,13 +260,13 @@ void CharacterizationCache::putBytes(const CacheKey& key, std::vector<std::uint8
     s.dirty = true;
     if (!inserted) return;
     s.order.push_back(key);
-    stores_.fetch_add(1, std::memory_order_relaxed);
+    stores_.addAlways();
     if (options_.maxEntries != 0) {
         const std::size_t perStripe = std::max<std::size_t>(1, options_.maxEntries / kStripes);
         while (s.entries.size() > perStripe && !s.order.empty()) {
             s.entries.erase(s.order.front());
             s.order.pop_front();
-            evictions_.fetch_add(1, std::memory_order_relaxed);
+            evictions_.addAlways();
         }
     }
 }
@@ -263,9 +285,9 @@ std::optional<circuit::Netlist> CharacterizationCache::findNetlist(const CacheKe
         // Decoded-but-illegal payloads are corrupt entries in every way
         // that matters: count them and report a miss (the caller
         // recomputes; its putNetlist self-heals the entry).
-        corruptEntriesDropped_.fetch_add(1, std::memory_order_relaxed);
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        hits_.fetch_sub(1, std::memory_order_relaxed);
+        corruptEntriesDropped_.addAlways();
+        misses_.addAlways();
+        hits_.subAlways();
         return std::nullopt;
     }
     if (hashOut != nullptr) *hashOut = storedHash;
@@ -357,15 +379,15 @@ void CharacterizationCache::putResilience(const CacheKey& key,
 
 CacheStats CharacterizationCache::stats() const {
     CacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.stores = stores_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
-    s.diskEntriesLoaded = diskEntriesLoaded_.load(std::memory_order_relaxed);
-    s.corruptEntriesDropped = corruptEntriesDropped_.load(std::memory_order_relaxed);
-    s.entriesFlushed = entriesFlushed_.load(std::memory_order_relaxed);
-    s.shardWriteRetries = shardWriteRetries_.load(std::memory_order_relaxed);
-    s.shardWriteFailures = shardWriteFailures_.load(std::memory_order_relaxed);
+    s.hits = hits_.value();
+    s.misses = misses_.value();
+    s.stores = stores_.value();
+    s.evictions = evictions_.value();
+    s.diskEntriesLoaded = diskEntriesLoaded_.value();
+    s.corruptEntriesDropped = corruptEntriesDropped_.value();
+    s.entriesFlushed = entriesFlushed_.value();
+    s.shardWriteRetries = shardWriteRetries_.value();
+    s.shardWriteFailures = shardWriteFailures_.value();
     return s;
 }
 

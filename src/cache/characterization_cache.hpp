@@ -16,6 +16,7 @@
 #include "src/circuit/netlist.hpp"
 #include "src/error/error_metrics.hpp"
 #include "src/fault/fault.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/synth/asic.hpp"
 #include "src/synth/fpga.hpp"
 
@@ -108,7 +109,7 @@ public:
         bool verifyNetlists = false;
     };
 
-    CharacterizationCache() = default;  ///< in-memory only
+    CharacterizationCache();  ///< in-memory only
     explicit CharacterizationCache(Options options);
     ~CharacterizationCache();  ///< best-effort flush of dirty shards
 
@@ -208,15 +209,22 @@ private:
     Options options_;
     std::array<Stripe, kStripes> stripes_;
 
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> stores_{0};
-    std::atomic<std::uint64_t> evictions_{0};
-    std::atomic<std::uint64_t> diskEntriesLoaded_{0};
-    std::atomic<std::uint64_t> corruptEntriesDropped_{0};
-    std::atomic<std::uint64_t> entriesFlushed_{0};
-    std::atomic<std::uint64_t> shardWriteRetries_{0};
-    std::atomic<std::uint64_t> shardWriteFailures_{0};
+    // Per-instance counters on the obs primitives (sharded relaxed adds —
+    // the same hot-path cost as the raw atomics they replaced).  `stats()`
+    // stays per-instance and exact regardless of the process metrics
+    // switch (addAlways), while a registry collector contributes the same
+    // numbers as `cache.*` process metrics, summed across live instances
+    // at snapshot time.
+    obs::Counter hits_;
+    obs::Counter misses_;
+    obs::Counter stores_;
+    obs::Counter evictions_;
+    obs::Counter diskEntriesLoaded_;
+    obs::Counter corruptEntriesDropped_;
+    obs::Counter entriesFlushed_;
+    obs::Counter shardWriteRetries_;
+    obs::Counter shardWriteFailures_;
+    std::size_t collectorId_ = 0;
 };
 
 // --- null-tolerant convenience wrappers ------------------------------------

@@ -2,6 +2,8 @@
 
 #include <span>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/bytes.hpp"
 #include "src/util/crc32.hpp"
 #include "src/util/io.hpp"
@@ -9,6 +11,21 @@
 namespace axf::durable {
 
 namespace {
+
+struct CheckpointMetrics {
+    obs::Counter& written = obs::Registry::global().counter("durable.checkpoints_written");
+    obs::Counter& writeFailures =
+        obs::Registry::global().counter("durable.checkpoint_write_failures");
+    obs::Counter& loaded = obs::Registry::global().counter("durable.checkpoints_loaded");
+    obs::Counter& bytesWritten = obs::Registry::global().counter("durable.checkpoint_bytes");
+    obs::Histogram& writeSeconds =
+        obs::Registry::global().histogram("durable.checkpoint_write_seconds");
+};
+
+CheckpointMetrics& checkpointMetrics() {
+    static CheckpointMetrics* m = new CheckpointMetrics();
+    return *m;
+}
 
 /// Bytes before the payload: magic, version, crc, digest, payloadSize.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8 + 8;
@@ -60,6 +77,8 @@ CheckpointAudit inspect(const std::vector<unsigned char>& bytes) {
 
 bool writeCheckpoint(const std::string& path, std::uint64_t digest,
                      const std::vector<std::uint8_t>& payload) {
+    obs::Span span("checkpoint_write", path);
+    obs::ScopedTimer timer(checkpointMetrics().writeSeconds);
     util::ByteWriter out;
     out.u32(kCheckpointMagic);
     out.u32(kCheckpointVersion);
@@ -70,14 +89,23 @@ bool writeCheckpoint(const std::string& path, std::uint64_t digest,
     std::vector<std::uint8_t> bytes = out.take();
     const std::uint32_t crc = util::crc32(bytes.data() + kCrcStart, bytes.size() - kCrcStart);
     for (int i = 0; i < 4; ++i) bytes[8 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
-    return static_cast<bool>(util::atomicWriteFile(path, bytes));
+    const bool ok = static_cast<bool>(util::atomicWriteFile(path, bytes));
+    if (ok) {
+        checkpointMetrics().written.add();
+        checkpointMetrics().bytesWritten.add(bytes.size());
+    } else {
+        checkpointMetrics().writeFailures.add();
+    }
+    return ok;
 }
 
 std::optional<LoadedCheckpoint> loadCheckpoint(const std::string& path) {
+    obs::Span span("checkpoint_load", path);
     const auto bytes = util::readFileBytes(path);
     if (!bytes) return std::nullopt;
     const CheckpointAudit audit = inspect(*bytes);
     if (!audit.ok) throw CheckpointError(path + ": " + audit.message);
+    checkpointMetrics().loaded.add();
     LoadedCheckpoint loaded;
     loaded.digest = audit.digest;
     loaded.payload.assign(bytes->begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),

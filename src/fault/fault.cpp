@@ -8,6 +8,8 @@
 
 #include "src/circuit/kernels.hpp"
 #include "src/error/accumulator.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/verify/absint.hpp"
@@ -479,6 +481,10 @@ Netlist stuckAtNetlist(const Netlist& netlist, NodeId target, bool value) {
 
 ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithSignature& sig,
                                    const CampaignConfig& config) {
+    obs::Span span("fault_campaign", netlist.name());
+    static obs::Histogram& campaignSeconds =
+        obs::Registry::global().histogram("fault.campaign_seconds");
+    obs::ScopedTimer timer(campaignSeconds);
     checkInterface(netlist, sig);
     const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
     const SiteEnumeration en =
@@ -508,6 +514,13 @@ ResilienceReport analyzeResilience(const Netlist& netlist, const circuit::ArithS
         activeSites.push_back(en.sites[f]);
     }
     const std::size_t activeCount = activeSites.size();
+    // Total sites seen vs. statically proven cannot-deviate: the ratio is
+    // the static-skip win the verify layer buys per campaign.
+    static obs::Counter& sitesTotal = obs::Registry::global().counter("fault.sites_total");
+    static obs::Counter& sitesSkipped =
+        obs::Registry::global().counter("fault.sites_static_skipped");
+    sitesTotal.add(faultCount);
+    sitesSkipped.add(faultCount - activeCount);
 
     std::vector<Accumulator> accs(activeCount);
     std::vector<std::uint64_t> deviated(activeCount, 0);

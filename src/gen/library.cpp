@@ -9,6 +9,8 @@
 #include "src/gen/adders.hpp"
 #include "src/gen/cgp.hpp"
 #include "src/gen/multipliers.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/select.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -49,6 +51,9 @@ public:
                           ArithSignature sig, const error::ErrorAnalysisConfig& errorConfig,
                           cache::CharacterizationCache* cache,
                           const util::CancellationToken* cancel = nullptr) {
+        obs::Span span("characterize");
+        static obs::Counter& characterized =
+            obs::Registry::global().counter("gen.netlists_characterized");
         struct Prepared {
             Netlist simplified;
             std::uint64_t hash = 0;
@@ -83,6 +88,7 @@ public:
             },
             0, cancel);
 
+        characterized.add(unique.size());
         for (std::size_t u = 0; u < unique.size(); ++u) {
             const std::size_t i = unique[u];
             LibraryCircuit entry;
@@ -190,6 +196,10 @@ AcLibrary buildStructuralFamilies(const LibraryConfig& config) {
 }
 
 AcLibrary buildLibrary(const LibraryConfig& config) {
+    obs::Span span("build_library");
+    static obs::Histogram& buildSeconds =
+        obs::Registry::global().histogram("gen.library_build_seconds");
+    obs::ScopedTimer timer(buildSeconds);
     const ArithSignature sig = librarySignature(config);
     AcLibrary library;
     std::unordered_set<std::uint64_t> seen;

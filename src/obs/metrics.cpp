@@ -1,0 +1,375 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/io.hpp"
+
+namespace axf::obs {
+
+namespace {
+
+std::atomic<bool>& enabledFlag() noexcept {
+    // Read the env default exactly once; tests flip the flag around
+    // overhead-sensitive sections via setMetricsEnabled.
+    static std::atomic<bool> flag{[] {
+        // `AXF_METRICS_FILE=out.json` arms a final snapshot dump at exit —
+        // the zero-integration way to get metrics out of any binary.
+        if (const char* path = std::getenv("AXF_METRICS_FILE"); path != nullptr && *path != '\0') {
+            static std::string exitPath;
+            exitPath = path;
+            std::atexit([] { writeMetricsFile(exitPath); });
+        }
+        const char* raw = std::getenv("AXF_METRICS");
+        return !(raw != nullptr && raw[0] == '0' && raw[1] == '\0');
+    }()};
+    return flag;
+}
+
+/// Append a double as JSON (finite decimal; infinities — empty histogram
+/// min/max — degrade to 0 so the output always parses).
+void appendJsonNumber(std::ostringstream& os, double v) {
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    os << buf;
+}
+
+void appendJsonString(std::ostringstream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+/// Relaxed CAS fold for the non-count histogram aggregates.  Relaxed is
+/// enough: snapshots only promise eventually-consistent aggregates, never
+/// ordering against other memory.
+void atomicAdd(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomicMin(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomicMax(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+bool metricsEnabled() noexcept { return enabledFlag().load(std::memory_order_relaxed); }
+
+void setMetricsEnabled(bool enabled) noexcept {
+    enabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t stripeIndex() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id & (kStripes - 1);
+}
+
+}  // namespace detail
+
+// --- Histogram --------------------------------------------------------------
+
+std::span<const double> Histogram::defaultEdges() {
+    static const double edges[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+    return edges;
+}
+
+Histogram::Histogram(std::span<const double> edges)
+    : edges_(edges.empty() ? std::vector<double>(defaultEdges().begin(), defaultEdges().end())
+                           : std::vector<double>(edges.begin(), edges.end())) {
+    stripes_.reserve(detail::kStripes);
+    for (std::size_t s = 0; s < detail::kStripes; ++s)
+        stripes_.push_back(std::make_unique<Stripe>(edges_.size() + 1));
+}
+
+void Histogram::record(double v) noexcept {
+    if (!metricsEnabled()) return;
+    // `le` bucket semantics: the first edge >= v wins; past the last edge
+    // the sample lands in the overflow slot.
+    std::size_t b = 0;
+    while (b < edges_.size() && v > edges_[b]) ++b;
+    Stripe& s = *stripes_[detail::stripeIndex()];
+    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(s.sum, v);
+    atomicMin(s.min, v);
+    atomicMax(s.max, v);
+}
+
+HistogramData Histogram::snapshot() const {
+    HistogramData d;
+    d.edges = edges_;
+    d.buckets.assign(edges_.size() + 1, 0);
+    for (const auto& stripe : stripes_) {
+        for (std::size_t b = 0; b < d.buckets.size(); ++b)
+            d.buckets[b] += stripe->counts[b].load(std::memory_order_relaxed);
+        d.sum += stripe->sum.load(std::memory_order_relaxed);
+        d.min = std::min(d.min, stripe->min.load(std::memory_order_relaxed));
+        d.max = std::max(d.max, stripe->max.load(std::memory_order_relaxed));
+    }
+    for (const std::uint64_t c : d.buckets) d.count += c;
+    return d;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+    if (buckets.empty()) {
+        *this = other;
+        return;
+    }
+    if (other.buckets.empty()) return;
+    if (edges == other.edges) {
+        for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+    } else {
+        // Mismatched bucketings cannot be folded bucket-wise; keep this
+        // side's shape and degrade the other side to its overflow mass so
+        // count/sum stay exact.
+        buckets.back() += other.count;
+    }
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+void MetricsSnapshot::fold(const Metric& m) {
+    const auto it = std::lower_bound(
+        metrics_.begin(), metrics_.end(), m.name,
+        [](const Metric& a, const std::string& name) { return a.name < name; });
+    if (it == metrics_.end() || it->name != m.name) {
+        metrics_.insert(it, m);
+        return;
+    }
+    if (it->kind != m.kind) return;  // name collision across kinds: first wins
+    switch (m.kind) {
+        case MetricKind::Counter: it->counter += m.counter; break;
+        case MetricKind::Gauge: it->gauge = m.gauge; break;
+        case MetricKind::Histogram: it->histogram.merge(m.histogram); break;
+    }
+}
+
+void MetricsSnapshot::addCounter(std::string name, std::uint64_t value) {
+    Metric m;
+    m.name = std::move(name);
+    m.kind = MetricKind::Counter;
+    m.counter = value;
+    fold(m);
+}
+
+void MetricsSnapshot::addGauge(std::string name, double value) {
+    Metric m;
+    m.name = std::move(name);
+    m.kind = MetricKind::Gauge;
+    m.gauge = value;
+    fold(m);
+}
+
+void MetricsSnapshot::addHistogram(std::string name, HistogramData data) {
+    Metric m;
+    m.name = std::move(name);
+    m.kind = MetricKind::Histogram;
+    m.histogram = std::move(data);
+    fold(m);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+    for (const Metric& m : other.metrics_) fold(m);
+}
+
+const Metric* MetricsSnapshot::find(std::string_view name) const {
+    const auto it = std::lower_bound(
+        metrics_.begin(), metrics_.end(), name,
+        [](const Metric& a, std::string_view n) { return a.name < n; });
+    return it != metrics_.end() && it->name == name ? &*it : nullptr;
+}
+
+std::string MetricsSnapshot::toJson() const {
+    std::ostringstream os;
+    os << "{\"schema\":\"axf-metrics.v1\",\"metrics\":[";
+    bool firstMetric = true;
+    for (const Metric& m : metrics_) {
+        if (!firstMetric) os << ',';
+        firstMetric = false;
+        os << "{\"name\":";
+        appendJsonString(os, m.name);
+        switch (m.kind) {
+            case MetricKind::Counter:
+                os << ",\"kind\":\"counter\",\"value\":" << m.counter;
+                break;
+            case MetricKind::Gauge:
+                os << ",\"kind\":\"gauge\",\"value\":";
+                appendJsonNumber(os, m.gauge);
+                break;
+            case MetricKind::Histogram: {
+                const HistogramData& h = m.histogram;
+                os << ",\"kind\":\"histogram\",\"count\":" << h.count << ",\"sum\":";
+                appendJsonNumber(os, h.sum);
+                os << ",\"min\":";
+                appendJsonNumber(os, h.count != 0 ? h.min : 0.0);
+                os << ",\"max\":";
+                appendJsonNumber(os, h.count != 0 ? h.max : 0.0);
+                os << ",\"buckets\":[";
+                for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+                    if (b != 0) os << ',';
+                    os << "{\"le\":";
+                    if (b < h.edges.size())
+                        appendJsonNumber(os, h.edges[b]);
+                    else
+                        os << "\"inf\"";
+                    os << ",\"count\":" << h.buckets[b] << '}';
+                }
+                os << ']';
+                break;
+            }
+        }
+        os << '}';
+    }
+    os << "]}";
+    return os.str();
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+    // Deliberately leaked: pool workers and cache destructors may record
+    // or unregister during static teardown, so the registry must outlive
+    // every other static in the process.
+    static Registry* instance = new Registry();
+    return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Slot slot;
+        slot.kind = MetricKind::Counter;
+        slot.counter = std::make_unique<Counter>();
+        it = metrics_.emplace(std::string(name), std::move(slot)).first;
+    }
+    if (it->second.kind != MetricKind::Counter || !it->second.counter)
+        throw std::logic_error("obs::Registry: " + std::string(name) + " is not a counter");
+    return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Slot slot;
+        slot.kind = MetricKind::Gauge;
+        slot.gauge = std::make_unique<Gauge>();
+        it = metrics_.emplace(std::string(name), std::move(slot)).first;
+    }
+    if (it->second.kind != MetricKind::Gauge || !it->second.gauge)
+        throw std::logic_error("obs::Registry: " + std::string(name) + " is not a gauge");
+    return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::span<const double> edges) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Slot slot;
+        slot.kind = MetricKind::Histogram;
+        slot.histogram = std::make_unique<Histogram>(edges);
+        it = metrics_.emplace(std::string(name), std::move(slot)).first;
+    }
+    if (it->second.kind != MetricKind::Histogram || !it->second.histogram)
+        throw std::logic_error("obs::Registry: " + std::string(name) + " is not a histogram");
+    return *it->second.histogram;
+}
+
+std::size_t Registry::addCollector(Collector fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t id = nextCollector_++;
+    collectors_.emplace(id, std::move(fn));
+    return id;
+}
+
+void Registry::removeCollector(std::size_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors_.erase(id);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+    MetricsSnapshot snap;
+    std::vector<Collector> collectors;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [name, slot] : metrics_) {
+            switch (slot.kind) {
+                case MetricKind::Counter: snap.addCounter(name, slot.counter->value()); break;
+                case MetricKind::Gauge: snap.addGauge(name, slot.gauge->value()); break;
+                case MetricKind::Histogram:
+                    snap.addHistogram(name, slot.histogram->snapshot());
+                    break;
+            }
+        }
+        collectors.reserve(collectors_.size());
+        for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+    }
+    // Collectors run outside the registry lock: they may consult their own
+    // locks (cache stripes) and must never deadlock against a concurrent
+    // counter registration.
+    for (const Collector& fn : collectors) fn(snap);
+    return snap;
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram) noexcept {
+    if (!metricsEnabled()) return;  // no clock reads when disabled
+    histogram_ = &histogram;
+    beginNs_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ScopedTimer::~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto endNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    histogram_->record(static_cast<double>(endNs - beginNs_) * 1e-9);
+}
+
+bool writeMetricsFile(const std::string& path) {
+    const std::string json = Registry::global().snapshot().toJson() + "\n";
+    return static_cast<bool>(util::atomicWriteFile(path, json.data(), json.size()));
+}
+
+}  // namespace axf::obs

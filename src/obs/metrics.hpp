@@ -1,0 +1,237 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace axf::obs {
+
+/// Process-wide metrics kill switch (`AXF_METRICS=0`).  Every recording
+/// primitive checks it first, so a disabled registry costs one relaxed
+/// load + predictable branch per call — the bench regression gate runs
+/// with recording off to pin that.
+bool metricsEnabled() noexcept;
+/// Programmatic override of the env default (tests, overhead benches).
+void setMetricsEnabled(bool enabled) noexcept;
+
+namespace detail {
+
+/// Cache-line-padded counter cell: one per stripe, so concurrent writers
+/// on different stripes never share a line.
+struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+};
+
+/// Small dense per-thread index used to pick a stripe.  Threads get
+/// sequential ids at first use; stripes are a power of two, so the hot
+/// path is a thread-local read + mask.
+std::size_t stripeIndex() noexcept;
+
+constexpr std::size_t kStripes = 16;  // power of two
+
+}  // namespace detail
+
+/// Monotonic counter with sharded accumulation: `add` touches one striped
+/// relaxed atomic (no locks, no cross-thread line sharing on the fast
+/// path); `value` sums the stripes.  Usable standalone (per-instance
+/// stats, e.g. the characterization cache) or registry-owned (named
+/// process metrics).
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        if (!metricsEnabled()) return;
+        cells_[detail::stripeIndex()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+    /// Unconditional add — for per-instance stats (cache hit counts) that
+    /// existing tests pin regardless of the process-wide metrics switch.
+    void addAlways(std::uint64_t n = 1) noexcept {
+        cells_[detail::stripeIndex()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+    /// Rarely needed: back out a previous add (the cache demotes a decoded
+    /// hit to a corrupt miss after the fact).
+    void subAlways(std::uint64_t n = 1) noexcept {
+        cells_[detail::stripeIndex()].value.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const detail::Cell& c : cells_) sum += c.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+private:
+    std::array<detail::Cell, detail::kStripes> cells_;
+};
+
+/// Last-write-wins instantaneous value (archive sizes, queue depths).
+class Gauge {
+public:
+    void set(double v) noexcept {
+        if (!metricsEnabled()) return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+    double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Merged view of one histogram: `buckets[i]` counts samples with
+/// `value <= edges[i]`; `buckets.back()` (one past the last edge) is the
+/// overflow bucket.
+struct HistogramData {
+    std::vector<double> edges;          ///< ascending upper bounds
+    std::vector<std::uint64_t> buckets; ///< edges.size() + 1 counts
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    void merge(const HistogramData& other);
+};
+
+/// Fixed-bucket latency/size histogram with the same sharded accumulation
+/// as `Counter`: `record` finds the bucket (short linear scan over the
+/// immutable edge array) and bumps one striped cell; sum/min/max fold in
+/// via relaxed CAS loops on the stripe.  Edges are frozen at construction.
+class Histogram {
+public:
+    /// Default edges: decades from 1 µs to 100 s — wide enough for every
+    /// latency this stack records (kernel dispatch to whole campaigns).
+    static std::span<const double> defaultEdges();
+
+    explicit Histogram(std::span<const double> edges);
+
+    void record(double v) noexcept;
+
+    const std::vector<double>& edges() const noexcept { return edges_; }
+    HistogramData snapshot() const;
+
+private:
+    struct alignas(64) Stripe {
+        // One slot per bucket (edges + overflow), then running sum.
+        std::vector<std::atomic<std::uint64_t>> counts;
+        std::atomic<double> sum{0.0};
+        std::atomic<double> min{std::numeric_limits<double>::infinity()};
+        std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+        explicit Stripe(std::size_t buckets) : counts(buckets) {}
+    };
+
+    std::vector<double> edges_;
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+/// One named metric inside a snapshot.
+struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t counter = 0;       ///< MetricKind::Counter
+    double gauge = 0.0;              ///< MetricKind::Gauge
+    HistogramData histogram;         ///< MetricKind::Histogram
+};
+
+/// Point-in-time, name-sorted view of a registry (plus any collector
+/// contributions).  Snapshots merge: counters and histograms add,
+/// gauges take the other side's value — the semantics a multi-process
+/// fleet needs to fold per-node dumps into one.
+class MetricsSnapshot {
+public:
+    void addCounter(std::string name, std::uint64_t value);
+    void addGauge(std::string name, double value);
+    void addHistogram(std::string name, HistogramData data);
+
+    /// Folds `other` in (counters/histograms add, gauges overwrite).
+    void merge(const MetricsSnapshot& other);
+
+    const std::vector<Metric>& metrics() const { return metrics_; }
+    const Metric* find(std::string_view name) const;
+
+    /// `{"schema":"axf-metrics.v1","metrics":[...]}` — the stats-endpoint
+    /// wire format (documented in the README).
+    std::string toJson() const;
+
+private:
+    void fold(const Metric& m);
+
+    std::vector<Metric> metrics_;  ///< kept sorted by name
+};
+
+/// Named-metric registry.  Lookup (`counter`/`gauge`/`histogram`) takes a
+/// mutex but returns a stable reference — call sites resolve once and
+/// record lock-free afterwards.  Metrics are never removed, so returned
+/// references stay valid for the registry's lifetime (the global registry
+/// is immortal).
+///
+/// Components with per-instance counters (the characterization cache)
+/// register a *collector* instead: a callback contributing metric values
+/// at snapshot time, merged by name across instances.
+class Registry {
+public:
+    using Collector = std::function<void(MetricsSnapshot&)>;
+
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Process-global registry (constructed on first use, never
+    /// destroyed, so worker threads may record during static teardown).
+    static Registry& global();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    /// `edges` is honored on first registration only (fixed buckets).
+    Histogram& histogram(std::string_view name, std::span<const double> edges = {});
+
+    std::size_t addCollector(Collector fn);
+    void removeCollector(std::size_t id);
+
+    MetricsSnapshot snapshot() const;
+
+private:
+    struct Slot {
+        MetricKind kind = MetricKind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Slot, std::less<>> metrics_;
+    std::map<std::size_t, Collector> collectors_;
+    std::size_t nextCollector_ = 1;
+};
+
+/// Records elapsed wall time (seconds) into a histogram at scope exit.
+/// When metrics are disabled at construction it reads no clocks at all —
+/// the whole object is two branches.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram& histogram) noexcept;
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    Histogram* histogram_ = nullptr;
+    std::uint64_t beginNs_ = 0;
+};
+
+/// Serializes `Registry::global().snapshot()` to `path` as JSON via an
+/// atomic replace (temp + fsync + rename), so a reader polling the file
+/// never observes a torn dump.  Returns false on I/O failure.
+bool writeMetricsFile(const std::string& path);
+
+}  // namespace axf::obs

@@ -1,0 +1,324 @@
+#include "src/obs/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "src/util/io.hpp"
+
+namespace axf::obs {
+
+namespace {
+
+std::uint64_t nowNs() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Per-thread stack of active span names.  Slots hold pointers to
+/// static-storage literals in atomics, so the watchdog thread reads them
+/// without races or lifetime hazards; a torn interleaving with a
+/// concurrent push/pop yields at worst a one-entry-stale — still valid —
+/// path, which is fine for a diagnostic.
+struct SpanStack {
+    static constexpr int kMaxDepth = 24;
+    std::array<std::atomic<const char*>, kMaxDepth> names{};
+    std::atomic<int> depth{0};
+    unsigned tid = 0;
+    std::atomic<bool> alive{true};
+};
+
+struct TraceEvent {
+    const char* name = nullptr;
+    const char* category = "axf";
+    std::string detail;
+    std::uint64_t beginNs = 0;
+    std::uint64_t endNs = 0;
+};
+
+/// Trace events are buffered per thread behind a per-thread mutex: the
+/// owner is the only writer, so its locks are uncontended (~tens of ns at
+/// span granularity) except during the final harvest — and TSan sees a
+/// clean happens-before edge at that harvest.
+struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    unsigned tid = 0;
+};
+
+struct TraceState {
+    std::atomic<bool> active{false};
+    std::mutex mutex;  ///< guards path/start + the registration lists
+    std::string path;
+    std::uint64_t startNs = 0;
+    std::vector<SpanStack*> stacks;    ///< every thread that ever spanned (immortal)
+    std::vector<ThreadBuffer*> buffers;
+    std::atomic<unsigned> nextTid{0};
+};
+
+TraceState& state() {
+    // Deliberately leaked: worker threads may record while other statics
+    // are torn down at exit.
+    static TraceState* s = new TraceState();
+    return *s;
+}
+
+/// Thread-local registration handle.  The pointed-to stack/buffer are
+/// immortal (registered in the global lists); only the liveness flag
+/// flips when the thread exits, so stall reports skip dead threads.
+struct ThreadLocalObs {
+    SpanStack* stack;
+    ThreadBuffer* buffer;
+
+    ThreadLocalObs() {
+        TraceState& s = state();
+        stack = new SpanStack();
+        buffer = new ThreadBuffer();
+        const unsigned tid = s.nextTid.fetch_add(1, std::memory_order_relaxed);
+        stack->tid = tid;
+        buffer->tid = tid;
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.stacks.push_back(stack);
+        s.buffers.push_back(buffer);
+    }
+    ~ThreadLocalObs() { stack->alive.store(false, std::memory_order_release); }
+};
+
+ThreadLocalObs& threadObs() {
+    thread_local ThreadLocalObs obs;
+    return obs;
+}
+
+void pushSpan(const char* name, bool& pushed) noexcept {
+    SpanStack& stack = *threadObs().stack;
+    const int d = stack.depth.load(std::memory_order_relaxed);
+    if (d >= SpanStack::kMaxDepth) return;
+    stack.names[static_cast<std::size_t>(d)].store(name, std::memory_order_release);
+    stack.depth.store(d + 1, std::memory_order_release);
+    pushed = true;
+}
+
+void popSpan() noexcept {
+    SpanStack& stack = *threadObs().stack;
+    const int d = stack.depth.load(std::memory_order_relaxed);
+    if (d > 0) stack.depth.store(d - 1, std::memory_order_release);
+}
+
+void recordEvent(const char* name, const char* category, std::string detail,
+                 std::uint64_t beginNs, std::uint64_t endNs) {
+    ThreadBuffer& buffer = *threadObs().buffer;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(TraceEvent{name, category, std::move(detail), beginNs, endNs});
+}
+
+void appendJsonString(std::ostringstream& os, std::string_view text) {
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+/// `AXF_TRACE=file.json` arms a process-lifetime session flushed at exit.
+/// The guard runs once, on the first tracing query.
+void envInitOnce() {
+    static const bool initialized = [] {
+        if (const char* p = std::getenv("AXF_TRACE"); p != nullptr && *p != '\0') {
+            startTracing(p);
+            std::atexit([] { stopTracing(); });
+        }
+        return true;
+    }();
+    (void)initialized;
+}
+
+}  // namespace
+
+bool tracingEnabled() noexcept {
+    envInitOnce();
+    return state().active.load(std::memory_order_relaxed);
+}
+
+void startTracing(const std::string& path) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.path = path;
+    s.startNs = nowNs();
+    // Drop events from a previous session so two back-to-back sessions
+    // never bleed into each other's files.
+    for (ThreadBuffer* buffer : s.buffers) {
+        std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+        buffer->events.clear();
+    }
+    s.active.store(true, std::memory_order_release);
+}
+
+std::string stopTracing() {
+    TraceState& s = state();
+    // Flip the flag first: spans closing after this point stop recording,
+    // so the harvest below observes a (nearly) quiesced buffer set.
+    s.active.store(false, std::memory_order_release);
+    std::string path;
+    std::uint64_t startNs = 0;
+    std::vector<ThreadBuffer*> buffers;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        path = std::exchange(s.path, std::string());
+        startNs = s.startNs;
+        buffers = s.buffers;
+    }
+    if (path.empty()) return std::string();
+
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (ThreadBuffer* buffer : buffers) {
+        std::vector<TraceEvent> events;
+        {
+            std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+            events.swap(buffer->events);
+        }
+        for (const TraceEvent& e : events) {
+            if (!first) os << ',';
+            first = false;
+            const double tsUs =
+                e.beginNs >= startNs ? static_cast<double>(e.beginNs - startNs) / 1000.0 : 0.0;
+            const double durUs =
+                e.endNs >= e.beginNs ? static_cast<double>(e.endNs - e.beginNs) / 1000.0 : 0.0;
+            os << "{\"name\":";
+            appendJsonString(os, e.name);
+            os << ",\"cat\":\"" << e.category << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+               << buffer->tid;
+            char num[48];
+            std::snprintf(num, sizeof num, ",\"ts\":%.3f,\"dur\":%.3f", tsUs, durUs);
+            os << num;
+            if (!e.detail.empty()) {
+                os << ",\"args\":{\"detail\":";
+                appendJsonString(os, e.detail);
+                os << '}';
+            }
+            os << '}';
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+    const std::string json = os.str();
+    if (!util::atomicWriteFile(path, json.data(), json.size())) return std::string();
+    return path;
+}
+
+// --- Span -------------------------------------------------------------------
+
+Span::Span(const char* name) noexcept : name_(name) {
+    pushSpan(name_, pushed_);
+    traced_ = tracingEnabled();
+    if (traced_) beginNs_ = nowNs();
+}
+
+Span::Span(const char* name, std::string detail) : name_(name), detail_(std::move(detail)) {
+    pushSpan(name_, pushed_);
+    traced_ = tracingEnabled();
+    if (traced_) beginNs_ = nowNs();
+}
+
+Span::~Span() {
+    if (pushed_) popSpan();
+    if (traced_ && state().active.load(std::memory_order_relaxed))
+        recordEvent(name_, "axf", std::move(detail_), beginNs_, nowNs());
+}
+
+// --- stall-report surface ---------------------------------------------------
+
+std::string activeSpanPath() {
+    const SpanStack& stack = *threadObs().stack;
+    const int depth = stack.depth.load(std::memory_order_acquire);
+    std::string path;
+    for (int i = 0; i < depth && i < SpanStack::kMaxDepth; ++i) {
+        const char* name = stack.names[static_cast<std::size_t>(i)].load(std::memory_order_acquire);
+        if (name == nullptr) continue;
+        if (!path.empty()) path += " > ";
+        path += name;
+    }
+    return path;
+}
+
+std::vector<ThreadSpans> allThreadSpans() {
+    TraceState& s = state();
+    std::vector<SpanStack*> stacks;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        stacks = s.stacks;
+    }
+    std::vector<ThreadSpans> out;
+    for (const SpanStack* stack : stacks) {
+        if (!stack->alive.load(std::memory_order_acquire)) continue;
+        const int depth = stack->depth.load(std::memory_order_acquire);
+        if (depth <= 0) continue;
+        ThreadSpans t;
+        t.tid = stack->tid;
+        for (int i = 0; i < depth && i < SpanStack::kMaxDepth; ++i) {
+            const char* name =
+                stack->names[static_cast<std::size_t>(i)].load(std::memory_order_acquire);
+            if (name == nullptr) continue;
+            if (!t.path.empty()) t.path += " > ";
+            t.path += name;
+            t.innermost = name;
+        }
+        if (t.innermost != nullptr) out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::string stallReport() {
+    std::string report;
+    for (const ThreadSpans& t : allThreadSpans()) {
+        report += "  thread " + std::to_string(t.tid) + " in " + t.path + "\n";
+    }
+    return report;
+}
+
+// --- ThreadPool task context ------------------------------------------------
+
+TaskContext currentContext() noexcept {
+    const SpanStack& stack = *threadObs().stack;
+    const int depth = stack.depth.load(std::memory_order_relaxed);
+    TaskContext ctx;
+    if (depth > 0 && depth <= SpanStack::kMaxDepth)
+        ctx.parent = stack.names[static_cast<std::size_t>(depth - 1)].load(
+            std::memory_order_relaxed);
+    return ctx;
+}
+
+ScopedTaskContext::ScopedTaskContext(const TaskContext& ctx) noexcept : name_(ctx.parent) {
+    if (name_ == nullptr) return;
+    pushSpan(name_, pushed_);
+    traced_ = tracingEnabled();
+    if (traced_) beginNs_ = nowNs();
+}
+
+ScopedTaskContext::~ScopedTaskContext() {
+    if (name_ == nullptr) return;
+    if (pushed_) popSpan();
+    if (traced_ && state().active.load(std::memory_order_relaxed))
+        recordEvent(name_, "task", std::string(), beginNs_, nowNs());
+}
+
+}  // namespace axf::obs

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axf::obs {
+
+/// Scoped tracing in Chrome trace-event format ("catapult" JSON), plus the
+/// per-thread span stacks the watchdog reads to name a stalled worker's
+/// current phase.
+///
+/// Design constraints, in order:
+///  - strictly out of band: spans never touch RNG streams, result buffers
+///    or merge orders, so every determinism/bit-identity contract of the
+///    evaluation + search stack survives instrumentation;
+///  - near-zero overhead when disabled: constructing a Span with tracing
+///    off is one relaxed atomic load and a thread-local pointer push (the
+///    stack stays maintained so stall reports work even without a trace
+///    file);
+///  - TSan-clean cross-thread reads: the span stacks hold pointers to
+///    static-storage string literals in atomic slots, so the watchdog
+///    thread can read them mid-push without data races or lifetime
+///    hazards.
+///
+/// `AXF_TRACE=file.json` arms tracing for the whole process (flushed at
+/// exit); `startTracing`/`stopTracing` scope it programmatically.  Open
+/// the file at https://ui.perfetto.dev (or chrome://tracing).
+
+/// True while a trace session is collecting.  One relaxed load.
+bool tracingEnabled() noexcept;
+
+/// Begins collecting into an in-memory session to be written to `path`.
+/// Re-entrant start replaces the pending path but keeps collecting.
+void startTracing(const std::string& path);
+
+/// Stops collecting, writes the Chrome-trace JSON (atomic replace), and
+/// returns the path written (empty when no session was active or the
+/// write failed).
+std::string stopTracing();
+
+/// RAII trace span.  `name` MUST have static storage duration (string
+/// literals): the span stack publishes the pointer to other threads and
+/// trace events reference it after the span died.  The optional `detail`
+/// is copied into the trace event's args (and may be dynamic).
+class Span {
+public:
+    explicit Span(const char* name) noexcept;
+    Span(const char* name, std::string detail);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    const char* name_;
+    std::string detail_;
+    std::uint64_t beginNs_ = 0;
+    bool pushed_ = false;
+    bool traced_ = false;
+};
+
+/// Innermost-first " > "-joined span path of the calling thread (empty
+/// when no span is active).  Outermost first, e.g.
+/// "search_epoch > eval_batch".
+std::string activeSpanPath();
+
+/// One thread's active-span state, as read (racily but safely) by the
+/// watchdog.
+struct ThreadSpans {
+    unsigned tid = 0;           ///< obs-assigned dense thread id (== trace tid)
+    std::string path;           ///< outermost-first " > "-joined span names
+    const char* innermost = nullptr;
+};
+
+/// Span state of every thread that ever opened a span and is still alive,
+/// skipping threads with no active span.  Best-effort and lock-free on
+/// the recording side.
+std::vector<ThreadSpans> allThreadSpans();
+
+/// Multi-line stall report for the watchdog: one "  thread N in a > b"
+/// line per thread with an active span (empty string when none).
+std::string stallReport();
+
+/// Span context captured by ThreadPool::submit so worker tasks nest under
+/// the phase that submitted them (both in the trace timeline and in stall
+/// reports).
+struct TaskContext {
+    const char* parent = nullptr;  ///< submitting thread's innermost span name
+};
+
+/// Innermost span name of the calling thread (static-storage pointer),
+/// packaged for a queued task.
+TaskContext currentContext() noexcept;
+
+/// Re-opens the captured context on a worker thread for the duration of a
+/// task: pushes the parent span name onto this thread's stack and, when
+/// tracing, records a span so the worker's timeline shows which phase it
+/// worked for.  No-op for a null context.
+class ScopedTaskContext {
+public:
+    explicit ScopedTaskContext(const TaskContext& ctx) noexcept;
+    ~ScopedTaskContext();
+
+    ScopedTaskContext(const ScopedTaskContext&) = delete;
+    ScopedTaskContext& operator=(const ScopedTaskContext&) = delete;
+
+private:
+    const char* name_;
+    std::uint64_t beginNs_ = 0;
+    bool pushed_ = false;
+    bool traced_ = false;
+};
+
+}  // namespace axf::obs

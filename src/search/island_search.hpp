@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/durable/checkpoint.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/search/pareto_archive.hpp"
 #include "src/util/bytes.hpp"
 #include "src/util/cancellation.hpp"
@@ -22,6 +24,25 @@
 #include "src/util/thread_pool.hpp"
 
 namespace axf::search {
+
+namespace detail {
+
+/// Search-layer metrics, resolved once per process (shared by every
+/// IslandSearch instantiation — the registry is name-keyed, not typed).
+struct SearchMetrics {
+    obs::Counter& epochs = obs::Registry::global().counter("search.epochs");
+    obs::Counter& generations = obs::Registry::global().counter("search.generations");
+    obs::Counter& migrants = obs::Registry::global().counter("search.migrants");
+    obs::Gauge& archiveSize = obs::Registry::global().gauge("search.archive_size");
+    obs::Histogram& epochSeconds = obs::Registry::global().histogram("search.epoch_seconds");
+};
+
+inline SearchMetrics& searchMetrics() {
+    static SearchMetrics* m = new SearchMetrics();
+    return *m;
+}
+
+}  // namespace detail
 
 /// The workload contract of the search engine.  A `Problem` owns the
 /// genome representation and everything domain-specific about it:
@@ -293,6 +314,8 @@ private:
         // boundary state and stop before burning an epoch of work.
         checkCancelled(islands, done);
         while (done < options_.generations) {
+            obs::Span epochSpan("search_epoch");
+            obs::ScopedTimer epochTimer(detail::searchMetrics().epochSeconds);
             const int step = std::min(interval, options_.generations - done);
             // The epoch parallelFor deliberately takes NO token: an epoch
             // is the cancellation atom, so a snapshot always captures a
@@ -306,6 +329,13 @@ private:
             done += step;
             if (n > 1 && done < options_.generations) migrate(islands);
             ++epoch;
+            detail::searchMetrics().epochs.add();
+            detail::searchMetrics().generations.add(static_cast<std::uint64_t>(step) * n);
+            if (obs::metricsEnabled()) {
+                std::size_t resident = 0;
+                for (const Island& island : islands) resident += island.archive.entries().size();
+                detail::searchMetrics().archiveSize.set(static_cast<double>(resident));
+            }
             // Post-migration IS the boundary state: what gets snapshotted
             // is what the next epoch starts from.  The final (complete)
             // snapshot is always written so runOrResume can fast-forward.
@@ -568,9 +598,11 @@ private:
             outbound[i].reserve(order.size());
             for (const auto& [value, k] : order) outbound[i].push_back(entries[k]);
         }
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            detail::searchMetrics().migrants.add(outbound[(i + n - 1) % n].size());
             for (const Entry& e : outbound[(i + n - 1) % n])
                 islands[i].archive.insert(e.genome, e.objectives);
+        }
     }
 
     const P& problem_;

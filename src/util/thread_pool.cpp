@@ -5,10 +5,23 @@
 #include <exception>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+
 namespace axf::util {
 
 namespace {
 thread_local bool tlsInWorker = false;
+
+// Pool counters live on the global registry (resolved once; recording is
+// one striped relaxed add, or a single branch when metrics are off).
+obs::Counter& tasksRunCounter() {
+    static obs::Counter& c = obs::Registry::global().counter("threadpool.tasks_run");
+    return c;
+}
+obs::Counter& tasksSkippedCounter() {
+    static obs::Counter& c = obs::Registry::global().counter("threadpool.tasks_skipped");
+    return c;
+}
 
 /// AXF_THREADS pins the default pool sizing (benches, CI and fleet runs
 /// want a reproducible worker count); values <= 1 mean fully serial.
@@ -67,7 +80,15 @@ void ThreadPool::workerLoop() {
         try {
             // A cancelled task still queued is dropped here unrun — this is
             // what lets wait() drain promptly when a token trips mid-batch.
-            if (!(task.cancel && task.cancel->stopRequested())) task.fn();
+            if (!(task.cancel && task.cancel->stopRequested())) {
+                // Re-open the submitter's span on this worker so traces and
+                // stall reports show which phase the task belongs to.
+                obs::ScopedTaskContext ctx(task.ctx);
+                tasksRunCounter().add();
+                task.fn();
+            } else {
+                tasksSkippedCounter().add();
+            }
         } catch (...) {
             error = std::current_exception();
         }
@@ -82,12 +103,17 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::submit(std::function<void()> task, const CancellationToken* cancel) {
     if (workers_.empty()) {  // worker-less pool: run synchronously
-        if (!(cancel && cancel->stopRequested())) task();
+        if (!(cancel && cancel->stopRequested())) {
+            tasksRunCounter().add();
+            task();
+        } else {
+            tasksSkippedCounter().add();
+        }
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(QueuedTask{std::move(task), cancel});
+        queue_.push_back(QueuedTask{std::move(task), cancel, obs::currentContext()});
     }
     wake_.notify_one();
 }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/util/cancellation.hpp"
 
 namespace axf::util {
@@ -84,6 +85,7 @@ private:
     struct QueuedTask {
         std::function<void()> fn;
         const CancellationToken* cancel = nullptr;  ///< skip at pop when tripped
+        obs::TaskContext ctx;  ///< submitter's span, re-opened on the worker
     };
 
     void workerLoop();

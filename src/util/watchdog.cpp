@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/trace.hpp"
+
 namespace axf::util {
 
 Watchdog::Watchdog(Options options) : options_(std::move(options)) {
@@ -42,9 +44,21 @@ void Watchdog::monitorLoop(double deadlineSeconds) {
         if (silent >= deadline) {
             if (!stalled) {
                 const double secs = std::chrono::duration<double>(silent).count();
-                std::fprintf(stderr, "[axf watchdog] %s: no progress for %.1fs (deadline %.1fs)\n",
-                             options_.label.c_str(), secs, deadlineSeconds);
+                char header[256];
+                std::snprintf(header, sizeof header,
+                              "[axf watchdog] %s: no progress for %.1fs (deadline %.1fs)\n",
+                              options_.label.c_str(), secs, deadlineSeconds);
+                // Name the stuck work: every live thread's active span path
+                // ("thread 3 in search_epoch > eval_batch"), read race-free
+                // from the obs span stacks.
+                std::string report = header;
+                report += obs::stallReport();
+                std::fputs(report.c_str(), stderr);
                 std::fflush(stderr);
+                {
+                    std::lock_guard<std::mutex> reportLock(reportMutex_);
+                    lastReport_ = std::move(report);
+                }
                 stalls_.fetch_add(1, std::memory_order_relaxed);
                 stalled = true;  // report once per stall, re-arm on next pulse
             }
@@ -52,6 +66,11 @@ void Watchdog::monitorLoop(double deadlineSeconds) {
             stalled = false;
         }
     }
+}
+
+std::string Watchdog::lastStallReport() const {
+    std::lock_guard<std::mutex> lock(reportMutex_);
+    return lastReport_;
 }
 
 double watchdogDeadlineFromEnv() {

@@ -39,6 +39,11 @@ public:
     /// Number of stall reports logged so far (tests observe this).
     int stallsLogged() const noexcept { return stalls_.load(std::memory_order_relaxed); }
 
+    /// Full text of the most recent stall report (header line plus the
+    /// per-thread span paths from obs::stallReport); empty before the
+    /// first stall.  Tests assert on this instead of scraping stderr.
+    std::string lastStallReport() const;
+
 private:
     using Clock = std::chrono::steady_clock;
 
@@ -47,6 +52,8 @@ private:
     Options options_;
     std::atomic<Clock::duration::rep> lastPulse_{0};
     std::atomic<int> stalls_{0};
+    mutable std::mutex reportMutex_;
+    std::string lastReport_;
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;

@@ -1,0 +1,623 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/autoax/accelerator.hpp"
+#include "src/autoax/dse.hpp"
+#include "src/error/error_metrics.hpp"
+#include "src/gen/adders.hpp"
+#include "src/gen/multipliers.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/synth/fpga.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/watchdog.hpp"
+
+namespace axf::obs {
+namespace {
+
+/// Every test in this file records through the global switch; force it on
+/// up front (the suite may run under AXF_METRICS=0 in an overhead-guard
+/// job, where recording semantics still must hold once re-enabled).
+class ObsTestEnvironment : public ::testing::Environment {
+public:
+    void SetUp() override { setMetricsEnabled(true); }
+};
+const auto* const kEnv =
+    ::testing::AddGlobalTestEnvironment(new ObsTestEnvironment);
+
+std::string tempPath(const char* name) {
+    return ::testing::TempDir() + "/axf_obs_" + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness checker: enough of RFC 8259 to reject any
+// malformed document our writers could plausibly emit (unbalanced
+// structure, bad escapes, trailing garbage).  Value-level only; no DOM.
+
+struct JsonCursor {
+    const std::string& s;
+    std::size_t i = 0;
+
+    void ws() {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    }
+    bool eat(char c) {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+    bool string() {
+        ws();
+        if (i >= s.size() || s[i] != '"') return false;
+        ++i;
+        while (i < s.size()) {
+            const char c = s[i++];
+            if (c == '"') return true;
+            if (c == '\\') {
+                if (i >= s.size()) return false;
+                const char e = s[i++];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k)
+                        if (i >= s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(s[i++])))
+                            return false;
+                } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+                    return false;
+                }
+            }
+        }
+        return false;
+    }
+    bool number() {
+        ws();
+        const std::size_t start = i;
+        if (i < s.size() && s[i] == '-') ++i;
+        std::size_t digits = 0;
+        while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i, ++digits;
+        if (digits == 0) {
+            i = start;
+            return false;
+        }
+        if (i < s.size() && s[i] == '.') {
+            ++i;
+            while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+            while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+        }
+        return true;
+    }
+    bool literal(const char* word) {
+        ws();
+        const std::size_t n = std::string(word).size();
+        if (s.compare(i, n, word) == 0) {
+            i += n;
+            return true;
+        }
+        return false;
+    }
+    bool value() {
+        ws();
+        if (i >= s.size()) return false;
+        switch (s[i]) {
+        case '{': {
+            ++i;
+            if (eat('}')) return true;
+            do {
+                if (!string() || !eat(':') || !value()) return false;
+            } while (eat(','));
+            return eat('}');
+        }
+        case '[': {
+            ++i;
+            if (eat(']')) return true;
+            do {
+                if (!value()) return false;
+            } while (eat(','));
+            return eat(']');
+        }
+        case '"':
+            return string();
+        default:
+            return number() || literal("true") || literal("false") || literal("null");
+        }
+    }
+};
+
+bool isValidJson(const std::string& text) {
+    JsonCursor c{text};
+    if (!c.value()) return false;
+    c.ws();
+    return c.i == text.size();
+}
+
+/// One complete "X" event pulled out of a Chrome-trace document.
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    long tid = -1;
+    double ts = -1.0;   // µs
+    double dur = -1.0;  // µs
+};
+
+/// Extracts the fields this suite asserts on.  The writer emits every
+/// event with the same fixed key order starting at `{"name":`, so
+/// splitting on event starts is exact for the documents under test.
+std::vector<TraceEvent> parseEvents(const std::string& json) {
+    std::vector<TraceEvent> events;
+    const std::string open = "{\"name\":";
+    std::size_t pos = json.find(open);
+    while (pos != std::string::npos) {
+        const std::size_t next = json.find(open, pos + open.size());
+        const std::string chunk =
+            json.substr(pos, (next == std::string::npos ? json.size() : next) - pos);
+        pos = next;
+        const auto field = [&chunk](const char* key) -> std::string {
+            const std::string tag = std::string("\"") + key + "\":";
+            const std::size_t at = chunk.find(tag);
+            if (at == std::string::npos) return {};
+            std::size_t v = at + tag.size();
+            if (chunk[v] == '"') {
+                const std::size_t close = chunk.find('"', v + 1);
+                return chunk.substr(v + 1, close - v - 1);
+            }
+            std::size_t stop = v;
+            while (stop < chunk.size() && chunk[stop] != ',' && chunk[stop] != '}') ++stop;
+            return chunk.substr(v, stop - v);
+        };
+        TraceEvent e;
+        e.name = field("name");
+        e.category = field("cat");
+        if (!field("tid").empty()) e.tid = std::stol(field("tid"));
+        if (!field("ts").empty()) e.ts = std::stod(field("ts"));
+        if (!field("dur").empty()) e.dur = std::stod(field("dur"));
+        events.push_back(std::move(e));
+    }
+    return events;
+}
+
+// ---------------------------------------------------------------------------
+// Counter / registry
+
+TEST(ObsCounter, ManyThreadsSumExactly) {
+    Counter counter;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&counter] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+        });
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, DisabledAddIsDroppedButAddAlwaysCounts) {
+    Counter counter;
+    setMetricsEnabled(false);
+    counter.add(5);        // gated: dropped
+    counter.addAlways(3);  // per-instance stats path: always lands
+    setMetricsEnabled(true);
+    counter.add(2);
+    EXPECT_EQ(counter.value(), 5u);
+    counter.subAlways(1);
+    EXPECT_EQ(counter.value(), 4u);
+}
+
+TEST(ObsRegistry, LookupsReturnStableReferences) {
+    Registry registry;
+    Counter& a = registry.counter("obs_test.stable");
+    Counter& b = registry.counter("obs_test.stable");
+    EXPECT_EQ(&a, &b);
+    Gauge& g1 = registry.gauge("obs_test.gauge");
+    Gauge& g2 = registry.gauge("obs_test.gauge");
+    EXPECT_EQ(&g1, &g2);
+    Histogram& h1 = registry.histogram("obs_test.hist");
+    Histogram& h2 = registry.histogram("obs_test.hist");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, SnapshotUnderConcurrentWriters) {
+    Registry registry;
+    Counter& counter = registry.counter("obs_test.races");
+    Histogram& hist = registry.histogram("obs_test.race_hist");
+    constexpr int kThreads = 6;
+    constexpr int kPerThread = 5'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.add();
+                hist.record(1e-4);
+                if (i % 512 == 0) (void)registry.snapshot();  // reader races writers
+            }
+        });
+    for (std::thread& t : threads) t.join();
+    const MetricsSnapshot snap = registry.snapshot();
+    const Metric* c = snap.find("obs_test.races");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->counter, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    const Metric* h = snap.find("obs_test.race_hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->histogram.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, CollectorsContributeAndMergeByName) {
+    Registry registry;
+    Counter instanceA;
+    Counter instanceB;
+    instanceA.addAlways(7);
+    instanceB.addAlways(5);
+    const std::size_t idA = registry.addCollector(
+        [&](MetricsSnapshot& snap) { snap.addCounter("obs_test.instances", instanceA.value()); });
+    const std::size_t idB = registry.addCollector(
+        [&](MetricsSnapshot& snap) { snap.addCounter("obs_test.instances", instanceB.value()); });
+    const MetricsSnapshot both = registry.snapshot();
+    const Metric* merged = both.find("obs_test.instances");
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->counter, 12u);  // same-name contributions sum
+    registry.removeCollector(idA);
+    const MetricsSnapshot one = registry.snapshot();
+    const Metric* after = one.find("obs_test.instances");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->counter, 5u);
+    registry.removeCollector(idB);
+    const MetricsSnapshot none = registry.snapshot();
+    EXPECT_EQ(none.find("obs_test.instances"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds) {
+    const std::vector<double> edges{1.0, 2.0, 5.0};
+    Histogram hist{std::span<const double>(edges)};
+    for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 7.0}) hist.record(v);
+    const HistogramData data = hist.snapshot();
+    ASSERT_EQ(data.edges, edges);
+    ASSERT_EQ(data.buckets.size(), 4u);  // three edges + overflow
+    EXPECT_EQ(data.buckets[0], 2u);      // 0.5, 1.0 (edge value lands inside)
+    EXPECT_EQ(data.buckets[1], 2u);      // 1.5, 2.0
+    EXPECT_EQ(data.buckets[2], 2u);      // 3.0, 5.0
+    EXPECT_EQ(data.buckets[3], 1u);      // 7.0 overflows
+    EXPECT_EQ(data.count, 7u);
+    EXPECT_DOUBLE_EQ(data.sum, 20.0);
+    EXPECT_DOUBLE_EQ(data.min, 0.5);
+    EXPECT_DOUBLE_EQ(data.max, 7.0);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsLoseNothing) {
+    Histogram hist{Histogram::defaultEdges()};
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10'000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&hist, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                hist.record(1e-5 * static_cast<double>(t + 1));
+        });
+    for (std::thread& t : threads) t.join();
+    const HistogramData data = hist.snapshot();
+    EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t bucketSum = 0;
+    for (std::uint64_t b : data.buckets) bucketSum += b;
+    EXPECT_EQ(bucketSum, data.count);
+    EXPECT_DOUBLE_EQ(data.min, 1e-5);
+    EXPECT_DOUBLE_EQ(data.max, 8e-5);
+}
+
+TEST(ObsHistogram, ScopedTimerRecordsOneSample) {
+    const std::vector<double> edges{0.5, 60.0};
+    Histogram hist{std::span<const double>(edges)};
+    {
+        ScopedTimer timer(hist);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const HistogramData data = hist.snapshot();
+    EXPECT_EQ(data.count, 1u);
+    EXPECT_GT(data.sum, 0.0);
+    EXPECT_LT(data.sum, 60.0);  // sane wall-clock seconds, not ns
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot merge semantics
+
+TEST(ObsSnapshot, MergeAddsCountersAndHistogramsGaugesOverwrite) {
+    MetricsSnapshot a;
+    a.addCounter("c", 10);
+    a.addGauge("g", 1.5);
+    HistogramData ha;
+    ha.edges = {1.0};
+    ha.buckets = {2, 1};
+    ha.count = 3;
+    ha.sum = 4.0;
+    ha.min = 0.5;
+    ha.max = 2.0;
+    a.addHistogram("h", ha);
+
+    MetricsSnapshot b;
+    b.addCounter("c", 32);
+    b.addCounter("only_b", 1);
+    b.addGauge("g", 9.0);
+    HistogramData hb = ha;
+    hb.buckets = {0, 4};
+    hb.count = 4;
+    hb.sum = 40.0;
+    hb.min = 3.0;
+    hb.max = 11.0;
+    b.addHistogram("h", hb);
+
+    a.merge(b);
+    EXPECT_EQ(a.find("c")->counter, 42u);
+    EXPECT_EQ(a.find("only_b")->counter, 1u);
+    EXPECT_DOUBLE_EQ(a.find("g")->gauge, 9.0);  // last write wins
+    const HistogramData& merged = a.find("h")->histogram;
+    EXPECT_EQ(merged.count, 7u);
+    EXPECT_EQ(merged.buckets[0], 2u);
+    EXPECT_EQ(merged.buckets[1], 5u);
+    EXPECT_DOUBLE_EQ(merged.sum, 44.0);
+    EXPECT_DOUBLE_EQ(merged.min, 0.5);
+    EXPECT_DOUBLE_EQ(merged.max, 11.0);
+}
+
+TEST(ObsSnapshot, JsonIsValidAndCarriesSchema) {
+    Registry registry;
+    registry.counter("obs_test.json_counter").add(3);
+    registry.gauge("obs_test.json_gauge").set(2.5);
+    registry.histogram("obs_test.json_hist").record(0.25);
+    const std::string json = registry.snapshot().toJson();
+    EXPECT_TRUE(isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"schema\":\"axf-metrics.v1\""), std::string::npos);
+    EXPECT_NE(json.find("obs_test.json_counter"), std::string::npos);
+    EXPECT_NE(json.find("obs_test.json_hist"), std::string::npos);
+}
+
+TEST(ObsSnapshot, WriteMetricsFileRoundTrips) {
+    Registry::global().counter("obs_test.file_counter").add();
+    const std::string path = tempPath("metrics.json");
+    ASSERT_TRUE(writeMetricsFile(path));
+    const std::string text = slurp(path);
+    EXPECT_TRUE(isValidJson(text)) << text;
+    EXPECT_NE(text.find("obs_test.file_counter"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(ObsTrace, SpanPathTracksNesting) {
+    EXPECT_EQ(activeSpanPath(), "");
+    {
+        Span outer("obs_outer");
+        EXPECT_EQ(activeSpanPath(), "obs_outer");
+        {
+            Span inner("obs_inner");
+            EXPECT_EQ(activeSpanPath(), "obs_outer > obs_inner");
+            const std::string report = stallReport();
+            EXPECT_NE(report.find("obs_outer > obs_inner"), std::string::npos);
+        }
+        EXPECT_EQ(activeSpanPath(), "obs_outer");
+    }
+    EXPECT_EQ(activeSpanPath(), "");
+}
+
+TEST(ObsTrace, FileIsValidJsonWithProperlyNestedSpans) {
+    const std::string path = tempPath("trace.json");
+    startTracing(path);
+    {
+        Span outer("obs_trace_outer");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        {
+            Span inner("obs_trace_inner", "detail=1");
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    ASSERT_EQ(stopTracing(), path);
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(isValidJson(text)) << text;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+
+    const std::vector<TraceEvent> events = parseEvents(text);
+    const auto byName = [&events](const std::string& name) -> const TraceEvent* {
+        for (const TraceEvent& e : events)
+            if (e.name == name) return &e;
+        return nullptr;
+    };
+    const TraceEvent* outer = byName("obs_trace_outer");
+    const TraceEvent* inner = byName("obs_trace_inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->tid, inner->tid);
+    // Proper nesting: the inner interval sits strictly inside the outer.
+    EXPECT_GE(inner->ts, outer->ts);
+    EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + 1e-3);
+    EXPECT_GT(inner->dur, 0.0);
+    EXPECT_GT(outer->dur, inner->dur);
+    std::remove(path.c_str());
+}
+
+TEST(ObsTrace, StopWithoutSessionReturnsEmpty) { EXPECT_EQ(stopTracing(), ""); }
+
+TEST(ObsTrace, ThreadPoolTasksInheritSubmitterSpan) {
+    util::ThreadPool pool(2);
+    if (pool.threadCount() == 0) GTEST_SKIP() << "no workers on this host";
+    const std::string path = tempPath("trace_pool.json");
+    startTracing(path);
+    long mainTid = -1;
+    {
+        Span phase("obs_submit_phase");
+        // The submitted task must see the submitter's innermost span.
+        pool.submit([] {
+            EXPECT_EQ(activeSpanPath(), "obs_submit_phase");
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        });
+        pool.wait();
+    }
+    EXPECT_EQ(currentContext().parent, nullptr);  // no span open any more
+    ASSERT_EQ(stopTracing(), path);
+    const std::string text = slurp(path);
+    EXPECT_TRUE(isValidJson(text)) << text;
+    const std::vector<TraceEvent> events = parseEvents(text);
+    const TraceEvent* phaseEvent = nullptr;
+    const TraceEvent* taskEvent = nullptr;
+    for (const TraceEvent& e : events) {
+        if (e.name == "obs_submit_phase" && e.category != "task") phaseEvent = &e;
+        if (e.name == "obs_submit_phase" && e.category == "task") taskEvent = &e;
+    }
+    ASSERT_NE(phaseEvent, nullptr);
+    ASSERT_NE(taskEvent, nullptr) << text;
+    mainTid = phaseEvent->tid;
+    EXPECT_NE(taskEvent->tid, mainTid);  // ran on a worker, tagged with the phase
+    std::remove(path.c_str());
+}
+
+TEST(ObsTrace, BackToBackSessionsDoNotBleedEvents) {
+    const std::string first = tempPath("trace_first.json");
+    startTracing(first);
+    { Span span("obs_session_one"); }
+    ASSERT_EQ(stopTracing(), first);
+
+    const std::string second = tempPath("trace_second.json");
+    startTracing(second);
+    { Span span("obs_session_two"); }
+    ASSERT_EQ(stopTracing(), second);
+
+    const std::string text = slurp(second);
+    EXPECT_NE(text.find("obs_session_two"), std::string::npos);
+    EXPECT_EQ(text.find("obs_session_one"), std::string::npos);
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog integration
+
+TEST(ObsWatchdog, StallReportNamesThreadAndInnermostSpan) {
+    util::Watchdog::Options options;
+    options.deadlineSeconds = 0.2;
+    options.label = "obs-test";
+    util::Watchdog watchdog(options);
+    ASSERT_TRUE(watchdog.enabled());
+    {
+        Span stalled("obs_stalled_phase");
+        const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+        while (watchdog.stallsLogged() == 0 && std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_GT(watchdog.stallsLogged(), 0);
+    const std::string report = watchdog.lastStallReport();
+    EXPECT_NE(report.find("obs-test"), std::string::npos);
+    EXPECT_NE(report.find("thread"), std::string::npos);
+    EXPECT_NE(report.find("obs_stalled_phase"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: instrumentation must never change result bits
+
+std::uint64_t resultDigest(const autoax::AutoAxFpgaFlow::Result& result) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    };
+    const auto mixDouble = [&mix](double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        mix(bits);
+    };
+    const auto mixConfig = [&](const autoax::EvaluatedConfig& e) {
+        for (int c : e.config.choice) mix(static_cast<std::uint64_t>(c));
+        mixDouble(e.ssim);
+        mixDouble(e.cost.lutCount);
+        mixDouble(e.cost.powerMw);
+        mixDouble(e.cost.latencyNs);
+    };
+    mix(result.trainingSet.size());
+    for (const autoax::EvaluatedConfig& e : result.trainingSet) mixConfig(e);
+    for (const autoax::AutoAxFpgaFlow::ScenarioResult& s : result.scenarios) {
+        mix(static_cast<std::uint64_t>(s.param));
+        mix(s.estimatorQueries);
+        mix(s.autoax.size());
+        for (const autoax::EvaluatedConfig& e : s.autoax) mixConfig(e);
+        mix(s.random.size());
+        for (const autoax::EvaluatedConfig& e : s.random) mixConfig(e);
+    }
+    mix(result.totalRealEvaluations);
+    return h;
+}
+
+autoax::Component makeComponent(circuit::Netlist netlist, circuit::ArithSignature sig) {
+    autoax::Component c;
+    c.name = netlist.name();
+    c.signature = sig;
+    c.error = error::analyzeError(netlist, sig);
+    c.fpga = synth::FpgaFlow().implement(netlist);
+    c.netlist = std::move(netlist);
+    return c;
+}
+
+TEST(ObsDeterminism, InstrumentedFlowIsBitIdenticalToUninstrumented) {
+    std::vector<autoax::Component> mults;
+    mults.push_back(makeComponent(gen::wallaceMultiplier(8), gen::multiplierSignature(8)));
+    for (int t : {3, 5})
+        mults.push_back(
+            makeComponent(gen::truncatedMultiplier(8, t), gen::multiplierSignature(8)));
+    std::vector<autoax::Component> adds;
+    adds.push_back(makeComponent(gen::rippleCarryAdder(16), gen::adderSignature(16)));
+    adds.push_back(makeComponent(gen::loaAdder(16, 6), gen::adderSignature(16)));
+    const autoax::GaussianAccelerator accel(std::move(mults), std::move(adds));
+
+    autoax::AutoAxFpgaFlow::Config cfg;
+    cfg.trainConfigs = 10;
+    cfg.hillIterations = 60;
+    cfg.imageSize = 32;
+    cfg.sceneCount = 1;
+
+    // Run A: metrics on + an active trace session (full instrumentation).
+    const std::string path = tempPath("trace_determinism.json");
+    setMetricsEnabled(true);
+    startTracing(path);
+    const std::uint64_t instrumented = resultDigest(autoax::AutoAxFpgaFlow(cfg).run(accel));
+    ASSERT_EQ(stopTracing(), path);
+    EXPECT_TRUE(isValidJson(slurp(path)));
+    std::remove(path.c_str());
+
+    // Run B: everything off — the observability layer must be invisible.
+    setMetricsEnabled(false);
+    const std::uint64_t bare = resultDigest(autoax::AutoAxFpgaFlow(cfg).run(accel));
+    setMetricsEnabled(true);
+
+    EXPECT_EQ(instrumented, bare);
+}
+
+}  // namespace
+}  // namespace axf::obs

@@ -16,12 +16,19 @@
 //     uninterrupted reference run without storing full archives.
 //
 // Usage:
-//   axf-campaign [--out DIR] [--digest-file PATH] [--iterations N]
-//                [--train N] [--islands N] [--threads N] [--seed HEX]
-//                [--epoch-ms N] [--checkpoint-interval N] [--quiet]
+//   axf-campaign [--out DIR] [--digest-file PATH] [--metrics-file PATH]
+//                [--iterations N] [--train N] [--islands N] [--threads N]
+//                [--seed HEX] [--epoch-ms N] [--checkpoint-interval N]
+//                [--quiet]
 //
 // --epoch-ms throttles every search epoch (sleep), giving CI a generous
 // window to deliver a mid-flight signal deterministically.
+//
+// Observability: --metrics-file PATH (or AXF_METRICS_FILE) dumps the
+// metrics registry as JSON — rewritten atomically at every search epoch
+// and once more on completion (including cancellation), so a poller
+// always sees a consistent snapshot.  AXF_TRACE=trace.json additionally
+// records a Chrome-trace timeline loadable in Perfetto.
 //
 // Exit status: 0 campaign complete, 2 usage/setup failure, 75 interrupted
 // (checkpoints valid and resumable).
@@ -38,6 +45,7 @@
 #include "src/autoax/sobel.hpp"
 #include "src/error/error_metrics.hpp"
 #include "src/gen/adders.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/synth/fpga.hpp"
 #include "src/util/cancellation.hpp"
 #include "src/util/io.hpp"
@@ -50,6 +58,7 @@ namespace {
 struct CliOptions {
     std::string outDirectory = ".axf_campaign";
     std::string digestFile;
+    std::string metricsFile;
     int iterations = 600;
     int trainConfigs = 60;
     int islands = 3;
@@ -109,9 +118,10 @@ std::uint64_t resultDigest(const autoax::AutoAxFpgaFlow::Result& result) {
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: axf-campaign [--out DIR] [--digest-file PATH] [--iterations N]\n"
-                 "                    [--train N] [--islands N] [--threads N] [--seed HEX]\n"
-                 "                    [--epoch-ms N] [--checkpoint-interval N] [--quiet]\n");
+                 "usage: axf-campaign [--out DIR] [--digest-file PATH] [--metrics-file PATH]\n"
+                 "                    [--iterations N] [--train N] [--islands N] [--threads N]\n"
+                 "                    [--seed HEX] [--epoch-ms N] [--checkpoint-interval N]\n"
+                 "                    [--quiet]\n");
     return 2;
 }
 
@@ -136,6 +146,10 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             cli.digestFile = v;
+        } else if (arg == "--metrics-file") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            cli.metricsFile = v;
         } else if (arg == "--iterations") {
             if (!nextInt(cli.iterations, 1)) return usage();
         } else if (arg == "--train") {
@@ -196,8 +210,16 @@ int main(int argc, char** argv) {
     cfg.checkpointDirectory = cli.outDirectory;
     cfg.checkpointInterval = cli.checkpointInterval;
     cfg.cancel = &stop;
+    // --metrics-file wins over the AXF_METRICS_FILE env (the env still
+    // arms an at-exit dump inside the obs layer when the flag is absent).
+    if (cli.metricsFile.empty())
+        if (const char* env = std::getenv("AXF_METRICS_FILE"); env != nullptr && *env != '\0')
+            cli.metricsFile = env;
     cfg.onSearchEpoch = [&](core::FpgaParam param, int done) {
         watchdog.pulse();
+        // Periodic dump at every epoch boundary: atomic replace, so a
+        // poller (CI, a dashboard tail) never reads a torn file.
+        if (!cli.metricsFile.empty()) obs::writeMetricsFile(cli.metricsFile);
         if (!cli.quiet)
             std::printf("axf-campaign: scenario %s at generation %d\n",
                         core::fpgaParamName(param), done);
@@ -232,11 +254,16 @@ int main(int argc, char** argv) {
     } catch (const util::OperationCancelled& cancelled) {
         // The search flushed a final epoch-boundary checkpoint before
         // throwing; rerunning the same command resumes from it.
+        if (!cli.metricsFile.empty()) obs::writeMetricsFile(cli.metricsFile);
         std::fprintf(stderr,
                      "axf-campaign: interrupted (%s); checkpoints in %s are valid — "
                      "rerun to resume\n",
                      cancelled.what(), cli.outDirectory.c_str());
         return util::kCancelledExitCode;
+    }
+    if (!cli.metricsFile.empty() && !obs::writeMetricsFile(cli.metricsFile)) {
+        std::fprintf(stderr, "axf-campaign: cannot write %s\n", cli.metricsFile.c_str());
+        return 2;
     }
     return 0;
 }

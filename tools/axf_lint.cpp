@@ -20,7 +20,9 @@
 //
 // Flags: --werror (warnings fail), --quiet (findings only), --no-verify
 // (skip program verification), --stats (print per-netlist compiled-plan
-// statistics: backend, block width, instructions, runs, fusion), --max-diag N.
+// statistics: backend, block width, instructions, runs, fusion), --json
+// (with --stats: machine-readable axf-lint-stats.v1 JSON on stdout instead
+// of text rows — schema documented in the README), --max-diag N.
 //
 // Exit status: 0 clean, 1 error-severity findings (or warnings under
 // --werror) or a failed checkpoint audit, 2 usage/io failure, 75 when
@@ -62,7 +64,17 @@ struct CliOptions {
     bool quiet = false;
     bool verifyPrograms = true;
     bool showStats = false;
+    bool json = false;  // with --stats: axf-lint-stats.v1 JSON on stdout
     std::size_t maxDiagnostics = 64;
+};
+
+/// One --stats row, buffered so --json can emit the whole document at the
+/// end (text mode prints rows as they are produced).
+struct StatsRow {
+    std::string subject;
+    CompiledNetlist::Stats stats;
+    std::size_t lintErrors = 0;
+    std::size_t lintWarnings = 0;
 };
 
 struct Tally {
@@ -70,7 +82,61 @@ struct Tally {
     std::size_t programs = 0;
     std::size_t errors = 0;
     std::size_t warnings = 0;
+    std::vector<StatsRow> statsRows;
 };
+
+void appendJsonString(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+/// The `axf-lint-stats.v1` document (schema in README): per-netlist
+/// compiled-plan statistics + lint counts, then the run summary.
+void printStatsJson(const Tally& tally) {
+    std::string out = "{\"schema\":\"axf-lint-stats.v1\",\"netlists\":[";
+    bool first = true;
+    for (const StatsRow& row : tally.statsRows) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, row.subject);
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      ",\"backend\":\"%s\",\"block_words\":%zu,\"instructions\":%zu,"
+                      "\"runs\":%zu,\"longest_run\":%zu,\"chained_runs\":%zu,"
+                      "\"fused_ops\":%zu,\"gates_folded\":%zu,\"specialized\":%s,"
+                      "\"lint_errors\":%zu,\"lint_warnings\":%zu}",
+                      row.stats.backend, row.stats.blockWords, row.stats.instructions,
+                      row.stats.runs, row.stats.longestRun, row.stats.chainedRuns,
+                      row.stats.fusedOps, row.stats.gatesFused,
+                      row.stats.specialized ? "true" : "false", row.lintErrors,
+                      row.lintWarnings);
+        out += buf;
+    }
+    char summary[192];
+    std::snprintf(summary, sizeof summary,
+                  "],\"summary\":{\"netlists\":%zu,\"programs\":%zu,\"errors\":%zu,"
+                  "\"warnings\":%zu}}\n",
+                  tally.netlists, tally.programs, tally.errors, tally.warnings);
+    out += summary;
+    std::fputs(out.c_str(), stdout);
+}
 
 void printDiagnostics(const std::string& subject, const Diagnostics& diags,
                       const CliOptions& cli) {
@@ -99,11 +165,16 @@ void checkNetlist(const std::string& subject, const Netlist& netlist, const CliO
     const CompiledNetlist compiled = CompiledNetlist::compile(netlist);
     if (cli.showStats) {
         const CompiledNetlist::Stats s = compiled.stats();
-        std::printf(
-            "%s: backend=%s W=%zu instrs=%zu runs=%zu longest=%zu chained=%zu fused=%zu "
-            "gates-folded=%zu%s\n",
-            subject.c_str(), s.backend, s.blockWords, s.instructions, s.runs, s.longestRun,
-            s.chainedRuns, s.fusedOps, s.gatesFused, s.specialized ? " specialized" : "");
+        if (cli.json) {
+            tally.statsRows.push_back(
+                StatsRow{subject, s, lint.errorCount(), lint.warningCount()});
+        } else {
+            std::printf(
+                "%s: backend=%s W=%zu instrs=%zu runs=%zu longest=%zu chained=%zu fused=%zu "
+                "gates-folded=%zu%s\n",
+                subject.c_str(), s.backend, s.blockWords, s.instructions, s.runs, s.longestRun,
+                s.chainedRuns, s.fusedOps, s.gatesFused, s.specialized ? " specialized" : "");
+        }
     }
     if (!cli.verifyPrograms) return;
     axf::verify::VerifyOptions verifyOptions;
@@ -205,7 +276,7 @@ int usage() {
                  "usage: axf-lint [--library adder|multiplier] [--width N] [--full]\n"
                  "                [--cache DIR] [--audit-checkpoint FILE]\n"
                  "                [--expect-digest HEX] [--werror] [--quiet]\n"
-                 "                [--no-verify] [--stats] [--max-diag N] [FILE...]\n");
+                 "                [--no-verify] [--stats] [--json] [--max-diag N] [FILE...]\n");
     return 2;
 }
 
@@ -250,6 +321,10 @@ int main(int argc, char** argv) {
             cli.verifyPrograms = false;
         } else if (arg == "--stats") {
             cli.showStats = true;
+        } else if (arg == "--json") {
+            // --json implies --stats: the document IS the stats output.
+            cli.json = true;
+            cli.showStats = true;
         } else if (arg == "--max-diag") {
             const char* v = next();
             if (v == nullptr || std::atoi(v) <= 0) return usage();
@@ -281,6 +356,7 @@ int main(int argc, char** argv) {
         return axf::util::kCancelledExitCode;
     }
 
+    if (cli.json) printStatsJson(tally);
     if (!cli.quiet)
         std::fprintf(stderr, "axf-lint: %zu netlist(s), %zu program(s): %zu error(s), %zu warning(s)\n",
                      tally.netlists, tally.programs, tally.errors, tally.warnings);
